@@ -1,0 +1,43 @@
+//! Phase 1 bench (experiment E1): candidate-extraction latency vs corpus
+//! size — the paper's "fast and scalable filter" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemr_bench::Testbed;
+use schemr_corpus::{Corpus, CorpusConfig, Workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_extraction");
+    group.sample_size(20);
+    for &size in &[500usize, 2_000, 8_000] {
+        let corpus = Corpus::generate(&CorpusConfig {
+            target_size: size,
+            ..CorpusConfig::default()
+        });
+        let bed = Testbed::build(&corpus);
+        let workload = Workload::generate(
+            &corpus,
+            &WorkloadConfig {
+                queries: 16,
+                ..Default::default()
+            },
+        );
+        let graphs: Vec<_> = workload
+            .queries
+            .iter()
+            .map(|q| Testbed::to_request(q, 10).query_graph())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                let g = &graphs[qi % graphs.len()];
+                qi += 1;
+                black_box(bed.engine.extract_candidates(g))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidates);
+criterion_main!(benches);

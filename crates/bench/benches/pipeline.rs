@@ -1,0 +1,42 @@
+//! End-to-end pipeline bench (Figure 3 / experiment F3): full three-phase
+//! search latency on a 1,000-schema corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schemr_bench::Testbed;
+use schemr_corpus::{Corpus, CorpusConfig, Workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        target_size: 1_000,
+        ..CorpusConfig::default()
+    });
+    let bed = Testbed::build(&corpus);
+    let workload = Workload::generate(
+        &corpus,
+        &WorkloadConfig {
+            queries: 32,
+            ..Default::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("search_1k_corpus", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            let q = &workload.queries[qi % workload.queries.len()];
+            qi += 1;
+            black_box(bed.run_query(q, 10))
+        });
+    });
+    group.bench_function("search_detailed_1k_corpus", |b| {
+        let q = &workload.queries[0];
+        let request = Testbed::to_request(q, 10);
+        b.iter(|| black_box(bed.engine.search_detailed(&request).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

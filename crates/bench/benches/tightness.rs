@@ -1,0 +1,55 @@
+//! Phase 3 bench (experiment E4 support): tightness-of-fit cost as
+//! candidate schemas grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemr::{tightness::tightness_of_fit, TightnessConfig};
+use schemr_match::SimilarityMatrix;
+use schemr_model::{DataType, Element, ForeignKey, Schema};
+use std::hint::black_box;
+
+/// A chain of `n` entities with 5 attributes each, FK-linked in sequence.
+fn chain_schema(n: usize) -> Schema {
+    let mut s = Schema::new("chain");
+    let mut prev = None;
+    for i in 0..n {
+        let e = s.add_root(Element::entity(format!("entity{i}")));
+        let mut first_attr = None;
+        for j in 0..5 {
+            let a = s.add_child(
+                e,
+                Element::attribute(format!("attr{i}_{j}"), DataType::Text),
+            );
+            first_attr.get_or_insert(a);
+        }
+        if let Some(p) = prev {
+            s.add_foreign_key(ForeignKey {
+                from_entity: e,
+                from_attrs: vec![first_attr.expect("attrs added")],
+                to_entity: p,
+                to_attrs: vec![],
+            });
+        }
+        prev = Some(e);
+    }
+    s
+}
+
+fn bench_tightness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tightness");
+    for &n in &[4usize, 16, 64] {
+        let schema = chain_schema(n);
+        // Half the attributes matched at varying strength.
+        let mut m = SimilarityMatrix::zeros(8, schema.len());
+        for (i, col) in (0..schema.len()).step_by(2).enumerate() {
+            m.set(i % 8, col, 0.4 + 0.1 * ((col % 6) as f64 / 6.0));
+        }
+        let config = TightnessConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(tightness_of_fit(&schema, &m, &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tightness);
+criterion_main!(benches);

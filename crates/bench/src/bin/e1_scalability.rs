@@ -1,0 +1,85 @@
+//! **E1 — Search latency and phase breakdown vs corpus size.**
+//!
+//! The paper claims the document index is "a fast and scalable filter for
+//! relevant candidate schemas" and demonstrates search over 30,000 public
+//! schemas. This harness measures, per corpus size: mean end-to-end search
+//! latency, the per-phase breakdown (candidate extraction / matching /
+//! tightness scoring), and the index size.
+//!
+//! Run with `cargo run --release -p schemr-bench --bin e1_scalability`
+//! (pass `--quick` for a fast smoke run).
+
+use schemr_bench::{Table, Testbed};
+use schemr_corpus::{Corpus, CorpusConfig, Workload, WorkloadConfig};
+use std::time::Duration;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[500, 1_000, 2_000]
+    } else {
+        &[1_000, 5_000, 10_000, 30_000]
+    };
+    let queries = if quick { 10 } else { 40 };
+
+    println!("E1: search latency & phase breakdown vs corpus size (top-n = 50)\n");
+    let mut table = Table::new(&[
+        "corpus",
+        "docs",
+        "terms",
+        "p1 (ms)",
+        "p2 (ms)",
+        "p3 (ms)",
+        "total (ms)",
+        "candidates",
+    ]);
+    for &size in sizes {
+        let corpus = Corpus::generate(&CorpusConfig {
+            target_size: size,
+            seed: 42,
+            ..CorpusConfig::default()
+        });
+        let bed = Testbed::build(&corpus);
+        let workload = Workload::generate(
+            &corpus,
+            &WorkloadConfig {
+                queries,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let mut p1 = Duration::ZERO;
+        let mut p2 = Duration::ZERO;
+        let mut p3 = Duration::ZERO;
+        let mut cands = 0usize;
+        for q in &workload.queries {
+            let resp = bed
+                .engine
+                .search_detailed(&Testbed::to_request(q, 10))
+                .expect("nonempty query");
+            p1 += resp.timings.candidate_extraction;
+            p2 += resp.timings.matching;
+            p3 += resp.timings.scoring;
+            cands += resp.candidates_evaluated;
+        }
+        let n = workload.queries.len() as f64;
+        let ms = |d: Duration| format!("{:.2}", d.as_secs_f64() * 1000.0 / n);
+        let stats = bed.engine.index_stats();
+        table.row(&[
+            size.to_string(),
+            stats.live_docs.to_string(),
+            stats.distinct_terms.to_string(),
+            ms(p1),
+            ms(p2),
+            ms(p3),
+            format!("{:.2}", (p1 + p2 + p3).as_secs_f64() * 1000.0 / n),
+            format!("{:.1}", cands as f64 / n),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpected shape: phase 1 grows sublinearly with corpus size (inverted index);\n\
+         phases 2+3 are flat (bounded by top-n candidates), so total latency stays\n\
+         interactive at 30k schemas — the paper's scalability claim."
+    );
+}

@@ -1,0 +1,132 @@
+//! **E3 — Name-matcher robustness to the paper's three perturbation
+//! classes.**
+//!
+//! "We found this matcher to be particularly helpful for properly ranking
+//! schemas containing abbreviated terms, alternate grammatical forms, and
+//! delimiter characters not in the original query."
+//!
+//! Part A sweeps each perturbation class at increasing rates and measures
+//! the mean similarity the n-gram [`NameMatcher`] vs the exact
+//! [`TokenMatcher`] assigns to (original, perturbed) name pairs — the
+//! matcher-level view.
+//!
+//! Part B re-runs retrieval (MRR) on corpora perturbed with one class at a
+//! time, with each matcher alone in the ensemble — the end-to-end view.
+//!
+//! Run with `cargo run --release -p schemr-bench --bin e3_name_robustness`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use schemr_bench::{variants, Table, Testbed};
+use schemr_corpus::{Corpus, CorpusConfig, PerturbConfig, Perturber, Workload, WorkloadConfig};
+use schemr_match::{NameMatcher, TokenMatcher};
+
+/// Two-word names drawn from the kind of vocabulary the corpus uses.
+const BASE_NAMES: &[&str] = &[
+    "patient_height",
+    "patient_gender",
+    "blood_pressure",
+    "customer_address",
+    "order_quantity",
+    "species_abundance",
+    "station_temperature",
+    "account_balance",
+    "student_grade",
+    "vehicle_mileage",
+    "first_name",
+    "visit_date",
+];
+
+fn scalar_sweep() {
+    println!("Part A: mean similarity of (original, perturbed) name pairs\n");
+    let name = NameMatcher::new();
+    let token = TokenMatcher::new();
+    type ClassMaker = fn(f64) -> PerturbConfig;
+    let classes: [(&str, ClassMaker); 3] = [
+        ("abbreviation", PerturbConfig::only_abbreviation),
+        ("morphology", PerturbConfig::only_morphology),
+        ("delimiter", PerturbConfig::only_delimiter),
+    ];
+    let mut table = Table::new(&["class", "rate", "ngram-name", "exact-token", "gap"]);
+    for (class_name, make) in classes {
+        for rate in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let perturber = Perturber::new(make(rate));
+            let mut rng = StdRng::seed_from_u64(1234);
+            let (mut sum_n, mut sum_t, mut n) = (0.0f64, 0.0f64, 0usize);
+            for base in BASE_NAMES {
+                for _ in 0..20 {
+                    let variant = perturber.perturb_name(base, &mut rng);
+                    sum_n += name.similarity(base, &variant);
+                    sum_t += token.similarity(base, &variant);
+                    n += 1;
+                }
+            }
+            let mean_n = sum_n / n as f64;
+            let mean_t = sum_t / n as f64;
+            table.row(&[
+                class_name.to_string(),
+                format!("{rate:.2}"),
+                format!("{mean_n:.3}"),
+                format!("{mean_t:.3}"),
+                format!("{:+.3}", mean_n - mean_t),
+            ]);
+        }
+    }
+    table.print();
+}
+
+fn retrieval_sweep(quick: bool) {
+    println!("\nPart B: retrieval MRR with each matcher alone, per QUERY perturbation class\n");
+    // The paper's scenario: the repository holds full names; the *user*
+    // types abbreviated / inflected / re-delimited terms. The corpus is
+    // unperturbed (families differ by attribute churn only); the workload
+    // perturbs query terms with one class at a time.
+    let classes: [(&str, PerturbConfig); 4] = [
+        ("none", PerturbConfig::none()),
+        ("abbreviation 0.7", PerturbConfig::only_abbreviation(0.7)),
+        ("morphology 0.7", PerturbConfig::only_morphology(0.7)),
+        ("delimiter 1.0", PerturbConfig::only_delimiter(1.0)),
+    ];
+    let corpus = Corpus::generate(&CorpusConfig {
+        target_size: if quick { 300 } else { 2_000 },
+        seed: 21,
+        perturb: PerturbConfig::none(),
+        ..CorpusConfig::default()
+    });
+    let bed = Testbed::build(&corpus);
+    let mut table = Table::new(&["query perturbation", "ngram-name MRR", "exact-token MRR"]);
+    for (class_name, perturb) in classes {
+        let workload = Workload::generate(
+            &corpus,
+            &WorkloadConfig {
+                queries: if quick { 20 } else { 100 },
+                seed: 22,
+                perturb,
+                ..Default::default()
+            },
+        );
+        bed.engine.set_ensemble(variants::name_only_ensemble());
+        let ngram = bed.evaluate(&workload, 10);
+        bed.engine.set_ensemble(variants::token_only_ensemble());
+        let token = bed.evaluate(&workload, 10);
+        table.row(&[
+            class_name.to_string(),
+            format!("{:.3}", ngram.mrr),
+            format!("{:.3}", token.mrr),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpected shape: the two matchers tie on unperturbed queries; once the user\n\
+         abbreviates or inflects terms, the n-gram matcher keeps ranking the right\n\
+         families while exact-token matching falls off — the paper's motivation for\n\
+         the name matcher."
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("E3: name-matcher robustness (n-gram vs exact-token)\n");
+    scalar_sweep();
+    retrieval_sweep(quick);
+}

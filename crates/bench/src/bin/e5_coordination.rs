@@ -1,0 +1,162 @@
+//! **E5 — The coordination factor.**
+//!
+//! "A coordination factor, defined as the number of terms matched divided
+//! by the number of terms in the query, is multiplied into the coarse-grain
+//! score in order to reward results which match the most terms in the
+//! original query."
+//!
+//! Part A is a controlled demonstration: documents engineered so that a
+//! partial-coverage schema has higher raw TF/IDF mass than a full-coverage
+//! one; the coordination factor must flip the order.
+//!
+//! Part B measures retrieval quality (Phase 1 only) with coordination
+//! on/off over multi-term keyword queries.
+//!
+//! Run with `cargo run --release -p schemr-bench --bin e5_coordination`.
+
+use schemr_bench::{variants, Table, Testbed};
+use schemr_corpus::{Corpus, CorpusConfig, Workload, WorkloadConfig};
+use schemr_index::{Index, IndexDocument, SearchOptions};
+use schemr_model::SchemaId;
+
+fn demo() {
+    println!("Part A: controlled demonstration\n");
+    let index = Index::new();
+    // Doc 1 covers all four query terms once.
+    index.add(&IndexDocument {
+        id: SchemaId(1),
+        title: "full coverage".into(),
+        summary: String::new(),
+        elements: vec![
+            "patient".into(),
+            "height".into(),
+            "gender".into(),
+            "diagnosis".into(),
+        ],
+        docs: vec![],
+    });
+    // Doc 2 repeats one rare term many times: higher raw mass, lower
+    // coverage.
+    index.add(&IndexDocument {
+        id: SchemaId(2),
+        title: "repeater".into(),
+        summary: String::new(),
+        elements: (0..12)
+            .map(|i| format!("diagnosis_{i}_diagnosis"))
+            .collect(),
+        docs: vec![],
+    });
+    let query = ["patient", "height", "gender", "diagnosis"];
+    let mut table = Table::new(&["coordination", "rank 1", "rank 2"]);
+    for coordination in [true, false] {
+        let hits = index.search(
+            &query,
+            &SearchOptions {
+                top_n: 10,
+                coordination,
+                ..Default::default()
+            },
+        );
+        let name = |i: usize| {
+            hits.get(i)
+                .map(|h| format!("{} ({:.2})", h.id, h.score))
+                .unwrap_or_default()
+        };
+        table.row(&[coordination.to_string(), name(0), name(1)]);
+    }
+    table.print();
+    println!(
+        "\nExpected: s1 (full coverage) ranks first either way — sublinear tf and\n\
+         length norms already blunt term-stuffing — but coordination widens the\n\
+         margin several-fold, which is what keeps partial-coverage schemas out of\n\
+         the top ranks on real multi-term queries (Part B).\n"
+    );
+}
+
+fn retrieval(quick: bool) {
+    println!("Part B: Phase 1 retrieval quality with/without coordination\n");
+    let corpus = Corpus::generate(&CorpusConfig {
+        target_size: if quick { 500 } else { 3_000 },
+        seed: 51,
+        ..CorpusConfig::default()
+    });
+    // Multi-term keyword queries only.
+    let workload = Workload::generate(
+        &corpus,
+        &WorkloadConfig {
+            queries: if quick { 30 } else { 150 },
+            seed: 52,
+            keywords: (4, 6),
+            kind_mix: (1.0, 0.0, 0.0),
+            ..Default::default()
+        },
+    );
+    let mut table = Table::new(&["variant", "P@10", "MRR", "NDCG@10"]);
+    for (name, config) in [
+        ("coordination on", variants::full()),
+        ("coordination off", variants::no_coordination()),
+    ] {
+        let bed = Testbed::build_with_config(&corpus, config);
+        let m = bed.evaluate_with(&workload, 10, |q| bed.run_query_coarse(q, 10));
+        table.row(&[
+            name.to_string(),
+            format!("{:.3}", m.p_at_10),
+            format!("{:.3}", m.mrr),
+            format!("{:.3}", m.ndcg_at_10),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape: coordination on ≥ off on multi-term queries.");
+}
+
+/// Part C: the proximity bonus from stored positions. Compound attribute
+/// names (`max_height`) analyze into adjacent tokens; documents carrying
+/// the intact compound should outrank documents that merely contain both
+/// words in unrelated elements.
+fn proximity(quick: bool) {
+    println!("\nPart C: proximity bonus (the index's stored positions)\n");
+    let corpus = Corpus::generate(&CorpusConfig {
+        target_size: if quick { 500 } else { 3_000 },
+        seed: 53,
+        ..CorpusConfig::default()
+    });
+    // Compound-heavy keyword queries (exact names, no perturbation — the
+    // proximity signal is positional, not lexical).
+    let workload = Workload::generate(
+        &corpus,
+        &WorkloadConfig {
+            queries: if quick { 30 } else { 150 },
+            seed: 54,
+            keywords: (3, 5),
+            kind_mix: (1.0, 0.0, 0.0),
+            perturb: schemr_corpus::PerturbConfig::none(),
+        },
+    );
+    let mut table = Table::new(&["variant", "P@10", "MRR", "NDCG@10"]);
+    for (name, weight) in [("proximity 0.25", 0.25), ("proximity off", 0.0)] {
+        let bed = Testbed::build_with_config(
+            &corpus,
+            schemr::EngineConfig {
+                proximity_weight: weight,
+                ..Default::default()
+            },
+        );
+        let m = bed.evaluate_with(&workload, 10, |q| bed.run_query_coarse(q, 10));
+        table.row(&[
+            name.to_string(),
+            format!("{:.3}", m.p_at_10),
+            format!("{:.3}", m.mrr),
+            format!("{:.3}", m.ndcg_at_10),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape: the bonus is a mild precision aid — on or slightly above\nthe no-proximity baseline, never below.");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("E5: coordination factor & proximity bonus\n");
+    demo();
+    retrieval(quick);
+    proximity(quick);
+}

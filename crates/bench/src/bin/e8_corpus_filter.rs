@@ -1,0 +1,78 @@
+//! **E8 — The paper's corpus filtering rules.**
+//!
+//! "These schemas came from a collection of 10 million HTML tables, and
+//! were filtered by removing schemas containing non-alphabetical
+//! characters, schemas that only appeared once on the web, and trivial
+//! schemas with three or less elements."
+//!
+//! This harness generates a raw corpus (families + WebTables-style junk),
+//! applies the filter, and reports removals per rule plus before/after
+//! shape statistics.
+//!
+//! Run with `cargo run --release -p schemr-bench --bin e8_corpus_filter`.
+
+use schemr_bench::Table;
+use schemr_corpus::{Corpus, CorpusConfig, CorpusFilter};
+use schemr_model::SchemaStats;
+
+fn shape(corpus: &Corpus) -> (f64, f64, f64) {
+    let n = corpus.len().max(1) as f64;
+    let mut entities = 0usize;
+    let mut attrs = 0usize;
+    let mut fks = 0usize;
+    for s in &corpus.schemas {
+        let st = SchemaStats::of(&s.schema);
+        entities += st.entities;
+        attrs += st.attributes;
+        fks += st.foreign_keys;
+    }
+    (entities as f64 / n, attrs as f64 / n, fks as f64 / n)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let raw = Corpus::generate(&CorpusConfig {
+        target_size: if quick { 2_000 } else { 30_000 },
+        seed: 81,
+        raw_noise: 0.6,
+        ..CorpusConfig::default()
+    });
+    println!(
+        "E8: corpus filter (raw corpus of {} schemas, 60% junk overlay)\n",
+        raw.len()
+    );
+
+    let (filtered, (non_alpha, singleton, trivial)) = CorpusFilter::apply(&raw);
+
+    let mut table = Table::new(&["stage / rule", "schemas"]);
+    table.row(&["raw".into(), raw.len().to_string()]);
+    table.row(&["- non-alphabetical".into(), non_alpha.to_string()]);
+    table.row(&["- singleton".into(), singleton.to_string()]);
+    table.row(&["- trivial (≤3 elements)".into(), trivial.to_string()]);
+    table.row(&["filtered".into(), filtered.len().to_string()]);
+    table.print();
+
+    let (re, ra, rf) = shape(&raw);
+    let (fe, fa, ff) = shape(&filtered);
+    let mut stats = Table::new(&["corpus", "avg entities", "avg attributes", "avg FKs"]);
+    stats.row(&[
+        "raw".into(),
+        format!("{re:.2}"),
+        format!("{ra:.2}"),
+        format!("{rf:.2}"),
+    ]);
+    stats.row(&[
+        "filtered".into(),
+        format!("{fe:.2}"),
+        format!("{fa:.2}"),
+        format!("{ff:.2}"),
+    ]);
+    println!();
+    stats.print();
+
+    println!(
+        "\nExpected shape: every junk schema is removed by exactly one rule; the\n\
+         filtered corpus is larger-bodied (higher average attribute count) and\n\
+         contains only multi-member families — the corpus the paper searched."
+    );
+}

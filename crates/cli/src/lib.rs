@@ -1,0 +1,542 @@
+//! # schemr-cli
+//!
+//! The command-line face of the reproduction: everything a user needs to
+//! stand up a repository, fill it, search it, and serve it — without
+//! writing Rust.
+//!
+//! ```text
+//! schemr-cli init      <repo.json>
+//! schemr-cli import    <repo.json> <file-or-dir>...
+//! schemr-cli list      <repo.json>
+//! schemr-cli show      <repo.json> <schema-id>
+//! schemr-cli search    <repo.json> [-k "<keywords>"] [-f <fragment-file>] [-n <limit>]
+//! schemr-cli export    <repo.json> <schema-id> [--format ddl|graphml|svg]
+//! schemr-cli summarize <repo.json> <schema-id> [--entities <n>]
+//! schemr-cli stats     <repo.json>
+//! schemr-cli serve     <repo.json> [--bind <addr>]
+//! ```
+//!
+//! The argument parser is deliberately from scratch (no dependency): each
+//! subcommand takes positionals plus `-x value` / `--long value` flags.
+//! [`run`] is the testable entry point; the binary only forwards to it.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use schemr::{SchemrEngine, SearchRequest};
+use schemr_repo::{import, persist, Repository};
+
+/// CLI errors (exit code 2).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io: {e}"))
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed flags: `-k v` / `--key v` pairs plus bare positionals.
+struct Args {
+    positionals: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, CliError> {
+        let mut positionals = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag `{a}` expects a value")))?;
+                flags.push((name.to_string(), value.clone()));
+            } else {
+                positionals.push(a.clone());
+            }
+        }
+        Ok(Args { positionals, flags })
+    }
+
+    fn flag(&self, names: &[&str]) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| names.contains(&n.as_str()))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn positional(&self, ix: usize, what: &str) -> Result<&str, CliError> {
+        self.positionals
+            .get(ix)
+            .map(String::as_str)
+            .ok_or_else(|| err(format!("missing {what}")))
+    }
+}
+
+const USAGE: &str = "\
+usage: schemr-cli <command> [...]
+
+commands:
+  init      <repo.json>                                create an empty repository
+  import    <repo.json> <file-or-dir>...               import DDL/XSD/CSV sources
+  list      <repo.json>                                list stored schemas
+  show      <repo.json> <id>                           print one schema (DDL + annotations)
+  search    <repo.json> [-k words] [-f file] [-n N]    three-phase schema search
+  export    <repo.json> <id> [--format ddl|xsd|graphml|svg]
+  summarize <repo.json> <id> [--entities N]            importance-based summary
+  stats     <repo.json>                                repository statistics
+  serve     <repo.json> [--bind 127.0.0.1:7878]        start the search service
+";
+
+/// Run the CLI. Returns the process exit code.
+pub fn run(args: &[String], out: &mut impl Write) -> Result<i32, CliError> {
+    let Some(command) = args.first().map(String::as_str) else {
+        write!(out, "{USAGE}")?;
+        return Ok(2);
+    };
+    let rest = Args::parse(&args[1..])?;
+    match command {
+        "help" | "--help" | "-h" => {
+            write!(out, "{USAGE}")?;
+            Ok(0)
+        }
+        "init" => cmd_init(&rest, out),
+        "import" => cmd_import(&rest, out),
+        "list" => cmd_list(&rest, out),
+        "show" => cmd_show(&rest, out),
+        "search" => cmd_search(&rest, out),
+        "export" => cmd_export(&rest, out),
+        "summarize" => cmd_summarize(&rest, out),
+        "stats" => cmd_stats(&rest, out),
+        "serve" => cmd_serve(&rest, out),
+        other => Err(err(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+fn load_repo(args: &Args) -> Result<(String, Arc<Repository>), CliError> {
+    let path = args.positional(0, "repository path")?.to_string();
+    let repo = persist::load(&path).map_err(|e| err(format!("open {path}: {e}")))?;
+    Ok((path, Arc::new(repo)))
+}
+
+fn parse_id(raw: &str) -> Result<schemr_model::SchemaId, CliError> {
+    raw.parse()
+        .map_err(|_| err(format!("bad schema id `{raw}` (expected e.g. s3)")))
+}
+
+fn cmd_init(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let path = args.positional(0, "repository path")?;
+    if std::path::Path::new(path).exists() {
+        return Err(err(format!("{path} already exists")));
+    }
+    persist::save(&Repository::new(), path).map_err(|e| err(e.to_string()))?;
+    writeln!(out, "created empty repository at {path}")?;
+    Ok(0)
+}
+
+fn cmd_import(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (path, repo) = load_repo(args)?;
+    if args.positionals.len() < 2 {
+        return Err(err("import expects at least one file or directory"));
+    }
+    let mut imported = 0usize;
+    let mut failed = 0usize;
+    for source in &args.positionals[1..] {
+        let p = std::path::Path::new(source);
+        if p.is_dir() {
+            let (ids, errors) = import::import_dir(&repo, p).map_err(|e| err(e.to_string()))?;
+            imported += ids.len();
+            failed += errors.len();
+            for (file, e) in errors {
+                writeln!(out, "  skipped {}: {e}", file.display())?;
+            }
+        } else {
+            match import::import_file(&repo, p) {
+                Ok(id) => {
+                    writeln!(out, "  imported {} as {id}", p.display())?;
+                    imported += 1;
+                }
+                Err(e) => {
+                    writeln!(out, "  skipped {}: {e}", p.display())?;
+                    failed += 1;
+                }
+            }
+        }
+    }
+    persist::save(&repo, &path).map_err(|e| err(e.to_string()))?;
+    writeln!(
+        out,
+        "imported {imported} schema(s), {failed} failed; saved {path}"
+    )?;
+    Ok(if imported > 0 { 0 } else { 1 })
+}
+
+fn cmd_list(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, repo) = load_repo(args)?;
+    for id in repo.ids() {
+        let stored = repo.get(id).expect("listed ids exist");
+        let st = stored.stats();
+        writeln!(
+            out,
+            "{id}\t{}\t{} entities, {} attributes\t{}",
+            stored.metadata.title, st.entities, st.attributes, stored.metadata.summary
+        )?;
+    }
+    writeln!(out, "{} schema(s)", repo.len())?;
+    Ok(0)
+}
+
+fn cmd_show(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, repo) = load_repo(args)?;
+    let id = parse_id(args.positional(1, "schema id")?)?;
+    let stored = repo
+        .get(id)
+        .ok_or_else(|| err(format!("schema {id} not found")))?;
+    writeln!(out, "# {} ({id})", stored.metadata.title)?;
+    if !stored.metadata.summary.is_empty() {
+        writeln!(out, "# {}", stored.metadata.summary)?;
+    }
+    if !stored.metadata.description.is_empty() {
+        writeln!(out, "# {}", stored.metadata.description)?;
+    }
+    write!(out, "{}", schemr_parse::printer::print_ddl(&stored.schema))?;
+    let annotations = schemr_codebook::annotate(&stored.schema);
+    if !annotations.is_empty() {
+        writeln!(out, "\n-- codebook annotations:")?;
+        for a in annotations {
+            writeln!(
+                out,
+                "--   {:<28} {}",
+                stored.schema.path(a.element),
+                a.semantic_type
+            )?;
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_search(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, repo) = load_repo(args)?;
+    let mut request = SearchRequest::default();
+    if let Some(kw) = args.flag(&["k", "keywords"]) {
+        request.keywords = schemr::parse_keywords(kw);
+    }
+    if let Some(file) = args.flag(&["f", "fragment"]) {
+        let source = std::fs::read_to_string(file)?;
+        let fragment = schemr_parse::parse_fragment("fragment", &source)
+            .map_err(|e| err(format!("fragment {file}: {e}")))?;
+        request.fragments.push(fragment);
+    }
+    if let Some(n) = args.flag(&["n", "limit"]) {
+        request.limit = Some(n.parse().map_err(|_| err("limit must be an integer"))?);
+    }
+    if request.is_empty() {
+        return Err(err("search needs -k keywords and/or -f fragment-file"));
+    }
+    let engine = SchemrEngine::new(repo);
+    engine.reindex_full();
+    let response = engine
+        .search_detailed(&request)
+        .map_err(|e| err(e.to_string()))?;
+    write!(out, "{}", schemr_viz::format_results(&response.results))?;
+    writeln!(
+        out,
+        "({} candidates, {:.1} ms)",
+        response.candidates_evaluated,
+        response.timings.total().as_secs_f64() * 1e3
+    )?;
+    Ok(0)
+}
+
+fn cmd_export(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, repo) = load_repo(args)?;
+    let id = parse_id(args.positional(1, "schema id")?)?;
+    let stored = repo
+        .get(id)
+        .ok_or_else(|| err(format!("schema {id} not found")))?;
+    match args.flag(&["format"]).unwrap_or("ddl") {
+        "ddl" => write!(out, "{}", schemr_parse::printer::print_ddl(&stored.schema))?,
+        "xsd" => write!(
+            out,
+            "{}",
+            schemr_parse::xsd_printer::print_xsd(&stored.schema)
+        )?,
+        "graphml" => write!(
+            out,
+            "{}",
+            schemr_viz::to_graphml(&stored.schema, &schemr_viz::GraphmlOptions::default())
+        )?,
+        "svg" => {
+            let roots = stored.schema.roots();
+            let layout = schemr_viz::tree_layout(&stored.schema, &roots, 3);
+            write!(
+                out,
+                "{}",
+                schemr_viz::render_svg(&stored.schema, &layout, &schemr_viz::SvgOptions::default())
+            )?;
+        }
+        other => {
+            return Err(err(format!(
+                "unknown format `{other}` (ddl|xsd|graphml|svg)"
+            )))
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_summarize(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, repo) = load_repo(args)?;
+    let id = parse_id(args.positional(1, "schema id")?)?;
+    let stored = repo
+        .get(id)
+        .ok_or_else(|| err(format!("schema {id} not found")))?;
+    let max_entities = match args.flag(&["entities"]) {
+        Some(n) => n.parse().map_err(|_| err("entities must be an integer"))?,
+        None => 5,
+    };
+    let summary = schemr_viz::summarize(&stored.schema, max_entities, 6);
+    write!(out, "{}", schemr_parse::printer::print_ddl(&summary))?;
+    Ok(0)
+}
+
+fn cmd_stats(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, repo) = load_repo(args)?;
+    let mut entities = 0usize;
+    let mut attributes = 0usize;
+    let mut fks = 0usize;
+    for id in repo.ids() {
+        let st = repo.get(id).expect("listed ids exist").stats();
+        entities += st.entities;
+        attributes += st.attributes;
+        fks += st.foreign_keys;
+    }
+    writeln!(out, "schemas:      {}", repo.len())?;
+    writeln!(out, "entities:     {entities}")?;
+    writeln!(out, "attributes:   {attributes}")?;
+    writeln!(out, "foreign keys: {fks}")?;
+    writeln!(out, "revision:     {}", repo.revision())?;
+    let engine = SchemrEngine::new(repo);
+    engine.reindex_full();
+    let ix = engine.index_stats();
+    writeln!(out, "index terms:  {}", ix.distinct_terms)?;
+    writeln!(out, "postings:     {}", ix.postings)?;
+    Ok(0)
+}
+
+fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, repo) = load_repo(args)?;
+    let bind = args.flag(&["bind"]).unwrap_or("127.0.0.1:7878").to_string();
+    let engine = Arc::new(SchemrEngine::new(repo));
+    engine.reindex_full();
+    let server = schemr_server::SchemrServer::start(
+        engine,
+        schemr_server::ServerConfig { bind, workers: 4 },
+    )?;
+    writeln!(out, "serving on http://{} — Ctrl-C to stop", server.addr())?;
+    out.flush()?;
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let code = run(&args, &mut out).unwrap_or(2);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn run_err(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap_err().to_string()
+    }
+
+    fn temp_repo() -> (tempdir::TempDirGuard, String) {
+        let dir = tempdir::guard("schemr-cli-test");
+        let path = dir.path.join("repo.json").display().to_string();
+        let (code, _) = run_str(&["init", &path]);
+        assert_eq!(code, 0);
+        (dir, path)
+    }
+
+    /// Minimal temp-dir helper (std only).
+    mod tempdir {
+        pub struct TempDirGuard {
+            pub path: std::path::PathBuf,
+        }
+        impl Drop for TempDirGuard {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.path);
+            }
+        }
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        pub fn guard(prefix: &str) -> TempDirGuard {
+            let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDirGuard { path }
+        }
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (code, out) = run_str(&[]);
+        assert_eq!(code, 2);
+        assert!(out.contains("usage:"));
+        let (code, out) = run_str(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("search"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run_err(&["frobnicate"]).contains("unknown command"));
+    }
+
+    #[test]
+    fn init_import_list_show_roundtrip() {
+        let (dir, repo) = temp_repo();
+        let ddl = dir.path.join("clinic.sql");
+        std::fs::write(
+            &ddl,
+            "CREATE TABLE patient (height REAL, gender TEXT, latitude REAL, dob DATE)",
+        )
+        .unwrap();
+        let (code, out) = run_str(&["import", &repo, ddl.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("imported 1 schema"));
+
+        let (code, out) = run_str(&["list", &repo]);
+        assert_eq!(code, 0);
+        assert!(out.contains("clinic"));
+        assert!(out.contains("1 schema(s)"));
+
+        let (code, out) = run_str(&["show", &repo, "s0"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("CREATE TABLE patient"));
+        assert!(
+            out.contains("latitude"),
+            "codebook annotation expected: {out}"
+        );
+    }
+
+    #[test]
+    fn search_finds_the_right_schema() {
+        let (dir, repo) = temp_repo();
+        std::fs::write(
+            dir.path.join("clinic.sql"),
+            "CREATE TABLE patient (height REAL, gender TEXT, diagnosis TEXT)",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.path.join("store.sql"),
+            "CREATE TABLE orders (total DECIMAL, quantity INT, customer TEXT)",
+        )
+        .unwrap();
+        let (code, _) = run_str(&["import", &repo, dir.path.to_str().unwrap()]);
+        assert_eq!(code, 0);
+
+        let (code, out) = run_str(&["search", &repo, "-k", "patient, height", "-n", "1"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("clinic"), "{out}");
+        assert!(!out.lines().any(|l| l.starts_with("2")), "limit 1: {out}");
+
+        // Fragment search from a file.
+        let frag = dir.path.join("frag.sql");
+        std::fs::write(&frag, "CREATE TABLE orders (total DECIMAL)").unwrap();
+        let (code, out) = run_str(&["search", &repo, "-f", frag.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(out.lines().nth(2).unwrap().contains("store"), "{out}");
+    }
+
+    #[test]
+    fn export_formats() {
+        let (dir, repo) = temp_repo();
+        std::fs::write(
+            dir.path.join("a.sql"),
+            "CREATE TABLE t (a INT, b TEXT, c DATE, d REAL)",
+        )
+        .unwrap();
+        run_str(&["import", &repo, dir.path.to_str().unwrap()]);
+        let (_, ddl) = run_str(&["export", &repo, "s0"]);
+        assert!(ddl.contains("CREATE TABLE t"));
+        let (_, graphml) = run_str(&["export", &repo, "s0", "--format", "graphml"]);
+        assert!(graphml.contains("<graphml"));
+        let (_, svg) = run_str(&["export", &repo, "s0", "--format", "svg"]);
+        assert!(svg.starts_with("<svg"));
+        let (_, xsd) = run_str(&["export", &repo, "s0", "--format", "xsd"]);
+        assert!(xsd.contains("xs:schema"));
+        assert!(run_err(&["export", &repo, "s0", "--format", "pdf"]).contains("unknown format"));
+    }
+
+    #[test]
+    fn summarize_caps_entities() {
+        let (dir, repo) = temp_repo();
+        std::fs::write(
+            dir.path.join("warehouse.sql"),
+            "CREATE TABLE fact (a INT, b INT, s_id INT, p_id INT);
+             CREATE TABLE dim_s (id INT, x TEXT);
+             CREATE TABLE dim_p (id INT, y TEXT);
+             CREATE TABLE scratch (j TEXT)",
+        )
+        .unwrap();
+        run_str(&["import", &repo, dir.path.to_str().unwrap()]);
+        let (code, out) = run_str(&["summarize", &repo, "s0", "--entities", "2"]);
+        assert_eq!(code, 0);
+        assert_eq!(out.matches("CREATE TABLE").count(), 2);
+        assert!(out.contains("fact"));
+    }
+
+    #[test]
+    fn stats_reports_counts() {
+        let (dir, repo) = temp_repo();
+        std::fs::write(
+            dir.path.join("a.sql"),
+            "CREATE TABLE t (a INT, b TEXT, c DATE, d REAL)",
+        )
+        .unwrap();
+        run_str(&["import", &repo, dir.path.to_str().unwrap()]);
+        let (code, out) = run_str(&["stats", &repo]);
+        assert_eq!(code, 0);
+        assert!(out.contains("schemas:      1"));
+        assert!(out.contains("attributes:   4"));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(run_err(&["list", "/nonexistent/repo.json"]).contains("open"));
+        let (dir, repo) = temp_repo();
+        let _ = dir;
+        assert!(run_err(&["show", &repo, "zzz"]).contains("bad schema id"));
+        assert!(run_err(&["show", &repo, "s99"]).contains("not found"));
+        assert!(run_err(&["search", &repo]).contains("needs -k"));
+        assert!(run_err(&["import", &repo]).contains("at least one"));
+        assert!(run_err(&["search", &repo, "-k"]).contains("expects a value"));
+    }
+
+    #[test]
+    fn init_refuses_to_overwrite() {
+        let (_dir, repo) = temp_repo();
+        assert!(run_err(&["init", &repo]).contains("already exists"));
+    }
+}

@@ -1,0 +1,65 @@
+//! # schemr-codebook
+//!
+//! The data-type codebook the paper proposes as an OpenII integration:
+//! "integrating Schemr's search functionality with a codebook that
+//! contains data types like units, date/time, and geographic location,
+//! would encourage a deeper standardization of data types alongside schema
+//! search results."
+//!
+//! The codebook recognizes *semantic types* — what an attribute means, not
+//! just how it is stored — from element names and declared types:
+//! latitudes, currencies, telephone numbers, physical units, and so on.
+//! Recognized types feed three consumers:
+//!
+//! * [`annotate`] — per-element annotations shown alongside search
+//!   results (and exportable with the schema),
+//! * [`CodebookMatcher`] — an extra ensemble member that scores semantic-
+//!   type agreement, catching matches name similarity misses (`lat` vs
+//!   `y_coord`: both [`SemanticType::Latitude`]),
+//! * standardization reports — which units/representations a repository
+//!   mixes ([`standardization_report`]).
+
+mod matcher;
+mod recognize;
+mod types;
+
+pub use matcher::CodebookMatcher;
+pub use recognize::{annotate, recognize, Annotation};
+pub use types::{SemanticType, UnitKind};
+
+use schemr_model::Schema;
+use std::collections::BTreeMap;
+
+/// How many elements of each semantic type a schema carries — the
+/// standardization view of a repository.
+pub fn standardization_report(schemas: &[&Schema]) -> BTreeMap<SemanticType, usize> {
+    let mut counts = BTreeMap::new();
+    for schema in schemas {
+        for ann in annotate(schema) {
+            *counts.entry(ann.semantic_type).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{DataType, SchemaBuilder};
+
+    #[test]
+    fn report_counts_types_across_schemas() {
+        let a = SchemaBuilder::new("a")
+            .entity("site", |e| {
+                e.attr("latitude", DataType::Real)
+                    .attr("longitude", DataType::Real)
+            })
+            .build_unchecked();
+        let b = SchemaBuilder::new("b")
+            .entity("station", |e| e.attr("lat", DataType::Real))
+            .build_unchecked();
+        let report = standardization_report(&[&a, &b]);
+        assert_eq!(report.get(&SemanticType::Latitude), Some(&2));
+        assert_eq!(report.get(&SemanticType::Longitude), Some(&1));
+    }
+}

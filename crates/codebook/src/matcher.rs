@@ -1,0 +1,153 @@
+//! The codebook matcher: an extra ensemble member scoring semantic-type
+//! agreement.
+//!
+//! Name similarity misses pairs like `lat` / `y_coordinate` or `dob` /
+//! `born_on`; a shared codebook type catches them. Conversely, a strong
+//! name match between a `latitude` and a `longitude` column is suspicious
+//! — the codebook scores those down through family partial credit.
+
+use schemr_match::{Matcher, SimilarityMatrix};
+use schemr_model::{ElementKind, QueryGraph, QueryTerm, Schema};
+
+use crate::recognize::recognize;
+use crate::types::SemanticType;
+
+/// Semantic-type agreement matcher.
+#[derive(Debug, Default)]
+pub struct CodebookMatcher;
+
+impl CodebookMatcher {
+    /// New matcher.
+    pub fn new() -> Self {
+        CodebookMatcher
+    }
+
+    /// Recognize a query term's semantic type. Fragment attributes use
+    /// their declared type; keywords use [`schemr_model::DataType::Unknown`].
+    fn term_type(term: &QueryTerm, query: &QueryGraph) -> Option<SemanticType> {
+        let data_type = match (term.fragment, term.element) {
+            (Some(f), Some(e)) => {
+                let el = query.fragments()[f].element(e);
+                if el.kind != ElementKind::Attribute {
+                    return None;
+                }
+                el.data_type
+            }
+            _ => schemr_model::DataType::Unknown,
+        };
+        recognize(&term.text, data_type)
+    }
+}
+
+impl Matcher for CodebookMatcher {
+    fn name(&self) -> &'static str {
+        "codebook"
+    }
+
+    fn abstains(&self) -> bool {
+        true
+    }
+
+    fn score(
+        &self,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        candidate: &Schema,
+    ) -> SimilarityMatrix {
+        let mut m = SimilarityMatrix::zeros(terms.len(), candidate.len());
+        let term_types: Vec<Option<SemanticType>> =
+            terms.iter().map(|t| Self::term_type(t, query)).collect();
+        if term_types.iter().all(Option::is_none) {
+            return m;
+        }
+        for (col, id) in candidate.ids().enumerate() {
+            let el = candidate.element(id);
+            if el.kind != ElementKind::Attribute {
+                continue;
+            }
+            let Some(cand_type) = recognize(&el.name, el.data_type) else {
+                continue;
+            };
+            for (row, term_type) in term_types.iter().enumerate() {
+                if let Some(tt) = term_type {
+                    let s = tt.similarity(cand_type);
+                    if s > 0.0 {
+                        m.set(row, col, s);
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{DataType, SchemaBuilder};
+
+    fn keyword_terms(words: &[&str]) -> (QueryGraph, Vec<QueryTerm>) {
+        let mut q = QueryGraph::new();
+        for w in words {
+            q.add_keyword(*w);
+        }
+        let t = q.terms();
+        (q, t)
+    }
+
+    #[test]
+    fn catches_pairs_name_similarity_misses() {
+        // `dob` vs `born`: almost no n-gram overlap, same semantic type.
+        let (q, terms) = keyword_terms(&["dob"]);
+        let candidate = SchemaBuilder::new("c")
+            .entity("person", |e| e.attr("born", DataType::Date))
+            .build_unchecked();
+        let m = CodebookMatcher::new().score(&terms, &q, &candidate);
+        assert_eq!(m.get(0, 1), 1.0);
+        // And the name matcher indeed misses it.
+        let nm = schemr_match::NameMatcher::new();
+        assert!(nm.similarity("dob", "born") < 0.5);
+    }
+
+    #[test]
+    fn family_partial_credit() {
+        let (q, terms) = keyword_terms(&["latitude"]);
+        let candidate = SchemaBuilder::new("c")
+            .entity("site", |e| {
+                e.attr("lat", DataType::Real).attr("lon", DataType::Real)
+            })
+            .build_unchecked();
+        let m = CodebookMatcher::new().score(&terms, &q, &candidate);
+        assert_eq!(m.get(0, 1), 1.0); // latitude × lat
+        assert_eq!(m.get(0, 2), 0.5); // latitude × lon: same geo family
+    }
+
+    #[test]
+    fn unrecognized_terms_produce_zero_rows() {
+        let (q, terms) = keyword_terms(&["flavor"]);
+        let candidate = SchemaBuilder::new("c")
+            .entity("site", |e| e.attr("lat", DataType::Real))
+            .build_unchecked();
+        let m = CodebookMatcher::new().score(&terms, &q, &candidate);
+        assert_eq!(m.row_max(0), 0.0);
+    }
+
+    #[test]
+    fn fragment_terms_use_declared_types() {
+        let mut q = QueryGraph::new();
+        q.add_fragment(
+            SchemaBuilder::new("f")
+                .entity("order", |e| e.attr("total", DataType::Decimal))
+                .build_unchecked(),
+        );
+        let terms = q.terms();
+        let candidate = SchemaBuilder::new("c")
+            .entity("invoice", |e| e.attr("amount", DataType::Decimal))
+            .build_unchecked();
+        let m = CodebookMatcher::new().score(&terms, &q, &candidate);
+        // total(Decimal) and amount(Decimal) both recognize as Currency.
+        assert_eq!(m.get(1, 1), 1.0);
+        // Entity rows are zero.
+        assert_eq!(m.row_max(0), 0.0);
+    }
+}

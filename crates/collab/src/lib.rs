@@ -1,0 +1,21 @@
+//! # schemr-collab
+//!
+//! The collaboration layer the paper plans for Schemr's public deployment:
+//! "To facilitate finding quality schemas in a large public repository, we
+//! plan to incorporate collaborative functionality such as mechanisms for
+//! users to leave ratings and comments on schemas … collaboration
+//! functionality that provides usage statistics and comments on schemas
+//! would improve schema search results."
+//!
+//! * [`CommunityStore`] — ratings (1–5 stars), threaded comments, and
+//!   usage statistics (impressions and clicks) per schema,
+//! * [`CommunityRanker`] — blends community signals into search scores:
+//!   `score' = score × (1 + w_r·rating' + w_c·ctr')` with Bayesian-smoothed
+//!   rating and click-through-rate priors,
+//! * JSON persistence so community state survives restarts.
+
+mod ranker;
+mod store;
+
+pub use ranker::{CommunityRanker, RankerWeights};
+pub use store::{Comment, CommunityStore, SchemaSignals, UsageStats};

@@ -1,0 +1,171 @@
+//! Community-aware re-ranking of search results.
+
+use schemr::SearchResult;
+
+use crate::store::CommunityStore;
+
+/// Blend weights for the community boost.
+#[derive(Debug, Clone, Copy)]
+pub struct RankerWeights {
+    /// Weight of the smoothed rating term.
+    pub rating: f64,
+    /// Weight of the smoothed click-through-rate term.
+    pub ctr: f64,
+    /// Prior mean rating (stars).
+    pub rating_prior: f64,
+    /// Pseudo-votes behind the rating prior.
+    pub rating_pseudo_votes: f64,
+    /// Prior click-through rate.
+    pub ctr_prior: f64,
+    /// Pseudo-impressions behind the CTR prior.
+    pub ctr_strength: f64,
+}
+
+impl Default for RankerWeights {
+    fn default() -> Self {
+        RankerWeights {
+            rating: 0.3,
+            ctr: 0.3,
+            rating_prior: 3.0,
+            rating_pseudo_votes: 5.0,
+            ctr_prior: 0.1,
+            ctr_strength: 10.0,
+        }
+    }
+}
+
+/// Applies community signals on top of engine scores.
+pub struct CommunityRanker<'a> {
+    store: &'a CommunityStore,
+    weights: RankerWeights,
+}
+
+impl<'a> CommunityRanker<'a> {
+    /// A ranker over a signal store.
+    pub fn new(store: &'a CommunityStore) -> Self {
+        Self::with_weights(store, RankerWeights::default())
+    }
+
+    /// With explicit weights.
+    pub fn with_weights(store: &'a CommunityStore, weights: RankerWeights) -> Self {
+        CommunityRanker { store, weights }
+    }
+
+    /// The multiplicative boost for one schema, ≥ 1 only when its signals
+    /// beat the priors: `1 + w_r·(rating'−prior') + w_c·(ctr'−p₀)` clamped
+    /// below at 0.1 so catastrophically-rated schemas sink but never go
+    /// negative.
+    pub fn boost(&self, id: schemr_model::SchemaId) -> f64 {
+        let signals = self.store.signals(id);
+        let w = &self.weights;
+        let rating = signals.smoothed_rating(w.rating_prior, w.rating_pseudo_votes);
+        let rating_baseline = ((w.rating_prior - 1.0) / 4.0).clamp(0.0, 1.0);
+        let ctr = signals.usage.smoothed_ctr(w.ctr_prior, w.ctr_strength);
+        (1.0 + w.rating * (rating - rating_baseline) + w.ctr * (ctr - w.ctr_prior)).max(0.1)
+    }
+
+    /// Re-rank results in place by boosted score; records an impression
+    /// for every result shown.
+    pub fn rerank(&self, results: &mut [SearchResult]) {
+        for r in results.iter_mut() {
+            r.score *= self.boost(r.id);
+            self.store.record_impression(r.id);
+        }
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{SchemaId, SchemaStats};
+
+    fn result(id: u64, score: f64) -> SearchResult {
+        SearchResult {
+            id: SchemaId(id),
+            title: format!("s{id}"),
+            summary: String::new(),
+            score,
+            coarse_score: score,
+            matched_terms: 1,
+            stats: SchemaStats::default(),
+            matches: vec![],
+        }
+    }
+
+    #[test]
+    fn unrated_schemas_keep_their_scores() {
+        let store = CommunityStore::new();
+        let ranker = CommunityRanker::new(&store);
+        assert!((ranker.boost(SchemaId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn well_rated_schemas_overtake_close_competitors() {
+        let store = CommunityStore::new();
+        for _ in 0..20 {
+            store.rate(SchemaId(2), 5);
+        }
+        for _ in 0..20 {
+            store.rate(SchemaId(1), 1);
+        }
+        let ranker = CommunityRanker::new(&store);
+        let mut results = vec![result(1, 0.50), result(2, 0.48)];
+        ranker.rerank(&mut results);
+        assert_eq!(results[0].id, SchemaId(2));
+    }
+
+    #[test]
+    fn community_signals_do_not_override_large_relevance_gaps() {
+        let store = CommunityStore::new();
+        for _ in 0..50 {
+            store.rate(SchemaId(2), 5);
+        }
+        let ranker = CommunityRanker::new(&store);
+        let mut results = vec![result(1, 0.9), result(2, 0.3)];
+        ranker.rerank(&mut results);
+        assert_eq!(results[0].id, SchemaId(1), "relevance still dominates");
+    }
+
+    #[test]
+    fn clicks_boost_through_smoothed_ctr() {
+        let store = CommunityStore::new();
+        for _ in 0..100 {
+            store.record_impression(SchemaId(3));
+            store.record_click(SchemaId(3));
+        }
+        let ranker = CommunityRanker::new(&store);
+        assert!(ranker.boost(SchemaId(3)) > 1.2);
+    }
+
+    #[test]
+    fn rerank_records_impressions() {
+        let store = CommunityStore::new();
+        let ranker = CommunityRanker::new(&store);
+        let mut results = vec![result(1, 0.5), result(2, 0.4)];
+        ranker.rerank(&mut results);
+        assert_eq!(store.signals(SchemaId(1)).usage.impressions, 1);
+        assert_eq!(store.signals(SchemaId(2)).usage.impressions, 1);
+    }
+
+    #[test]
+    fn boost_is_floored() {
+        let store = CommunityStore::new();
+        for _ in 0..500 {
+            store.rate(SchemaId(4), 1);
+        }
+        let ranker = CommunityRanker::with_weights(
+            &store,
+            RankerWeights {
+                rating: 10.0,
+                ..Default::default()
+            },
+        );
+        assert!(ranker.boost(SchemaId(4)) >= 0.1);
+    }
+}

@@ -1,0 +1,501 @@
+//! The search engine: repository + index + matcher ensemble + scorer.
+//!
+//! `SchemrEngine` wires the paper's architecture (Figure 5) together: the
+//! schema repository feeds an offline text indexer; queries flow through
+//! candidate extraction, the match engine, and tightness-of-fit scoring;
+//! ranked results carry the metadata and per-element detail the GUI
+//! renders.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use schemr_index::{codec, Index, IndexDocument, IndexStats, SearchOptions};
+use schemr_match::Ensemble;
+use schemr_model::QueryGraph;
+use schemr_repo::{ChangeKind, Repository};
+
+use crate::request::SearchRequest;
+use crate::result::{PhaseTimings, SearchResponse, SearchResult};
+use crate::tightness::{tightness_of_fit, TightnessConfig};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Phase 1 candidate budget (the paper's "top n candidate results").
+    pub top_candidates: usize,
+    /// Apply the coordination factor in Phase 1 (ablated in E5).
+    pub coordination: bool,
+    /// Proximity-bonus weight in Phase 1 (0 disables; ablated in E5).
+    pub proximity_weight: f64,
+    /// Phase 3 parameters.
+    pub tightness: TightnessConfig,
+    /// Threads for Phase 2 matching (1 = sequential).
+    pub match_threads: usize,
+    /// Default result-list length when the request doesn't set one.
+    pub default_limit: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            top_candidates: 50,
+            coordination: true,
+            proximity_weight: 0.25,
+            tightness: TightnessConfig::default(),
+            match_threads: std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(8),
+            default_limit: 10,
+        }
+    }
+}
+
+/// Errors from a search call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The request had no keywords and no fragments.
+    EmptyQuery,
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::EmptyQuery => write!(f, "query is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// The Schemr search engine.
+pub struct SchemrEngine {
+    repo: Arc<Repository>,
+    index: RwLock<Index>,
+    ensemble: RwLock<Ensemble>,
+    config: EngineConfig,
+    last_indexed_revision: Mutex<u64>,
+}
+
+impl SchemrEngine {
+    /// Engine over a repository with default config and the standard
+    /// (name + context) ensemble. Call [`SchemrEngine::reindex_full`]
+    /// before the first search.
+    pub fn new(repo: Arc<Repository>) -> Self {
+        Self::with_config(repo, EngineConfig::default())
+    }
+
+    /// Engine with explicit config.
+    pub fn with_config(repo: Arc<Repository>, config: EngineConfig) -> Self {
+        SchemrEngine {
+            repo,
+            index: RwLock::new(Index::new()),
+            ensemble: RwLock::new(Ensemble::standard()),
+            config,
+            last_indexed_revision: Mutex::new(0),
+        }
+    }
+
+    /// The underlying repository.
+    pub fn repository(&self) -> &Arc<Repository> {
+        &self.repo
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Replace the matcher ensemble (e.g. with learned weights or an
+    /// ablation variant).
+    pub fn set_ensemble(&self, ensemble: Ensemble) {
+        *self.ensemble.write() = ensemble;
+    }
+
+    /// Replace the ensemble weights in place.
+    pub fn set_ensemble_weights(&self, weights: &[f64]) {
+        self.ensemble.write().set_weights(weights);
+    }
+
+    /// Rebuild the document index from scratch — the offline indexer's
+    /// full pass.
+    pub fn reindex_full(&self) {
+        let revision = self.repo.revision();
+        let fresh = Index::new();
+        for stored in self.repo.snapshot() {
+            fresh.add(&IndexDocument::from_schema(
+                stored.metadata.id,
+                &stored.metadata.title,
+                &stored.metadata.summary,
+                &stored.schema,
+            ));
+        }
+        *self.index.write() = fresh;
+        *self.last_indexed_revision.lock() = revision;
+    }
+
+    /// Apply repository changes since the last (re)index — the "scheduled
+    /// intervals" incremental path. Returns how many changes were applied.
+    pub fn reindex_incremental(&self) -> usize {
+        let mut last = self.last_indexed_revision.lock();
+        let changes = self.repo.changes_since(*last);
+        if changes.is_empty() {
+            return 0;
+        }
+        let index = self.index.read();
+        let mut applied = 0usize;
+        let mut max_rev = *last;
+        for change in &changes {
+            match change.kind {
+                ChangeKind::Put => {
+                    if let Some(stored) = self.repo.get(change.id) {
+                        index.add(&IndexDocument::from_schema(
+                            stored.metadata.id,
+                            &stored.metadata.title,
+                            &stored.metadata.summary,
+                            &stored.schema,
+                        ));
+                    }
+                }
+                ChangeKind::Delete => {
+                    index.remove(change.id);
+                }
+            }
+            applied += 1;
+            max_rev = max_rev.max(change.revision);
+        }
+        *last = max_rev;
+        applied
+    }
+
+    /// Statistics of the live index.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.read().stats()
+    }
+
+    /// Persist the index segment to disk (offline-indexer output).
+    pub fn save_index(&self, path: impl AsRef<std::path::Path>) -> Result<(), codec::CodecError> {
+        codec::save_to(&self.index.read(), path)
+    }
+
+    /// Load a previously saved index segment.
+    pub fn load_index(&self, path: impl AsRef<std::path::Path>) -> Result<(), codec::CodecError> {
+        let loaded = codec::load_from(path)?;
+        *self.index.write() = loaded;
+        *self.last_indexed_revision.lock() = self.repo.revision();
+        Ok(())
+    }
+
+    /// Phase 1 only: the coarse candidate list for a query graph. Exposed
+    /// for the scalability and coordination experiments.
+    pub fn extract_candidates(&self, graph: &QueryGraph) -> Vec<schemr_index::Hit> {
+        let texts = graph.flat_texts();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        self.index.read().search(
+            &refs,
+            &SearchOptions {
+                top_n: self.config.top_candidates,
+                coordination: self.config.coordination,
+                proximity_weight: self.config.proximity_weight,
+            },
+        )
+    }
+
+    /// Run the full three-phase search.
+    pub fn search(&self, request: &SearchRequest) -> Result<Vec<SearchResult>, SearchError> {
+        self.search_detailed(request).map(|r| r.results)
+    }
+
+    /// Run the full search, returning phase timings too.
+    pub fn search_detailed(&self, request: &SearchRequest) -> Result<SearchResponse, SearchError> {
+        let graph = request.query_graph();
+        if graph.is_empty() {
+            return Err(SearchError::EmptyQuery);
+        }
+
+        // Phase 1: candidate extraction.
+        let t0 = Instant::now();
+        let hits = self.extract_candidates(&graph);
+        let candidate_extraction = t0.elapsed();
+
+        // Phase 2: matcher ensemble over the candidates.
+        let t1 = Instant::now();
+        let terms = graph.terms();
+        let ensemble = self.ensemble.read();
+        let candidates: Vec<(schemr_index::Hit, schemr_repo::StoredSchema)> = hits
+            .into_iter()
+            .filter_map(|h| self.repo.get(h.id).map(|s| (h, s)))
+            .collect();
+        let matrices: Vec<schemr_match::SimilarityMatrix> = if self.config.match_threads > 1
+            && candidates.len() > 1
+        {
+            let threads = self.config.match_threads.min(candidates.len());
+            let chunk = candidates.len().div_ceil(threads);
+            let mut out: Vec<Option<schemr_match::SimilarityMatrix>> = vec![None; candidates.len()];
+            crossbeam::thread::scope(|scope| {
+                for (ci, (slots, cands)) in out
+                    .chunks_mut(chunk)
+                    .zip(candidates.chunks(chunk))
+                    .enumerate()
+                {
+                    let terms = &terms;
+                    let graph = &graph;
+                    let ensemble = &ensemble;
+                    let _ = ci;
+                    scope.spawn(move |_| {
+                        for (slot, (_, stored)) in slots.iter_mut().zip(cands) {
+                            *slot = Some(ensemble.combined(terms, graph, &stored.schema));
+                        }
+                    });
+                }
+            })
+            .expect("matcher threads do not panic");
+            out.into_iter()
+                .map(|m| m.expect("all chunks filled"))
+                .collect()
+        } else {
+            candidates
+                .iter()
+                .map(|(_, stored)| ensemble.combined(&terms, &graph, &stored.schema))
+                .collect()
+        };
+        let matching = t1.elapsed();
+
+        // Phase 3: tightness-of-fit and final ranking.
+        let t2 = Instant::now();
+        let candidates_evaluated = candidates.len();
+        let mut results: Vec<SearchResult> = candidates
+            .into_iter()
+            .zip(matrices)
+            .map(|((hit, stored), matrix)| {
+                let t = tightness_of_fit(&stored.schema, &matrix, &self.config.tightness);
+                SearchResult {
+                    id: stored.metadata.id,
+                    title: stored.metadata.title,
+                    summary: stored.metadata.summary,
+                    score: t.score,
+                    coarse_score: hit.score,
+                    matched_terms: hit.matched_terms,
+                    stats: schemr_model::SchemaStats::of(&stored.schema),
+                    matches: t.matched,
+                }
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    b.coarse_score
+                        .partial_cmp(&a.coarse_score)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.id.cmp(&b.id))
+        });
+        results.truncate(request.limit.unwrap_or(self.config.default_limit));
+        let scoring = t2.elapsed();
+
+        Ok(SearchResponse {
+            results,
+            timings: PhaseTimings {
+                candidate_extraction,
+                matching,
+                scoring,
+            },
+            candidates_evaluated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_repo::import::import_str;
+
+    fn clinic_repo() -> Arc<Repository> {
+        let repo = Arc::new(Repository::new());
+        import_str(
+            &repo,
+            "clinic",
+            "rural health clinic",
+            "CREATE TABLE patient (id INT, height REAL, gender TEXT, diagnosis TEXT);
+             CREATE TABLE doctor (id INT, gender TEXT);
+             CREATE TABLE clinic_case (id INT, patient INT REFERENCES patient(id), doctor INT REFERENCES doctor(id))",
+        )
+        .unwrap();
+        import_str(
+            &repo,
+            "store",
+            "a web shop",
+            "CREATE TABLE orders (id INT, total DECIMAL, quantity INT);
+             CREATE TABLE customer (id INT, name TEXT, address TEXT)",
+        )
+        .unwrap();
+        import_str(
+            &repo,
+            "hr",
+            "human resources",
+            "CREATE TABLE employee (id INT, name TEXT, gender TEXT, salary DECIMAL)",
+        )
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn end_to_end_keyword_search_ranks_the_clinic_first() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        let results = engine
+            .search(&SearchRequest::keywords([
+                "patient",
+                "height",
+                "gender",
+                "diagnosis",
+            ]))
+            .unwrap();
+        assert!(!results.is_empty());
+        assert_eq!(results[0].title, "clinic");
+        assert!(results[0].score > 0.0);
+        assert!(!results[0].matches.is_empty());
+    }
+
+    #[test]
+    fn fragment_search_works() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        let request =
+            SearchRequest::parse("", &["CREATE TABLE patient (height REAL, gender TEXT)"]).unwrap();
+        let results = engine.search(&request).unwrap();
+        assert_eq!(results[0].title, "clinic");
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        assert_eq!(
+            engine.search(&SearchRequest::default()),
+            Err(SearchError::EmptyQuery)
+        );
+    }
+
+    #[test]
+    fn search_before_indexing_returns_nothing() {
+        let engine = SchemrEngine::new(clinic_repo());
+        let results = engine
+            .search(&SearchRequest::keywords(["patient"]))
+            .unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn incremental_reindex_picks_up_changes() {
+        let repo = clinic_repo();
+        let engine = SchemrEngine::new(repo.clone());
+        engine.reindex_full();
+        assert_eq!(engine.reindex_incremental(), 0);
+        let id = import_str(
+            &repo,
+            "lab",
+            "",
+            "CREATE TABLE specimen (assay TEXT, result REAL, collected DATE, vessel TEXT)",
+        )
+        .unwrap();
+        assert!(engine
+            .search(&SearchRequest::keywords(["specimen"]))
+            .unwrap()
+            .is_empty());
+        assert_eq!(engine.reindex_incremental(), 1);
+        let results = engine
+            .search(&SearchRequest::keywords(["specimen", "assay"]))
+            .unwrap();
+        assert_eq!(results[0].id, id);
+        // Deletions propagate too.
+        repo.remove(id).unwrap();
+        engine.reindex_incremental();
+        assert!(engine
+            .search(&SearchRequest::keywords(["specimen"]))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn detailed_response_carries_timings_and_counts() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        let resp = engine
+            .search_detailed(&SearchRequest::keywords(["gender"]))
+            .unwrap();
+        assert!(resp.candidates_evaluated >= 2); // clinic and hr both mention gender
+        assert!(resp.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn limit_truncates_results() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        let results = engine
+            .search(&SearchRequest::keywords(["gender"]).with_limit(1))
+            .unwrap();
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn sequential_and_parallel_matching_agree() {
+        let repo = clinic_repo();
+        let seq = SchemrEngine::with_config(
+            repo.clone(),
+            EngineConfig {
+                match_threads: 1,
+                ..Default::default()
+            },
+        );
+        seq.reindex_full();
+        let par = SchemrEngine::with_config(
+            repo,
+            EngineConfig {
+                match_threads: 4,
+                ..Default::default()
+            },
+        );
+        par.reindex_full();
+        let request = SearchRequest::keywords(["patient", "gender"]);
+        let a = seq.search(&request).unwrap();
+        let b = par.search(&request).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert!((x.score - y.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn index_persists_and_reloads() {
+        let dir = std::env::temp_dir().join("schemr-engine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.idx");
+        let repo = clinic_repo();
+        let engine = SchemrEngine::new(repo.clone());
+        engine.reindex_full();
+        engine.save_index(&path).unwrap();
+
+        let cold = SchemrEngine::new(repo);
+        cold.load_index(&path).unwrap();
+        let results = cold.search(&SearchRequest::keywords(["patient"])).unwrap();
+        assert_eq!(results[0].title, "clinic");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn abbreviated_queries_still_find_the_clinic() {
+        // The paper's name-matcher motivation, end to end: query uses
+        // abbreviations, index has full words.
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        let results = engine
+            .search(&SearchRequest::keywords(["pat", "ht"]))
+            .unwrap();
+        assert!(!results.is_empty());
+        assert_eq!(results[0].title, "clinic");
+    }
+}

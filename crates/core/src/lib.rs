@@ -1,0 +1,57 @@
+//! # schemr
+//!
+//! The Schemr schema search engine — a Rust reproduction of *"Exploring
+//! Schema Repositories with Schemr"* (Chen, Kannan, Madhavan, Halevy;
+//! SIGMOD 2009 demo / SIGMOD Record 40(1)).
+//!
+//! Schemr lets a database designer search a repository of schemas by
+//! keyword and *by example* (uploading a DDL or XSD fragment), ranking
+//! results by semantic intent rather than bag-of-words overlap. The search
+//! algorithm has three phases (Figure 3 of the paper):
+//!
+//! 1. **Candidate Extraction** ([`schemr_index`]) — the query graph is
+//!    flattened into keywords and run against a TF/IDF document index with
+//!    a coordination factor; the top *n* candidates survive.
+//! 2. **Schema Matching** ([`schemr_match`]) — an ensemble of fine-grained
+//!    matchers (name n-gram, context, …) scores every (query element ×
+//!    schema element) pair into a combined similarity matrix.
+//! 3. **Tightness-of-fit** ([`tightness`]) — per-element scores are
+//!    penalized by structural distance to an anchor entity (same entity /
+//!    FK neighborhood / unrelated) and averaged; the best anchor's score
+//!    ranks the schema: `t_max = max_A mean(S − P_A)`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use schemr::{SchemrEngine, SearchRequest};
+//! use schemr_repo::{import, Repository};
+//! use std::sync::Arc;
+//!
+//! let repo = Arc::new(Repository::new());
+//! import::import_str(&repo, "clinic", "a rural clinic",
+//!     "CREATE TABLE patient (height REAL, gender TEXT, diagnosis TEXT)").unwrap();
+//! import::import_str(&repo, "store", "web shop",
+//!     "CREATE TABLE orders (total DECIMAL, quantity INT, customer TEXT)").unwrap();
+//!
+//! let engine = SchemrEngine::new(repo);
+//! engine.reindex_full();
+//!
+//! let request = SearchRequest::keywords(["patient", "height", "gender"]);
+//! let results = engine.search(&request).unwrap();
+//! assert_eq!(results[0].title, "clinic");
+//! ```
+
+pub mod engine;
+pub mod request;
+pub mod result;
+pub mod scheduler;
+pub mod tightness;
+
+mod query;
+
+pub use engine::{EngineConfig, SchemrEngine, SearchError};
+pub use query::{parse_keywords, QueryParseError};
+pub use request::SearchRequest;
+pub use result::{PhaseTimings, SearchResponse, SearchResult};
+pub use scheduler::IndexScheduler;
+pub use tightness::{MatchedElement, TightnessConfig, TightnessScore};

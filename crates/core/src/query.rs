@@ -1,0 +1,97 @@
+//! Query parsing: raw user input → [`schemr_model::QueryGraph`].
+
+use schemr_model::QueryGraph;
+use schemr_parse::{parse_fragment, ParseError};
+
+/// Error building a query graph from user input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryParseError {
+    /// A fragment failed to parse.
+    Fragment(ParseError),
+    /// Neither keywords nor fragments were supplied.
+    Empty,
+}
+
+impl std::fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryParseError::Fragment(e) => write!(f, "fragment: {e}"),
+            QueryParseError::Empty => write!(f, "query is empty"),
+        }
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+impl From<ParseError> for QueryParseError {
+    fn from(e: ParseError) -> Self {
+        QueryParseError::Fragment(e)
+    }
+}
+
+/// Split a raw keyword string on commas and whitespace:
+/// `"patient, height gender"` → `["patient", "height", "gender"]`.
+pub fn parse_keywords(input: &str) -> Vec<String> {
+    input
+        .split([',', ';'])
+        .flat_map(str::split_whitespace)
+        .map(str::to_string)
+        .collect()
+}
+
+/// Build a query graph from keyword strings and raw fragment sources
+/// (each autodetected as DDL/XSD/header).
+pub fn build_query_graph(
+    keywords: &[String],
+    fragment_sources: &[String],
+) -> Result<QueryGraph, QueryParseError> {
+    let mut q = QueryGraph::new();
+    for kw in keywords {
+        q.add_keyword(kw.clone());
+    }
+    for (i, src) in fragment_sources.iter().enumerate() {
+        q.add_fragment(parse_fragment(&format!("fragment{i}"), src)?);
+    }
+    if q.is_empty() {
+        return Err(QueryParseError::Empty);
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_split_on_commas_and_spaces() {
+        assert_eq!(
+            parse_keywords("patient, height gender;diagnosis"),
+            vec!["patient", "height", "gender", "diagnosis"]
+        );
+        assert!(parse_keywords("  ,, ").is_empty());
+    }
+
+    #[test]
+    fn figure1_query_graph_from_raw_input() {
+        let q = build_query_graph(
+            &["diagnosis".to_string()],
+            &["CREATE TABLE patient (height REAL, gender TEXT)".to_string()],
+        )
+        .unwrap();
+        assert_eq!(
+            q.flat_texts(),
+            vec!["patient", "height", "gender", "diagnosis"]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(build_query_graph(&[], &[]), Err(QueryParseError::Empty));
+    }
+
+    #[test]
+    fn bad_fragment_is_an_error() {
+        let err = build_query_graph(&[], &["CREATE TABLE (".to_string()]).unwrap_err();
+        assert!(matches!(err, QueryParseError::Fragment(_)));
+    }
+}

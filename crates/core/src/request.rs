@@ -1,0 +1,127 @@
+//! Search requests.
+
+use schemr_model::{QueryGraph, Schema};
+
+use crate::query::{build_query_graph, QueryParseError};
+
+/// A search request: keywords and/or schema fragments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchRequest {
+    /// Free keywords.
+    pub keywords: Vec<String>,
+    /// Already-parsed schema fragments.
+    pub fragments: Vec<Schema>,
+    /// Maximum results to return (`None` → engine default).
+    pub limit: Option<usize>,
+}
+
+impl SearchRequest {
+    /// A keyword-only request.
+    pub fn keywords<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SearchRequest {
+            keywords: words.into_iter().map(Into::into).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// A fragment-only request.
+    pub fn fragment(fragment: Schema) -> Self {
+        SearchRequest {
+            fragments: vec![fragment],
+            ..Default::default()
+        }
+    }
+
+    /// Parse raw user input: a keyword line plus raw fragment sources
+    /// (DDL/XSD/header, autodetected).
+    pub fn parse(keyword_line: &str, fragment_sources: &[&str]) -> Result<Self, QueryParseError> {
+        let keywords = crate::query::parse_keywords(keyword_line);
+        let sources: Vec<String> = fragment_sources.iter().map(|s| s.to_string()).collect();
+        // Reuse build_query_graph for validation, then keep the parsed
+        // fragments.
+        let graph = build_query_graph(&keywords, &sources)?;
+        Ok(SearchRequest {
+            keywords,
+            fragments: graph.fragments().to_vec(),
+            limit: None,
+        })
+    }
+
+    /// Add a keyword, builder-style.
+    pub fn with_keyword(mut self, kw: impl Into<String>) -> Self {
+        self.keywords.push(kw.into());
+        self
+    }
+
+    /// Add a fragment, builder-style.
+    pub fn with_fragment(mut self, fragment: Schema) -> Self {
+        self.fragments.push(fragment);
+        self
+    }
+
+    /// Cap the number of results, builder-style.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// The query graph for this request.
+    pub fn query_graph(&self) -> QueryGraph {
+        let mut q = QueryGraph::new();
+        for kw in &self.keywords {
+            q.add_keyword(kw.clone());
+        }
+        for f in &self.fragments {
+            q.add_fragment(f.clone());
+        }
+        q
+    }
+
+    /// True when nothing searchable was supplied.
+    pub fn is_empty(&self) -> bool {
+        self.query_graph().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{DataType, SchemaBuilder};
+
+    #[test]
+    fn builders_compose() {
+        let frag = SchemaBuilder::new("f")
+            .entity("patient", |e| e.attr("height", DataType::Real))
+            .build_unchecked();
+        let r = SearchRequest::keywords(["diagnosis"])
+            .with_keyword("gender")
+            .with_fragment(frag)
+            .with_limit(5);
+        assert_eq!(r.keywords.len(), 2);
+        assert_eq!(r.fragments.len(), 1);
+        assert_eq!(r.limit, Some(5));
+        let q = r.query_graph();
+        assert_eq!(
+            q.flat_texts(),
+            vec!["patient", "height", "diagnosis", "gender"]
+        );
+    }
+
+    #[test]
+    fn parse_combines_keywords_and_fragments() {
+        let r =
+            SearchRequest::parse("patient, height", &["CREATE TABLE visit (date DATE)"]).unwrap();
+        assert_eq!(r.keywords, vec!["patient", "height"]);
+        assert_eq!(r.fragments.len(), 1);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(SearchRequest::default().is_empty());
+        assert!(!SearchRequest::keywords(["x"]).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Search results: the rows of the paper's result table plus the
+//! per-element detail the visualization encodes.
+
+use schemr_model::{SchemaId, SchemaStats};
+
+use crate::tightness::MatchedElement;
+
+/// One ranked search result — "a tabular format, including columns for
+/// name, score, matches, entities, attributes, and description".
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Repository id (for drill-in / GraphML requests).
+    pub id: SchemaId,
+    /// Schema title.
+    pub title: String,
+    /// Schema summary.
+    pub summary: String,
+    /// Final relevance score (`t_max` from Phase 3).
+    pub score: f64,
+    /// Coarse-grain Phase 1 score (TF/IDF × coordination).
+    pub coarse_score: f64,
+    /// How many distinct query terms matched in Phase 1.
+    pub matched_terms: usize,
+    /// Element counts for the table's entities/attributes columns.
+    pub stats: SchemaStats,
+    /// Per-element match detail (drives the similarity color encodings).
+    pub matches: Vec<MatchedElement>,
+}
+
+/// Wall-clock spent in each phase of one search — experiment E1's
+/// latency-breakdown instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Phase 1: candidate extraction.
+    pub candidate_extraction: std::time::Duration,
+    /// Phase 2: matcher ensemble over the candidates.
+    pub matching: std::time::Duration,
+    /// Phase 3: tightness-of-fit scoring and final ranking.
+    pub scoring: std::time::Duration,
+}
+
+impl PhaseTimings {
+    /// Total across phases.
+    pub fn total(&self) -> std::time::Duration {
+        self.candidate_extraction + self.matching + self.scoring
+    }
+}
+
+/// A full search response: ranked results plus instrumentation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchResponse {
+    /// Ranked results, best first.
+    pub results: Vec<SearchResult>,
+    /// Phase timings for this query.
+    pub timings: PhaseTimings,
+    /// Number of Phase 1 candidates evaluated in Phase 2.
+    pub candidates_evaluated: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_total() {
+        let t = PhaseTimings {
+            candidate_extraction: std::time::Duration::from_millis(2),
+            matching: std::time::Duration::from_millis(5),
+            scoring: std::time::Duration::from_millis(1),
+        };
+        assert_eq!(t.total(), std::time::Duration::from_millis(8));
+    }
+}

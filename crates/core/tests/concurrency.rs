@@ -1,0 +1,153 @@
+//! Concurrency stress: searches must stay correct while the repository
+//! grows and the scheduled indexer applies changes — the live-service
+//! situation in Figure 5.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use schemr::{IndexScheduler, SchemrEngine, SearchRequest};
+use schemr_repo::{import::import_str, Repository};
+
+#[test]
+fn concurrent_searches_during_incremental_indexing() {
+    let repo = Arc::new(Repository::new());
+    // A stable anchor schema that every search must keep finding.
+    import_str(
+        &repo,
+        "anchor",
+        "",
+        "CREATE TABLE patient (id INT, height REAL, gender TEXT, diagnosis TEXT)",
+    )
+    .unwrap();
+    let engine = Arc::new(SchemrEngine::new(repo.clone()));
+    engine.reindex_full();
+    let scheduler = Arc::new(IndexScheduler::new(engine.clone()));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Writer: keeps inserting new schemas.
+    {
+        let repo = repo.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                import_str(
+                    &repo,
+                    &format!("extra{i}"),
+                    "",
+                    &format!("CREATE TABLE t{i} (alpha{i} INT, beta{i} TEXT, gamma{i} DATE, delta{i} REAL)"),
+                )
+                .unwrap();
+                i += 1;
+                std::thread::yield_now();
+            }
+            i
+        }));
+    }
+    // Indexer: ticks continuously.
+    {
+        let scheduler = scheduler.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut applied = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                applied += scheduler.tick();
+                std::thread::yield_now();
+            }
+            applied
+        }));
+    }
+    // Searchers: the anchor must always be found, top-ranked.
+    let mut searchers = Vec::new();
+    for _ in 0..4 {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        searchers.push(std::thread::spawn(move || {
+            let mut searches = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let results = engine
+                    .search(&SearchRequest::keywords(["patient", "height", "diagnosis"]))
+                    .expect("query is nonempty");
+                assert!(!results.is_empty(), "anchor must always be indexed");
+                assert_eq!(results[0].title, "anchor");
+                searches += 1;
+            }
+            searches
+        }));
+    }
+
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    stop.store(true, Ordering::Relaxed);
+    let inserted = handles.remove(0).join().unwrap();
+    let applied = handles.remove(0).join().unwrap();
+    let searches: usize = searchers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(inserted > 0, "writer made progress");
+    assert!(searches > 0, "searchers made progress");
+
+    // Drain the journal and verify the final state is fully searchable.
+    scheduler.tick();
+    assert!(applied + scheduler.applied_count() as usize >= 1);
+    assert_eq!(engine.index_stats().live_docs, repo.len());
+    // `alpha{last}` tokenizes into ["alpha", "<digits>"], so every extraN
+    // schema matches the shared "alpha" token disjunctively — but only the
+    // latest insert matches the digit token too, so it must rank first.
+    let last = repo.len() - 2; // last extra schema (anchor is s0)
+    let results = engine
+        .search(&SearchRequest::keywords([format!("alpha{last}").as_str()]))
+        .unwrap();
+    assert!(!results.is_empty());
+    assert_eq!(
+        results[0].title,
+        format!("extra{last}"),
+        "latest insert must be searchable after a tick"
+    );
+}
+
+#[test]
+fn full_reindex_races_with_searches() {
+    let repo = Arc::new(Repository::new());
+    for i in 0..50 {
+        import_str(
+            &repo,
+            &format!("s{i}"),
+            "",
+            &format!(
+                "CREATE TABLE table{i} (patient INT, height REAL, col{i} TEXT, other{i} DATE)"
+            ),
+        )
+        .unwrap();
+    }
+    let engine = Arc::new(SchemrEngine::new(repo));
+    engine.reindex_full();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reindexer = {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut n = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                engine.reindex_full();
+                n += 1;
+            }
+            n
+        })
+    };
+    let mut ok = 0usize;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(300);
+    while std::time::Instant::now() < deadline {
+        let results = engine
+            .search(&SearchRequest::keywords(["patient", "height"]))
+            .unwrap();
+        assert!(
+            !results.is_empty(),
+            "index must never appear empty mid-swap"
+        );
+        ok += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let reindexes = reindexer.join().unwrap();
+    assert!(reindexes > 0 && ok > 0);
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the tightness-of-fit measurement.
+
+use proptest::prelude::*;
+use schemr::{tightness::tightness_of_fit, TightnessConfig};
+use schemr_match::SimilarityMatrix;
+use schemr_model::{DataType, Element, ElementId, ForeignKey, Schema};
+
+/// A random multi-entity schema with FK edges plus a random similarity
+/// matrix over it.
+fn arb_case() -> impl Strategy<Value = (Schema, SimilarityMatrix)> {
+    (
+        2usize..5,                                               // entities
+        1usize..5,                                               // attrs each
+        proptest::collection::vec((0usize..5, 0usize..5), 0..4), // fk pairs
+        1usize..5,                                               // query rows
+        proptest::collection::vec(0.0f64..1.0, 1..40),           // matrix cells
+    )
+        .prop_map(|(n_entities, n_attrs, fks, rows, cells)| {
+            let mut s = Schema::new("prop");
+            let mut entities = Vec::new();
+            for i in 0..n_entities {
+                let e = s.add_root(Element::entity(format!("e{i}")));
+                for j in 0..n_attrs {
+                    s.add_child(e, Element::attribute(format!("a{i}x{j}"), DataType::Text));
+                }
+                entities.push(e);
+            }
+            for (a, b) in fks {
+                let from = entities[a % entities.len()];
+                let to = entities[b % entities.len()];
+                if from != to {
+                    s.add_foreign_key(ForeignKey {
+                        from_entity: from,
+                        from_attrs: vec![],
+                        to_entity: to,
+                        to_attrs: vec![],
+                    });
+                }
+            }
+            let mut m = SimilarityMatrix::zeros(rows, s.len());
+            for (i, v) in cells.iter().enumerate() {
+                let r = i % rows;
+                let c = (i / rows) % s.len();
+                m.set(r, c, *v);
+            }
+            (s, m)
+        })
+}
+
+proptest! {
+    /// The final score is bounded: 0 ≤ score ≤ 1 with mean aggregation
+    /// (matrix values are ≤ 1 and penalties only subtract).
+    #[test]
+    fn score_is_bounded((s, m) in arb_case()) {
+        let t = tightness_of_fit(&s, &m, &TightnessConfig::default());
+        prop_assert!(t.score >= 0.0);
+        prop_assert!(t.score <= 1.0 + 1e-12, "{}", t.score);
+        prop_assert!(t.anchored_score >= t.score - 1e-12, "coverage only shrinks");
+        prop_assert!((0.0..=1.0).contains(&t.coverage));
+    }
+
+    /// Zero penalties make anchor choice irrelevant: anchored score equals
+    /// the plain mean of matched element scores.
+    #[test]
+    fn zero_penalties_reduce_to_plain_mean((s, m) in arb_case()) {
+        let config = TightnessConfig {
+            neighborhood_penalty: 0.0,
+            unrelated_penalty: 0.0,
+            ..TightnessConfig::default()
+        };
+        let t = tightness_of_fit(&s, &m, &config);
+        let matched: Vec<f64> = m
+            .element_scores()
+            .into_iter()
+            .filter(|&v| v >= config.min_element_score)
+            .collect();
+        if matched.is_empty() {
+            prop_assert_eq!(t.anchored_score, 0.0);
+        } else {
+            let mean = matched.iter().sum::<f64>() / matched.len() as f64;
+            prop_assert!((t.anchored_score - mean).abs() < 1e-9);
+        }
+    }
+
+    /// t_max really is the max: recomputing each anchor's penalized mean
+    /// by brute force never beats the reported score.
+    #[test]
+    fn reported_anchor_is_optimal((s, m) in arb_case()) {
+        let config = TightnessConfig::default();
+        let t = tightness_of_fit(&s, &m, &config);
+        let nb = s.neighborhoods();
+        let matched: Vec<(ElementId, f64)> = s
+            .ids()
+            .enumerate()
+            .filter_map(|(col, id)| {
+                let (_, v) = m.column_max(col);
+                (v >= config.min_element_score).then_some((id, v))
+            })
+            .collect();
+        if matched.is_empty() {
+            prop_assert_eq!(t.anchored_score, 0.0);
+            return Ok(());
+        }
+        for anchor in s.entities() {
+            let total: f64 = matched
+                .iter()
+                .map(|&(id, v)| {
+                    let p = match nb.classify(anchor, id) {
+                        schemr_model::DistanceClass::SameEntity => 0.0,
+                        schemr_model::DistanceClass::Neighborhood => config.neighborhood_penalty,
+                        schemr_model::DistanceClass::Unrelated => config.unrelated_penalty,
+                    };
+                    (v - p).max(0.0)
+                })
+                .sum();
+            let mean = total / matched.len() as f64;
+            prop_assert!(mean <= t.anchored_score + 1e-9,
+                "anchor {anchor} gives {mean} > reported {}", t.anchored_score);
+        }
+    }
+
+    /// Raising penalties never raises the score.
+    #[test]
+    fn score_monotone_in_penalties((s, m) in arb_case(), extra in 0.0f64..0.5) {
+        let base = TightnessConfig::default();
+        let harsher = TightnessConfig {
+            neighborhood_penalty: base.neighborhood_penalty + extra,
+            unrelated_penalty: base.unrelated_penalty + extra,
+            ..base
+        };
+        let t1 = tightness_of_fit(&s, &m, &base);
+        let t2 = tightness_of_fit(&s, &m, &harsher);
+        prop_assert!(t2.score <= t1.score + 1e-9);
+    }
+
+    /// Matched-element detail is consistent: every matched element clears
+    /// the threshold, and terms index real matrix rows.
+    #[test]
+    fn matched_detail_is_consistent((s, m) in arb_case()) {
+        let config = TightnessConfig::default();
+        let t = tightness_of_fit(&s, &m, &config);
+        for el in &t.matched {
+            prop_assert!(el.score >= config.min_element_score);
+            prop_assert!(el.term < m.rows());
+            prop_assert!(el.element.index() < s.len());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # schemr-corpus
+//!
+//! A deterministic synthetic schema corpus — the reproduction's substitute
+//! for the paper's evaluation repository ("over 30,000 public schemas …
+//! came from a collection of 10 million HTML tables, and were filtered by
+//! removing schemas containing non-alphabetical characters, schemas that
+//! only appeared once on the web, and trivial schemas with three or less
+//! elements").
+//!
+//! The WebTables collection is proprietary, so this crate generates a
+//! corpus that reproduces the properties the search algorithm is sensitive
+//! to:
+//!
+//! * **domain structure** — schemas cluster into topical domains (health,
+//!   conservation, retail, …) with shared vocabulary ([`vocab`]),
+//! * **families** — each *concept* spawns a family of related schemas that
+//!   different organizations would plausibly publish, derived from a base
+//!   schema by realistic perturbations ([`perturb`]): abbreviation,
+//!   grammatical variation, delimiter-style changes, synonym substitution,
+//!   attribute churn — exactly the variation the paper's name matcher
+//!   targets,
+//! * **shape diversity** — flat relational schemas with foreign keys and
+//!   nested tree schemas, with heavy-tailed size distributions
+//!   ([`generate`]),
+//! * **ground truth** — a query derived from one family member is relevant
+//!   to the whole family, enabling the quantitative ranking evaluation
+//!   (P@k, MRR, NDCG in [`metrics`]) the demo paper never ran,
+//! * **the paper's filter** — [`corpus::CorpusFilter`] applies the three
+//!   published filtering rules.
+//!
+//! Everything is seeded and deterministic: the same seed always produces
+//! the same corpus, queries, and ground truth.
+
+pub mod corpus;
+pub mod generate;
+pub mod metrics;
+pub mod perturb;
+pub mod vocab;
+pub mod workload;
+
+pub use corpus::{Corpus, CorpusConfig, CorpusFilter, LabeledSchema};
+pub use generate::{GeneratorConfig, SchemaGenerator, SchemaShape};
+pub use metrics::{average_precision, mrr, ndcg_at, precision_at, RankingMetrics};
+pub use perturb::{NameStyle, PerturbConfig, Perturber};
+pub use workload::{GeneratedQuery, QueryKind, Workload, WorkloadConfig};

@@ -1,0 +1,185 @@
+//! Ranking-quality metrics: precision@k, MRR, NDCG@k, average precision.
+//!
+//! The demo paper reports no quantitative ranking numbers; these metrics
+//! are how the reproduction quantifies the claims (experiments E2–E5, E7).
+
+use std::collections::HashSet;
+
+/// Precision@k: fraction of the top-k ranked items that are relevant.
+/// When fewer than `k` items were returned, the denominator is still `k`
+/// (missing items count as misses).
+pub fn precision_at(k: usize, ranked: &[usize], relevant: &HashSet<usize>) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|r| relevant.contains(r))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Reciprocal rank of the first relevant item (0 when none appears).
+pub fn mrr(ranked: &[usize], relevant: &HashSet<usize>) -> f64 {
+    ranked
+        .iter()
+        .position(|r| relevant.contains(r))
+        .map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
+}
+
+/// NDCG@k with binary relevance: DCG = Σ rel_i / log2(i+2), normalized by
+/// the ideal ordering.
+pub fn ndcg_at(k: usize, ranked: &[usize], relevant: &HashSet<usize>) -> f64 {
+    if k == 0 || relevant.is_empty() {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, r)| relevant.contains(r))
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(k))
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+/// Average precision: mean of precision@i over the ranks of relevant items,
+/// divided by the number of relevant items.
+pub fn average_precision(ranked: &[usize], relevant: &HashSet<usize>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (i, r) in ranked.iter().enumerate() {
+        if relevant.contains(r) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Aggregated means over a query set.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankingMetrics {
+    /// Mean precision@10.
+    pub p_at_10: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Mean NDCG@10.
+    pub ndcg_at_10: f64,
+    /// Mean average precision.
+    pub map: f64,
+    /// Number of queries aggregated.
+    pub queries: usize,
+}
+
+impl RankingMetrics {
+    /// Aggregate per-query rankings into mean metrics.
+    pub fn aggregate<'a>(
+        results: impl IntoIterator<Item = (&'a [usize], &'a HashSet<usize>)>,
+    ) -> RankingMetrics {
+        let mut m = RankingMetrics::default();
+        for (ranked, relevant) in results {
+            m.p_at_10 += precision_at(10, ranked, relevant);
+            m.mrr += mrr(ranked, relevant);
+            m.ndcg_at_10 += ndcg_at(10, ranked, relevant);
+            m.map += average_precision(ranked, relevant);
+            m.queries += 1;
+        }
+        if m.queries > 0 {
+            let n = m.queries as f64;
+            m.p_at_10 /= n;
+            m.mrr /= n;
+            m.ndcg_at_10 /= n;
+            m.map /= n;
+        }
+        m
+    }
+}
+
+impl std::fmt::Display for RankingMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P@10={:.3} MRR={:.3} NDCG@10={:.3} MAP={:.3} (n={})",
+            self.p_at_10, self.mrr, self.ndcg_at_10, self.map, self.queries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(items: &[usize]) -> HashSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranked = [1, 2, 3];
+        let relevant = rel(&[1, 2, 3]);
+        assert_eq!(precision_at(3, &ranked, &relevant), 1.0);
+        assert_eq!(mrr(&ranked, &relevant), 1.0);
+        assert!((ndcg_at(3, &ranked, &relevant) - 1.0).abs() < 1e-12);
+        assert!((average_precision(&ranked, &relevant) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ranking_scores_zero() {
+        let relevant = rel(&[1]);
+        assert_eq!(precision_at(10, &[], &relevant), 0.0);
+        assert_eq!(mrr(&[], &relevant), 0.0);
+        assert_eq!(ndcg_at(10, &[], &relevant), 0.0);
+        assert_eq!(average_precision(&[], &relevant), 0.0);
+    }
+
+    #[test]
+    fn precision_counts_misses_in_the_denominator() {
+        let relevant = rel(&[1]);
+        assert_eq!(precision_at(4, &[1, 9, 9, 9], &relevant), 0.25);
+        assert_eq!(precision_at(4, &[1], &relevant), 0.25);
+    }
+
+    #[test]
+    fn mrr_is_reciprocal_of_first_hit() {
+        let relevant = rel(&[5]);
+        assert_eq!(mrr(&[9, 8, 5, 1], &relevant), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn ndcg_prefers_early_hits() {
+        let relevant = rel(&[1, 2]);
+        let early = ndcg_at(4, &[1, 2, 9, 9], &relevant);
+        let late = ndcg_at(4, &[9, 9, 1, 2], &relevant);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_matches_hand_computation() {
+        // Relevant {1,2}; ranked [1,9,2]: P@1=1, P@3=2/3 → AP=(1+2/3)/2.
+        let relevant = rel(&[1, 2]);
+        let ap = average_precision(&[1, 9, 2], &relevant);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_averages_across_queries() {
+        let r1 = [1usize];
+        let rel1 = rel(&[1]);
+        let r2 = [9usize];
+        let rel2 = rel(&[1]);
+        let m = RankingMetrics::aggregate([(&r1[..], &rel1), (&r2[..], &rel2)]);
+        assert_eq!(m.queries, 2);
+        assert!((m.mrr - 0.5).abs() < 1e-12);
+        let shown = m.to_string();
+        assert!(shown.contains("MRR=0.500"), "{shown}");
+    }
+}

@@ -1,0 +1,305 @@
+//! The perturbation model: how one concept's schema varies across the
+//! organizations that publish it.
+//!
+//! The paper's name matcher exists because real schemas disagree on
+//! "abbreviated terms, alternate grammatical forms, and delimiter
+//! characters". The perturber applies exactly those three classes (plus
+//! synonym substitution, which motivates the ensemble), each independently
+//! switchable so experiment E3 can sweep one class at a time.
+
+use rand::Rng;
+
+use crate::vocab::synonym_class;
+
+/// Naming convention used when re-joining a multi-word name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameStyle {
+    /// `patient_height`
+    Snake,
+    /// `patientHeight`
+    Camel,
+    /// `PatientHeight`
+    Pascal,
+    /// `patient height`
+    Space,
+    /// `patient-height`
+    Kebab,
+    /// `patientheight`
+    Fused,
+}
+
+impl NameStyle {
+    /// All styles.
+    pub const ALL: [NameStyle; 6] = [
+        NameStyle::Snake,
+        NameStyle::Camel,
+        NameStyle::Pascal,
+        NameStyle::Space,
+        NameStyle::Kebab,
+        NameStyle::Fused,
+    ];
+
+    /// Join lowercase words in this style.
+    pub fn join(self, words: &[String]) -> String {
+        let capitalize = |w: &str| -> String {
+            let mut cs = w.chars();
+            match cs.next() {
+                Some(first) => first.to_uppercase().chain(cs).collect(),
+                None => String::new(),
+            }
+        };
+        match self {
+            NameStyle::Snake => words.join("_"),
+            NameStyle::Space => words.join(" "),
+            NameStyle::Kebab => words.join("-"),
+            NameStyle::Fused => words.concat(),
+            NameStyle::Camel => {
+                let mut out = String::new();
+                for (i, w) in words.iter().enumerate() {
+                    if i == 0 {
+                        out.push_str(w);
+                    } else {
+                        out.push_str(&capitalize(w));
+                    }
+                }
+                out
+            }
+            NameStyle::Pascal => words.iter().map(|w| capitalize(w)).collect(),
+        }
+    }
+}
+
+/// Probabilities of each perturbation class (each in `[0, 1]`).
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// Truncate a word to a short prefix (`description` → `descr`/`desc`).
+    pub abbreviation: f64,
+    /// Grammatical variation (pluralization / unpluralization).
+    pub morphology: f64,
+    /// Re-join the name in a different [`NameStyle`].
+    pub delimiter: f64,
+    /// Replace a word with a synonym-class sibling.
+    pub synonym: f64,
+}
+
+impl PerturbConfig {
+    /// No perturbation at all.
+    pub fn none() -> Self {
+        PerturbConfig {
+            abbreviation: 0.0,
+            morphology: 0.0,
+            delimiter: 0.0,
+            synonym: 0.0,
+        }
+    }
+
+    /// The default mix used for corpus families.
+    pub fn standard() -> Self {
+        PerturbConfig {
+            abbreviation: 0.25,
+            morphology: 0.2,
+            delimiter: 0.6,
+            synonym: 0.15,
+        }
+    }
+
+    /// Only one class active at rate `p` — experiment E3's sweep points.
+    pub fn only_abbreviation(p: f64) -> Self {
+        PerturbConfig {
+            abbreviation: p,
+            ..Self::none()
+        }
+    }
+
+    /// Only morphology active at rate `p`.
+    pub fn only_morphology(p: f64) -> Self {
+        PerturbConfig {
+            morphology: p,
+            ..Self::none()
+        }
+    }
+
+    /// Only delimiter changes active at rate `p`.
+    pub fn only_delimiter(p: f64) -> Self {
+        PerturbConfig {
+            delimiter: p,
+            ..Self::none()
+        }
+    }
+}
+
+impl Default for PerturbConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Applies the perturbation model to names.
+#[derive(Debug, Clone)]
+pub struct Perturber {
+    config: PerturbConfig,
+}
+
+impl Perturber {
+    /// A perturber with the given class probabilities.
+    pub fn new(config: PerturbConfig) -> Self {
+        Perturber { config }
+    }
+
+    /// Abbreviate one lowercase word: keep a 2–4 character prefix (never
+    /// longer than the word itself).
+    pub fn abbreviate(word: &str, rng: &mut impl Rng) -> String {
+        let chars: Vec<char> = word.chars().collect();
+        if chars.len() <= 3 {
+            return word.to_string();
+        }
+        let keep = rng.random_range(2..=4.min(chars.len() - 1));
+        chars[..keep].iter().collect()
+    }
+
+    /// Simple English pluralization toggles: `s`/`es`/`ies` endings.
+    pub fn toggle_plural(word: &str) -> String {
+        if let Some(stem) = word.strip_suffix("ies") {
+            format!("{stem}y")
+        } else if let Some(stem) = word.strip_suffix("ses") {
+            format!("{stem}s")
+        } else if let Some(stem) = word.strip_suffix('s') {
+            stem.to_string()
+        } else if word.ends_with('y') && word.len() > 2 {
+            format!("{}ies", &word[..word.len() - 1])
+        } else if word.ends_with('s') || word.ends_with('x') || word.ends_with("ch") {
+            format!("{word}es")
+        } else {
+            format!("{word}s")
+        }
+    }
+
+    /// Perturb a name given as lowercase words; returns the re-joined name.
+    pub fn perturb_words(&self, words: &[&str], rng: &mut impl Rng) -> String {
+        let mut out: Vec<String> = Vec::with_capacity(words.len());
+        for w in words {
+            let mut w = w.to_string();
+            if rng.random_bool(self.config.synonym) {
+                if let Some(class) = synonym_class(&w) {
+                    let pick = class[rng.random_range(0..class.len())];
+                    w = pick.to_string();
+                }
+            }
+            if rng.random_bool(self.config.morphology) {
+                w = Self::toggle_plural(&w);
+            }
+            if rng.random_bool(self.config.abbreviation) {
+                w = Self::abbreviate(&w, rng);
+            }
+            out.push(w);
+        }
+        let style = if rng.random_bool(self.config.delimiter) {
+            NameStyle::ALL[rng.random_range(0..NameStyle::ALL.len())]
+        } else {
+            NameStyle::Snake
+        };
+        style.join(&out)
+    }
+
+    /// Perturb a snake_case name.
+    pub fn perturb_name(&self, name: &str, rng: &mut impl Rng) -> String {
+        let words: Vec<&str> = name.split('_').filter(|w| !w.is_empty()).collect();
+        if words.is_empty() {
+            return name.to_string();
+        }
+        self.perturb_words(&words, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn name_styles_join_as_documented() {
+        let words = vec!["patient".to_string(), "height".to_string()];
+        assert_eq!(NameStyle::Snake.join(&words), "patient_height");
+        assert_eq!(NameStyle::Camel.join(&words), "patientHeight");
+        assert_eq!(NameStyle::Pascal.join(&words), "PatientHeight");
+        assert_eq!(NameStyle::Space.join(&words), "patient height");
+        assert_eq!(NameStyle::Kebab.join(&words), "patient-height");
+        assert_eq!(NameStyle::Fused.join(&words), "patientheight");
+    }
+
+    #[test]
+    fn abbreviation_keeps_a_proper_prefix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let abbr = Perturber::abbreviate("description", &mut rng);
+            assert!(abbr.len() >= 2 && abbr.len() <= 4);
+            assert!("description".starts_with(&abbr));
+        }
+        assert_eq!(Perturber::abbreviate("id", &mut rng), "id");
+    }
+
+    #[test]
+    fn plural_toggle_round_trips_common_shapes() {
+        assert_eq!(Perturber::toggle_plural("patient"), "patients");
+        assert_eq!(Perturber::toggle_plural("patients"), "patient");
+        assert_eq!(Perturber::toggle_plural("category"), "categories");
+        assert_eq!(Perturber::toggle_plural("categories"), "category");
+        // "…ses" endings strip to a single trailing "s" (diagnoses →
+        // diagnos); the stemmer conflates the rest downstream.
+        assert_eq!(Perturber::toggle_plural("diagnoses"), "diagnos");
+    }
+
+    #[test]
+    fn zero_config_is_identity_on_snake_names() {
+        let p = Perturber::new(PerturbConfig::none());
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(p.perturb_name("patient_height", &mut rng), "patient_height");
+    }
+
+    #[test]
+    fn delimiter_only_preserves_the_words() {
+        let p = Perturber::new(PerturbConfig::only_delimiter(1.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let name = p.perturb_name("patient_height", &mut rng);
+            let folded: String = name
+                .chars()
+                .filter(|c| c.is_ascii_alphabetic())
+                .collect::<String>()
+                .to_lowercase();
+            assert_eq!(folded, "patientheight", "{name}");
+        }
+    }
+
+    #[test]
+    fn synonym_substitution_stays_in_class() {
+        let p = Perturber::new(PerturbConfig {
+            synonym: 1.0,
+            ..PerturbConfig::none()
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen_other = false;
+        for _ in 0..40 {
+            let name = p.perturb_name("gender", &mut rng);
+            assert!(crate::vocab::are_synonyms("gender", &name), "{name}");
+            if name != "gender" {
+                seen_other = true;
+            }
+        }
+        assert!(seen_other, "substitution should actually fire");
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed() {
+        let p = Perturber::new(PerturbConfig::standard());
+        let run = |seed: u64| -> Vec<String> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10)
+                .map(|_| p.perturb_name("patient_height", &mut rng))
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

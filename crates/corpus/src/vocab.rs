@@ -1,0 +1,321 @@
+//! Domain vocabularies for the synthetic corpus.
+//!
+//! Each domain supplies entity nouns and attribute nouns drawn from the
+//! kinds of data the paper's motivating organizations publish (a rural
+//! health system, the Nature Conservancy's environmental monitoring, plus
+//! the commerce/civic domains that dominate web tables).
+
+/// A topical domain with its vocabulary pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Domain {
+    /// Domain name (used in schema titles and experiment reports).
+    pub name: &'static str,
+    /// Entity (table / complex-type) nouns.
+    pub entities: &'static [&'static str],
+    /// Attribute (column) nouns.
+    pub attributes: &'static [&'static str],
+}
+
+/// Attributes common to every domain (keys, audit columns, …).
+pub const COMMON_ATTRIBUTES: &[&str] = &[
+    "id",
+    "name",
+    "code",
+    "status",
+    "type",
+    "created",
+    "updated",
+    "notes",
+    "description",
+    "category",
+    "source",
+    "count",
+    "value",
+];
+
+/// Synonym classes: names in one class denote the same concept. The
+/// perturber swaps within a class; the ground truth treats them as
+/// equivalent.
+pub const SYNONYMS: &[&[&str]] = &[
+    &["patient", "person", "subject", "client"],
+    &["doctor", "physician", "clinician", "provider"],
+    &["gender", "sex"],
+    &["height", "stature"],
+    &["weight", "mass"],
+    &["diagnosis", "condition", "finding"],
+    &["medication", "drug", "prescription"],
+    &["visit", "encounter", "appointment"],
+    &["location", "site", "place"],
+    &["species", "organism", "taxon"],
+    &["observation", "sighting", "record"],
+    &["order", "purchase"],
+    &["customer", "buyer", "client"],
+    &["price", "cost", "amount"],
+    &["quantity", "count", "number"],
+    &["employee", "staff", "worker"],
+    &["salary", "wage", "pay"],
+    &["student", "pupil", "learner"],
+    &["grade", "score", "mark"],
+    &["vehicle", "car", "automobile"],
+    &["address", "residence"],
+    &["phone", "telephone"],
+    &["email", "mail"],
+    &["birthday", "birthdate", "dob"],
+];
+
+/// The built-in domains.
+pub const DOMAINS: &[Domain] = &[
+    Domain {
+        name: "health",
+        entities: &[
+            "patient",
+            "doctor",
+            "nurse",
+            "visit",
+            "case",
+            "diagnosis",
+            "medication",
+            "ward",
+            "clinic",
+            "lab",
+            "specimen",
+            "treatment",
+            "immunization",
+            "referral",
+        ],
+        attributes: &[
+            "height",
+            "weight",
+            "gender",
+            "age",
+            "blood_pressure",
+            "temperature",
+            "pulse",
+            "symptom",
+            "diagnosis",
+            "medication",
+            "dosage",
+            "allergy",
+            "birthday",
+            "admission",
+            "discharge",
+            "insurance",
+            "provider",
+            "ward",
+            "room",
+            "severity",
+            "onset",
+        ],
+    },
+    Domain {
+        name: "conservation",
+        entities: &[
+            "species",
+            "habitat",
+            "observation",
+            "site",
+            "survey",
+            "population",
+            "sample",
+            "station",
+            "watershed",
+            "preserve",
+            "transect",
+            "sensor",
+        ],
+        attributes: &[
+            "species",
+            "genus",
+            "family",
+            "abundance",
+            "latitude",
+            "longitude",
+            "elevation",
+            "temperature",
+            "rainfall",
+            "salinity",
+            "ph",
+            "canopy",
+            "observer",
+            "season",
+            "threat",
+            "protection",
+            "area",
+            "depth",
+            "turbidity",
+        ],
+    },
+    Domain {
+        name: "retail",
+        entities: &[
+            "order",
+            "customer",
+            "product",
+            "invoice",
+            "shipment",
+            "supplier",
+            "store",
+            "inventory",
+            "payment",
+            "refund",
+            "cart",
+            "promotion",
+        ],
+        attributes: &[
+            "price",
+            "quantity",
+            "total",
+            "discount",
+            "tax",
+            "sku",
+            "brand",
+            "warehouse",
+            "shipping",
+            "billing",
+            "currency",
+            "weight",
+            "stock",
+            "margin",
+            "rating",
+        ],
+    },
+    Domain {
+        name: "education",
+        entities: &[
+            "student",
+            "course",
+            "teacher",
+            "enrollment",
+            "school",
+            "classroom",
+            "assignment",
+            "exam",
+            "semester",
+            "department",
+            "scholarship",
+        ],
+        attributes: &[
+            "grade",
+            "credit",
+            "major",
+            "gpa",
+            "attendance",
+            "tuition",
+            "level",
+            "subject",
+            "score",
+            "rank",
+            "advisor",
+            "term",
+            "capacity",
+        ],
+    },
+    Domain {
+        name: "finance",
+        entities: &[
+            "account",
+            "transaction",
+            "loan",
+            "branch",
+            "portfolio",
+            "security",
+            "statement",
+            "transfer",
+            "deposit",
+            "mortgage",
+        ],
+        attributes: &[
+            "balance",
+            "amount",
+            "interest",
+            "rate",
+            "principal",
+            "maturity",
+            "currency",
+            "fee",
+            "limit",
+            "risk",
+            "yield",
+            "term",
+            "collateral",
+        ],
+    },
+    Domain {
+        name: "transport",
+        entities: &[
+            "vehicle", "route", "driver", "trip", "stop", "station", "fare", "schedule", "depot",
+            "fleet",
+        ],
+        attributes: &[
+            "origin",
+            "destination",
+            "distance",
+            "duration",
+            "capacity",
+            "plate",
+            "model",
+            "fuel",
+            "mileage",
+            "departure",
+            "arrival",
+            "delay",
+            "zone",
+        ],
+    },
+];
+
+/// Find a synonym class containing `word` (lowercase).
+pub fn synonym_class(word: &str) -> Option<&'static [&'static str]> {
+    SYNONYMS.iter().copied().find(|class| class.contains(&word))
+}
+
+/// Are two lowercase words synonyms (or equal)?
+pub fn are_synonyms(a: &str, b: &str) -> bool {
+    a == b || synonym_class(a).is_some_and(|class| class.contains(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_are_nonempty_and_distinct() {
+        assert!(DOMAINS.len() >= 5);
+        let names: std::collections::HashSet<_> = DOMAINS.iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), DOMAINS.len());
+        for d in DOMAINS {
+            assert!(d.entities.len() >= 8, "{} entities", d.name);
+            assert!(d.attributes.len() >= 10, "{} attributes", d.name);
+        }
+    }
+
+    #[test]
+    fn vocabulary_is_lowercase_alphabetic() {
+        for d in DOMAINS {
+            for w in d.entities.iter().chain(d.attributes) {
+                assert!(
+                    w.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                    "{w} in {}",
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synonym_lookup() {
+        assert!(are_synonyms("gender", "sex"));
+        assert!(are_synonyms("sex", "gender"));
+        assert!(are_synonyms("patient", "patient"));
+        assert!(!are_synonyms("patient", "invoice"));
+        assert!(synonym_class("doctor").unwrap().contains(&"physician"));
+        assert!(synonym_class("xyzzy").is_none());
+    }
+
+    #[test]
+    fn synonym_classes_have_at_least_two_members() {
+        for class in SYNONYMS {
+            assert!(class.len() >= 2, "{class:?}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the synthetic corpus substrate.
+
+use proptest::prelude::*;
+use schemr_corpus::{
+    mrr, ndcg_at, precision_at, Corpus, CorpusConfig, NameStyle, PerturbConfig, Perturber,
+    Workload, WorkloadConfig,
+};
+use schemr_model::validate;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every corpus validates, hits its target size, and is seed-stable.
+    #[test]
+    fn corpora_validate_for_any_seed(seed in 0u64..1000) {
+        let config = CorpusConfig { target_size: 60, seed, ..CorpusConfig::default() };
+        let corpus = Corpus::generate(&config);
+        prop_assert!(corpus.len() >= 60);
+        for s in &corpus.schemas {
+            prop_assert!(validate(&s.schema).is_empty());
+            prop_assert!(!s.title.is_empty());
+        }
+        let again = Corpus::generate(&config);
+        prop_assert_eq!(corpus.len(), again.len());
+        for (a, b) in corpus.schemas.iter().zip(&again.schemas) {
+            prop_assert_eq!(&a.schema, &b.schema);
+        }
+    }
+
+    /// Workload queries always carry usable ground truth.
+    #[test]
+    fn workloads_have_ground_truth(seed in 0u64..500) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            target_size: 60,
+            seed: 7,
+            ..CorpusConfig::default()
+        });
+        let workload = Workload::generate(
+            &corpus,
+            &WorkloadConfig { queries: 10, seed, ..Default::default() },
+        );
+        for q in &workload.queries {
+            prop_assert!(q.relevant.len() >= 2);
+            prop_assert!(!q.keywords.is_empty() || q.fragment.is_some());
+            for &r in &q.relevant {
+                prop_assert!(r < corpus.len());
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Perturbed names never lose all their letters.
+    #[test]
+    fn perturbation_keeps_letters(seed in 0u64..10_000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Perturber::new(PerturbConfig::standard());
+        for base in ["patient_height", "gender", "species_abundance"] {
+            let out = p.perturb_name(base, &mut rng);
+            prop_assert!(out.chars().any(|c| c.is_alphabetic()), "{base} -> {out}");
+        }
+    }
+
+    /// Every name style re-splits to the same word count for simple words
+    /// (except Fused, which intentionally destroys boundaries).
+    #[test]
+    fn styles_preserve_word_boundaries(
+        words in proptest::collection::vec("[a-z]{2,8}", 1..4)
+    ) {
+        for style in NameStyle::ALL {
+            let joined = style.join(&words);
+            prop_assert!(!joined.is_empty());
+            if style != NameStyle::Fused {
+                let resplit = schemr_text::tokenize::words(&joined);
+                prop_assert_eq!(resplit.len(), words.len(), "{:?} via {:?}", words, style);
+            }
+        }
+    }
+
+    /// Metric bounds: P@k, MRR, NDCG all live in [0, 1] for arbitrary
+    /// rankings.
+    #[test]
+    fn metrics_are_bounded(
+        ranked in proptest::collection::vec(0usize..50, 0..20),
+        relevant in proptest::collection::hash_set(0usize..50, 0..10),
+        k in 1usize..15,
+    ) {
+        for v in [
+            precision_at(k, &ranked, &relevant),
+            mrr(&ranked, &relevant),
+            ndcg_at(k, &ranked, &relevant),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{}", v);
+        }
+    }
+
+    /// NDCG is monotone under promoting a relevant item one rank up.
+    #[test]
+    fn ndcg_rewards_promotion(
+        mut ranked in proptest::collection::vec(0usize..30, 2..12),
+        pick in 1usize..11,
+    ) {
+        ranked.dedup();
+        if ranked.len() < 2 {
+            return Ok(());
+        }
+        let ix = pick.min(ranked.len() - 1);
+        let relevant: std::collections::HashSet<usize> = [ranked[ix]].into();
+        let before = ndcg_at(10, &ranked, &relevant);
+        ranked.swap(ix - 1, ix);
+        let after = ndcg_at(10, &ranked, &relevant);
+        prop_assert!(after >= before - 1e-12);
+    }
+}

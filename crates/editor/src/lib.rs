@@ -1,0 +1,26 @@
+//! # schemr-editor
+//!
+//! The schema editor integration the paper sketches: "integrating Schemr
+//! with a schema editor would allow for a new model development process, in
+//! which search results are iteratively used to augment a schema. In this
+//! process, we can also capture implicit semantic mappings between schema
+//! elements, information on schema re-use, and the provenance of new
+//! schema entities."
+//!
+//! [`EditSession`] holds a draft schema and drives the loop:
+//!
+//! 1. the designer sketches entities/attributes,
+//! 2. [`suggest_for`] searches the repository with the current
+//!    draft as a query fragment and proposes concrete elements to adopt,
+//! 3. [`EditSession::adopt`] copies an element from a result schema into
+//!    the draft, recording a [`Provenance`] entry and an implicit
+//!    [`Mapping`] between the draft element and its source,
+//! 4. repeat; [`EditSession::export_ddl`] emits the finished design, and
+//!    [`EditSession::commit`] stores it in the repository with its
+//!    provenance trail.
+
+mod session;
+mod suggest;
+
+pub use session::{EditSession, Mapping, Provenance};
+pub use suggest::{suggest_for, Suggestion};

@@ -1,0 +1,352 @@
+//! Binary on-disk codec for the index.
+//!
+//! The paper's text indexer runs "at scheduled intervals" offline and the
+//! search service loads what it produced; this codec is that boundary. The
+//! format is a single segment: a document table followed by the term
+//! dictionary with varint-delta-compressed positional postings.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use schemr_model::SchemaId;
+
+use crate::field::Field;
+use crate::memory::{DocEntry, Index, Inner};
+use crate::postings::{Posting, PostingsList};
+
+const MAGIC: &[u8; 8] = b"SCHMRIDX";
+const VERSION: u32 = 1;
+
+/// Errors raised while decoding a segment.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The input is not a Schemr index segment.
+    BadMagic,
+    /// The segment's format version is unsupported.
+    BadVersion(u32),
+    /// The segment is truncated or internally inconsistent.
+    Corrupt(&'static str),
+    /// I/O failure while reading or writing a segment file.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a Schemr index segment"),
+            CodecError::BadVersion(v) => write!(f, "unsupported segment version {v}"),
+            CodecError::Corrupt(what) => write!(f, "corrupt segment: {what}"),
+            CodecError::Io(e) => write!(f, "segment I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// LEB128 unsigned varint.
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::Corrupt("truncated varint"));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Serialize the index to a byte buffer.
+pub fn encode(index: &Index) -> Bytes {
+    let inner = index.inner.read();
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+
+    put_varint(&mut buf, inner.docs.len() as u64);
+    for d in &inner.docs {
+        put_varint(&mut buf, d.id.0);
+        buf.put_u8(u8::from(d.deleted));
+        for len in d.field_lengths {
+            put_varint(&mut buf, u64::from(len));
+        }
+    }
+
+    put_varint(&mut buf, inner.terms.len() as u64);
+    for ((field, term), pl) in &inner.terms {
+        buf.put_u8(*field);
+        put_varint(&mut buf, term.len() as u64);
+        buf.put_slice(term.as_bytes());
+        put_varint(&mut buf, pl.doc_freq() as u64);
+        let mut prev_doc = 0u32;
+        for posting in pl.iter() {
+            put_varint(&mut buf, u64::from(posting.doc - prev_doc));
+            prev_doc = posting.doc;
+            put_varint(&mut buf, posting.positions.len() as u64);
+            let mut prev_pos = 0u32;
+            for &pos in &posting.positions {
+                put_varint(&mut buf, u64::from(pos - prev_pos));
+                prev_pos = pos;
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize an index from bytes produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < MAGIC.len() + 4 {
+        return Err(CodecError::Corrupt("too short"));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+
+    let doc_count = get_varint(&mut buf)? as usize;
+    let mut docs = Vec::with_capacity(doc_count.min(1 << 20));
+    let mut live_docs = 0usize;
+    for _ in 0..doc_count {
+        let id = SchemaId(get_varint(&mut buf)?);
+        if !buf.has_remaining() {
+            return Err(CodecError::Corrupt("truncated doc table"));
+        }
+        let deleted = buf.get_u8() != 0;
+        let mut field_lengths = [0u32; 4];
+        for slot in &mut field_lengths {
+            *slot = get_varint(&mut buf)? as u32;
+        }
+        if !deleted {
+            live_docs += 1;
+        }
+        docs.push(DocEntry {
+            id,
+            field_lengths,
+            deleted,
+        });
+    }
+
+    let term_count = get_varint(&mut buf)? as usize;
+    let mut terms: BTreeMap<(u8, String), PostingsList> = BTreeMap::new();
+    for _ in 0..term_count {
+        if !buf.has_remaining() {
+            return Err(CodecError::Corrupt("truncated dictionary"));
+        }
+        let field = buf.get_u8();
+        if Field::from_ordinal(field).is_none() {
+            return Err(CodecError::Corrupt("unknown field ordinal"));
+        }
+        let term_len = get_varint(&mut buf)? as usize;
+        if buf.remaining() < term_len {
+            return Err(CodecError::Corrupt("truncated term"));
+        }
+        let term_bytes = buf.copy_to_bytes(term_len);
+        let term = std::str::from_utf8(&term_bytes)
+            .map_err(|_| CodecError::Corrupt("term is not UTF-8"))?
+            .to_string();
+        let posting_count = get_varint(&mut buf)? as usize;
+        let mut postings = Vec::with_capacity(posting_count.min(1 << 20));
+        let mut doc = 0u32;
+        for p in 0..posting_count {
+            let delta = get_varint(&mut buf)? as u32;
+            if p > 0 && delta == 0 {
+                return Err(CodecError::Corrupt("non-increasing posting ordinals"));
+            }
+            doc = if p == 0 {
+                delta
+            } else {
+                doc.checked_add(delta)
+                    .ok_or(CodecError::Corrupt("posting ordinal overflow"))?
+            };
+            if (doc as usize) >= docs.len() {
+                return Err(CodecError::Corrupt("posting references unknown document"));
+            }
+            let pos_count = get_varint(&mut buf)? as usize;
+            let mut positions = Vec::with_capacity(pos_count.min(1 << 20));
+            let mut pos = 0u32;
+            for i in 0..pos_count {
+                let d = get_varint(&mut buf)? as u32;
+                pos = if i == 0 {
+                    d
+                } else {
+                    pos.checked_add(d)
+                        .ok_or(CodecError::Corrupt("position overflow"))?
+                };
+                positions.push(pos);
+            }
+            postings.push(Posting { doc, positions });
+        }
+        terms.insert((field, term), PostingsList::from_postings(postings));
+    }
+
+    let by_id = docs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.deleted)
+        .map(|(i, d)| (d.id, i as u32))
+        .collect();
+    let index = Index::new();
+    *index.inner.write() = Inner {
+        terms,
+        docs,
+        by_id,
+        live_docs,
+    };
+    Ok(index)
+}
+
+/// Write the index to a file.
+pub fn save_to(index: &Index, path: impl AsRef<Path>) -> Result<(), CodecError> {
+    let bytes = encode(index);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Read an index from a file written by [`save_to`].
+pub fn load_from(path: impl AsRef<Path>) -> Result<Index, CodecError> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::IndexDocument;
+    use crate::search::SearchOptions;
+
+    fn sample_index() -> Index {
+        let index = Index::new();
+        index.add(&IndexDocument {
+            id: SchemaId(1),
+            title: "clinic".into(),
+            summary: "rural health clinic".into(),
+            elements: vec![
+                "patient".into(),
+                "patient.height".into(),
+                "patient.gender".into(),
+            ],
+            docs: vec!["height in cm".into()],
+        });
+        index.add(&IndexDocument {
+            id: SchemaId(9),
+            title: "store".into(),
+            summary: String::new(),
+            elements: vec!["order".into(), "order.total".into()],
+            docs: vec![],
+        });
+        index.remove(SchemaId(9));
+        index.add(&IndexDocument {
+            id: SchemaId(9),
+            title: "store".into(),
+            summary: String::new(),
+            elements: vec!["order".into(), "order.quantity".into()],
+            docs: vec![],
+        });
+        index
+    }
+
+    #[test]
+    fn encode_decode_round_trips_search_behaviour() {
+        let index = sample_index();
+        let decoded = decode(&encode(&index)).unwrap();
+        assert_eq!(decoded.len(), index.len());
+        assert_eq!(decoded.stats(), index.stats());
+        let q = ["patient", "height"];
+        let a = index.search(&q, &SearchOptions::default());
+        let b = decoded.search(&q, &SearchOptions::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert!((x.score - y.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let dir = std::env::temp_dir().join("schemr-index-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("segment.idx");
+        let index = sample_index();
+        save_to(&index, &path).unwrap();
+        let loaded = load_from(&path).unwrap();
+        assert_eq!(loaded.stats(), index.stats());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(decode(b"NOTANIDX0000"), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut data = encode(&sample_index()).to_vec();
+        data[8] = 0xFF;
+        assert!(matches!(decode(&data), Err(CodecError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let data = encode(&sample_index()).to_vec();
+        for cut in [0, 5, 12, 20, data.len() / 2, data.len() - 1] {
+            let res = decode(&data[..cut]);
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let index = Index::new();
+        let decoded = decode(&encode(&index)).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        let mut buf = BytesMut::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut bytes = buf.freeze();
+        for &v in &values {
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+        }
+    }
+}

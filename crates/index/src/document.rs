@@ -1,0 +1,98 @@
+//! Flattened schema documents.
+
+use schemr_model::{Schema, SchemaId};
+use schemr_text::Analyzer;
+
+use crate::field::Field;
+
+/// The indexable, flattened form of one schema: "a title, a summary, an ID,
+/// and a flattened representation of each element in the schema".
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexDocument {
+    /// The repository id of the schema this document describes.
+    pub id: SchemaId,
+    /// Schema title.
+    pub title: String,
+    /// Human-written summary (may be empty).
+    pub summary: String,
+    /// One entry per element: its dotted path (`patient.height`).
+    pub elements: Vec<String>,
+    /// Element documentation strings, concatenated per element.
+    pub docs: Vec<String>,
+}
+
+impl IndexDocument {
+    /// Flatten a schema (plus repository metadata) into a document.
+    pub fn from_schema(id: SchemaId, title: &str, summary: &str, schema: &Schema) -> Self {
+        let mut elements = Vec::with_capacity(schema.len());
+        let mut docs = Vec::new();
+        for el_id in schema.ids() {
+            elements.push(schema.path(el_id));
+            if let Some(doc) = &schema.element(el_id).doc {
+                docs.push(doc.clone());
+            }
+        }
+        IndexDocument {
+            id,
+            title: title.to_string(),
+            summary: summary.to_string(),
+            elements,
+            docs,
+        }
+    }
+
+    /// Analyze one field into index terms, using the right pipeline per
+    /// field (names use the name pipeline; prose uses the document
+    /// pipeline).
+    pub fn field_terms(&self, field: Field, names: &Analyzer, prose: &Analyzer) -> Vec<String> {
+        match field {
+            Field::Title => names.analyze(&self.title),
+            Field::Summary => prose.analyze(&self.summary),
+            Field::Elements => self
+                .elements
+                .iter()
+                .flat_map(|e| names.analyze(e))
+                .collect(),
+            Field::Docs => self.docs.iter().flat_map(|d| prose.analyze(d)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{DataType, SchemaBuilder};
+
+    fn doc() -> IndexDocument {
+        let schema = SchemaBuilder::new("clinic")
+            .entity("patient", |e| {
+                e.attr_doc("height", DataType::Real, "height in cm")
+                    .attr("gender", DataType::Text)
+            })
+            .build_unchecked();
+        IndexDocument::from_schema(SchemaId(7), "clinic", "a rural health clinic", &schema)
+    }
+
+    #[test]
+    fn flattening_produces_paths_and_docs() {
+        let d = doc();
+        assert_eq!(d.id, SchemaId(7));
+        assert_eq!(d.elements, ["patient", "patient.height", "patient.gender"]);
+        assert_eq!(d.docs, ["height in cm"]);
+    }
+
+    #[test]
+    fn field_terms_use_the_right_pipelines() {
+        let d = doc();
+        let names = Analyzer::for_names();
+        let prose = Analyzer::for_documents();
+        let elements = d.field_terms(Field::Elements, &names, &prose);
+        // Paths split on dots; "patient" appears for each path mentioning it.
+        assert!(elements.iter().filter(|t| *t == "patient").count() >= 3);
+        assert!(elements.contains(&"height".to_string()));
+        let summary = d.field_terms(Field::Summary, &names, &prose);
+        // Stopword "a" removed by the prose pipeline.
+        assert!(!summary.contains(&"a".to_string()));
+        assert!(summary.contains(&"clinic".to_string()));
+    }
+}

@@ -1,0 +1,42 @@
+//! # schemr-index
+//!
+//! A from-scratch inverted index over flattened schema documents — the
+//! reproduction's substitute for the Apache Lucene index in the paper's
+//! architecture (Figure 5).
+//!
+//! Per the paper, "each schema in the index is represented as a document,
+//! for which we store a title, a summary, an ID, and a flattened
+//! representation of each element in the schema", and the index itself
+//! "stores a term dictionary of frequency data, proximity data, and
+//! normalization factors, providing a fast and scalable filter for relevant
+//! candidate schemas". This crate implements exactly that contract:
+//!
+//! * [`IndexDocument`] — the flattened per-schema document with
+//!   [`Field`]-separated content,
+//! * [`Index`] — a thread-safe inverted index with a term dictionary,
+//!   positional postings, and per-field length norms,
+//! * [`Index::search`] — disjunctive TF/IDF top-*n* retrieval with the
+//!   paper's coordination factor (matched terms ÷ query terms),
+//! * [`codec`] — a compact binary on-disk format (varint-delta postings),
+//!   so the "offline indexer" can persist and reload its work.
+//!
+//! Scoring follows the paper's prescription: "match scores are computed
+//! independently for each search term and summed" (no conjunctive
+//! filtering, to preserve recall), then multiplied by the coordination
+//! factor "to reward results which match the most terms".
+
+pub mod codec;
+pub mod document;
+pub mod field;
+pub mod postings;
+pub mod search;
+
+mod memory;
+
+pub use document::IndexDocument;
+pub use field::Field;
+pub use memory::{Index, IndexStats};
+pub use search::{Hit, SearchOptions};
+
+/// Internal dense document ordinal (position in insertion order).
+pub(crate) type DocOrd = u32;

@@ -1,0 +1,343 @@
+//! The thread-safe inverted index.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::RwLock;
+use schemr_model::SchemaId;
+use schemr_text::Analyzer;
+
+use crate::document::IndexDocument;
+use crate::field::Field;
+use crate::postings::PostingsList;
+use crate::search::{search_postings, Hit, SearchOptions};
+use crate::DocOrd;
+
+/// Per-document bookkeeping: external id, per-field token counts, liveness.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DocEntry {
+    pub id: SchemaId,
+    pub field_lengths: [u32; 4],
+    pub deleted: bool,
+}
+
+/// The index's mutable core. Term dictionary keys are `(field, term)`;
+/// `BTreeMap` keeps the codec output deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    pub terms: BTreeMap<(u8, String), PostingsList>,
+    pub docs: Vec<DocEntry>,
+    pub by_id: HashMap<SchemaId, DocOrd>,
+    pub live_docs: usize,
+}
+
+/// A thread-safe inverted index over flattened schema documents.
+///
+/// Writers and readers synchronize through an internal `RwLock`; searches
+/// proceed concurrently. Re-adding a document with an id already present
+/// replaces it (tombstone + append), which is how the scheduled re-indexer
+/// applies repository changes.
+pub struct Index {
+    pub(crate) inner: RwLock<Inner>,
+    names: Analyzer,
+    prose: Analyzer,
+}
+
+impl Default for Index {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Index {
+    /// An empty index with the standard analyzers.
+    pub fn new() -> Self {
+        Index {
+            inner: RwLock::new(Inner::default()),
+            names: Analyzer::for_names(),
+            prose: Analyzer::for_documents(),
+        }
+    }
+
+    /// An empty index with custom analyzers (ablation experiments use
+    /// [`Analyzer::plain`] here).
+    pub fn with_analyzers(names: Analyzer, prose: Analyzer) -> Self {
+        Index {
+            inner: RwLock::new(Inner::default()),
+            names,
+            prose,
+        }
+    }
+
+    /// The analyzer applied to element names and query terms.
+    pub fn name_analyzer(&self) -> &Analyzer {
+        &self.names
+    }
+
+    /// Add (or replace) a document.
+    pub fn add(&self, doc: &IndexDocument) {
+        let mut inner = self.inner.write();
+        if let Some(&old) = inner.by_id.get(&doc.id) {
+            if !inner.docs[old as usize].deleted {
+                inner.docs[old as usize].deleted = true;
+                inner.live_docs -= 1;
+            }
+        }
+        let ord = inner.docs.len() as DocOrd;
+        let mut field_lengths = [0u32; 4];
+        for field in Field::ALL {
+            let terms = doc.field_terms(field, &self.names, &self.prose);
+            field_lengths[field.ordinal() as usize] = terms.len() as u32;
+            for (pos, term) in terms.into_iter().enumerate() {
+                inner
+                    .terms
+                    .entry((field.ordinal(), term))
+                    .or_default()
+                    .push_occurrence(ord, pos as u32);
+            }
+        }
+        inner.docs.push(DocEntry {
+            id: doc.id,
+            field_lengths,
+            deleted: false,
+        });
+        inner.by_id.insert(doc.id, ord);
+        inner.live_docs += 1;
+    }
+
+    /// Add many documents.
+    pub fn add_all<'a>(&self, docs: impl IntoIterator<Item = &'a IndexDocument>) {
+        for d in docs {
+            self.add(d);
+        }
+    }
+
+    /// Tombstone a document by schema id. Returns whether it was present.
+    pub fn remove(&self, id: SchemaId) -> bool {
+        let mut inner = self.inner.write();
+        match inner.by_id.get(&id).copied() {
+            Some(ord) if !inner.docs[ord as usize].deleted => {
+                inner.docs[ord as usize].deleted = true;
+                inner.live_docs -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of live (non-deleted) documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().live_docs
+    }
+
+    /// True when no live documents exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is `id` currently indexed (live)?
+    pub fn contains(&self, id: SchemaId) -> bool {
+        let inner = self.inner.read();
+        inner
+            .by_id
+            .get(&id)
+            .is_some_and(|&ord| !inner.docs[ord as usize].deleted)
+    }
+
+    /// Search with raw query strings (each analyzed through the name
+    /// pipeline — queries are element names and keywords).
+    pub fn search(&self, query: &[&str], options: &SearchOptions) -> Vec<Hit> {
+        let terms: Vec<String> = query.iter().flat_map(|q| self.names.analyze(q)).collect();
+        self.search_terms(&terms, options)
+    }
+
+    /// Search with pre-analyzed terms.
+    pub fn search_terms(&self, terms: &[String], options: &SearchOptions) -> Vec<Hit> {
+        let inner = self.inner.read();
+        search_postings(&inner, terms, options)
+    }
+
+    /// Index statistics.
+    pub fn stats(&self) -> IndexStats {
+        let inner = self.inner.read();
+        IndexStats {
+            live_docs: inner.live_docs,
+            total_docs: inner.docs.len(),
+            distinct_terms: inner.terms.len(),
+            postings: inner.terms.values().map(PostingsList::doc_freq).sum(),
+            occurrences: inner
+                .terms
+                .values()
+                .map(PostingsList::total_term_freq)
+                .sum(),
+        }
+    }
+
+    /// Document frequency of an (already analyzed) term in a field.
+    /// Exposed for tests and the ablation benches.
+    pub fn doc_freq(&self, field: Field, term: &str) -> usize {
+        self.inner
+            .read()
+            .terms
+            .get(&(field.ordinal(), term.to_string()))
+            .map_or(0, PostingsList::doc_freq)
+    }
+
+    /// Drop all tombstoned documents and rebuild contiguous ordinals.
+    ///
+    /// The scheduled indexer calls this after large update batches; search
+    /// correctness never depends on it (tombstones are filtered at query
+    /// time), only memory usage does.
+    pub fn vacuum(&self) {
+        let mut inner = self.inner.write();
+        let mut remap: Vec<Option<DocOrd>> = Vec::with_capacity(inner.docs.len());
+        let mut new_docs = Vec::with_capacity(inner.live_docs);
+        for entry in &inner.docs {
+            if entry.deleted {
+                remap.push(None);
+            } else {
+                remap.push(Some(new_docs.len() as DocOrd));
+                new_docs.push(entry.clone());
+            }
+        }
+        let mut new_terms: BTreeMap<(u8, String), PostingsList> = BTreeMap::new();
+        for (key, pl) in &inner.terms {
+            let mut out = PostingsList::new();
+            for posting in pl.iter() {
+                if let Some(new_ord) = remap[posting.doc as usize] {
+                    for &pos in &posting.positions {
+                        out.push_occurrence(new_ord, pos);
+                    }
+                }
+            }
+            if out.doc_freq() > 0 {
+                new_terms.insert(key.clone(), out);
+            }
+        }
+        inner.by_id = new_docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.id, i as DocOrd))
+            .collect();
+        inner.live_docs = new_docs.len();
+        inner.docs = new_docs;
+        inner.terms = new_terms;
+    }
+}
+
+/// Aggregate statistics about an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Live documents.
+    pub live_docs: usize,
+    /// Total document slots including tombstones.
+    pub total_docs: usize,
+    /// Distinct `(field, term)` dictionary entries.
+    pub distinct_terms: usize,
+    /// Total postings (document entries across all terms).
+    pub postings: usize,
+    /// Total term occurrences.
+    pub occurrences: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u64, title: &str, elements: &[&str]) -> IndexDocument {
+        IndexDocument {
+            id: SchemaId(id),
+            title: title.to_string(),
+            summary: String::new(),
+            elements: elements.iter().map(|s| s.to_string()).collect(),
+            docs: vec![],
+        }
+    }
+
+    #[test]
+    fn add_search_roundtrip() {
+        let index = Index::new();
+        index.add(&doc(
+            1,
+            "clinic",
+            &["patient", "patient.height", "patient.gender"],
+        ));
+        index.add(&doc(2, "store", &["order", "order.total"]));
+        let hits = index.search(&["patient", "height"], &SearchOptions::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, SchemaId(1));
+        assert!(hits[0].score > 0.0);
+    }
+
+    #[test]
+    fn replacement_tombstones_the_old_version() {
+        let index = Index::new();
+        index.add(&doc(1, "v1", &["alpha"]));
+        index.add(&doc(1, "v2", &["beta"]));
+        assert_eq!(index.len(), 1);
+        assert!(index
+            .search(&["alpha"], &SearchOptions::default())
+            .is_empty());
+        assert_eq!(index.search(&["beta"], &SearchOptions::default()).len(), 1);
+    }
+
+    #[test]
+    fn remove_hides_documents() {
+        let index = Index::new();
+        index.add(&doc(1, "a", &["x"]));
+        assert!(index.remove(SchemaId(1)));
+        assert!(!index.remove(SchemaId(1)));
+        assert!(index.is_empty());
+        assert!(index.search(&["x"], &SearchOptions::default()).is_empty());
+        assert!(!index.contains(SchemaId(1)));
+    }
+
+    #[test]
+    fn stats_count_terms_and_postings() {
+        let index = Index::new();
+        index.add(&doc(1, "clinic", &["patient"]));
+        index.add(&doc(2, "clinic", &["patient", "doctor"]));
+        let st = index.stats();
+        assert_eq!(st.live_docs, 2);
+        // (Title, clinic), (Elements, patient), (Elements, doctor)
+        assert_eq!(st.distinct_terms, 3);
+        assert_eq!(st.postings, 5);
+        assert_eq!(st.occurrences, 5);
+    }
+
+    #[test]
+    fn vacuum_preserves_search_results() {
+        let index = Index::new();
+        index.add(&doc(1, "a", &["patient"]));
+        index.add(&doc(2, "b", &["patient", "doctor"]));
+        index.add(&doc(1, "a2", &["patient"])); // replaces 1
+        index.remove(SchemaId(2));
+        index.vacuum();
+        let st = index.stats();
+        assert_eq!(st.live_docs, 1);
+        assert_eq!(st.total_docs, 1);
+        let hits = index.search(&["patient"], &SearchOptions::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, SchemaId(1));
+        assert!(index
+            .search(&["doctor"], &SearchOptions::default())
+            .is_empty());
+        assert!(index.contains(SchemaId(1)));
+    }
+
+    #[test]
+    fn doc_freq_reflects_live_state() {
+        let index = Index::new();
+        index.add(&doc(1, "t", &["patient"]));
+        index.add(&doc(2, "t", &["patient"]));
+        assert_eq!(index.doc_freq(Field::Elements, "patient"), 2);
+    }
+
+    #[test]
+    fn abbreviations_meet_expansions_in_the_index() {
+        // `pat_ht` indexes as patient/height, so the full-word query hits.
+        let index = Index::new();
+        index.add(&doc(1, "t", &["pat_ht"]));
+        let hits = index.search(&["patient", "height"], &SearchOptions::default());
+        assert_eq!(hits.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Postings lists: per-term document occurrences with positions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DocOrd;
+
+/// One document's occurrence record for a term in a field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Posting {
+    /// Dense document ordinal.
+    pub doc: DocOrd,
+    /// Token positions of the term within the field (sorted ascending) —
+    /// the "proximity data" the paper's index stores.
+    pub positions: Vec<u32>,
+}
+
+impl Posting {
+    /// Term frequency in this document/field.
+    pub fn term_freq(&self) -> u32 {
+        self.positions.len() as u32
+    }
+}
+
+/// A term's postings within one field: documents sorted by ordinal.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostingsList {
+    postings: Vec<Posting>,
+}
+
+impl PostingsList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Document frequency: how many documents contain the term.
+    pub fn doc_freq(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The postings, sorted by document ordinal.
+    pub fn iter(&self) -> impl Iterator<Item = &Posting> {
+        self.postings.iter()
+    }
+
+    /// Record an occurrence of the term at `position` in `doc`.
+    ///
+    /// Documents must be added in non-decreasing ordinal order (the writer
+    /// guarantees this); positions in non-decreasing order per document.
+    pub fn push_occurrence(&mut self, doc: DocOrd, position: u32) {
+        match self.postings.last_mut() {
+            Some(last) if last.doc == doc => last.positions.push(position),
+            Some(last) => {
+                debug_assert!(last.doc < doc, "documents must arrive in order");
+                self.postings.push(Posting {
+                    doc,
+                    positions: vec![position],
+                });
+            }
+            None => self.postings.push(Posting {
+                doc,
+                positions: vec![position],
+            }),
+        }
+    }
+
+    /// Binary-search the posting for `doc`.
+    pub fn get(&self, doc: DocOrd) -> Option<&Posting> {
+        self.postings
+            .binary_search_by_key(&doc, |p| p.doc)
+            .ok()
+            .map(|i| &self.postings[i])
+    }
+
+    /// Construct from pre-sorted postings (codec path).
+    pub fn from_postings(postings: Vec<Posting>) -> Self {
+        debug_assert!(postings.windows(2).all(|w| w[0].doc < w[1].doc));
+        PostingsList { postings }
+    }
+
+    /// Total occurrences across all documents.
+    pub fn total_term_freq(&self) -> u64 {
+        self.postings.iter().map(|p| p.term_freq() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrences_group_by_document() {
+        let mut pl = PostingsList::new();
+        pl.push_occurrence(0, 1);
+        pl.push_occurrence(0, 5);
+        pl.push_occurrence(2, 0);
+        assert_eq!(pl.doc_freq(), 2);
+        assert_eq!(pl.get(0).unwrap().term_freq(), 2);
+        assert_eq!(pl.get(0).unwrap().positions, [1, 5]);
+        assert_eq!(pl.get(2).unwrap().term_freq(), 1);
+        assert!(pl.get(1).is_none());
+        assert_eq!(pl.total_term_freq(), 3);
+    }
+
+    #[test]
+    fn iteration_is_in_document_order() {
+        let mut pl = PostingsList::new();
+        for d in [0u32, 3, 7] {
+            pl.push_occurrence(d, 0);
+        }
+        let docs: Vec<_> = pl.iter().map(|p| p.doc).collect();
+        assert_eq!(docs, [0, 3, 7]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let pl = PostingsList::new();
+        assert_eq!(pl.doc_freq(), 0);
+        assert_eq!(pl.total_term_freq(), 0);
+        assert!(pl.get(0).is_none());
+    }
+}

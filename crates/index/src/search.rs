@@ -1,0 +1,425 @@
+//! Disjunctive TF/IDF scoring with the coordination factor — Phase 1 of the
+//! paper's search algorithm (Candidate Extraction).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use schemr_model::SchemaId;
+
+use crate::field::Field;
+use crate::memory::Inner;
+
+/// Options controlling candidate extraction.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Return at most this many hits (the paper's top-*n* candidates).
+    pub top_n: usize,
+    /// Multiply scores by the coordination factor — "the number of terms
+    /// matched divided by the number of terms in the query". Ablated in
+    /// experiment E5.
+    pub coordination: bool,
+    /// Weight of the adjacency (proximity) bonus. The index stores
+    /// "proximity data" per the paper; consecutive query terms found at
+    /// adjacent positions in a field (the tokens of one compound element
+    /// name like `patient_height`) earn this extra credit. 0 disables.
+    pub proximity_weight: f64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            top_n: 50,
+            coordination: true,
+            proximity_weight: 0.25,
+        }
+    }
+}
+
+/// A scored candidate document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The schema's repository id.
+    pub id: SchemaId,
+    /// Coarse-grain relevance score.
+    pub score: f64,
+    /// How many distinct query terms matched.
+    pub matched_terms: usize,
+}
+
+/// Min-heap entry for top-n selection (reverse ordering on score).
+struct HeapEntry {
+    score: f64,
+    ord: u32,
+    id: SchemaId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.ord == other.ord
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score so the max-heap's root is the *worst* hit; ties
+        // break on the external id (larger id is worse), matching the
+        // final result ordering so truncation is always a prefix of the
+        // full ranking.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// Is any position in `b` exactly one after a position in `a`? Both
+/// slices are sorted ascending; two-pointer scan, O(|a| + |b|).
+fn has_adjacent(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let want = a[i] + 1;
+        match b[j].cmp(&want) {
+            Ordering::Equal => return true,
+            Ordering::Less => j += 1,
+            Ordering::Greater => i += 1,
+        }
+    }
+    false
+}
+
+/// Score every document against the analyzed query terms and return the top
+/// `options.top_n` by score.
+///
+/// Per the paper: each term scores independently (pure disjunction — "the
+/// candidate extraction algorithm need not match all search terms"), the
+/// per-term scores are summed, and the coordination factor is multiplied
+/// in afterwards.
+pub(crate) fn search_postings(
+    inner: &Inner,
+    terms: &[String],
+    options: &SearchOptions,
+) -> Vec<Hit> {
+    if terms.is_empty() || inner.live_docs == 0 || options.top_n == 0 {
+        return Vec::new();
+    }
+    // Distinct terms: a query repeating a word is one semantic term both
+    // for scoring and for the coordination denominator.
+    let mut distinct: Vec<&String> = terms.iter().collect();
+    distinct.sort();
+    distinct.dedup();
+
+    let n_docs = inner.live_docs as f64;
+    // Sparse accumulators: doc ordinal → (score, distinct matched terms).
+    let mut scores: std::collections::HashMap<u32, (f64, usize)> = std::collections::HashMap::new();
+    // Scratch: docs touched by the current term (across fields), so each
+    // distinct term increments a doc's matched count at most once.
+    let mut touched: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+    for term in &distinct {
+        touched.clear();
+        for field in Field::ALL {
+            let Some(pl) = inner.terms.get(&(field.ordinal(), (*term).clone())) else {
+                continue;
+            };
+            // Live document frequency; tombstones still sit in postings
+            // until vacuum, so subtract them from df lazily.
+            let df = pl
+                .iter()
+                .filter(|p| !inner.docs[p.doc as usize].deleted)
+                .count();
+            if df == 0 {
+                continue;
+            }
+            let idf = 1.0 + (n_docs / (1.0 + df as f64)).ln();
+            for posting in pl.iter() {
+                let entry = &inner.docs[posting.doc as usize];
+                if entry.deleted {
+                    continue;
+                }
+                let tf = (posting.term_freq() as f64).sqrt();
+                let field_len = entry.field_lengths[field.ordinal() as usize].max(1) as f64;
+                let norm = 1.0 / field_len.sqrt();
+                let (score, _) = scores.entry(posting.doc).or_insert((0.0, 0));
+                *score += field.boost() * tf * idf * norm;
+                touched.insert(posting.doc);
+            }
+        }
+        for &ord in &touched {
+            scores.get_mut(&ord).expect("touched docs are scored").1 += 1;
+        }
+    }
+
+    // Proximity bonus: consecutive query terms adjacent in a field — the
+    // signature of an intact compound name.
+    if options.proximity_weight > 0.0 {
+        for pair in terms.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a == b {
+                continue;
+            }
+            for field in Field::ALL {
+                let (Some(pa), Some(pb)) = (
+                    inner.terms.get(&(field.ordinal(), a.clone())),
+                    inner.terms.get(&(field.ordinal(), b.clone())),
+                ) else {
+                    continue;
+                };
+                // Walk the (sorted) postings in lockstep.
+                let mut ia = pa.iter().peekable();
+                for post_b in pb.iter() {
+                    while ia.peek().is_some_and(|p| p.doc < post_b.doc) {
+                        ia.next();
+                    }
+                    let Some(post_a) = ia.peek() else { break };
+                    if post_a.doc != post_b.doc {
+                        continue;
+                    }
+                    if inner.docs[post_b.doc as usize].deleted {
+                        continue;
+                    }
+                    if has_adjacent(&post_a.positions, &post_b.positions) {
+                        if let Some((score, _)) = scores.get_mut(&post_b.doc) {
+                            *score += options.proximity_weight * field.boost();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let total_terms = distinct.len();
+    let mut heap: BinaryHeap<HeapEntry> =
+        BinaryHeap::with_capacity(options.top_n.saturating_add(1).min(scores.len() + 1));
+    let mut matched_counts: std::collections::HashMap<u32, usize> =
+        std::collections::HashMap::new();
+    for (&ord, &(raw, matched)) in &scores {
+        matched_counts.insert(ord, matched);
+        let coord = if options.coordination {
+            matched as f64 / total_terms as f64
+        } else {
+            1.0
+        };
+        let score = raw * coord;
+        heap.push(HeapEntry {
+            score,
+            ord,
+            id: inner.docs[ord as usize].id,
+        });
+        if heap.len() > options.top_n {
+            heap.pop();
+        }
+    }
+
+    let mut hits: Vec<Hit> = heap
+        .into_iter()
+        .map(|e| Hit {
+            id: inner.docs[e.ord as usize].id,
+            score: e.score,
+            matched_terms: matched_counts[&e.ord],
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::IndexDocument;
+    use crate::memory::Index;
+
+    fn doc(id: u64, elements: &[&str]) -> IndexDocument {
+        IndexDocument {
+            id: SchemaId(id),
+            title: format!("schema{id}"),
+            summary: String::new(),
+            elements: elements.iter().map(|s| s.to_string()).collect(),
+            docs: vec![],
+        }
+    }
+
+    fn build(docs: &[IndexDocument]) -> Index {
+        let index = Index::new();
+        index.add_all(docs);
+        index
+    }
+
+    #[test]
+    fn more_matched_terms_rank_higher_with_coordination() {
+        let index = build(&[
+            doc(1, &["patient", "height", "gender", "diagnosis"]),
+            doc(2, &["patient", "address", "city", "zip"]),
+        ]);
+        let hits = index.search(
+            &["patient", "height", "gender", "diagnosis"],
+            &SearchOptions::default(),
+        );
+        assert_eq!(hits[0].id, SchemaId(1));
+        assert_eq!(hits[0].matched_terms, 4);
+        assert_eq!(hits[1].matched_terms, 1);
+        assert!(hits[0].score > hits[1].score * 2.0);
+    }
+
+    #[test]
+    fn disjunction_preserves_recall() {
+        // A document matching only one of four terms still surfaces.
+        let index = build(&[doc(1, &["diagnosis"]), doc(2, &["unrelated"])]);
+        let hits = index.search(
+            &["patient", "height", "gender", "diagnosis"],
+            &SearchOptions::default(),
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, SchemaId(1));
+    }
+
+    #[test]
+    fn coordination_off_flattens_the_reward() {
+        let index = build(&[
+            doc(1, &["patient", "height"]),
+            doc(2, &["patient", "other"]),
+        ]);
+        let on = index.search(&["patient", "height"], &SearchOptions::default());
+        let off = index.search(
+            &["patient", "height"],
+            &SearchOptions {
+                coordination: false,
+                ..Default::default()
+            },
+        );
+        let ratio_on = on[0].score / on[1].score;
+        let ratio_off = off[0].score / off[1].score;
+        assert!(ratio_on > ratio_off, "coordination should widen the gap");
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let mut docs: Vec<IndexDocument> = (0..20).map(|i| doc(i, &["common"])).collect();
+        docs.push(doc(100, &["common", "rare"]));
+        docs.push(doc(101, &["common", "common2"]));
+        let index = build(&docs);
+        let hits = index.search(&["rare"], &SearchOptions::default());
+        assert_eq!(hits[0].id, SchemaId(100));
+    }
+
+    #[test]
+    fn top_n_truncates_deterministically() {
+        let docs: Vec<IndexDocument> = (0..30).map(|i| doc(i, &["patient"])).collect();
+        let index = build(&docs);
+        let hits = index.search(
+            &["patient"],
+            &SearchOptions {
+                top_n: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(hits.len(), 10);
+        // Equal scores → lowest ids win the tie-break.
+        let ids: Vec<u64> = hits.iter().map(|h| h.id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let index = build(&[doc(1, &["x"])]);
+        assert!(index.search(&[], &SearchOptions::default()).is_empty());
+        let empty = Index::new();
+        assert!(empty.search(&["x"], &SearchOptions::default()).is_empty());
+        assert!(index
+            .search(
+                &["x"],
+                &SearchOptions {
+                    top_n: 0,
+                    ..Default::default()
+                }
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn repeated_query_words_count_once() {
+        let index = build(&[doc(1, &["patient"]), doc(2, &["patient", "height"])]);
+        let once = index.search(&["patient"], &SearchOptions::default());
+        let thrice = index.search(
+            &["patient", "patient", "patient"],
+            &SearchOptions::default(),
+        );
+        assert_eq!(once.len(), thrice.len());
+        assert!((once[0].score - thrice[0].score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn has_adjacent_two_pointer() {
+        assert!(has_adjacent(&[0, 5, 9], &[6]));
+        assert!(has_adjacent(&[3], &[4]));
+        assert!(!has_adjacent(&[3], &[3]));
+        assert!(!has_adjacent(&[4], &[3]));
+        assert!(!has_adjacent(&[], &[1]));
+        assert!(!has_adjacent(&[1], &[]));
+        assert!(has_adjacent(&[1, 10, 20], &[0, 2, 30]));
+    }
+
+    #[test]
+    fn intact_compound_names_earn_the_proximity_bonus() {
+        // Both docs contain "patient" and "height"; only doc 1 has them as
+        // one compound element (adjacent positions after analysis).
+        let index = build(&[
+            doc(1, &["patient_height", "gender"]),
+            doc(2, &["patient", "room", "ceiling_height"]),
+        ]);
+        let with = index.search(&["patient_height"], &SearchOptions::default());
+        assert_eq!(with[0].id, SchemaId(1));
+        let margin_with = with[0].score - with[1].score;
+        let without = index.search(
+            &["patient_height"],
+            &SearchOptions {
+                proximity_weight: 0.0,
+                ..Default::default()
+            },
+        );
+        let margin_without = without[0].score - without[1].score;
+        assert!(
+            margin_with > margin_without + 0.1,
+            "proximity should widen the margin: {margin_with} vs {margin_without}"
+        );
+    }
+
+    #[test]
+    fn proximity_never_changes_the_matched_count() {
+        let index = build(&[doc(1, &["patient_height"])]);
+        let hits = index.search(&["patient_height"], &SearchOptions::default());
+        assert_eq!(hits[0].matched_terms, 2); // patient + height
+    }
+
+    #[test]
+    fn title_hits_outscore_element_hits() {
+        let index = build(&[
+            IndexDocument {
+                id: SchemaId(1),
+                title: "patient".into(),
+                summary: String::new(),
+                elements: vec!["x".into()],
+                docs: vec![],
+            },
+            IndexDocument {
+                id: SchemaId(2),
+                title: "other".into(),
+                summary: String::new(),
+                elements: vec!["patient".into()],
+                docs: vec![],
+            },
+        ]);
+        let hits = index.search(&["patient"], &SearchOptions::default());
+        assert_eq!(hits[0].id, SchemaId(1));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the inverted index: codec round trips, search
+//! invariants, and tombstone behaviour.
+
+use proptest::prelude::*;
+use schemr_index::{codec, Index, IndexDocument, SearchOptions};
+use schemr_model::SchemaId;
+
+fn arb_documents() -> impl Strategy<Value = Vec<IndexDocument>> {
+    proptest::collection::vec(
+        (
+            0u64..32,
+            "[a-z ]{0,24}",
+            proptest::collection::vec("[a-z_.]{1,16}", 0..8),
+        ),
+        1..16,
+    )
+    .prop_map(|docs| {
+        docs.into_iter()
+            .map(|(id, title, elements)| IndexDocument {
+                id: SchemaId(id),
+                title,
+                summary: String::new(),
+                elements,
+                docs: vec![],
+            })
+            .collect()
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z]{1,8}", 1..5)
+}
+
+proptest! {
+    /// Codec round trip preserves stats and search behaviour exactly.
+    #[test]
+    fn codec_round_trip(docs in arb_documents(), query in arb_query()) {
+        let index = Index::new();
+        index.add_all(&docs);
+        let decoded = codec::decode(&codec::encode(&index)).unwrap();
+        prop_assert_eq!(decoded.stats(), index.stats());
+        let q: Vec<&str> = query.iter().map(String::as_str).collect();
+        let a = index.search(&q, &SearchOptions::default());
+        let b = decoded.search(&q, &SearchOptions::default());
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert!((x.score - y.score).abs() < 1e-12);
+        }
+    }
+
+    /// The decoder never panics on corrupted bytes.
+    #[test]
+    fn decoder_never_panics(docs in arb_documents(), cut in 0usize..4096, flip in 0usize..4096) {
+        let index = Index::new();
+        index.add_all(&docs);
+        let mut data = codec::encode(&index).to_vec();
+        if !data.is_empty() {
+            let f = flip % data.len();
+            data[f] ^= 0xA5;
+            let c = cut % (data.len() + 1);
+            let _ = codec::decode(&data[..c]);
+            let _ = codec::decode(&data);
+        }
+    }
+
+    /// Hits are sorted by non-increasing score and contain no duplicates.
+    #[test]
+    fn hits_sorted_and_unique(docs in arb_documents(), query in arb_query()) {
+        let index = Index::new();
+        index.add_all(&docs);
+        let q: Vec<&str> = query.iter().map(String::as_str).collect();
+        let hits = index.search(&q, &SearchOptions::default());
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-12);
+        }
+        let ids: std::collections::HashSet<_> = hits.iter().map(|h| h.id).collect();
+        prop_assert_eq!(ids.len(), hits.len());
+    }
+
+    /// top_n truncation returns a prefix of the full ranking.
+    #[test]
+    fn top_n_is_a_prefix(docs in arb_documents(), query in arb_query(), n in 1usize..8) {
+        let index = Index::new();
+        index.add_all(&docs);
+        let q: Vec<&str> = query.iter().map(String::as_str).collect();
+        let full = index.search(&q, &SearchOptions { top_n: usize::MAX, ..Default::default() });
+        let cut = index.search(&q, &SearchOptions { top_n: n, ..Default::default() });
+        prop_assert_eq!(cut.len(), full.len().min(n));
+        for (a, b) in cut.iter().zip(&full) {
+            prop_assert_eq!(a.id, b.id);
+        }
+    }
+
+    /// Removing every document yields an empty index; vacuum agrees.
+    #[test]
+    fn remove_all_then_vacuum(docs in arb_documents()) {
+        let index = Index::new();
+        index.add_all(&docs);
+        let ids: Vec<SchemaId> = docs.iter().map(|d| d.id).collect();
+        for id in &ids {
+            index.remove(*id);
+        }
+        prop_assert!(index.is_empty());
+        index.vacuum();
+        let st = index.stats();
+        prop_assert_eq!(st.total_docs, 0);
+        prop_assert_eq!(st.distinct_terms, 0);
+    }
+
+    /// Vacuum never changes search results.
+    #[test]
+    fn vacuum_preserves_search(docs in arb_documents(), query in arb_query()) {
+        let index = Index::new();
+        index.add_all(&docs);
+        // Remove every third document to create tombstones.
+        for d in docs.iter().step_by(3) {
+            index.remove(d.id);
+        }
+        let q: Vec<&str> = query.iter().map(String::as_str).collect();
+        let before = index.search(&q, &SearchOptions::default());
+        index.vacuum();
+        let after = index.search(&q, &SearchOptions::default());
+        prop_assert_eq!(before.len(), after.len());
+        for (x, y) in before.iter().zip(&after) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert!((x.score - y.score).abs() < 1e-9, "{} vs {}", x.score, y.score);
+        }
+    }
+
+    /// Matched-term counts never exceed the number of distinct query
+    /// terms, and scores are positive.
+    #[test]
+    fn hit_invariants(docs in arb_documents(), query in arb_query()) {
+        let index = Index::new();
+        index.add_all(&docs);
+        let q: Vec<&str> = query.iter().map(String::as_str).collect();
+        let distinct: std::collections::HashSet<_> = query.iter().collect();
+        for hit in index.search(&q, &SearchOptions::default()) {
+            prop_assert!(hit.matched_terms >= 1);
+            prop_assert!(hit.matched_terms <= distinct.len());
+            prop_assert!(hit.score > 0.0);
+        }
+    }
+}

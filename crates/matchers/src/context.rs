@@ -1,0 +1,204 @@
+//! The context matcher: neighbor-term-set similarity.
+//!
+//! "A context matcher builds a set of terms from neighboring elements, and
+//! tries to capture matches when neighboring-element sets are similar to
+//! each other." [Rahm & Bernstein's survey calls this family *structural /
+//! context-based* matching.]
+//!
+//! For a fragment element, the neighborhood is its parent, its siblings,
+//! and its children in the query fragment; for a candidate element,
+//! likewise in the candidate schema. Keywords carry no context, so their
+//! rows are zero — the ensemble lets the name matcher carry them.
+
+use std::collections::HashSet;
+
+use schemr_model::{ElementId, QueryGraph, QueryTerm, Schema};
+use schemr_text::Analyzer;
+
+use crate::matrix::SimilarityMatrix;
+use crate::Matcher;
+
+/// Neighbor-term-set context matcher.
+pub struct ContextMatcher {
+    analyzer: Analyzer,
+}
+
+impl Default for ContextMatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContextMatcher {
+    /// Context matcher with the standard name pipeline.
+    pub fn new() -> Self {
+        ContextMatcher {
+            analyzer: Analyzer::for_names(),
+        }
+    }
+
+    /// The analyzed term set of an element's neighborhood: parent +
+    /// siblings + children (the element's own name is excluded — the name
+    /// matcher covers it).
+    fn neighbor_terms(&self, schema: &Schema, id: ElementId) -> HashSet<String> {
+        let mut names: Vec<&str> = Vec::new();
+        let el = schema.element(id);
+        if let Some(p) = el.parent {
+            names.push(&schema.element(p).name);
+            for sib in schema.children(p) {
+                if sib != id {
+                    names.push(&schema.element(sib).name);
+                }
+            }
+        }
+        for child in schema.children(id) {
+            names.push(&schema.element(child).name);
+        }
+        names
+            .into_iter()
+            .flat_map(|n| self.analyzer.analyze(n))
+            .collect()
+    }
+
+    /// Dice similarity of two neighborhood term sets.
+    fn set_similarity(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.intersection(b).count();
+        2.0 * inter as f64 / (a.len() + b.len()) as f64
+    }
+}
+
+impl Matcher for ContextMatcher {
+    fn name(&self) -> &'static str {
+        "context"
+    }
+
+    fn score(
+        &self,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        candidate: &Schema,
+    ) -> SimilarityMatrix {
+        let mut m = SimilarityMatrix::zeros(terms.len(), candidate.len());
+        // Candidate neighborhoods, precomputed per column.
+        let cand_ctx: Vec<HashSet<String>> = candidate
+            .ids()
+            .map(|id| self.neighbor_terms(candidate, id))
+            .collect();
+        for (row, term) in terms.iter().enumerate() {
+            let (Some(frag_ix), Some(el)) = (term.fragment, term.element) else {
+                continue; // keywords have no context
+            };
+            let fragment = &query.fragments()[frag_ix];
+            let query_ctx = self.neighbor_terms(fragment, el);
+            if query_ctx.is_empty() {
+                continue;
+            }
+            for (col, ctx) in cand_ctx.iter().enumerate() {
+                let s = Self::set_similarity(&query_ctx, ctx);
+                if s > 0.0 {
+                    m.set(row, col, s);
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{DataType, SchemaBuilder};
+
+    fn fragment_query() -> (QueryGraph, Vec<QueryTerm>) {
+        let mut q = QueryGraph::new();
+        q.add_fragment(
+            SchemaBuilder::new("frag")
+                .entity("patient", |e| {
+                    e.attr("height", DataType::Real)
+                        .attr("gender", DataType::Text)
+                })
+                .build_unchecked(),
+        );
+        q.add_keyword("diagnosis");
+        let terms = q.terms();
+        (q, terms)
+    }
+
+    #[test]
+    fn matching_neighborhoods_score_high() {
+        let (q, terms) = fragment_query();
+        // Candidate shares the patient(height, gender) neighborhood but
+        // under a renamed entity.
+        let candidate = SchemaBuilder::new("cand")
+            .entity("person", |e| {
+                e.attr("height", DataType::Real)
+                    .attr("gender", DataType::Text)
+            })
+            .build_unchecked();
+        let m = ContextMatcher::new().score(&terms, &q, &candidate);
+        // Query "height"'s neighborhood is {patient, gender}; candidate
+        // "height"'s is {person, gender}. The shared sibling "gender" gives
+        // a positive context score even though the entity was renamed.
+        let height_row = 1;
+        let height_col = 1;
+        assert!(
+            m.get(height_row, height_col) > 0.3,
+            "got {}",
+            m.get(height_row, height_col)
+        );
+    }
+
+    #[test]
+    fn keywords_have_zero_context_rows() {
+        let (q, terms) = fragment_query();
+        let candidate = SchemaBuilder::new("cand")
+            .entity("patient", |e| e.attr("height", DataType::Real))
+            .build_unchecked();
+        let m = ContextMatcher::new().score(&terms, &q, &candidate);
+        let kw_row = terms.iter().position(|t| t.is_keyword()).unwrap();
+        assert_eq!(m.row_max(kw_row), 0.0);
+    }
+
+    #[test]
+    fn disjoint_neighborhoods_score_zero() {
+        let (q, terms) = fragment_query();
+        let candidate = SchemaBuilder::new("cand")
+            .entity("invoice", |e| e.attr("total", DataType::Decimal))
+            .build_unchecked();
+        let m = ContextMatcher::new().score(&terms, &q, &candidate);
+        let entries: Vec<_> = m.nonzero().collect();
+        assert!(
+            entries.is_empty(),
+            "expected empty matrix, found {entries:?}"
+        );
+    }
+
+    #[test]
+    fn context_distinguishes_same_name_in_different_entities() {
+        // "gender" inside patient(height, gender) should context-match the
+        // candidate's patient.gender better than its doctor.gender.
+        let (q, terms) = fragment_query();
+        let candidate = SchemaBuilder::new("cand")
+            .entity("patient", |e| {
+                e.attr("height", DataType::Real)
+                    .attr("gender", DataType::Text)
+            })
+            .entity("doctor", |e| {
+                e.attr("specialty", DataType::Text)
+                    .attr("gender", DataType::Text)
+            })
+            .build_unchecked();
+        let m = ContextMatcher::new().score(&terms, &q, &candidate);
+        let gender_row = 2; // fragment order: patient, height, gender
+                            // Candidate ids: 0 patient, 1 height, 2 gender, 3 doctor, 4 specialty, 5 gender
+        assert!(
+            m.get(gender_row, 2) > m.get(gender_row, 5),
+            "patient.gender {} should out-context doctor.gender {}",
+            m.get(gender_row, 2),
+            m.get(gender_row, 5)
+        );
+    }
+}

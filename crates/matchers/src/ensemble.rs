@@ -1,0 +1,222 @@
+//! The matcher ensemble: weighted combination of similarity matrices.
+//!
+//! "For every candidate schema, the similarity matrices of the different
+//! matchers are combined into a single matrix containing total similarity
+//! scores. We combine the scores from each matcher with a weighting scheme,
+//! which is initially uniform."
+
+use schemr_model::{QueryGraph, QueryTerm, Schema};
+
+use crate::context::ContextMatcher;
+use crate::matrix::SimilarityMatrix;
+use crate::name::NameMatcher;
+use crate::Matcher;
+
+/// A weighted set of matchers producing one combined similarity matrix per
+/// candidate.
+pub struct Ensemble {
+    matchers: Vec<(Box<dyn Matcher>, f64)>,
+}
+
+impl Ensemble {
+    /// An empty ensemble. Add matchers with [`Ensemble::push`].
+    pub fn empty() -> Self {
+        Ensemble {
+            matchers: Vec::new(),
+        }
+    }
+
+    /// The paper's default ensemble: name + context matchers, uniform
+    /// weights.
+    pub fn standard() -> Self {
+        let mut e = Ensemble::empty();
+        e.push(Box::new(NameMatcher::new()), 1.0);
+        e.push(Box::new(ContextMatcher::new()), 1.0);
+        e
+    }
+
+    /// Add a matcher with a weight (negative weights are treated as zero at
+    /// combination time).
+    pub fn push(&mut self, matcher: Box<dyn Matcher>, weight: f64) {
+        self.matchers.push((matcher, weight));
+    }
+
+    /// Number of matchers.
+    pub fn len(&self) -> usize {
+        self.matchers.len()
+    }
+
+    /// True when no matchers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.matchers.is_empty()
+    }
+
+    /// Matcher names in registration order.
+    pub fn matcher_names(&self) -> Vec<&'static str> {
+        self.matchers.iter().map(|(m, _)| m.name()).collect()
+    }
+
+    /// Current weights in registration order.
+    pub fn weights(&self) -> Vec<f64> {
+        self.matchers.iter().map(|(_, w)| *w).collect()
+    }
+
+    /// Replace the weights (e.g. with learned ones).
+    ///
+    /// # Panics
+    /// Panics if `weights.len()` differs from the matcher count.
+    pub fn set_weights(&mut self, weights: &[f64]) {
+        assert_eq!(weights.len(), self.matchers.len(), "one weight per matcher");
+        for ((_, w), &nw) in self.matchers.iter_mut().zip(weights) {
+            *w = nw;
+        }
+    }
+
+    /// Run every matcher and combine the matrices with the current
+    /// weights. Matchers whose [`Matcher::abstains`] is true only
+    /// participate in cells where they produced a nonzero score.
+    pub fn combined(
+        &self,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        candidate: &Schema,
+    ) -> SimilarityMatrix {
+        let matrices: Vec<(SimilarityMatrix, f64, bool)> = self
+            .matchers
+            .iter()
+            .map(|(m, w)| (m.score(terms, query, candidate), *w, m.abstains()))
+            .collect();
+        if matrices.is_empty() {
+            return SimilarityMatrix::zeros(terms.len(), candidate.len());
+        }
+        let refs: Vec<(&SimilarityMatrix, f64, bool)> =
+            matrices.iter().map(|(m, w, a)| (m, *w, *a)).collect();
+        SimilarityMatrix::combine_with_abstention(&refs)
+    }
+
+    /// Run every matcher and return the individual matrices (the learner's
+    /// feature extraction path).
+    pub fn individual(
+        &self,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        candidate: &Schema,
+    ) -> Vec<(&'static str, SimilarityMatrix)> {
+        self.matchers
+            .iter()
+            .map(|(m, _)| (m.name(), m.score(terms, query, candidate)))
+            .collect()
+    }
+}
+
+impl Default for Ensemble {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::EditDistanceMatcher;
+    use crate::token::TokenMatcher;
+    use schemr_model::{DataType, SchemaBuilder};
+
+    fn query_and_candidate() -> (QueryGraph, Vec<QueryTerm>, Schema) {
+        let mut q = QueryGraph::new();
+        q.add_fragment(
+            SchemaBuilder::new("f")
+                .entity("patient", |e| {
+                    e.attr("height", DataType::Real)
+                        .attr("gender", DataType::Text)
+                })
+                .build_unchecked(),
+        );
+        let terms = q.terms();
+        let candidate = SchemaBuilder::new("c")
+            .entity("patient", |e| {
+                e.attr("height", DataType::Real)
+                    .attr("gender", DataType::Text)
+            })
+            .build_unchecked();
+        (q, terms, candidate)
+    }
+
+    #[test]
+    fn standard_ensemble_has_name_and_context() {
+        let e = Ensemble::standard();
+        assert_eq!(e.matcher_names(), ["name", "context"]);
+        assert_eq!(e.weights(), [1.0, 1.0]);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn combined_matrix_blends_matchers() {
+        let (q, terms, candidate) = query_and_candidate();
+        let e = Ensemble::standard();
+        let m = e.combined(&terms, &q, &candidate);
+        assert_eq!((m.rows(), m.cols()), (terms.len(), candidate.len()));
+        // Perfect name + strong context → high combined diagonal.
+        assert!(m.get(1, 1) > 0.7, "height×height = {}", m.get(1, 1));
+    }
+
+    #[test]
+    fn weights_shift_the_blend() {
+        let (q, terms, candidate) = query_and_candidate();
+        let mut name_only = Ensemble::empty();
+        name_only.push(Box::new(NameMatcher::new()), 1.0);
+        name_only.push(Box::new(ContextMatcher::new()), 0.0);
+        let m_name = name_only.combined(&terms, &q, &candidate);
+
+        let mut ctx_heavy = Ensemble::empty();
+        ctx_heavy.push(Box::new(NameMatcher::new()), 0.0);
+        ctx_heavy.push(Box::new(ContextMatcher::new()), 1.0);
+        let m_ctx = ctx_heavy.combined(&terms, &q, &candidate);
+
+        // Query "height" (row 1) vs candidate "gender" (col 2): the names
+        // differ (low name score) but the neighborhoods are identical
+        // ({patient, height} vs {patient, height}) — so the context-heavy
+        // blend scores this cell far higher than the name-only blend.
+        assert!(
+            m_ctx.get(1, 2) > m_name.get(1, 2) + 0.3,
+            "ctx {} vs name {}",
+            m_ctx.get(1, 2),
+            m_name.get(1, 2)
+        );
+        // And on the diagonal the name-only blend is exact.
+        assert!((m_name.get(1, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_weights_replaces_in_order() {
+        let mut e = Ensemble::standard();
+        e.set_weights(&[0.7, 0.3]);
+        assert_eq!(e.weights(), [0.7, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per matcher")]
+    fn set_weights_length_mismatch_panics() {
+        Ensemble::standard().set_weights(&[1.0]);
+    }
+
+    #[test]
+    fn individual_returns_one_matrix_per_matcher() {
+        let (q, terms, candidate) = query_and_candidate();
+        let mut e = Ensemble::standard();
+        e.push(Box::new(TokenMatcher::new()), 1.0);
+        e.push(Box::new(EditDistanceMatcher::new()), 1.0);
+        let per = e.individual(&terms, &q, &candidate);
+        assert_eq!(per.len(), 4);
+        let names: Vec<_> = per.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["name", "context", "token", "edit"]);
+    }
+
+    #[test]
+    fn empty_ensemble_yields_zero_matrix() {
+        let (q, terms, candidate) = query_and_candidate();
+        let e = Ensemble::empty();
+        let m = e.combined(&terms, &q, &candidate);
+        assert_eq!(m.element_scores().iter().sum::<f64>(), 0.0);
+    }
+}

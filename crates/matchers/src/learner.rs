@@ -1,0 +1,208 @@
+//! Learning the matcher weighting scheme.
+//!
+//! "As Schemr is utilized in practice, we can record search histories to
+//! create a training set of search-term to schema-fragment matches. With
+//! such a training set, we may then determine an appropriate weighting
+//! scheme. For instance, Madhavan et al use a meta-learner to compute a
+//! logistic regression over a training set of schemas."
+//!
+//! This module is that meta-learner: a from-scratch logistic regression
+//! over per-matcher similarity features. Each training example is one
+//! (query term, schema element) pair with one feature per matcher (its
+//! similarity score) and a binary relevance label. The fitted positive
+//! coefficients become ensemble weights.
+
+/// One labeled (query term, schema element) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingExample {
+    /// Per-matcher similarity scores, in ensemble registration order.
+    pub features: Vec<f64>,
+    /// Whether the pair is a true match.
+    pub label: bool,
+}
+
+/// Fitted model: `P(match) = σ(bias + w·x)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedModel {
+    /// Intercept.
+    pub bias: f64,
+    /// Per-matcher coefficients.
+    pub weights: Vec<f64>,
+}
+
+impl LearnedModel {
+    /// Predicted match probability for a feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len(), self.weights.len());
+        let z: f64 = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(features)
+                .map(|(w, x)| w * x)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Convert coefficients into ensemble weights: negatives clamp to
+    /// zero; an all-nonpositive fit degrades to uniform weights (the
+    /// paper's starting point).
+    pub fn ensemble_weights(&self) -> Vec<f64> {
+        let clamped: Vec<f64> = self.weights.iter().map(|w| w.max(0.0)).collect();
+        if clamped.iter().all(|&w| w == 0.0) {
+            vec![1.0; self.weights.len()]
+        } else {
+            clamped
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Batch-gradient-descent logistic regression trainer.
+#[derive(Debug, Clone)]
+pub struct WeightLearner {
+    /// Gradient step size.
+    pub learning_rate: f64,
+    /// Full passes over the training set.
+    pub epochs: usize,
+    /// L2 regularization strength (applied to weights, not the bias).
+    pub l2: f64,
+}
+
+impl Default for WeightLearner {
+    fn default() -> Self {
+        WeightLearner {
+            learning_rate: 0.5,
+            epochs: 500,
+            l2: 1e-3,
+        }
+    }
+}
+
+impl WeightLearner {
+    /// Fit a model. Returns `None` on an empty or degenerate training set
+    /// (no features, or single-class labels — nothing to learn from).
+    pub fn fit(&self, examples: &[TrainingExample]) -> Option<LearnedModel> {
+        let n_features = examples.first()?.features.len();
+        if n_features == 0 {
+            return None;
+        }
+        debug_assert!(examples.iter().all(|e| e.features.len() == n_features));
+        let positives = examples.iter().filter(|e| e.label).count();
+        if positives == 0 || positives == examples.len() {
+            return None;
+        }
+        let n = examples.len() as f64;
+        let mut bias = 0.0f64;
+        let mut weights = vec![0.0f64; n_features];
+        for _ in 0..self.epochs {
+            let mut grad_bias = 0.0f64;
+            let mut grad = vec![0.0f64; n_features];
+            for ex in examples {
+                let z: f64 = bias
+                    + weights
+                        .iter()
+                        .zip(&ex.features)
+                        .map(|(w, x)| w * x)
+                        .sum::<f64>();
+                let err = f64::from(ex.label as u8) - sigmoid(z);
+                grad_bias += err;
+                for (g, x) in grad.iter_mut().zip(&ex.features) {
+                    *g += err * x;
+                }
+            }
+            bias += self.learning_rate * grad_bias / n;
+            for (w, g) in weights.iter_mut().zip(&grad) {
+                *w += self.learning_rate * (g / n - self.l2 * *w);
+            }
+        }
+        Some(LearnedModel { bias, weights })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Training set where feature 0 is perfectly informative and feature 1
+    /// is noise.
+    fn informative_vs_noise() -> Vec<TrainingExample> {
+        let mut out = Vec::new();
+        for i in 0..40 {
+            let label = i % 2 == 0;
+            let informative = if label { 0.9 } else { 0.1 };
+            let noise = [0.3, 0.8, 0.5, 0.6][i % 4];
+            out.push(TrainingExample {
+                features: vec![informative, noise],
+                label,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn learns_to_favor_the_informative_matcher() {
+        let model = WeightLearner::default()
+            .fit(&informative_vs_noise())
+            .unwrap();
+        assert!(
+            model.weights[0] > model.weights[1] + 1.0,
+            "weights: {:?}",
+            model.weights
+        );
+        let ew = model.ensemble_weights();
+        assert!(ew[0] > ew[1]);
+    }
+
+    #[test]
+    fn predictions_separate_the_classes() {
+        let data = informative_vs_noise();
+        let model = WeightLearner::default().fit(&data).unwrap();
+        let pos = model.predict(&[0.9, 0.5]);
+        let neg = model.predict(&[0.1, 0.5]);
+        assert!(pos > 0.8, "positive prediction {pos}");
+        assert!(neg < 0.2, "negative prediction {neg}");
+    }
+
+    #[test]
+    fn degenerate_training_sets_return_none() {
+        let learner = WeightLearner::default();
+        assert!(learner.fit(&[]).is_none());
+        let all_pos: Vec<_> = (0..5)
+            .map(|_| TrainingExample {
+                features: vec![0.5],
+                label: true,
+            })
+            .collect();
+        assert!(learner.fit(&all_pos).is_none());
+        let no_features = vec![TrainingExample {
+            features: vec![],
+            label: true,
+        }];
+        assert!(learner.fit(&no_features).is_none());
+    }
+
+    #[test]
+    fn ensemble_weights_clamp_negative_coefficients() {
+        let model = LearnedModel {
+            bias: 0.0,
+            weights: vec![2.0, -1.0],
+        };
+        assert_eq!(model.ensemble_weights(), vec![2.0, 0.0]);
+        let all_neg = LearnedModel {
+            bias: 0.0,
+            weights: vec![-2.0, -1.0],
+        };
+        assert_eq!(all_neg.ensemble_weights(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centered() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(50.0) > 0.999);
+        assert!(sigmoid(-50.0) < 0.001);
+    }
+}

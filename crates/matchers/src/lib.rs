@@ -1,0 +1,75 @@
+//! # schemr-match
+//!
+//! The fine-grained schema-matching ensemble — Phase 2 of the paper's
+//! search algorithm.
+//!
+//! "The top candidate schemas are evaluated against the query-graph and
+//! ranked using an ensemble of fine-grained matchers. … Each matcher
+//! produces a similarity matrix between query graph elements and schema
+//! elements … the similarity matrices of the different matchers are
+//! combined into a single matrix containing total similarity scores. We
+//! combine the scores from each matcher with a weighting scheme, which is
+//! initially uniform."
+//!
+//! Provided matchers:
+//!
+//! * [`NameMatcher`] — the paper's headline matcher: term normalization +
+//!   all-n-gram overlap, robust to abbreviations, grammatical variants, and
+//!   delimiters,
+//! * [`ContextMatcher`] — neighbor-term-set similarity (Rahm & Bernstein's
+//!   structural-context family),
+//! * [`TokenMatcher`] — exact normalized-token overlap (the baseline the
+//!   n-gram matcher is evaluated against in experiment E3),
+//! * [`EditDistanceMatcher`] — Levenshtein similarity, a second ensemble
+//!   member,
+//! * [`TypeMatcher`] — data-type compatibility for fragment queries.
+//!
+//! [`Ensemble`] combines matcher outputs with per-matcher weights;
+//! [`learner::WeightLearner`] fits those weights by logistic regression
+//! over labeled matches, reproducing the meta-learning approach the paper cites
+//! from Madhavan et al. (corpus-based schema matching).
+
+pub mod context;
+pub mod edit;
+pub mod ensemble;
+pub mod flooding;
+pub mod learner;
+pub mod matrix;
+pub mod name;
+pub mod token;
+pub mod typematch;
+
+pub use context::ContextMatcher;
+pub use edit::EditDistanceMatcher;
+pub use ensemble::Ensemble;
+pub use flooding::FloodingMatcher;
+pub use matrix::SimilarityMatrix;
+pub use name::NameMatcher;
+pub use token::TokenMatcher;
+pub use typematch::TypeMatcher;
+
+use schemr_model::{QueryGraph, QueryTerm, Schema};
+
+/// A schema matcher: scores every (query term, candidate element) pair into
+/// a [`SimilarityMatrix`] with values in `[0, 1]`.
+pub trait Matcher: Send + Sync {
+    /// Short identifier used in ensemble reports and learned-weight tables.
+    fn name(&self) -> &'static str;
+
+    /// Score `query` against `candidate`. Row *i* corresponds to
+    /// `terms[i]`; column *j* to the candidate's element with id *j*.
+    fn score(
+        &self,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        candidate: &Schema,
+    ) -> SimilarityMatrix;
+
+    /// Whether a zero cell from this matcher means "no opinion" rather
+    /// than "dissimilar". Sparse, high-precision matchers (data-type /
+    /// codebook agreement) return true so their silence does not dilute
+    /// the dense matchers in the weighted combination.
+    fn abstains(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,232 @@
+//! The name matcher: normalization + all-n-gram overlap.
+//!
+//! "A name matcher normalizes terms and computes n-gram overlap between
+//! query terms and terms in the indexed schemas. Each schema element in the
+//! query is parsed into a set of all possible n-grams, ranging in length
+//! from one character to the length of the word. … We found this matcher to
+//! be particularly helpful for properly ranking schemas containing
+//! abbreviated terms, alternate grammatical forms, and delimiter characters
+//! not in the original query."
+
+use std::collections::HashSet;
+
+use schemr_model::{QueryGraph, QueryTerm, Schema};
+use schemr_text::ngram::{dice, overlap};
+use schemr_text::Analyzer;
+
+use crate::matrix::SimilarityMatrix;
+use crate::Matcher;
+
+/// Name matcher configuration.
+#[derive(Debug, Clone)]
+pub struct NameMatcherConfig {
+    /// Mix between Dice (structure-balanced) and overlap (containment-
+    /// friendly) coefficients: `score = (1-α)·dice + α·overlap`.
+    /// α > 0 is what makes abbreviations (`pat` ⊂ `patient`) score well.
+    pub overlap_alpha: f64,
+    /// Names are multi-word after tokenization; word-level best-alignment
+    /// scores are averaged over the side with fewer words when true
+    /// (`max`-style), over the query side when false.
+    pub symmetric: bool,
+}
+
+impl Default for NameMatcherConfig {
+    fn default() -> Self {
+        NameMatcherConfig {
+            overlap_alpha: 0.4,
+            symmetric: true,
+        }
+    }
+}
+
+/// The all-n-gram name matcher.
+pub struct NameMatcher {
+    analyzer: Analyzer,
+    config: NameMatcherConfig,
+}
+
+impl Default for NameMatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NameMatcher {
+    /// Name matcher with the standard name-analysis pipeline.
+    pub fn new() -> Self {
+        NameMatcher {
+            analyzer: Analyzer::for_names(),
+            config: NameMatcherConfig::default(),
+        }
+    }
+
+    /// Custom analyzer/config (ablations use [`Analyzer::plain`]).
+    pub fn with(analyzer: Analyzer, config: NameMatcherConfig) -> Self {
+        NameMatcher { analyzer, config }
+    }
+
+    /// Decompose a raw name into per-word all-n-gram sets.
+    fn gram_sets(&self, name: &str) -> Vec<HashSet<String>> {
+        self.analyzer
+            .analyze(name)
+            .iter()
+            .map(|w| schemr_text::ngram::all_ngrams(w))
+            .collect()
+    }
+
+    /// Similarity of two word-gram-set lists: greedy best alignment, each
+    /// word paired with its best counterpart, averaged.
+    fn name_similarity(&self, a: &[HashSet<String>], b: &[HashSet<String>]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let word_pair = |x: &HashSet<String>, y: &HashSet<String>| -> f64 {
+            let alpha = self.config.overlap_alpha;
+            (1.0 - alpha) * dice(x, y) + alpha * overlap(x, y)
+        };
+        let side = |from: &[HashSet<String>], to: &[HashSet<String>]| -> f64 {
+            let total: f64 = from
+                .iter()
+                .map(|x| to.iter().map(|y| word_pair(x, y)).fold(0.0, f64::max))
+                .sum();
+            total / from.len() as f64
+        };
+        if self.config.symmetric {
+            // Average the two directions so extra words on either side
+            // dilute equally.
+            (side(a, b) + side(b, a)) / 2.0
+        } else {
+            side(a, b)
+        }
+    }
+
+    /// Public scalar entry point: similarity of two raw names in `[0,1]`.
+    /// Used directly by experiment E3 and by the context matcher's
+    /// neighbor comparison.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        self.name_similarity(&self.gram_sets(a), &self.gram_sets(b))
+    }
+}
+
+impl Matcher for NameMatcher {
+    fn name(&self) -> &'static str {
+        "name"
+    }
+
+    fn score(
+        &self,
+        terms: &[QueryTerm],
+        _query: &QueryGraph,
+        candidate: &Schema,
+    ) -> SimilarityMatrix {
+        let mut m = SimilarityMatrix::zeros(terms.len(), candidate.len());
+        let term_grams: Vec<Vec<HashSet<String>>> =
+            terms.iter().map(|t| self.gram_sets(&t.text)).collect();
+        for (col, id) in candidate.ids().enumerate() {
+            let el_grams = self.gram_sets(&candidate.element(id).name);
+            for (row, tg) in term_grams.iter().enumerate() {
+                let s = self.name_similarity(tg, &el_grams);
+                if s > 0.0 {
+                    m.set(row, col, s);
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{DataType, ElementKind, SchemaBuilder};
+
+    fn terms(words: &[&str]) -> Vec<QueryTerm> {
+        words
+            .iter()
+            .map(|w| QueryTerm {
+                text: w.to_string(),
+                fragment: None,
+                element: None,
+                kind: ElementKind::Attribute,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_names_score_one() {
+        let m = NameMatcher::new();
+        assert!((m.similarity("patient", "patient") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_names_score_near_zero() {
+        let m = NameMatcher::new();
+        assert!(m.similarity("patient", "xyzzy") < 0.2);
+    }
+
+    #[test]
+    fn abbreviations_score_high() {
+        let m = NameMatcher::new();
+        // Dictionary expansion makes pat_ht ≈ patient height …
+        assert!(m.similarity("pat_ht", "patient_height") > 0.9);
+        // … and raw truncations still score well through n-gram overlap.
+        let plain = NameMatcher::with(Analyzer::plain(), NameMatcherConfig::default());
+        let s = plain.similarity("descr", "description");
+        assert!(s > 0.5, "truncation should score well, got {s}");
+    }
+
+    #[test]
+    fn delimiters_do_not_matter() {
+        let m = NameMatcher::new();
+        let a = m.similarity("first_name", "FirstName");
+        let b = m.similarity("first-name", "first name");
+        assert!((a - 1.0).abs() < 1e-9, "{a}");
+        assert!((b - 1.0).abs() < 1e-9, "{b}");
+    }
+
+    #[test]
+    fn grammatical_forms_conflate_via_stemming() {
+        let m = NameMatcher::new();
+        assert!(m.similarity("diagnoses", "diagnosis") > 0.8);
+        assert!(m.similarity("medications", "medication") > 0.9);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let m = NameMatcher::new();
+        for (a, b) in [("patient", "pat"), ("first_name", "fname"), ("x", "xyz")] {
+            assert!((m.similarity(a, b) - m.similarity(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix_rows_are_terms_and_cols_are_elements() {
+        let schema = SchemaBuilder::new("s")
+            .entity("patient", |e| e.attr("height", DataType::Real))
+            .build_unchecked();
+        let matcher = NameMatcher::new();
+        let q = QueryGraph::new();
+        let m = matcher.score(&terms(&["height", "nonsense"]), &q, &schema);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        // Row 0 = "height" matches element 1 (patient.height) strongly.
+        assert!(m.get(0, 1) > 0.9);
+        assert!(m.get(0, 0) < 0.5);
+        assert!(m.row_max(1) < 0.35);
+    }
+
+    #[test]
+    fn multiword_names_align_per_word() {
+        let m = NameMatcher::new();
+        let s = m.similarity("patient_height_cm", "height");
+        // One of three words matches perfectly; symmetric averaging keeps a
+        // meaningful but diluted score.
+        assert!(s > 0.3 && s < 0.9, "{s}");
+    }
+
+    #[test]
+    fn empty_names_score_zero() {
+        let m = NameMatcher::new();
+        assert_eq!(m.similarity("", "patient"), 0.0);
+        assert_eq!(m.similarity("__", "--"), 0.0);
+    }
+}

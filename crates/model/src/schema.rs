@@ -1,0 +1,456 @@
+//! The [`Schema`] graph: elements, containment, foreign keys, and the
+//! structural distance classes used by tightness-of-fit scoring.
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::{Element, ElementId, ElementKind};
+
+/// A foreign-key edge between two entities.
+///
+/// Attribute-level detail is kept so parsers can round-trip DDL, but the
+/// tightness-of-fit measure only uses the entity-level projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing entity.
+    pub from_entity: ElementId,
+    /// Referencing attributes (columns of `from_entity`).
+    pub from_attrs: Vec<ElementId>,
+    /// Referenced entity.
+    pub to_entity: ElementId,
+    /// Referenced attributes (columns of `to_entity`); empty means the
+    /// target's primary key was implied.
+    pub to_attrs: Vec<ElementId>,
+}
+
+/// Structural distance between two matched elements, relative to an anchor
+/// entity — the three-way classification at the heart of the paper's
+/// tightness-of-fit measure:
+///
+/// * same entity → no penalty,
+/// * same *entity neighborhood* (transitive closure over foreign keys) →
+///   small penalty,
+/// * unrelated entities → larger penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceClass {
+    /// The element lives in the anchor entity itself.
+    SameEntity,
+    /// The element's entity is FK-reachable from the anchor (in either
+    /// direction, transitively).
+    Neighborhood,
+    /// No FK path connects the element's entity to the anchor.
+    Unrelated,
+}
+
+/// A schema: a named graph of elements with containment and foreign-key
+/// edges.
+///
+/// Elements are stored densely; [`ElementId`]s index into
+/// [`Schema::elements`]. Containment is encoded in each element's `parent`
+/// pointer plus a derived child list; foreign keys are a separate edge list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// The schema's own name (e.g. the DDL file stem or XSD root).
+    pub name: String,
+    elements: Vec<Element>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Schema {
+    /// An empty schema with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Schema {
+            name: name.into(),
+            elements: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// All elements, in insertion order (dense, indexable by [`ElementId`]).
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of elements of any kind.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when the schema has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// All foreign-key edges.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// The element behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this schema.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.index()]
+    }
+
+    /// Mutable access to the element behind `id`.
+    pub fn element_mut(&mut self, id: ElementId) -> &mut Element {
+        &mut self.elements[id.index()]
+    }
+
+    /// The element behind `id`, or `None` if out of range.
+    pub fn get(&self, id: ElementId) -> Option<&Element> {
+        self.elements.get(id.index())
+    }
+
+    /// Append a root element (no parent) and return its id.
+    pub fn add_root(&mut self, element: Element) -> ElementId {
+        debug_assert!(element.parent.is_none());
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(element);
+        id
+    }
+
+    /// Append `element` as a child of `parent` and return its id.
+    ///
+    /// # Panics
+    /// Panics if `parent` was not issued by this schema.
+    pub fn add_child(&mut self, parent: ElementId, mut element: Element) -> ElementId {
+        assert!(
+            parent.index() < self.elements.len(),
+            "unknown parent {parent}"
+        );
+        element.parent = Some(parent);
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(element);
+        id
+    }
+
+    /// Record a foreign-key edge.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) {
+        self.foreign_keys.push(fk);
+    }
+
+    /// Ids of all elements, in order.
+    pub fn ids(&self) -> impl Iterator<Item = ElementId> + '_ {
+        (0..self.elements.len() as u32).map(ElementId)
+    }
+
+    /// Ids of all root elements (no containment parent).
+    pub fn roots(&self) -> Vec<ElementId> {
+        self.ids()
+            .filter(|id| self.element(*id).parent.is_none())
+            .collect()
+    }
+
+    /// Ids of the direct children of `id`, in insertion order.
+    pub fn children(&self, id: ElementId) -> Vec<ElementId> {
+        self.ids()
+            .filter(|c| self.element(*c).parent == Some(id))
+            .collect()
+    }
+
+    /// Ids of all entities.
+    pub fn entities(&self) -> Vec<ElementId> {
+        self.ids()
+            .filter(|id| self.element(*id).kind == ElementKind::Entity)
+            .collect()
+    }
+
+    /// Ids of all attributes.
+    pub fn attributes(&self) -> Vec<ElementId> {
+        self.ids()
+            .filter(|id| self.element(*id).kind == ElementKind::Attribute)
+            .collect()
+    }
+
+    /// The nearest enclosing *entity* of `id` (itself, if `id` is an entity).
+    ///
+    /// Walks containment parents through any groups. Returns `None` for
+    /// elements with no enclosing entity (e.g. a root attribute in a
+    /// degenerate flat schema).
+    pub fn owning_entity(&self, id: ElementId) -> Option<ElementId> {
+        let mut cur = id;
+        loop {
+            if self.element(cur).kind == ElementKind::Entity {
+                return Some(cur);
+            }
+            cur = self.element(cur).parent?;
+        }
+    }
+
+    /// Dotted path from the root to `id`: `"patient.visit.height"`.
+    pub fn path(&self, id: ElementId) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            parts.push(self.element(c).name.as_str());
+            cur = self.element(c).parent;
+        }
+        parts.reverse();
+        parts.join(".")
+    }
+
+    /// Depth of `id` below its root (roots have depth 0).
+    pub fn depth(&self, id: ElementId) -> usize {
+        let mut d = 0;
+        let mut cur = self.element(id).parent;
+        while let Some(c) = cur {
+            d += 1;
+            cur = self.element(c).parent;
+        }
+        d
+    }
+
+    /// Ids of the subtree rooted at `root`, pre-order, cut at `max_depth`
+    /// levels below `root` (the paper caps displayed depth at 3 and lets the
+    /// user drill in).
+    pub fn subtree(&self, root: ElementId, max_depth: usize) -> Vec<ElementId> {
+        let mut out = Vec::new();
+        let mut stack = vec![(root, 0usize)];
+        while let Some((id, d)) = stack.pop() {
+            out.push(id);
+            if d < max_depth {
+                let mut kids = self.children(id);
+                // Reverse so pre-order pops in insertion order.
+                kids.reverse();
+                for k in kids {
+                    stack.push((k, d + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Entity-level FK adjacency: for each entity pair joined by at least one
+    /// foreign key (in either direction), one undirected edge.
+    fn fk_adjacency(&self) -> Vec<(ElementId, ElementId)> {
+        self.foreign_keys
+            .iter()
+            .map(|fk| (fk.from_entity, fk.to_entity))
+            .collect()
+    }
+
+    /// Union-find over entities joined by foreign keys — the "transitive
+    /// closure on foreign key" the paper uses to define entity neighborhoods.
+    ///
+    /// Returns a component label per element index (labels are only
+    /// meaningful for entities).
+    fn fk_components(&self) -> Vec<u32> {
+        let n = self.elements.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            // Path compression.
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for (a, b) in self.fk_adjacency() {
+            let ra = find(&mut parent, a.0);
+            let rb = find(&mut parent, b.0);
+            if ra != rb {
+                parent[ra as usize] = rb;
+            }
+        }
+        (0..n as u32).map(|i| find(&mut parent, i)).collect()
+    }
+
+    /// Precomputed structural-distance oracle for tightness-of-fit scoring.
+    pub fn neighborhoods(&self) -> Neighborhoods {
+        Neighborhoods {
+            owning: self.ids().map(|id| self.owning_entity(id)).collect(),
+            component: self.fk_components(),
+        }
+    }
+
+    /// Classify the structural distance from `anchor` (an entity) to the
+    /// entity owning `element`. Convenience wrapper; hot paths should reuse a
+    /// [`Neighborhoods`] oracle.
+    pub fn distance_class(&self, anchor: ElementId, element: ElementId) -> DistanceClass {
+        self.neighborhoods().classify(anchor, element)
+    }
+}
+
+/// Precomputed owning-entity and FK-component tables for a schema.
+///
+/// Built once per candidate schema by [`Schema::neighborhoods`]; answers
+/// [`DistanceClass`] queries in O(1).
+#[derive(Debug, Clone)]
+pub struct Neighborhoods {
+    owning: Vec<Option<ElementId>>,
+    component: Vec<u32>,
+}
+
+impl Neighborhoods {
+    /// The nearest enclosing entity of `id`, as precomputed.
+    pub fn owning_entity(&self, id: ElementId) -> Option<ElementId> {
+        self.owning[id.index()]
+    }
+
+    /// Structural distance class of `element` relative to `anchor`.
+    ///
+    /// `anchor` is interpreted through its own owning entity, so it is safe
+    /// to pass attributes as anchors too.
+    pub fn classify(&self, anchor: ElementId, element: ElementId) -> DistanceClass {
+        let (Some(ae), Some(ee)) = (self.owning_entity(anchor), self.owning_entity(element)) else {
+            return DistanceClass::Unrelated;
+        };
+        if ae == ee {
+            DistanceClass::SameEntity
+        } else if self.component[ae.index()] == self.component[ee.index()] {
+            DistanceClass::Neighborhood
+        } else {
+            DistanceClass::Unrelated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::DataType;
+
+    /// The paper's Figure 4 schema: `case(doctor, patient)` with FKs to
+    /// `patient(height, gender)` and `doctor(gender)`, plus an unrelated
+    /// `supply(item)` entity for the Unrelated class.
+    fn figure4_schema() -> (Schema, ElementId, ElementId, ElementId, ElementId) {
+        let mut s = Schema::new("clinic");
+        let case = s.add_root(Element::entity("case"));
+        let case_doctor = s.add_child(case, Element::attribute("doctor", DataType::Integer));
+        let case_patient = s.add_child(case, Element::attribute("patient", DataType::Integer));
+        let patient = s.add_root(Element::entity("patient"));
+        let _height = s.add_child(patient, Element::attribute("height", DataType::Real));
+        let _gender = s.add_child(patient, Element::attribute("gender", DataType::Text));
+        let doctor = s.add_root(Element::entity("doctor"));
+        let _dgender = s.add_child(doctor, Element::attribute("gender", DataType::Text));
+        let supply = s.add_root(Element::entity("supply"));
+        let _item = s.add_child(supply, Element::attribute("item", DataType::Text));
+        s.add_foreign_key(ForeignKey {
+            from_entity: case,
+            from_attrs: vec![case_patient],
+            to_entity: patient,
+            to_attrs: vec![],
+        });
+        s.add_foreign_key(ForeignKey {
+            from_entity: case,
+            from_attrs: vec![case_doctor],
+            to_entity: doctor,
+            to_attrs: vec![],
+        });
+        (s, case, patient, doctor, supply)
+    }
+
+    #[test]
+    fn containment_paths_and_depth() {
+        let (s, case, ..) = figure4_schema();
+        let kids = s.children(case);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(s.path(kids[0]), "case.doctor");
+        assert_eq!(s.depth(kids[0]), 1);
+        assert_eq!(s.depth(case), 0);
+    }
+
+    #[test]
+    fn owning_entity_walks_through_groups() {
+        let mut s = Schema::new("x");
+        let root = s.add_root(Element::entity("order"));
+        let grp = s.add_child(root, Element::group("items"));
+        let leaf = s.add_child(grp, Element::attribute("sku", DataType::Text));
+        assert_eq!(s.owning_entity(leaf), Some(root));
+        assert_eq!(s.owning_entity(grp), Some(root));
+        assert_eq!(s.owning_entity(root), Some(root));
+    }
+
+    #[test]
+    fn distance_classes_follow_fk_transitive_closure() {
+        let (s, case, patient, doctor, supply) = figure4_schema();
+        let nb = s.neighborhoods();
+        // Attributes of the anchor entity itself.
+        let case_attrs = s.children(case);
+        assert_eq!(nb.classify(case, case_attrs[0]), DistanceClass::SameEntity);
+        // patient and doctor are both FK-joined to case → neighborhood.
+        let patient_attrs = s.children(patient);
+        assert_eq!(
+            nb.classify(case, patient_attrs[0]),
+            DistanceClass::Neighborhood
+        );
+        // patient → doctor has no direct FK but both connect through case:
+        // transitive closure puts them in the same neighborhood.
+        let doctor_attrs = s.children(doctor);
+        assert_eq!(
+            nb.classify(patient, doctor_attrs[0]),
+            DistanceClass::Neighborhood
+        );
+        // supply shares no FK path with anyone.
+        let supply_attrs = s.children(supply);
+        assert_eq!(nb.classify(case, supply_attrs[0]), DistanceClass::Unrelated);
+        assert_eq!(nb.classify(supply, case_attrs[0]), DistanceClass::Unrelated);
+    }
+
+    #[test]
+    fn anchor_may_be_an_attribute() {
+        let (s, case, patient, ..) = figure4_schema();
+        let nb = s.neighborhoods();
+        let case_attr = s.children(case)[0];
+        let patient_attr = s.children(patient)[0];
+        assert_eq!(
+            nb.classify(case_attr, patient_attr),
+            DistanceClass::Neighborhood
+        );
+    }
+
+    #[test]
+    fn subtree_respects_depth_cap() {
+        let mut s = Schema::new("deep");
+        let a = s.add_root(Element::entity("a"));
+        let b = s.add_child(a, Element::group("b"));
+        let c = s.add_child(b, Element::group("c"));
+        let d = s.add_child(c, Element::attribute("d", DataType::Text));
+        assert_eq!(s.subtree(a, 3), vec![a, b, c, d]);
+        assert_eq!(s.subtree(a, 2), vec![a, b, c]);
+        assert_eq!(s.subtree(a, 0), vec![a]);
+    }
+
+    #[test]
+    fn subtree_is_preorder_in_insertion_order() {
+        let mut s = Schema::new("wide");
+        let r = s.add_root(Element::entity("r"));
+        let x = s.add_child(r, Element::group("x"));
+        let y = s.add_child(r, Element::group("y"));
+        let x1 = s.add_child(x, Element::attribute("x1", DataType::Text));
+        assert_eq!(s.subtree(r, 5), vec![r, x, x1, y]);
+    }
+
+    #[test]
+    fn roots_entities_attributes_partition() {
+        let (s, ..) = figure4_schema();
+        assert_eq!(s.roots().len(), 4);
+        assert_eq!(s.entities().len(), 4);
+        assert_eq!(s.attributes().len(), 6);
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (s, ..) = figure4_schema();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn add_child_rejects_foreign_parent() {
+        let mut s = Schema::new("x");
+        s.add_child(ElementId(99), Element::attribute("a", DataType::Text));
+    }
+}

@@ -1,0 +1,340 @@
+//! The DDL lexer.
+
+use crate::error::{ParseError, Position};
+
+/// Lexical token classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Bare identifier or keyword (`CREATE`, `patient`). Keywords are
+    /// recognized case-insensitively by the parser, not the lexer.
+    Ident(String),
+    /// Quoted identifier: `"x"`, `` `x` ``, or `[x]`. The payload is the
+    /// unquoted text.
+    QuotedIdent(String),
+    /// Single-quoted string literal, with `''` escapes decoded.
+    StringLit(String),
+    /// Numeric literal (kept as text; DDL only uses them for lengths).
+    Number(String),
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Dot,
+    /// Any other single punctuation character (`=`, `<`, …), kept so CHECK
+    /// expressions can be skipped token-by-token.
+    Punct(char),
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub position: Position,
+}
+
+/// Lex a DDL script. Comments (`-- …` and `/* … */`) are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut pos = Position::start();
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                pos.advance(c);
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let start = pos;
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '-' => {
+                bump!();
+                if chars.peek() == Some(&'-') {
+                    // Line comment.
+                    while let Some(&n) = chars.peek() {
+                        bump!();
+                        if n == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct('-'),
+                        position: start,
+                    });
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'*') {
+                    bump!();
+                    let mut prev = '\0';
+                    let mut closed = false;
+                    while let Some(n) = bump!() {
+                        if prev == '*' && n == '/' {
+                            closed = true;
+                            break;
+                        }
+                        prev = n;
+                    }
+                    if !closed {
+                        return Err(ParseError::new("unterminated block comment", start));
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct('/'),
+                        position: start,
+                    });
+                }
+            }
+            '\'' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('\'') => {
+                            // '' is an escaped quote.
+                            if chars.peek() == Some(&'\'') {
+                                bump!();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(ParseError::new("unterminated string literal", start)),
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    position: start,
+                });
+            }
+            '"' | '`' => {
+                let quote = c;
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some(n) if n == quote => break,
+                        Some(n) => s.push(n),
+                        None => {
+                            return Err(ParseError::new("unterminated quoted identifier", start))
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(s),
+                    position: start,
+                });
+            }
+            '[' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some(']') => break,
+                        Some(n) => s.push(n),
+                        None => {
+                            return Err(ParseError::new("unterminated quoted identifier", start))
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(s),
+                    position: start,
+                });
+            }
+            '(' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: start,
+                });
+            }
+            ')' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: start,
+                });
+            }
+            ',' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: start,
+                });
+            }
+            ';' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    position: start,
+                });
+            }
+            '.' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    position: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_digit() || n == '.' {
+                        s.push(n);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(s),
+                    position: start,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n.is_alphanumeric() || n == '_' || n == '$' {
+                        s.push(n);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    position: start,
+                });
+            }
+            other => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Punct(other),
+                    position: start,
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        position: pos,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_basic_create_table() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("CREATE TABLE t (a INT);"),
+            vec![
+                Ident("CREATE".into()),
+                Ident("TABLE".into()),
+                Ident("t".into()),
+                LParen,
+                Ident("a".into()),
+                Ident("INT".into()),
+                RParen,
+                Semicolon,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let ks = kinds("-- hello\nCREATE /* inline */ TABLE t (a INT)");
+        assert_eq!(ks.len(), 8); // CREATE TABLE t ( a INT ) EOF
+    }
+
+    #[test]
+    fn quoted_identifier_styles() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("\"first name\" `last-name` [full name]"),
+            vec![
+                QuotedIdent("first name".into()),
+                QuotedIdent("last-name".into()),
+                QuotedIdent("full name".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_decode_doubled_quotes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::StringLit("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_including_decimals() {
+        assert_eq!(
+            kinds("10 2.5"),
+            vec![
+                TokenKind::Number("10".into()),
+                TokenKind::Number("2.5".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = tokenize("'oops").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        let err = tokenize("/* oops").unwrap_err();
+        assert!(err.message.contains("block comment"));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("CREATE\nTABLE").unwrap();
+        assert_eq!(toks[0].position, Position { line: 1, column: 1 });
+        assert_eq!(toks[1].position, Position { line: 2, column: 1 });
+    }
+
+    #[test]
+    fn lone_dash_is_punct() {
+        assert_eq!(
+            kinds("a - b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct('-'),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! SQL DDL parsing: `CREATE TABLE` scripts → schema graphs.
+//!
+//! Supports the dialect-neutral core that schema fragments in the wild are
+//! written in: column definitions with types and length arguments, inline
+//! and table-level `PRIMARY KEY` / `FOREIGN KEY … REFERENCES` / `UNIQUE` /
+//! `CHECK` constraints, quoted identifiers (`"x"`, `` `x` ``, `[x]`),
+//! `COMMENT` strings (mapped to element documentation), and `--` / `/* */`
+//! comments.
+//!
+//! Foreign keys whose target table is not defined in the same script (the
+//! normal case for a *fragment*) are dropped rather than rejected — a
+//! fragment is allowed to be partial.
+
+mod lexer;
+mod parser;
+
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::parse_ddl;

@@ -1,0 +1,83 @@
+//! Parse errors with source positions.
+
+/// A line/column position in the input (both 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Position {
+    /// The start of the input.
+    pub fn start() -> Self {
+        Position { line: 1, column: 1 }
+    }
+
+    /// Advance over one character.
+    pub fn advance(&mut self, c: char) {
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+    }
+}
+
+impl std::fmt::Display for Position {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// An error produced by any of the fragment parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the input the problem was detected.
+    pub position: Position,
+}
+
+impl ParseError {
+    /// A new error at `position`.
+    pub fn new(message: impl Into<String>, position: Position) -> Self {
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// A new error with no better position than the start of input.
+    pub fn at_start(message: impl Into<String>) -> Self {
+        ParseError::new(message, Position::start())
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_advances_through_newlines() {
+        let mut p = Position::start();
+        for c in "ab\nc".chars() {
+            p.advance(c);
+        }
+        assert_eq!(p, Position { line: 2, column: 2 });
+    }
+
+    #[test]
+    fn error_display_includes_position() {
+        let e = ParseError::new("unexpected `)`", Position { line: 3, column: 7 });
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected `)`");
+    }
+}

@@ -1,0 +1,117 @@
+//! # schemr-parse
+//!
+//! From-scratch parsers that turn the formats users actually upload into
+//! [`schemr_model::Schema`] graphs.
+//!
+//! The paper lets a designer specify "a partially designed schema … by
+//! uploading a DDL (Data Definition Language) or XSD (XML Schema
+//! Definition)". This crate implements:
+//!
+//! * [`ddl`] — a SQL `CREATE TABLE` lexer + recursive-descent parser
+//!   (columns, types, primary keys, inline and table-level foreign keys,
+//!   comments),
+//! * [`xml`] — a minimal streaming XML pull parser (the substrate for XSD),
+//! * [`xsd`] — an XML Schema reader mapping complex types to entities,
+//! * [`csv`] — a header-row importer for WebTables-style relational HTML
+//!   tables,
+//! * [`printer`] / [`xsd_printer`] — DDL and XSD pretty-printers, so
+//!   repositories can round-trip schemas back out in either format,
+//! * [`sniff_format`] / [`parse_fragment`] — format autodetection used by
+//!   the query parser.
+
+pub mod csv;
+pub mod ddl;
+pub mod printer;
+pub mod xml;
+pub mod xsd;
+pub mod xsd_printer;
+
+mod error;
+
+pub use error::{ParseError, Position};
+
+use schemr_model::Schema;
+
+/// Input formats Schemr accepts for schema fragments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentFormat {
+    /// SQL DDL (`CREATE TABLE …`).
+    Ddl,
+    /// XML Schema Definition.
+    Xsd,
+    /// A bare header row (comma-separated attribute names).
+    CsvHeader,
+}
+
+/// Guess the format of an uploaded fragment from its syntax.
+pub fn sniff_format(input: &str) -> FragmentFormat {
+    let trimmed = input.trim_start();
+    if trimmed.starts_with('<') {
+        FragmentFormat::Xsd
+    } else {
+        let upper = trimmed
+            .get(..64.min(trimmed.len()))
+            .unwrap_or(trimmed)
+            .to_uppercase();
+        if upper.contains("CREATE") {
+            FragmentFormat::Ddl
+        } else {
+            FragmentFormat::CsvHeader
+        }
+    }
+}
+
+/// Parse an uploaded fragment, autodetecting DDL vs XSD vs a bare header
+/// row.
+pub fn parse_fragment(name: &str, input: &str) -> Result<Schema, ParseError> {
+    match sniff_format(input) {
+        FragmentFormat::Ddl => ddl::parse_ddl(name, input),
+        FragmentFormat::Xsd => xsd::parse_xsd(name, input),
+        FragmentFormat::CsvHeader => csv::parse_header(name, input),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sniffs_ddl() {
+        assert_eq!(sniff_format("CREATE TABLE t (a INT)"), FragmentFormat::Ddl);
+        assert_eq!(
+            sniff_format("  create table t (a int)"),
+            FragmentFormat::Ddl
+        );
+    }
+
+    #[test]
+    fn sniffs_xsd() {
+        assert_eq!(
+            sniff_format("<?xml version=\"1.0\"?><xs:schema/>"),
+            FragmentFormat::Xsd
+        );
+        assert_eq!(sniff_format("  <xs:schema/>"), FragmentFormat::Xsd);
+    }
+
+    #[test]
+    fn sniffs_header_row() {
+        assert_eq!(
+            sniff_format("patient, height, gender"),
+            FragmentFormat::CsvHeader
+        );
+    }
+
+    #[test]
+    fn sniff_handles_short_input_on_char_boundaries() {
+        assert_eq!(sniff_format("é"), FragmentFormat::CsvHeader);
+        assert_eq!(sniff_format(""), FragmentFormat::CsvHeader);
+    }
+
+    #[test]
+    fn parse_fragment_dispatches() {
+        let ddl = parse_fragment("q", "CREATE TABLE patient (height REAL)").unwrap();
+        assert_eq!(ddl.entities().len(), 1);
+        let csv = parse_fragment("q", "a,b,c").unwrap();
+        assert_eq!(csv.attributes().len(), 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the parsers: printer↔parser round trips and
+//! robustness against arbitrary input.
+
+use proptest::prelude::*;
+use schemr_model::{DataType, SchemaBuilder};
+use schemr_parse::ddl::parse_ddl;
+use schemr_parse::printer::print_ddl;
+use schemr_parse::xml::XmlParser;
+
+/// Identifier-ish names: start alpha, then alphanumerics/underscores.
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+fn arb_type() -> impl Strategy<Value = DataType> {
+    proptest::sample::select(DataType::ALL.to_vec())
+}
+
+proptest! {
+    /// Any schema built from identifier-safe names survives a DDL
+    /// print → parse round trip with identical structure.
+    #[test]
+    fn ddl_round_trip_preserves_structure(
+        tables in proptest::collection::vec(
+            (arb_ident(), proptest::collection::vec((arb_ident(), arb_type()), 1..6)),
+            1..4,
+        )
+    ) {
+        // Dedupe table names and per-table column names so the builder
+        // resolves unambiguously.
+        let mut seen_tables = std::collections::HashSet::new();
+        let mut builder = SchemaBuilder::new("prop");
+        let mut expected_tables = 0usize;
+        let mut expected_columns = 0usize;
+        for (tname, cols) in &tables {
+            if !seen_tables.insert(tname.clone()) {
+                continue;
+            }
+            expected_tables += 1;
+            let mut seen_cols = std::collections::HashSet::new();
+            let cols: Vec<(String, DataType)> = cols
+                .iter()
+                .filter(|(c, _)| seen_cols.insert(c.clone()))
+                .cloned()
+                .collect();
+            expected_columns += cols.len();
+            builder = builder.entity(tname.clone(), move |mut e| {
+                for (c, t) in cols {
+                    e = e.attr(c, t);
+                }
+                e
+            });
+        }
+        let schema = builder.build_unchecked();
+        let ddl = print_ddl(&schema);
+        let reparsed = parse_ddl("prop", &ddl).unwrap();
+        prop_assert_eq!(reparsed.entities().len(), expected_tables);
+        prop_assert_eq!(reparsed.attributes().len(), expected_columns);
+        // Names survive verbatim.
+        for (a, b) in schema.ids().zip(reparsed.ids()) {
+            prop_assert_eq!(&schema.element(a).name, &reparsed.element(b).name);
+        }
+    }
+
+    /// The DDL lexer/parser never panics on arbitrary input.
+    #[test]
+    fn ddl_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_ddl("fuzz", &input);
+    }
+
+    /// The XML parser never panics on arbitrary input.
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        let _ = XmlParser::parse_all(&input);
+    }
+
+    /// Escaped arbitrary text round-trips through an XML document.
+    #[test]
+    fn xml_escape_round_trips(text in "[^\\x00]{0,100}") {
+        let doc = format!("<a>{}</a>", schemr_parse::xml::escape(&text));
+        let events = XmlParser::parse_all(&doc).unwrap();
+        // Whitespace-only text is skipped by the parser; otherwise the
+        // decoded text must equal the trimmed original.
+        if text.trim().is_empty() {
+            prop_assert_eq!(events.len(), 2);
+        } else {
+            match &events[1] {
+                schemr_parse::xml::Event::Text(t) => prop_assert_eq!(t.as_str(), text.trim()),
+                other => prop_assert!(false, "expected text event, got {:?}", other),
+            }
+        }
+    }
+
+    /// parse_fragment dispatches without panicking for any input.
+    #[test]
+    fn parse_fragment_never_panics(input in ".{0,200}") {
+        let _ = schemr_parse::parse_fragment("fuzz", &input);
+    }
+
+    /// CSV headers parse every identifier list.
+    #[test]
+    fn csv_headers_parse(cells in proptest::collection::vec("[a-z]{1,8}", 1..10)) {
+        let header = cells.join(",");
+        let schema = schemr_parse::csv::parse_header("t", &header).unwrap();
+        prop_assert_eq!(schema.attributes().len(), cells.len());
+    }
+}

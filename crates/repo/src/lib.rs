@@ -1,0 +1,26 @@
+//! # schemr-repo
+//!
+//! The schema repository — the reproduction's substitute for the Yggdrasil
+//! repository Schemr is built on ("On the Schemr server, we use the
+//! open-source schema repository Yggdrasil").
+//!
+//! The repository stores [`schemr_model::Schema`] graphs with the metadata
+//! the search index flattens (title, summary, description, source),
+//! versions every mutation through a monotone revision counter, and keeps a
+//! change journal so the offline indexer can re-index incrementally "at
+//! scheduled intervals" instead of from scratch.
+//!
+//! * [`Repository`] — thread-safe store with put/get/list/remove,
+//! * [`SchemaMetadata`] / [`StoredSchema`] — per-schema records,
+//! * [`ChangeEvent`] — the journal consumed by the indexer,
+//! * [`persist`] — JSON save/load of the whole repository,
+//! * [`import`] — bulk import of DDL/XSD/CSV sources and DDL export.
+
+pub mod import;
+pub mod persist;
+
+mod repository;
+
+pub use repository::{
+    ChangeEvent, ChangeKind, Repository, RepositoryError, SchemaMetadata, StoredSchema,
+};

@@ -1,0 +1,146 @@
+//! Repository persistence: JSON save/load.
+//!
+//! One file holds the whole repository state — schemas, metadata, journal,
+//! and counters — so a restarted server resumes exactly where it left off
+//! (including incremental-index bookkeeping).
+
+use std::path::Path;
+
+use crate::repository::{RepoState, Repository};
+
+/// Errors from persistence operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid repository dump.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "repository I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "repository format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Serialize the repository to a JSON string.
+pub fn to_json(repo: &Repository) -> String {
+    serde_json::to_string(&*repo.state.read()).expect("repository state serializes")
+}
+
+/// Restore a repository from [`to_json`] output.
+pub fn from_json(json: &str) -> Result<Repository, PersistError> {
+    let state: RepoState = serde_json::from_str(json)?;
+    Ok(Repository {
+        state: parking_lot::RwLock::new(state),
+    })
+}
+
+/// Write the repository to `path` (atomically via a sibling temp file).
+pub fn save(repo: &Repository, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, to_json(repo))?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a repository from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<Repository, PersistError> {
+    let json = std::fs::read_to_string(path)?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{DataType, SchemaBuilder};
+
+    fn populated() -> Repository {
+        let repo = Repository::new();
+        let id = repo
+            .insert(
+                "clinic",
+                "a clinic",
+                SchemaBuilder::new("clinic")
+                    .entity("patient", |e| e.attr("height", DataType::Real))
+                    .build_unchecked(),
+            )
+            .unwrap();
+        repo.annotate(id, "desc", "src").unwrap();
+        repo
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let repo = populated();
+        let restored = from_json(&to_json(&repo)).unwrap();
+        assert_eq!(restored.len(), repo.len());
+        assert_eq!(restored.revision(), repo.revision());
+        let id = repo.ids()[0];
+        assert_eq!(restored.get(id), repo.get(id));
+        assert_eq!(restored.changes_since(0), repo.changes_since(0));
+    }
+
+    #[test]
+    fn restored_repository_continues_id_sequence() {
+        let repo = populated();
+        let restored = from_json(&to_json(&repo)).unwrap();
+        let new_id = restored
+            .insert(
+                "x",
+                "",
+                SchemaBuilder::new("x")
+                    .entity("t", |e| e.attr("a", DataType::Text))
+                    .build_unchecked(),
+            )
+            .unwrap();
+        assert!(new_id > repo.ids()[0], "ids must not be reused");
+    }
+
+    #[test]
+    fn save_load_through_file() {
+        let dir = std::env::temp_dir().join("schemr-repo-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.json");
+        let repo = populated();
+        save(&repo, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_input_is_a_format_error() {
+        assert!(matches!(
+            from_json("not json"),
+            Err(PersistError::Format(_))
+        ));
+        assert!(matches!(from_json("{}"), Err(PersistError::Format(_))));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            load("/nonexistent/path/repo.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

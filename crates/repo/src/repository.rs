@@ -1,0 +1,399 @@
+//! The thread-safe schema store.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use schemr_model::{validate, Schema, SchemaId, SchemaStats};
+use serde::{Deserialize, Serialize};
+
+/// Descriptive metadata for a stored schema — the fields the paper's
+/// document index stores ("a title, a summary, an ID") plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaMetadata {
+    /// Repository-assigned id.
+    pub id: SchemaId,
+    /// Display title (also the index's Title field).
+    pub title: String,
+    /// One-line summary.
+    pub summary: String,
+    /// Longer description, shown on drill-in.
+    pub description: String,
+    /// Where the schema came from (organization, URL, upload).
+    pub source: String,
+    /// Revision at which this schema was last written.
+    pub revision: u64,
+}
+
+/// A schema plus its metadata, as stored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredSchema {
+    /// Metadata record.
+    pub metadata: SchemaMetadata,
+    /// The schema graph.
+    pub schema: Schema,
+}
+
+impl StoredSchema {
+    /// Element-count statistics (the result table's entity/attribute
+    /// columns).
+    pub fn stats(&self) -> SchemaStats {
+        SchemaStats::of(&self.schema)
+    }
+}
+
+/// What a journal entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// Insert or update.
+    Put,
+    /// Removal.
+    Delete,
+}
+
+/// One entry in the change journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeEvent {
+    /// Monotone revision of the mutation.
+    pub revision: u64,
+    /// The schema affected.
+    pub id: SchemaId,
+    /// Put or delete.
+    pub kind: ChangeKind,
+}
+
+/// Errors from repository operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepositoryError {
+    /// The schema failed structural validation.
+    Invalid(Vec<schemr_model::ValidationError>),
+    /// No schema with the given id.
+    NotFound(SchemaId),
+}
+
+impl std::fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepositoryError::Invalid(errs) => {
+                write!(f, "schema failed validation: ")?;
+                for (i, e) in errs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            RepositoryError::NotFound(id) => write!(f, "schema {id} not found"),
+        }
+    }
+}
+
+impl std::error::Error for RepositoryError {}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub(crate) struct RepoState {
+    pub schemas: BTreeMap<u64, StoredSchema>,
+    pub journal: Vec<ChangeEvent>,
+    pub next_id: u64,
+    pub revision: u64,
+}
+
+/// A thread-safe, versioned schema repository.
+#[derive(Debug, Default)]
+pub struct Repository {
+    pub(crate) state: RwLock<RepoState>,
+}
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a new schema; validates first. Returns the assigned id.
+    pub fn insert(
+        &self,
+        title: impl Into<String>,
+        summary: impl Into<String>,
+        schema: Schema,
+    ) -> Result<SchemaId, RepositoryError> {
+        let errs = validate(&schema);
+        if !errs.is_empty() {
+            return Err(RepositoryError::Invalid(errs));
+        }
+        let mut st = self.state.write();
+        let id = SchemaId(st.next_id);
+        st.next_id += 1;
+        st.revision += 1;
+        let revision = st.revision;
+        st.schemas.insert(
+            id.0,
+            StoredSchema {
+                metadata: SchemaMetadata {
+                    id,
+                    title: title.into(),
+                    summary: summary.into(),
+                    description: String::new(),
+                    source: String::new(),
+                    revision,
+                },
+                schema,
+            },
+        );
+        st.journal.push(ChangeEvent {
+            revision,
+            id,
+            kind: ChangeKind::Put,
+        });
+        Ok(id)
+    }
+
+    /// Replace an existing schema's graph (metadata title/summary kept).
+    pub fn update(&self, id: SchemaId, schema: Schema) -> Result<(), RepositoryError> {
+        let errs = validate(&schema);
+        if !errs.is_empty() {
+            return Err(RepositoryError::Invalid(errs));
+        }
+        let mut st = self.state.write();
+        st.revision += 1;
+        let revision = st.revision;
+        let entry = st
+            .schemas
+            .get_mut(&id.0)
+            .ok_or(RepositoryError::NotFound(id))?;
+        entry.schema = schema;
+        entry.metadata.revision = revision;
+        st.journal.push(ChangeEvent {
+            revision,
+            id,
+            kind: ChangeKind::Put,
+        });
+        Ok(())
+    }
+
+    /// Update metadata fields (description, source) in place.
+    pub fn annotate(
+        &self,
+        id: SchemaId,
+        description: impl Into<String>,
+        source: impl Into<String>,
+    ) -> Result<(), RepositoryError> {
+        let mut st = self.state.write();
+        st.revision += 1;
+        let revision = st.revision;
+        let entry = st
+            .schemas
+            .get_mut(&id.0)
+            .ok_or(RepositoryError::NotFound(id))?;
+        entry.metadata.description = description.into();
+        entry.metadata.source = source.into();
+        entry.metadata.revision = revision;
+        st.journal.push(ChangeEvent {
+            revision,
+            id,
+            kind: ChangeKind::Put,
+        });
+        Ok(())
+    }
+
+    /// Remove a schema.
+    pub fn remove(&self, id: SchemaId) -> Result<(), RepositoryError> {
+        let mut st = self.state.write();
+        if st.schemas.remove(&id.0).is_none() {
+            return Err(RepositoryError::NotFound(id));
+        }
+        st.revision += 1;
+        let revision = st.revision;
+        st.journal.push(ChangeEvent {
+            revision,
+            id,
+            kind: ChangeKind::Delete,
+        });
+        Ok(())
+    }
+
+    /// Fetch a schema by id (clones — stored schemas are modest).
+    pub fn get(&self, id: SchemaId) -> Option<StoredSchema> {
+        self.state.read().schemas.get(&id.0).cloned()
+    }
+
+    /// All ids, ascending.
+    pub fn ids(&self) -> Vec<SchemaId> {
+        self.state
+            .read()
+            .schemas
+            .keys()
+            .map(|&k| SchemaId(k))
+            .collect()
+    }
+
+    /// Number of stored schemas.
+    pub fn len(&self) -> usize {
+        self.state.read().schemas.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every stored schema (the offline indexer's full-scan
+    /// path).
+    pub fn snapshot(&self) -> Vec<StoredSchema> {
+        self.state.read().schemas.values().cloned().collect()
+    }
+
+    /// The current revision (0 for a fresh repository).
+    pub fn revision(&self) -> u64 {
+        self.state.read().revision
+    }
+
+    /// Journal entries with revision strictly greater than `since` — the
+    /// incremental re-index feed.
+    pub fn changes_since(&self, since: u64) -> Vec<ChangeEvent> {
+        self.state
+            .read()
+            .journal
+            .iter()
+            .filter(|e| e.revision > since)
+            .copied()
+            .collect()
+    }
+
+    /// Drop journal entries at or below `upto` (after the indexer consumed
+    /// them).
+    pub fn truncate_journal(&self, upto: u64) {
+        self.state.write().journal.retain(|e| e.revision > upto);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{DataType, Element, SchemaBuilder};
+
+    fn sample() -> Schema {
+        SchemaBuilder::new("clinic")
+            .entity("patient", |e| e.attr("height", DataType::Real))
+            .build_unchecked()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let repo = Repository::new();
+        let id = repo.insert("clinic", "a health clinic", sample()).unwrap();
+        let stored = repo.get(id).unwrap();
+        assert_eq!(stored.metadata.title, "clinic");
+        assert_eq!(stored.metadata.summary, "a health clinic");
+        assert_eq!(stored.schema.entities().len(), 1);
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_and_ascending() {
+        let repo = Repository::new();
+        let a = repo.insert("a", "", sample()).unwrap();
+        let b = repo.insert("b", "", sample()).unwrap();
+        assert!(b > a);
+        assert_eq!(repo.ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn invalid_schemas_are_rejected() {
+        let repo = Repository::new();
+        let mut bad = Schema::new("bad");
+        bad.add_root(Element::entity("  "));
+        let err = repo.insert("bad", "", bad).unwrap_err();
+        assert!(matches!(err, RepositoryError::Invalid(_)));
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn update_bumps_revision_and_journals() {
+        let repo = Repository::new();
+        let id = repo.insert("a", "", sample()).unwrap();
+        let rev1 = repo.revision();
+        repo.update(id, sample()).unwrap();
+        assert!(repo.revision() > rev1);
+        let changes = repo.changes_since(rev1);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].kind, ChangeKind::Put);
+        assert_eq!(changes[0].id, id);
+    }
+
+    #[test]
+    fn remove_journals_a_delete() {
+        let repo = Repository::new();
+        let id = repo.insert("a", "", sample()).unwrap();
+        let rev = repo.revision();
+        repo.remove(id).unwrap();
+        assert!(repo.get(id).is_none());
+        let changes = repo.changes_since(rev);
+        assert_eq!(changes[0].kind, ChangeKind::Delete);
+        assert!(matches!(repo.remove(id), Err(RepositoryError::NotFound(_))));
+    }
+
+    #[test]
+    fn annotate_updates_metadata() {
+        let repo = Repository::new();
+        let id = repo.insert("a", "", sample()).unwrap();
+        repo.annotate(id, "full description", "nature-conservancy")
+            .unwrap();
+        let stored = repo.get(id).unwrap();
+        assert_eq!(stored.metadata.description, "full description");
+        assert_eq!(stored.metadata.source, "nature-conservancy");
+    }
+
+    #[test]
+    fn journal_truncation() {
+        let repo = Repository::new();
+        repo.insert("a", "", sample()).unwrap();
+        repo.insert("b", "", sample()).unwrap();
+        let mid = repo.revision();
+        repo.insert("c", "", sample()).unwrap();
+        repo.truncate_journal(mid);
+        assert_eq!(repo.changes_since(0).len(), 1);
+        assert_eq!(repo.changes_since(mid).len(), 1);
+    }
+
+    #[test]
+    fn update_missing_is_not_found() {
+        let repo = Repository::new();
+        assert!(matches!(
+            repo.update(SchemaId(99), sample()),
+            Err(RepositoryError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn stats_are_exposed_for_the_result_table() {
+        let repo = Repository::new();
+        let id = repo.insert("a", "", sample()).unwrap();
+        let st = repo.get(id).unwrap().stats();
+        assert_eq!(st.entities, 1);
+        assert_eq!(st.attributes, 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_do_not_collide() {
+        let repo = std::sync::Arc::new(Repository::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = repo.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..50)
+                    .map(|_| r.insert("t", "", sample()).unwrap())
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<SchemaId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 400);
+        assert_eq!(repo.len(), 400);
+        assert_eq!(repo.changes_since(0).len(), 400);
+    }
+}

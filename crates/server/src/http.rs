@@ -1,0 +1,291 @@
+//! A minimal HTTP/1.1 parser and response writer — just enough protocol
+//! for the search service, implemented from scratch on `std::io`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Decoded path (`/schema/12`), without the query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Lowercased header map.
+    pub headers: HashMap<String, String>,
+    /// Request body (empty unless Content-Length was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// A query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+}
+
+/// HTTP-layer errors.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or encoding.
+    Malformed(&'static str),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::Io(e) => write!(f, "http I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Percent-decode a URL component (`%20` → space, `+` → space).
+pub fn percent_decode(s: &str) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                if i + 2 > bytes.len() {
+                    return Err(HttpError::Malformed("truncated percent escape"));
+                }
+                let hex = s
+                    .get(i + 1..i + 3)
+                    .ok_or(HttpError::Malformed("truncated percent escape"))?;
+                let v = u8::from_str_radix(hex, 16)
+                    .map_err(|_| HttpError::Malformed("bad percent escape"))?;
+                out.push(v);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::Malformed("decoded bytes are not UTF-8"))
+}
+
+/// Percent-encode a URL component.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Parse the query string into a decoded map.
+fn parse_query(qs: &str) -> Result<HashMap<String, String>, HttpError> {
+    let mut map = HashMap::new();
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        map.insert(percent_decode(k)?, percent_decode(v)?);
+    }
+    Ok(map)
+}
+
+/// Read one request from a stream.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?;
+    let _version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+
+    let (raw_path, raw_query) = target.split_once('?').unwrap_or((target, ""));
+    let path = percent_decode(raw_path)?;
+    let query = parse_query(raw_query)?;
+
+    let mut headers = HashMap::new();
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h)?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let (name, value) = h
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        headers.insert(name.trim().to_lowercase(), value.trim().to_string());
+    }
+
+    let mut body = String::new();
+    if let Some(len) = headers.get("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        if len > 16 * 1024 * 1024 {
+            return Err(HttpError::Malformed("body too large"));
+        }
+        let mut buf = vec![0u8; len];
+        reader.read_exact(&mut buf)?;
+        body = String::from_utf8(buf).map_err(|_| HttpError::Malformed("body is not UTF-8"))?;
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type.
+    pub content_type: &'static str,
+    /// Body.
+    pub body: String,
+}
+
+impl Response {
+    /// 200 with a content type.
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// 404 with a plain-text message.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Response {
+            status: 404,
+            content_type: "text/plain",
+            body: msg.into(),
+        }
+    }
+
+    /// 400 with a plain-text message.
+    pub fn bad_request(msg: impl Into<String>) -> Self {
+        Response {
+            status: 400,
+            content_type: "text/plain",
+            body: msg.into(),
+        }
+    }
+
+    /// Serialize and write to a stream.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        };
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            self.body
+        )?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_get_request() {
+        let raw = "GET /search?q=patient+height&limit=5 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.param("q"), Some("patient height"));
+        assert_eq!(req.param("limit"), Some("5"));
+        assert_eq!(req.headers.get("host").map(String::as_str), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let body = "CREATE TABLE t (a INT)";
+        let raw = format!(
+            "POST /search HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = read_request(&mut raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn percent_decoding_and_encoding_round_trip() {
+        let original = "patient height & \"gender\"/100%";
+        let encoded = percent_encode(original);
+        assert_eq!(percent_decode(&encoded).unwrap(), original);
+        assert_eq!(percent_decode("a%20b+c").unwrap(), "a b c");
+        assert!(percent_decode("%zz").is_err());
+        assert!(percent_decode("%2").is_err());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(read_request(&mut "\r\n".as_bytes()).is_err());
+        assert!(read_request(&mut "GET\r\n\r\n".as_bytes()).is_err());
+        assert!(read_request(&mut "GET / HTTP/1.1\r\nBadHeader\r\n\r\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut buf = Vec::new();
+        Response::ok("text/xml", "<a/>").write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.ends_with("<a/>"));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        assert!(read_request(&mut raw.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # schemr-server
+//!
+//! The search web service from the paper's architecture (Figure 5): "the
+//! GUI processes a set of search terms and delivers them as a request to
+//! the Search Service … This list of candidate schemas, along with their
+//! corresponding score, is finally sent as an XML response to the client.
+//! When the user clicks on a search result … the server performs a lookup
+//! of this ID in the schema repository and returns a graphical
+//! representation of the schema to the client as a GraphML response."
+//!
+//! Implemented from scratch on `std::net`:
+//!
+//! * [`http`] — a minimal HTTP/1.1 request parser and response writer,
+//! * [`xml_response`] — the search-results XML format,
+//! * [`SchemrServer`] — the service itself, with a crossbeam-channel
+//!   worker pool and graceful shutdown.
+//!
+//! Endpoints:
+//!
+//! | Method | Path | Response |
+//! |---|---|---|
+//! | GET | `/search?q=<keywords>&limit=<n>` | results XML |
+//! | POST | `/search?q=<keywords>` (body = DDL/XSD fragment) | results XML |
+//! | GET | `/schema/<id>` | GraphML |
+//! | GET | `/schema/<id>/svg?layout=tree\|radial&depth=<d>` | SVG |
+//! | GET | `/healthz` | `ok` |
+
+pub mod http;
+pub mod xml_response;
+
+mod service;
+
+pub use service::{SchemrServer, ServerConfig};

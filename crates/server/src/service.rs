@@ -1,0 +1,362 @@
+//! The search service: routing, worker pool, lifecycle.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use schemr::{parse_keywords, SchemrEngine, SearchRequest};
+use schemr_model::SchemaId;
+use schemr_viz::{radial_layout, to_graphml, tree_layout, GraphmlOptions, SvgOptions};
+
+use crate::http::{read_request, Request, Response};
+use crate::xml_response::results_to_xml;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub bind: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: "127.0.0.1:0".to_string(),
+            workers: 4,
+        }
+    }
+}
+
+/// A running Schemr search service.
+pub struct SchemrServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SchemrServer {
+    /// Bind and start serving in background threads.
+    pub fn start(engine: Arc<SchemrEngine>, config: ServerConfig) -> std::io::Result<SchemrServer> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = unbounded();
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let engine = engine.clone();
+            workers.push(std::thread::spawn(move || {
+                while let Ok(mut stream) = rx.recv() {
+                    let response = match read_request(&mut stream) {
+                        Ok(request) => route(&engine, &request),
+                        Err(e) => Response::bad_request(e.to_string()),
+                    };
+                    let _ = response.write_to(&mut stream);
+                }
+            }));
+        }
+
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    let _ = tx.send(stream);
+                }
+            }
+            drop(tx); // close the channel so workers exit
+        });
+
+        Ok(SchemrServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for SchemrServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_threads();
+        }
+    }
+}
+
+/// Dispatch a request to a handler.
+fn route(engine: &SchemrEngine, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::ok("text/plain", "ok"),
+        ("GET", "/stats") => handle_stats(engine),
+        ("GET" | "POST", "/search") => handle_search(engine, request),
+        _ if request.path.starts_with("/schema/") => handle_schema(engine, request),
+        _ => Response::not_found(format!("no route for {} {}", request.method, request.path)),
+    }
+}
+
+fn handle_stats(engine: &SchemrEngine) -> Response {
+    let repo = engine.repository();
+    let ix = engine.index_stats();
+    let xml = format!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<stats schemas=\"{}\" revision=\"{}\" indexed=\"{}\" terms=\"{}\" postings=\"{}\"/>\n",
+        repo.len(),
+        repo.revision(),
+        ix.live_docs,
+        ix.distinct_terms,
+        ix.postings
+    );
+    Response::ok("text/xml", xml)
+}
+
+fn handle_search(engine: &SchemrEngine, request: &Request) -> Response {
+    let mut sr = SearchRequest {
+        keywords: request.param("q").map(parse_keywords).unwrap_or_default(),
+        ..Default::default()
+    };
+    if request.method == "POST" && !request.body.trim().is_empty() {
+        match schemr_parse::parse_fragment("fragment", &request.body) {
+            Ok(fragment) => sr.fragments.push(fragment),
+            Err(e) => return Response::bad_request(format!("fragment: {e}")),
+        }
+    }
+    if let Some(limit) = request.param("limit") {
+        match limit.parse::<usize>() {
+            Ok(n) => sr.limit = Some(n),
+            Err(_) => return Response::bad_request("limit must be an integer"),
+        }
+    }
+    match engine.search(&sr) {
+        Ok(results) => Response::ok("text/xml", results_to_xml(&results)),
+        Err(e) => Response::bad_request(e.to_string()),
+    }
+}
+
+fn handle_schema(engine: &SchemrEngine, request: &Request) -> Response {
+    if request.method != "GET" {
+        return Response {
+            status: 405,
+            content_type: "text/plain",
+            body: "only GET is supported for /schema".to_string(),
+        };
+    }
+    let rest = &request.path["/schema/".len()..];
+    let (id_part, tail) = rest.split_once('/').unwrap_or((rest, ""));
+    let Ok(id) = id_part.parse::<SchemaId>() else {
+        return Response::bad_request(format!("bad schema id `{id_part}`"));
+    };
+    let Some(stored) = engine.repository().get(id) else {
+        return Response::not_found(format!("schema {id} not found"));
+    };
+    let depth = request
+        .param("depth")
+        .and_then(|d| d.parse::<usize>().ok())
+        .unwrap_or(3);
+    match tail {
+        "" => {
+            let xml = to_graphml(
+                &stored.schema,
+                &GraphmlOptions {
+                    max_depth: Some(depth),
+                    scores: vec![],
+                },
+            );
+            Response::ok("application/graphml+xml", xml)
+        }
+        "svg" => {
+            let roots = stored.schema.roots();
+            let layout = match request.param("layout").unwrap_or("tree") {
+                "radial" => radial_layout(&stored.schema, &roots, depth),
+                "tree" => tree_layout(&stored.schema, &roots, depth),
+                other => return Response::bad_request(format!("unknown layout `{other}`")),
+            };
+            let svg = schemr_viz::render_svg(&stored.schema, &layout, &SvgOptions::default());
+            Response::ok("image/svg+xml", svg)
+        }
+        other => Response::not_found(format!("no such schema view `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_repo::{import::import_str, Repository};
+    use std::io::{Read, Write};
+
+    fn engine() -> Arc<SchemrEngine> {
+        let repo = Arc::new(Repository::new());
+        import_str(
+            &repo,
+            "clinic",
+            "rural health clinic",
+            "CREATE TABLE patient (id INT, height REAL, gender TEXT, diagnosis TEXT)",
+        )
+        .unwrap();
+        import_str(
+            &repo,
+            "store",
+            "a web shop",
+            "CREATE TABLE orders (id INT, total DECIMAL, quantity INT, customer TEXT)",
+        )
+        .unwrap();
+        let engine = Arc::new(SchemrEngine::new(repo));
+        engine.reindex_full();
+        engine
+    }
+
+    fn get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+        request(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    fn request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        let status: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = buf
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn healthz() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let (status, body) = get(server.addr(), "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn keyword_search_returns_ranked_xml() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let (status, body) = get(server.addr(), "/search?q=patient+height+gender");
+        assert_eq!(status, 200);
+        assert!(body.contains("<results"));
+        assert!(body.contains("<title>clinic</title>"));
+        let clinic_pos = body.find("clinic").unwrap();
+        let store_pos = body.find("store").unwrap_or(usize::MAX);
+        assert!(clinic_pos < store_pos);
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_fragment_search() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let body = "CREATE TABLE patient (height REAL, gender TEXT)";
+        let raw = format!(
+            "POST /search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let (status, resp) = request(server.addr(), &raw);
+        assert_eq!(status, 200);
+        assert!(resp.contains("clinic"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn schema_endpoint_returns_graphml_and_svg() {
+        let eng = engine();
+        let id = eng.repository().ids()[0];
+        let server = SchemrServer::start(eng, ServerConfig::default()).unwrap();
+        let (status, body) = get(server.addr(), &format!("/schema/{id}"));
+        assert_eq!(status, 200);
+        assert!(body.contains("<graphml"));
+        let (status, svg) = get(server.addr(), &format!("/schema/{id}/svg?layout=radial"));
+        assert_eq!(status, 200);
+        assert!(svg.starts_with("<svg"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_paths() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        assert_eq!(get(addr, "/nope").0, 404);
+        assert_eq!(get(addr, "/schema/zzz").0, 400);
+        assert_eq!(get(addr, "/schema/s9999").0, 404);
+        assert_eq!(get(addr, "/search").0, 400); // empty query
+        assert_eq!(get(addr, "/search?q=patient&limit=abc").0, 400);
+        assert_eq!(get(addr, "/schema/s0/svg?layout=spiral").0, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = SchemrServer::start(
+            engine(),
+            ServerConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        let server = server.unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let (status, _) = get(addr, "/search?q=patient");
+                    assert_eq!(status, 200);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_endpoint_reports_repository_and_index() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let (status, body) = get(server.addr(), "/stats");
+        assert_eq!(status, 200);
+        assert!(body.contains("schemas=\"2\""), "{body}");
+        assert!(body.contains("indexed=\"2\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn limit_param_caps_results() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let (_, body) = get(server.addr(), "/search?q=id&limit=1");
+        assert!(body.contains("count=\"1\""), "{body}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,82 @@
+//! The search-results XML format — "this list of candidate schemas, along
+//! with their corresponding score, is finally sent as an XML response to
+//! the client".
+
+use schemr::SearchResult;
+use schemr_parse::xml::escape;
+
+/// Serialize ranked results to the response XML.
+///
+/// ```xml
+/// <results count="2">
+///   <result id="s3" rank="1" score="0.740" matches="5" entities="3" attributes="6">
+///     <title>clinic</title>
+///     <summary>rural health clinic</summary>
+///   </result>
+///   …
+/// </results>
+/// ```
+pub fn results_to_xml(results: &[SearchResult]) -> String {
+    let mut out = String::with_capacity(256 + results.len() * 160);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str(&format!("<results count=\"{}\">\n", results.len()));
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  <result id=\"{}\" rank=\"{}\" score=\"{:.4}\" matches=\"{}\" entities=\"{}\" attributes=\"{}\">\n",
+            r.id,
+            i + 1,
+            r.score,
+            r.matches.len(),
+            r.stats.entities,
+            r.stats.attributes
+        ));
+        out.push_str(&format!("    <title>{}</title>\n", escape(&r.title)));
+        out.push_str(&format!("    <summary>{}</summary>\n", escape(&r.summary)));
+        out.push_str("  </result>\n");
+    }
+    out.push_str("</results>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{SchemaId, SchemaStats};
+    use schemr_parse::xml::XmlParser;
+
+    fn result(id: u64, title: &str) -> SearchResult {
+        SearchResult {
+            id: SchemaId(id),
+            title: title.to_string(),
+            summary: "a <summary> & more".to_string(),
+            score: 0.5,
+            coarse_score: 1.0,
+            matched_terms: 1,
+            stats: SchemaStats::default(),
+            matches: vec![],
+        }
+    }
+
+    #[test]
+    fn xml_is_well_formed_and_ranked() {
+        let xml = results_to_xml(&[result(3, "clinic"), result(9, "store")]);
+        assert!(XmlParser::parse_all(&xml).is_ok());
+        assert!(xml.contains("count=\"2\""));
+        assert!(xml.contains("id=\"s3\" rank=\"1\""));
+        assert!(xml.contains("id=\"s9\" rank=\"2\""));
+    }
+
+    #[test]
+    fn titles_and_summaries_are_escaped() {
+        let xml = results_to_xml(&[result(1, "a<b>&c")]);
+        assert!(xml.contains("a&lt;b&gt;&amp;c"));
+        assert!(XmlParser::parse_all(&xml).is_ok());
+    }
+
+    #[test]
+    fn empty_results() {
+        let xml = results_to_xml(&[]);
+        assert!(xml.contains("count=\"0\""));
+        assert!(XmlParser::parse_all(&xml).is_ok());
+    }
+}

@@ -1,0 +1,190 @@
+//! The analyzer pipeline: tokenize → normalize → (expand) → (stop) → (stem).
+//!
+//! One [`Analyzer`] instance is shared by the offline indexer and the
+//! online query flattener so both sides of the index agree on terms — the
+//! same contract Lucene analyzers provide in the paper's implementation.
+
+use crate::normalize::{fold_case, AbbreviationDict};
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+
+/// Configuration of the analysis pipeline.
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Drop stopwords (on for document text, often off for element names).
+    pub remove_stopwords: bool,
+    /// Apply the Porter stemmer.
+    pub stem: bool,
+    /// Expand abbreviations through the dictionary.
+    pub expand_abbreviations: bool,
+    /// Minimum token length kept (after expansion); 1 keeps everything.
+    pub min_token_len: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            remove_stopwords: true,
+            stem: true,
+            expand_abbreviations: true,
+            min_token_len: 1,
+        }
+    }
+}
+
+/// The analysis pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    config: AnalyzerConfig,
+    abbreviations: AbbreviationDict,
+}
+
+impl Analyzer {
+    /// Analyzer with the given config and the built-in abbreviation
+    /// dictionary.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        Analyzer {
+            config,
+            abbreviations: AbbreviationDict::builtin(),
+        }
+    }
+
+    /// Replace the abbreviation dictionary.
+    pub fn with_abbreviations(mut self, dict: AbbreviationDict) -> Self {
+        self.abbreviations = dict;
+        self
+    }
+
+    /// The pipeline used for free document text (titles, summaries, docs):
+    /// stopwords removed, stemming on.
+    pub fn for_documents() -> Self {
+        Analyzer::new(AnalyzerConfig::default())
+    }
+
+    /// The pipeline used for element names: no stopword removal (an element
+    /// named `to` is still a name), stemming and expansion on.
+    pub fn for_names() -> Self {
+        Analyzer::new(AnalyzerConfig {
+            remove_stopwords: false,
+            ..AnalyzerConfig::default()
+        })
+    }
+
+    /// A minimal pipeline: tokenize + case fold only. Used by baselines and
+    /// ablation experiments.
+    pub fn plain() -> Self {
+        Analyzer::new(AnalyzerConfig {
+            remove_stopwords: false,
+            stem: false,
+            expand_abbreviations: false,
+            min_token_len: 1,
+        })
+        .with_abbreviations(AbbreviationDict::empty())
+    }
+
+    /// Run the pipeline over `input`, producing index/query terms.
+    pub fn analyze(&self, input: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for token in tokenize(input) {
+            let folded = fold_case(&token.text);
+            let words = if self.config.expand_abbreviations {
+                self.abbreviations.expand_words(&folded)
+            } else {
+                vec![folded]
+            };
+            for w in words {
+                if self.config.remove_stopwords && is_stopword(&w) {
+                    continue;
+                }
+                let term = if self.config.stem { stem(&w) } else { w };
+                if term.chars().count() >= self.config.min_token_len {
+                    out.push(term);
+                }
+            }
+        }
+        out
+    }
+
+    /// Analyze several inputs and concatenate the terms.
+    pub fn analyze_all<'a>(&self, inputs: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+        inputs.into_iter().flat_map(|s| self.analyze(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_pipeline_folds_splits_stops_and_stems() {
+        let a = Analyzer::for_documents();
+        assert_eq!(
+            a.analyze("The PatientDiagnoses of the clinic"),
+            vec!["patient", "diagnos", "clinic"]
+        );
+    }
+
+    #[test]
+    fn name_pipeline_keeps_stopword_like_names() {
+        let a = Analyzer::for_names();
+        assert_eq!(a.analyze("to"), vec!["to"]);
+    }
+
+    #[test]
+    fn abbreviations_expand_before_stemming() {
+        let a = Analyzer::for_names();
+        // pat_ht → patient, height
+        assert_eq!(a.analyze("pat_ht"), vec!["patient", "height"]);
+        // dob expands to three words; "of" survives because the name
+        // pipeline keeps stopwords.
+        assert_eq!(a.analyze("DOB"), vec!["date", "of", "birth"]);
+    }
+
+    #[test]
+    fn document_pipeline_drops_stopwords_from_expansions() {
+        let a = Analyzer::for_documents();
+        assert_eq!(a.analyze("dob"), vec!["date", "birth"]);
+    }
+
+    #[test]
+    fn plain_pipeline_only_tokenizes_and_folds() {
+        let a = Analyzer::plain();
+        assert_eq!(
+            a.analyze("The PatientDiagnoses"),
+            vec!["the", "patient", "diagnoses"]
+        );
+        assert_eq!(a.analyze("qty"), vec!["qty"]);
+    }
+
+    #[test]
+    fn same_pipeline_conflates_grammatical_variants() {
+        let a = Analyzer::for_names();
+        assert_eq!(a.analyze("diagnoses"), a.analyze("diagnosed"));
+        assert_eq!(a.analyze("patients"), a.analyze("patient"));
+    }
+
+    #[test]
+    fn min_token_len_filters_short_terms() {
+        let a = Analyzer::new(AnalyzerConfig {
+            remove_stopwords: false,
+            stem: false,
+            expand_abbreviations: false,
+            min_token_len: 2,
+        })
+        .with_abbreviations(crate::normalize::AbbreviationDict::empty());
+        assert_eq!(a.analyze("a_bb_ccc"), vec!["bb", "ccc"]);
+    }
+
+    #[test]
+    fn analyze_all_concatenates() {
+        let a = Analyzer::plain();
+        assert_eq!(a.analyze_all(["ab cd", "ef"]), vec!["ab", "cd", "ef"]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_terms() {
+        assert!(Analyzer::for_documents().analyze("").is_empty());
+        assert!(Analyzer::for_documents().analyze("___").is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # schemr-text
+//!
+//! The text-analysis substrate shared by the document index (Phase 1,
+//! candidate extraction) and the name/context matchers (Phase 2).
+//!
+//! Schema element names arrive in every convention imaginable —
+//! `PatientHeight`, `pat_ht`, `patient-height`, `PATIENTHEIGHT2` — and the
+//! paper's name matcher is explicitly designed around "abbreviated terms,
+//! alternate grammatical forms, and delimiter characters". This crate
+//! provides the pieces that make that robustness possible:
+//!
+//! * [`tokenize`] — delimiter + camelCase + letter/digit boundary splitting,
+//! * [`normalize`] — case folding and abbreviation expansion,
+//! * [`stem`] — a from-scratch Porter stemmer for grammatical variants,
+//! * [`stopwords`] — a small stopword list for flattened documents,
+//! * [`ngram`] — the all-n-gram decomposition the name matcher scores with,
+//! * [`Analyzer`] — a configurable pipeline combining the above.
+
+pub mod ngram;
+pub mod normalize;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+
+mod analyzer;
+
+pub use analyzer::{Analyzer, AnalyzerConfig};

@@ -1,0 +1,163 @@
+//! Character n-gram decomposition and set similarity.
+//!
+//! The paper's name matcher parses "each schema element … into a set of all
+//! possible n-grams, ranging in length from one character to the length of
+//! the word", then ranks those sets against candidate element names. This
+//! module provides that decomposition plus the standard set-similarity
+//! coefficients (Dice, Jaccard, overlap) the matcher combines.
+
+use std::collections::HashSet;
+
+/// All n-grams of `word` with lengths in `1..=word.len()` (character-wise),
+/// deduplicated.
+///
+/// `"abc"` → `{a, b, c, ab, bc, abc}`.
+pub fn all_ngrams(word: &str) -> HashSet<String> {
+    let chars: Vec<char> = word.chars().collect();
+    let mut out = HashSet::new();
+    for n in 1..=chars.len() {
+        for start in 0..=(chars.len() - n) {
+            out.insert(chars[start..start + n].iter().collect());
+        }
+    }
+    out
+}
+
+/// Fixed-length n-grams of `word` (deduplicated). Words shorter than `n`
+/// yield the whole word as a single gram so short names still compare.
+pub fn ngrams(word: &str, n: usize) -> HashSet<String> {
+    assert!(n > 0, "n-gram length must be positive");
+    let chars: Vec<char> = word.chars().collect();
+    if chars.is_empty() {
+        return HashSet::new();
+    }
+    if chars.len() < n {
+        return HashSet::from([word.to_string()]);
+    }
+    (0..=chars.len() - n)
+        .map(|start| chars[start..start + n].iter().collect())
+        .collect()
+}
+
+/// Dice coefficient: `2|A ∩ B| / (|A| + |B|)`, in [0, 1].
+pub fn dice(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Jaccard coefficient: `|A ∩ B| / |A ∪ B|`, in [0, 1].
+pub fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Overlap coefficient: `|A ∩ B| / min(|A|, |B|)`, in [0, 1].
+///
+/// Rewards containment — an abbreviation's gram set is largely contained in
+/// its expansion's, so overlap stays high where Jaccard collapses. This is
+/// the coefficient Schemr's name matcher leans on for abbreviated terms.
+pub fn overlap(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn all_ngrams_of_abc() {
+        assert_eq!(all_ngrams("abc"), set(&["a", "b", "c", "ab", "bc", "abc"]));
+    }
+
+    #[test]
+    fn all_ngrams_counts_follow_triangular_numbers() {
+        // A word of k distinct characters has k(k+1)/2 distinct n-grams.
+        assert_eq!(all_ngrams("abcd").len(), 10);
+        assert_eq!(all_ngrams("x").len(), 1);
+        assert!(all_ngrams("").is_empty());
+    }
+
+    #[test]
+    fn all_ngrams_dedupes_repeats() {
+        // "aa" → {a, aa}
+        assert_eq!(all_ngrams("aa"), set(&["a", "aa"]));
+    }
+
+    #[test]
+    fn fixed_ngrams() {
+        assert_eq!(
+            ngrams("patient", 3),
+            set(&["pat", "ati", "tie", "ien", "ent"])
+        );
+        assert_eq!(ngrams("ab", 3), set(&["ab"]));
+        assert!(ngrams("", 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_ngrams_panic() {
+        ngrams("abc", 0);
+    }
+
+    #[test]
+    fn coefficients_on_identical_sets_are_one() {
+        let a = all_ngrams("patient");
+        assert!((dice(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((overlap(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_on_disjoint_sets_are_zero() {
+        let a = all_ngrams("abc");
+        let b = all_ngrams("xyz");
+        assert_eq!(dice(&a, &b), 0.0);
+        assert_eq!(jaccard(&a, &b), 0.0);
+        assert_eq!(overlap(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_sets_are_handled() {
+        let e = HashSet::new();
+        let a = all_ngrams("a");
+        assert_eq!(dice(&e, &e), 0.0);
+        assert_eq!(jaccard(&e, &e), 0.0);
+        assert_eq!(overlap(&e, &a), 0.0);
+    }
+
+    #[test]
+    fn overlap_rewards_abbreviation_containment() {
+        // "pat" is a prefix of "patient": every gram of "pat" appears in
+        // "patient"'s all-gram set, so overlap is 1 while Jaccard is small.
+        let abbr = all_ngrams("pat");
+        let full = all_ngrams("patient");
+        assert!((overlap(&abbr, &full) - 1.0).abs() < 1e-12);
+        assert!(jaccard(&abbr, &full) < 0.3);
+    }
+
+    #[test]
+    fn dice_is_symmetric_and_bounded() {
+        let a = all_ngrams("height");
+        let b = all_ngrams("heights");
+        let d1 = dice(&a, &b);
+        let d2 = dice(&b, &a);
+        assert_eq!(d1, d2);
+        assert!((0.0..=1.0).contains(&d1));
+        assert!(d1 > 0.7, "near-identical words should score high: {d1}");
+    }
+}

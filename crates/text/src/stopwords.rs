@@ -1,0 +1,54 @@
+//! A small English stopword list for flattened schema documents.
+//!
+//! Schema names rarely contain stopwords, but titles, summaries, and
+//! documentation strings do ("list of the patients seen by a doctor"); the
+//! indexer drops them to keep the term dictionary discriminative.
+
+/// Stopwords, sorted, ASCII lowercase.
+static STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "if",
+    "in", "into", "is", "it", "its", "no", "not", "of", "on", "or", "our", "she", "such", "that",
+    "the", "their", "then", "there", "these", "they", "this", "to", "was", "were", "will", "with",
+];
+
+/// Is `word` (already lowercase) a stopword?
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// The full stopword list.
+pub fn all() -> &'static [&'static str] {
+    STOPWORDS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn common_stopwords_are_detected() {
+        for w in ["the", "of", "and", "a", "with"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["patient", "height", "gender", "diagnosis", "id"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_by_contract() {
+        // Callers fold case first; uppercase input is not matched.
+        assert!(!is_stopword("The"));
+    }
+}

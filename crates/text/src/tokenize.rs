@@ -1,0 +1,183 @@
+//! Tokenization of schema element names and free text.
+//!
+//! Splits on delimiter characters (`_`, `-`, `.`, whitespace, punctuation),
+//! camelCase boundaries (`PatientHeight` → `Patient`, `Height`), acronym
+//! boundaries (`HTTPResponse` → `HTTP`, `Response`), and letter/digit
+//! boundaries (`address2` → `address`, `2`).
+
+/// A token with its byte offset in the source string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text, exactly as it appears in the source.
+    pub text: String,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Character classes driving boundary detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Lower,
+    Upper,
+    Digit,
+    Other,
+}
+
+fn classify(c: char) -> Class {
+    if c.is_lowercase() {
+        Class::Lower
+    } else if c.is_uppercase() {
+        Class::Upper
+    } else if c.is_ascii_digit() {
+        Class::Digit
+    } else {
+        Class::Other
+    }
+}
+
+/// Split `input` into tokens with offsets.
+///
+/// Boundary rules, applied between consecutive characters `a`,`b`:
+/// * either side is a non-alphanumeric delimiter → split (delimiter dropped),
+/// * `lower → Upper` (camelCase) → split,
+/// * `Upper → Upper lower` (acronym end: `HTTPServer` → `HTTP`|`Server`) → split,
+/// * letter ↔ digit transition → split.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut cur_offset = 0usize;
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+
+    let flush = |tokens: &mut Vec<Token>, cur: &mut String, cur_offset: usize| {
+        if !cur.is_empty() {
+            tokens.push(Token {
+                text: std::mem::take(cur),
+                offset: cur_offset,
+            });
+        }
+    };
+
+    for i in 0..chars.len() {
+        let (off, c) = chars[i];
+        let class = classify(c);
+        if class == Class::Other {
+            flush(&mut tokens, &mut cur, cur_offset);
+            continue;
+        }
+        if cur.is_empty() {
+            cur_offset = off;
+            cur.push(c);
+            continue;
+        }
+        let prev = classify(cur.chars().next_back().expect("cur nonempty"));
+        let boundary = match (prev, class) {
+            // camelCase: patient|Height
+            (Class::Lower, Class::Upper) => true,
+            // acronym end: HTTP|Server — split before an Upper followed by a lower.
+            (Class::Upper, Class::Upper) => {
+                matches!(chars.get(i + 1), Some(&(_, next)) if classify(next) == Class::Lower)
+            }
+            // letter/digit transitions: address|2, 2|nd
+            (Class::Digit, Class::Lower | Class::Upper) => true,
+            (Class::Lower | Class::Upper, Class::Digit) => true,
+            _ => false,
+        };
+        if boundary {
+            flush(&mut tokens, &mut cur, cur_offset);
+            cur_offset = off;
+        }
+        cur.push(c);
+    }
+    flush(&mut tokens, &mut cur, cur_offset);
+    tokens
+}
+
+/// Tokenize and return just the texts.
+pub fn words(input: &str) -> Vec<String> {
+    tokenize(input).into_iter().map(|t| t.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<String> {
+        words(s)
+    }
+
+    #[test]
+    fn splits_on_delimiters() {
+        assert_eq!(texts("patient_height"), ["patient", "height"]);
+        assert_eq!(texts("patient-height"), ["patient", "height"]);
+        assert_eq!(texts("patient.height"), ["patient", "height"]);
+        assert_eq!(texts("patient height"), ["patient", "height"]);
+        assert_eq!(
+            texts("patient/height,gender"),
+            ["patient", "height", "gender"]
+        );
+    }
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(texts("PatientHeight"), ["Patient", "Height"]);
+        assert_eq!(texts("patientHeight"), ["patient", "Height"]);
+    }
+
+    #[test]
+    fn keeps_acronyms_together() {
+        assert_eq!(texts("HTTPServer"), ["HTTP", "Server"]);
+        assert_eq!(texts("parseXMLDocument"), ["parse", "XML", "Document"]);
+        assert_eq!(texts("HIV"), ["HIV"]);
+    }
+
+    #[test]
+    fn splits_letter_digit_boundaries() {
+        assert_eq!(texts("address2"), ["address", "2"]);
+        assert_eq!(texts("2nd"), ["2", "nd"]);
+        assert_eq!(texts("icd10code"), ["icd", "10", "code"]);
+    }
+
+    #[test]
+    fn empty_and_delimiter_only_inputs() {
+        assert!(texts("").is_empty());
+        assert!(texts("___---").is_empty());
+        assert!(texts("  \t ").is_empty());
+    }
+
+    #[test]
+    fn offsets_point_into_the_source() {
+        let toks = tokenize("pat_Height2");
+        assert_eq!(
+            toks,
+            vec![
+                Token {
+                    text: "pat".into(),
+                    offset: 0
+                },
+                Token {
+                    text: "Height".into(),
+                    offset: 4
+                },
+                Token {
+                    text: "2".into(),
+                    offset: 10
+                },
+            ]
+        );
+        for t in &toks {
+            assert_eq!(&"pat_Height2"[t.offset..t.offset + t.text.len()], t.text);
+        }
+    }
+
+    #[test]
+    fn handles_unicode_without_panicking() {
+        // Non-ASCII letters are classified by Unicode case.
+        assert_eq!(texts("größeÜber"), ["größe", "Über"]);
+    }
+
+    #[test]
+    fn single_character_tokens() {
+        assert_eq!(texts("a_b_c"), ["a", "b", "c"]);
+        assert_eq!(texts("aB"), ["a", "B"]);
+    }
+}

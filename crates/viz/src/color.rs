@@ -1,0 +1,89 @@
+//! Color encodings: "node color corresponds to schema element types (e.g.
+//! entity or attribute)" plus a similarity ramp for match strength.
+
+use schemr_model::ElementKind;
+
+/// An sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+impl Rgb {
+    /// CSS hex form, `#rrggbb`.
+    pub fn hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.0, self.1, self.2)
+    }
+
+    /// Linear interpolation toward `other` by `t ∈ [0,1]`.
+    pub fn lerp(self, other: Rgb, t: f64) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| -> u8 {
+            (f64::from(a) + (f64::from(b) - f64::from(a)) * t).round() as u8
+        };
+        Rgb(
+            mix(self.0, other.0),
+            mix(self.1, other.1),
+            mix(self.2, other.2),
+        )
+    }
+}
+
+/// Base color per element kind: entities blue, attributes amber, groups
+/// gray — distinct hues, as in the paper's screenshots.
+pub fn type_color(kind: ElementKind) -> Rgb {
+    match kind {
+        ElementKind::Entity => Rgb(0x4a, 0x7e, 0xc7),
+        ElementKind::Attribute => Rgb(0xe8, 0xa8, 0x3a),
+        ElementKind::Group => Rgb(0x9a, 0x9a, 0x9a),
+    }
+}
+
+/// Similarity ramp: score 0 → near-white, score 1 → saturated green.
+pub fn ramp_color(score: f64) -> Rgb {
+    Rgb(0xf2, 0xf2, 0xf2).lerp(Rgb(0x2e, 0x8b, 0x2e), score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(Rgb(0, 0, 0).hex(), "#000000");
+        assert_eq!(Rgb(255, 255, 255).hex(), "#ffffff");
+        assert_eq!(Rgb(0x4a, 0x7e, 0xc7).hex(), "#4a7ec7");
+    }
+
+    #[test]
+    fn kinds_get_distinct_colors() {
+        let colors = [
+            type_color(ElementKind::Entity),
+            type_color(ElementKind::Attribute),
+            type_color(ElementKind::Group),
+        ];
+        assert_ne!(colors[0], colors[1]);
+        assert_ne!(colors[1], colors[2]);
+        assert_ne!(colors[0], colors[2]);
+    }
+
+    #[test]
+    fn ramp_endpoints_and_monotonicity() {
+        assert_eq!(ramp_color(0.0), Rgb(0xf2, 0xf2, 0xf2));
+        assert_eq!(ramp_color(1.0), Rgb(0x2e, 0x8b, 0x2e));
+        // Green dominance grows with score; red channel shrinks.
+        let lo = ramp_color(0.2);
+        let hi = ramp_color(0.8);
+        assert!(hi.0 < lo.0);
+    }
+
+    #[test]
+    fn ramp_clamps_out_of_range_scores() {
+        assert_eq!(ramp_color(-2.0), ramp_color(0.0));
+        assert_eq!(ramp_color(7.0), ramp_color(1.0));
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let mid = Rgb(0, 0, 0).lerp(Rgb(200, 100, 50), 0.5);
+        assert_eq!(mid, Rgb(100, 50, 25));
+    }
+}

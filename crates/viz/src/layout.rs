@@ -1,0 +1,431 @@
+//! Layout engines: hierarchical tree and radial.
+//!
+//! "We allow for multiple graph layouts, including a hierarchical tree
+//! layout and a radial layout. To ensure Schemr scales to very large
+//! schemas, we cap the displayed graph depth to 3" — both engines take a
+//! `max_depth` and lay out only the visible subtree; drill-in is re-layout
+//! with a different root.
+
+use schemr_model::{ElementId, Schema};
+
+/// A positioned node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePos {
+    /// The element.
+    pub id: ElementId,
+    /// X coordinate (abstract units; the renderer scales).
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+/// A computed layout: node positions plus the edges between *visible*
+/// nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    /// Node positions.
+    pub nodes: Vec<NodePos>,
+    /// Containment edges between visible nodes, as (parent, child).
+    pub edges: Vec<(ElementId, ElementId)>,
+    /// Foreign-key edges between visible entities.
+    pub fk_edges: Vec<(ElementId, ElementId)>,
+}
+
+impl Layout {
+    /// Look up a node's position.
+    pub fn position(&self, id: ElementId) -> Option<NodePos> {
+        self.nodes.iter().copied().find(|n| n.id == id)
+    }
+
+    /// Bounding box (min_x, min_y, max_x, max_y).
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut b = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+        for n in &self.nodes {
+            b.0 = b.0.min(n.x);
+            b.1 = b.1.min(n.y);
+            b.2 = b.2.max(n.x);
+            b.3 = b.3.max(n.y);
+        }
+        if self.nodes.is_empty() {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            b
+        }
+    }
+}
+
+/// Count leaves of the depth-capped subtree (nodes with no visible
+/// children count as leaves).
+fn leaf_count(schema: &Schema, id: ElementId, depth_left: usize) -> usize {
+    if depth_left == 0 {
+        return 1;
+    }
+    let children = schema.children(id);
+    if children.is_empty() {
+        1
+    } else {
+        children
+            .into_iter()
+            .map(|c| leaf_count(schema, c, depth_left - 1))
+            .sum()
+    }
+}
+
+/// Visible edges of the capped subtree rooted at `root`.
+fn visible_edges(
+    schema: &Schema,
+    root: ElementId,
+    max_depth: usize,
+) -> Vec<(ElementId, ElementId)> {
+    let visible = schema.subtree(root, max_depth);
+    let set: std::collections::HashSet<ElementId> = visible.iter().copied().collect();
+    let mut edges = Vec::new();
+    for &id in &visible {
+        if let Some(p) = schema.element(id).parent {
+            if set.contains(&p) {
+                edges.push((p, id));
+            }
+        }
+    }
+    edges
+}
+
+/// Foreign-key edges with both endpoints visible.
+fn visible_fk_edges(schema: &Schema, visible: &[ElementId]) -> Vec<(ElementId, ElementId)> {
+    let set: std::collections::HashSet<ElementId> = visible.iter().copied().collect();
+    schema
+        .foreign_keys()
+        .iter()
+        .filter(|fk| set.contains(&fk.from_entity) && set.contains(&fk.to_entity))
+        .map(|fk| (fk.from_entity, fk.to_entity))
+        .collect()
+}
+
+/// Hierarchical tree layout: depth maps to Y (top-down), leaves occupy
+/// consecutive X slots, inner nodes center over their children. Multiple
+/// roots lay out side by side.
+pub fn tree_layout(schema: &Schema, roots: &[ElementId], max_depth: usize) -> Layout {
+    const X_STEP: f64 = 80.0;
+    const Y_STEP: f64 = 70.0;
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    let mut next_leaf_x = 0.0f64;
+
+    #[allow(clippy::too_many_arguments)]
+    fn place(
+        schema: &Schema,
+        id: ElementId,
+        depth: usize,
+        depth_left: usize,
+        next_leaf_x: &mut f64,
+        nodes: &mut Vec<NodePos>,
+        x_step: f64,
+        y_step: f64,
+    ) -> f64 {
+        let children = if depth_left > 0 {
+            schema.children(id)
+        } else {
+            Vec::new()
+        };
+        let x = if children.is_empty() {
+            let x = *next_leaf_x;
+            *next_leaf_x += x_step;
+            x
+        } else {
+            let child_xs: Vec<f64> = children
+                .iter()
+                .map(|&c| {
+                    place(
+                        schema,
+                        c,
+                        depth + 1,
+                        depth_left - 1,
+                        next_leaf_x,
+                        nodes,
+                        x_step,
+                        y_step,
+                    )
+                })
+                .collect();
+            child_xs.iter().sum::<f64>() / child_xs.len() as f64
+        };
+        nodes.push(NodePos {
+            id,
+            x,
+            y: depth as f64 * y_step,
+        });
+        x
+    }
+
+    let mut all_visible = Vec::new();
+    for &root in roots {
+        place(
+            schema,
+            root,
+            0,
+            max_depth,
+            &mut next_leaf_x,
+            &mut nodes,
+            X_STEP,
+            Y_STEP,
+        );
+        edges.extend(visible_edges(schema, root, max_depth));
+        all_visible.extend(schema.subtree(root, max_depth));
+    }
+    let fk_edges = visible_fk_edges(schema, &all_visible);
+    Layout {
+        nodes,
+        edges,
+        fk_edges,
+    }
+}
+
+/// Radial layout: the (single) root sits at the origin; depth maps to
+/// radius; each subtree gets an angular wedge proportional to its leaf
+/// count. Multiple roots get equal wedges of the full circle.
+pub fn radial_layout(schema: &Schema, roots: &[ElementId], max_depth: usize) -> Layout {
+    const R_STEP: f64 = 90.0;
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    let mut all_visible = Vec::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn place(
+        schema: &Schema,
+        id: ElementId,
+        depth: usize,
+        depth_left: usize,
+        angle_start: f64,
+        angle_end: f64,
+        nodes: &mut Vec<NodePos>,
+        r_step: f64,
+    ) {
+        let angle = (angle_start + angle_end) / 2.0;
+        let r = depth as f64 * r_step;
+        nodes.push(NodePos {
+            id,
+            x: r * angle.cos(),
+            y: r * angle.sin(),
+        });
+        if depth_left == 0 {
+            return;
+        }
+        let children = schema.children(id);
+        if children.is_empty() {
+            return;
+        }
+        let weights: Vec<usize> = children
+            .iter()
+            .map(|&c| leaf_count(schema, c, depth_left - 1))
+            .collect();
+        let total: usize = weights.iter().sum();
+        let span = angle_end - angle_start;
+        let mut at = angle_start;
+        for (&c, &w) in children.iter().zip(&weights) {
+            let slice = span * w as f64 / total as f64;
+            place(
+                schema,
+                c,
+                depth + 1,
+                depth_left - 1,
+                at,
+                at + slice,
+                nodes,
+                r_step,
+            );
+            at += slice;
+        }
+    }
+
+    let tau = std::f64::consts::TAU;
+    let wedge = if roots.is_empty() {
+        tau
+    } else {
+        tau / roots.len() as f64
+    };
+    for (i, &root) in roots.iter().enumerate() {
+        // Offset multi-root layouts so roots don't all sit at the origin:
+        // each root becomes the center of its own wedge ring at radius 0 —
+        // for a single root this is the classic radial view.
+        let start = i as f64 * wedge;
+        place(
+            schema,
+            root,
+            0,
+            max_depth,
+            start,
+            start + wedge,
+            &mut nodes,
+            R_STEP,
+        );
+        edges.extend(visible_edges(schema, root, max_depth));
+        all_visible.extend(schema.subtree(root, max_depth));
+    }
+    // Multi-root radial: push each root out so they don't overlap at the
+    // origin.
+    if roots.len() > 1 {
+        for (i, &root) in roots.iter().enumerate() {
+            let angle = (i as f64 + 0.5) * wedge;
+            let shift = (40.0 * roots.len() as f64, angle);
+            for n in nodes.iter_mut() {
+                if n.id == root {
+                    n.x += shift.0 * shift.1.cos();
+                    n.y += shift.0 * shift.1.sin();
+                }
+            }
+        }
+    }
+    let fk_edges = visible_fk_edges(schema, &all_visible);
+    Layout {
+        nodes,
+        edges,
+        fk_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{DataType, SchemaBuilder};
+
+    fn clinic() -> Schema {
+        SchemaBuilder::new("clinic")
+            .entity("patient", |e| {
+                e.attr("height", DataType::Real)
+                    .attr("gender", DataType::Text)
+                    .attr("dob", DataType::Date)
+            })
+            .entity("case", |e| e.attr("patient_id", DataType::Integer))
+            .foreign_key("case", &["patient_id"], "patient", &[])
+            .build_unchecked()
+    }
+
+    #[test]
+    fn tree_layout_places_every_visible_node_once() {
+        let s = clinic();
+        let layout = tree_layout(&s, &s.roots(), 3);
+        assert_eq!(layout.nodes.len(), s.len());
+        let ids: std::collections::HashSet<_> = layout.nodes.iter().map(|n| n.id).collect();
+        assert_eq!(ids.len(), s.len());
+    }
+
+    #[test]
+    fn tree_depth_maps_to_y() {
+        let s = clinic();
+        let layout = tree_layout(&s, &s.roots(), 3);
+        for n in &layout.nodes {
+            let expected = s.depth(n.id) as f64 * 70.0;
+            assert_eq!(n.y, expected, "node {}", s.path(n.id));
+        }
+    }
+
+    #[test]
+    fn tree_parents_center_over_children() {
+        let s = clinic();
+        let layout = tree_layout(&s, &s.roots(), 3);
+        let patient = s.entities()[0];
+        let kids = s.children(patient);
+        let mean: f64 = kids
+            .iter()
+            .map(|&k| layout.position(k).unwrap().x)
+            .sum::<f64>()
+            / kids.len() as f64;
+        assert!((layout.position(patient).unwrap().x - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_cap_hides_deep_nodes() {
+        let mut s = schemr_model::Schema::new("deep");
+        let a = s.add_root(schemr_model::Element::entity("a"));
+        let b = s.add_child(a, schemr_model::Element::group("b"));
+        let c = s.add_child(b, schemr_model::Element::group("c"));
+        let d = s.add_child(c, schemr_model::Element::group("d"));
+        let deep = s.add_child(d, schemr_model::Element::attribute("x", DataType::Text));
+        let layout = tree_layout(&s, &[a], 3);
+        assert!(layout.position(d).is_some());
+        assert!(layout.position(deep).is_none());
+        // Drill-in: re-root at c and the deep node appears.
+        let drilled = tree_layout(&s, &[c], 3);
+        assert!(drilled.position(deep).is_some());
+    }
+
+    #[test]
+    fn edges_connect_only_visible_nodes() {
+        let s = clinic();
+        let layout = tree_layout(&s, &s.roots(), 1);
+        for &(p, c) in &layout.edges {
+            assert!(layout.position(p).is_some());
+            assert!(layout.position(c).is_some());
+        }
+        assert_eq!(layout.edges.len(), 4); // 3 patient attrs + 1 case attr
+    }
+
+    #[test]
+    fn fk_edges_surface_when_both_entities_visible() {
+        let s = clinic();
+        let layout = tree_layout(&s, &s.roots(), 3);
+        assert_eq!(layout.fk_edges.len(), 1);
+        let (from, to) = layout.fk_edges[0];
+        assert_eq!(s.element(from).name, "case");
+        assert_eq!(s.element(to).name, "patient");
+    }
+
+    #[test]
+    fn radial_root_sits_at_origin() {
+        let s = clinic();
+        let patient = s.entities()[0];
+        let layout = radial_layout(&s, &[patient], 3);
+        let origin = layout.position(patient).unwrap();
+        assert!(origin.x.abs() < 1e-9 && origin.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn radial_children_sit_on_the_first_ring() {
+        let s = clinic();
+        let patient = s.entities()[0];
+        let layout = radial_layout(&s, &[patient], 3);
+        for k in s.children(patient) {
+            let p = layout.position(k).unwrap();
+            let r = (p.x * p.x + p.y * p.y).sqrt();
+            assert!((r - 90.0).abs() < 1e-9, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn radial_children_angles_are_distinct() {
+        let s = clinic();
+        let patient = s.entities()[0];
+        let layout = radial_layout(&s, &[patient], 3);
+        let mut angles: Vec<f64> = s
+            .children(patient)
+            .iter()
+            .map(|&k| {
+                let p = layout.position(k).unwrap();
+                p.y.atan2(p.x)
+            })
+            .collect();
+        angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in angles.windows(2) {
+            assert!((w[1] - w[0]).abs() > 1e-6);
+        }
+    }
+
+    #[test]
+    fn bounds_cover_all_nodes() {
+        let s = clinic();
+        let layout = tree_layout(&s, &s.roots(), 3);
+        let (minx, miny, maxx, maxy) = layout.bounds();
+        for n in &layout.nodes {
+            assert!(n.x >= minx && n.x <= maxx);
+            assert!(n.y >= miny && n.y <= maxy);
+        }
+    }
+
+    #[test]
+    fn empty_roots_produce_empty_layout() {
+        let s = clinic();
+        let layout = tree_layout(&s, &[], 3);
+        assert!(layout.nodes.is_empty());
+        assert_eq!(layout.bounds(), (0.0, 0.0, 0.0, 0.0));
+    }
+}

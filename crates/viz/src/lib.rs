@@ -1,0 +1,35 @@
+//! # schemr-viz
+//!
+//! Headless visualization for Schemr — the computational half of the
+//! paper's Flex/Flare GUI.
+//!
+//! The paper's client renders schemas as interactive graphs: "element nodes
+//! are encoded by color", layouts include "a hierarchical tree layout and a
+//! radial layout", displayed depth is capped at 3 with drill-in, and the
+//! server ships schemas to the client as GraphML. Everything about that
+//! pipeline except the Flash event loop is reproduced here:
+//!
+//! * [`graphml`] — GraphML serialization of schemas, with match scores as
+//!   node attributes (the transport format of Figure 5),
+//! * [`layout`] — hierarchical tree and radial layout engines producing
+//!   concrete coordinates,
+//! * [`color`] — node color encodings: element type → hue, similarity →
+//!   green ramp,
+//! * [`svg`] — an SVG renderer over a layout (what a human inspects in
+//!   place of the Flash GUI),
+//! * [`table`] — the tabular result view ("columns for name, score,
+//!   matches, entities, attributes, and description").
+
+pub mod color;
+pub mod graphml;
+pub mod layout;
+pub mod summary;
+pub mod svg;
+pub mod table;
+
+pub use color::{ramp_color, type_color, Rgb};
+pub use graphml::{from_graphml, to_graphml, GraphmlError, GraphmlOptions};
+pub use layout::{radial_layout, tree_layout, Layout, NodePos};
+pub use summary::{rank_entities, summarize, EntityImportance};
+pub use svg::{render_svg, SvgOptions};
+pub use table::format_results;

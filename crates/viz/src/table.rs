@@ -1,0 +1,104 @@
+//! The tabular result view — "a ranked list of n results, presented in a
+//! tabular format, including columns for name, score, matches, entities,
+//! attributes, and description".
+
+use schemr::SearchResult;
+
+/// Format results as a fixed-width text table.
+pub fn format_results(results: &[SearchResult]) -> String {
+    let mut rows: Vec<[String; 7]> = vec![[
+        "#".into(),
+        "name".into(),
+        "score".into(),
+        "matches".into(),
+        "entities".into(),
+        "attributes".into(),
+        "description".into(),
+    ]];
+    for (i, r) in results.iter().enumerate() {
+        rows.push([
+            (i + 1).to_string(),
+            r.title.clone(),
+            format!("{:.3}", r.score),
+            r.matches.len().to_string(),
+            r.stats.entities.to_string(),
+            r.stats.attributes.to_string(),
+            r.summary.clone(),
+        ]);
+    }
+    let mut widths = [0usize; 7];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{cell:<w$}"))
+            .collect();
+        out.push_str(line.join("  ").trim_end());
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::{SchemaId, SchemaStats};
+
+    fn result(title: &str, score: f64) -> SearchResult {
+        SearchResult {
+            id: SchemaId(1),
+            title: title.to_string(),
+            summary: "a schema".to_string(),
+            score,
+            coarse_score: score * 2.0,
+            matched_terms: 2,
+            stats: SchemaStats {
+                entities: 2,
+                attributes: 5,
+                groups: 0,
+                foreign_keys: 1,
+                max_depth: 1,
+            },
+            matches: vec![],
+        }
+    }
+
+    #[test]
+    fn table_has_header_rule_and_rows() {
+        let t = format_results(&[result("clinic", 0.74), result("store", 0.31)]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("clinic"));
+        assert!(lines[2].contains("0.740"));
+        assert!(lines[3].contains("store"));
+    }
+
+    #[test]
+    fn empty_results_still_render_the_header() {
+        let t = format_results(&[]);
+        assert!(t.lines().count() == 2);
+    }
+
+    #[test]
+    fn columns_align() {
+        let t = format_results(&[result("a", 0.1), result("much_longer_name", 0.2)]);
+        let lines: Vec<&str> = t.lines().collect();
+        // Score column starts at the same offset in both data rows.
+        let off2 = lines[2].find("0.100").unwrap();
+        let off3 = lines[3].find("0.200").unwrap();
+        assert_eq!(off2, off3);
+    }
+}

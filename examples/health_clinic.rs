@@ -1,0 +1,95 @@
+//! The paper's running scenario, end to end.
+//!
+//! A database administrator in a rural health system designs a new table.
+//! She searches with the keywords *patient, height, gender, diagnosis* and
+//! uploads a partially designed DDL fragment. Schemr parses the input into
+//! a query graph (Figure 1), extracts candidates, runs the matcher
+//! ensemble, and ranks by tightness-of-fit — including the Figure 4
+//! anchor-entity walk-through, which this example prints.
+//!
+//! ```sh
+//! cargo run --example health_clinic
+//! ```
+
+use std::sync::Arc;
+
+use schemr::{SchemrEngine, SearchRequest};
+use schemr_model::DistanceClass;
+use schemr_repo::{import::import_str, Repository};
+use schemr_viz::format_results;
+
+fn main() {
+    let repo = Arc::new(Repository::new());
+
+    // The Figure 4 candidate: case(doctor, patient) with FKs to
+    // patient(height, gender) and doctor(gender).
+    let clinic = import_str(
+        &repo,
+        "clinic",
+        "HIV/AIDS treatment program",
+        "CREATE TABLE patient (id INT, height REAL, gender TEXT);
+         CREATE TABLE doctor (id INT, gender TEXT);
+         CREATE TABLE clinic_case (id INT, diagnosis TEXT,
+             patient INT REFERENCES patient(id),
+             doctor INT REFERENCES doctor(id))",
+    )
+    .unwrap();
+
+    // Distractors: the same vocabulary scattered across unrelated tables,
+    // and an unrelated domain.
+    import_str(
+        &repo,
+        "scattered",
+        "same columns, unrelated tables",
+        "CREATE TABLE person (height REAL);
+         CREATE TABLE warehouse (gender TEXT);
+         CREATE TABLE notes (diagnosis TEXT)",
+    )
+    .unwrap();
+    import_str(
+        &repo,
+        "conservancy",
+        "environmental monitoring",
+        "CREATE TABLE site (latitude REAL, longitude REAL, elevation REAL, name TEXT)",
+    )
+    .unwrap();
+
+    let engine = SchemrEngine::new(repo.clone());
+    engine.reindex_full();
+
+    // Keywords + a partially designed schema fragment — the combined query
+    // of Figure 1.
+    let request = SearchRequest::parse(
+        "patient, height, gender, diagnosis",
+        &["CREATE TABLE patient (height REAL, gender TEXT)"],
+    )
+    .unwrap();
+
+    let results = engine.search(&request).unwrap();
+    println!("{}", format_results(&results));
+
+    // Drill into the winner: the tightness-of-fit detail.
+    let top = &results[0];
+    assert_eq!(top.id, clinic);
+    let stored = repo.get(top.id).unwrap();
+    println!("tightness-of-fit detail for `{}`:", top.title);
+    for m in &top.matches {
+        let class = match m.class {
+            DistanceClass::SameEntity => "same entity as anchor (no penalty)",
+            DistanceClass::Neighborhood => "FK neighborhood (small penalty)",
+            DistanceClass::Unrelated => "unrelated entity (large penalty)",
+        };
+        println!(
+            "  {:<24} score {:.2}  — {}",
+            stored.schema.path(m.element),
+            m.score,
+            class
+        );
+    }
+    println!(
+        "\nThe co-located clinic schema outranks `scattered`, which holds the same\n\
+         columns in unrelated tables — the paper's structural-ranking claim."
+    );
+    let scattered = results.iter().find(|r| r.title == "scattered").unwrap();
+    assert!(top.score > scattered.score);
+}

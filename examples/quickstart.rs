@@ -1,0 +1,54 @@
+//! Quickstart: build a small repository, index it, and search by keyword.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use schemr::{SchemrEngine, SearchRequest};
+use schemr_repo::{import::import_str, Repository};
+use schemr_viz::format_results;
+
+fn main() {
+    // 1. A repository with a few schemas, imported from plain DDL.
+    let repo = Arc::new(Repository::new());
+    import_str(
+        &repo,
+        "clinic",
+        "rural health clinic",
+        "CREATE TABLE patient (id INT, height REAL, gender TEXT, diagnosis TEXT)",
+    )
+    .unwrap();
+    import_str(
+        &repo,
+        "store",
+        "a web shop",
+        "CREATE TABLE orders (id INT, total DECIMAL, quantity INT, customer TEXT)",
+    )
+    .unwrap();
+    import_str(
+        &repo,
+        "observations",
+        "field survey records",
+        "CREATE TABLE sighting (species TEXT, count INT, latitude REAL, longitude REAL)",
+    )
+    .unwrap();
+
+    // 2. An engine over the repository; the offline indexer flattens every
+    //    schema into the document index.
+    let engine = SchemrEngine::new(repo);
+    engine.reindex_full();
+
+    // 3. Search by keywords — the designer's "patient, height, gender"
+    //    moment from the paper's introduction.
+    let results = engine
+        .search(&SearchRequest::keywords(["patient", "height", "gender"]))
+        .unwrap();
+
+    println!("{}", format_results(&results));
+    println!(
+        "top hit: {} (score {:.3}) — drill in via its id {}",
+        results[0].title, results[0].score, results[0].id
+    );
+}

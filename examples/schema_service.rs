@@ -1,0 +1,97 @@
+//! The web service from Figure 5, exercised over real HTTP.
+//!
+//! Starts the search service on a loopback port, then plays the GUI's
+//! role: a keyword search (XML response), a search-by-example POST, a
+//! GraphML drill-in request, and an SVG render — all over plain sockets.
+//!
+//! ```sh
+//! cargo run --example schema_service
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use schemr::SchemrEngine;
+use schemr_repo::{import::import_str, Repository};
+use schemr_server::{SchemrServer, ServerConfig};
+
+fn http(addr: std::net::SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    buf
+}
+
+fn body(response: &str) -> &str {
+    response.split_once("\r\n\r\n").map_or("", |(_, b)| b)
+}
+
+fn main() {
+    let repo = Arc::new(Repository::new());
+    let clinic = import_str(
+        &repo,
+        "clinic",
+        "rural health clinic",
+        "CREATE TABLE patient (id INT, height REAL, gender TEXT, diagnosis TEXT);
+         CREATE TABLE visit (id INT, date DATE, patient_id INT REFERENCES patient(id))",
+    )
+    .unwrap();
+    import_str(
+        &repo,
+        "store",
+        "a web shop",
+        "CREATE TABLE orders (id INT, total DECIMAL, quantity INT)",
+    )
+    .unwrap();
+
+    let engine = Arc::new(SchemrEngine::new(repo));
+    engine.reindex_full();
+    let server = SchemrServer::start(engine, ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    println!("search service listening on http://{addr}\n");
+
+    // 1. Keyword search → XML.
+    let resp = http(
+        addr,
+        "GET /search?q=patient+height+gender HTTP/1.1\r\nHost: x\r\n\r\n",
+    );
+    println!("GET /search?q=patient+height+gender →\n{}\n", body(&resp));
+
+    // 2. Search by example: POST a DDL fragment.
+    let fragment = "CREATE TABLE patient (height REAL, gender TEXT)";
+    let resp = http(
+        addr,
+        &format!(
+            "POST /search?limit=1 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            fragment.len(),
+            fragment
+        ),
+    );
+    println!("POST /search (fragment) →\n{}\n", body(&resp));
+
+    // 3. Drill-in: GraphML for the clinic schema.
+    let resp = http(
+        addr,
+        &format!("GET /schema/{clinic} HTTP/1.1\r\nHost: x\r\n\r\n"),
+    );
+    let graphml = body(&resp);
+    println!(
+        "GET /schema/{clinic} → GraphML with {} nodes",
+        graphml.matches("<node ").count()
+    );
+
+    // 4. Radial SVG view.
+    let resp = http(
+        addr,
+        &format!("GET /schema/{clinic}/svg?layout=radial&depth=3 HTTP/1.1\r\nHost: x\r\n\r\n"),
+    );
+    println!(
+        "GET /schema/{clinic}/svg → {} bytes of SVG",
+        body(&resp).len()
+    );
+
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+}

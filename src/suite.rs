@@ -1,0 +1,17 @@
+//! Workspace umbrella crate: hosts the integration tests in `tests/` and the
+//! runnable examples in `examples/`. Re-exports the member crates for
+//! convenience.
+
+pub use schemr;
+pub use schemr_codebook as codebook;
+pub use schemr_collab as collab;
+pub use schemr_corpus as corpus;
+pub use schemr_editor as editor;
+pub use schemr_index as index;
+pub use schemr_match as matchers;
+pub use schemr_model as model;
+pub use schemr_parse as parse;
+pub use schemr_repo as repo;
+pub use schemr_server as server;
+pub use schemr_text as text;
+pub use schemr_viz as viz;

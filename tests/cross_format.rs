@@ -1,0 +1,104 @@
+//! Cross-format integration: the same concept published as DDL, XSD, and a
+//! WebTables header row must be mutually discoverable — "the query-graph
+//! abstraction can capture multiple query formats, including relational
+//! and XML".
+
+use std::sync::Arc;
+
+use schemr::{SchemrEngine, SearchRequest};
+use schemr_repo::{import::import_str, Repository};
+
+const DDL: &str = "CREATE TABLE patient (height REAL, gender TEXT, diagnosis TEXT, dob DATE)";
+
+const XSD: &str = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="patient">
+    <xs:complexType><xs:sequence>
+      <xs:element name="height" type="xs:double"/>
+      <xs:element name="gender" type="xs:string"/>
+      <xs:element name="diagnosis" type="xs:string"/>
+      <xs:element name="dob" type="xs:date"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+const HEADER: &str = "patient, height, gender, diagnosis, dob";
+
+fn engine_with_all_formats() -> SchemrEngine {
+    let repo = Arc::new(Repository::new());
+    import_str(&repo, "ddl_patient", "relational publication", DDL).unwrap();
+    import_str(&repo, "xsd_patient", "xml publication", XSD).unwrap();
+    import_str(&repo, "web_table", "webtables publication", HEADER).unwrap();
+    import_str(
+        &repo,
+        "distractor",
+        "unrelated",
+        "CREATE TABLE invoice (total DECIMAL, tax DECIMAL, currency TEXT, issued DATE)",
+    )
+    .unwrap();
+    let engine = SchemrEngine::new(repo);
+    engine.reindex_full();
+    engine
+}
+
+/// All three publications of the concept rank above the distractor, for a
+/// query in any format.
+fn assert_concept_beats_distractor(results: &[schemr::SearchResult]) {
+    let pos = |title: &str| {
+        results
+            .iter()
+            .position(|r| r.title == title)
+            .unwrap_or(usize::MAX)
+    };
+    let distractor = pos("distractor");
+    for title in ["ddl_patient", "xsd_patient", "web_table"] {
+        assert!(
+            pos(title) < distractor,
+            "{title} (rank {}) should beat distractor (rank {distractor})",
+            pos(title)
+        );
+    }
+}
+
+#[test]
+fn keyword_query_finds_all_publications() {
+    let engine = engine_with_all_formats();
+    let results = engine
+        .search(&SearchRequest::keywords(["patient", "height", "diagnosis"]))
+        .unwrap();
+    assert_concept_beats_distractor(&results);
+}
+
+#[test]
+fn ddl_fragment_finds_the_xsd_publication() {
+    let engine = engine_with_all_formats();
+    let results = engine
+        .search(
+            &SearchRequest::parse("", &["CREATE TABLE patient (height REAL, gender TEXT)"])
+                .unwrap(),
+        )
+        .unwrap();
+    assert_concept_beats_distractor(&results);
+}
+
+#[test]
+fn xsd_fragment_finds_the_ddl_publication() {
+    let engine = engine_with_all_formats();
+    let fragment = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="patient"><xs:complexType><xs:sequence>
+        <xs:element name="height" type="xs:double"/>
+      </xs:sequence></xs:complexType></xs:element>
+    </xs:schema>"#;
+    let results = engine
+        .search(&SearchRequest::parse("gender", &[fragment]).unwrap())
+        .unwrap();
+    assert_concept_beats_distractor(&results);
+}
+
+#[test]
+fn header_row_fragment_works_too() {
+    let engine = engine_with_all_formats();
+    let results = engine
+        .search(&SearchRequest::parse("", &["patient, height, gender"]).unwrap())
+        .unwrap();
+    assert_concept_beats_distractor(&results);
+}

@@ -1,0 +1,121 @@
+//! Whole-system integration: corpus → repository → index → search →
+//! metrics, plus cold-restart persistence of both repository and index.
+
+use std::sync::Arc;
+
+use schemr::{SchemrEngine, SearchRequest};
+use schemr_corpus::{Corpus, CorpusConfig, RankingMetrics, Workload, WorkloadConfig};
+use schemr_repo::{persist, Repository};
+
+fn load_corpus(corpus: &Corpus) -> (Arc<Repository>, Vec<schemr_model::SchemaId>) {
+    let repo = Arc::new(Repository::new());
+    let ids = corpus
+        .schemas
+        .iter()
+        .map(|s| {
+            repo.insert(s.title.clone(), s.summary.clone(), s.schema.clone())
+                .unwrap()
+        })
+        .collect();
+    (repo, ids)
+}
+
+#[test]
+fn retrieval_quality_clears_a_sanity_bar() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        target_size: 300,
+        seed: 5,
+        ..CorpusConfig::default()
+    });
+    let (repo, ids) = load_corpus(&corpus);
+    let engine = SchemrEngine::new(repo);
+    engine.reindex_full();
+
+    let workload = Workload::generate(
+        &corpus,
+        &WorkloadConfig {
+            queries: 30,
+            seed: 6,
+            ..Default::default()
+        },
+    );
+    let runs: Vec<(Vec<usize>, std::collections::HashSet<usize>)> = workload
+        .queries
+        .iter()
+        .map(|q| {
+            let mut request = SearchRequest {
+                keywords: q.keywords.clone(),
+                limit: Some(10),
+                ..Default::default()
+            };
+            if let Some(f) = &q.fragment {
+                request.fragments.push(f.clone());
+            }
+            let ranked: Vec<usize> = engine
+                .search(&request)
+                .unwrap()
+                .iter()
+                .filter_map(|r| ids.iter().position(|&x| x == r.id))
+                .collect();
+            (ranked, q.relevant.iter().copied().collect())
+        })
+        .collect();
+    let metrics = RankingMetrics::aggregate(runs.iter().map(|(r, rel)| (r.as_slice(), rel)));
+    // Random MRR over 300 schemas with ≤6 relevant would be ≈0.1.
+    assert!(metrics.mrr > 0.5, "MRR too low: {metrics}");
+    assert!(metrics.ndcg_at_10 > 0.3, "NDCG too low: {metrics}");
+}
+
+#[test]
+fn cold_restart_preserves_search_results() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        target_size: 100,
+        seed: 9,
+        ..CorpusConfig::default()
+    });
+    let (repo, _) = load_corpus(&corpus);
+    let engine = SchemrEngine::new(repo.clone());
+    engine.reindex_full();
+
+    let dir = std::env::temp_dir().join("schemr-e2e-restart");
+    std::fs::create_dir_all(&dir).unwrap();
+    let repo_path = dir.join("repo.json");
+    let index_path = dir.join("segment.idx");
+    persist::save(&repo, &repo_path).unwrap();
+    engine.save_index(&index_path).unwrap();
+
+    // Cold start: everything reloaded from disk.
+    let repo2 = Arc::new(persist::load(&repo_path).unwrap());
+    let engine2 = SchemrEngine::new(repo2);
+    engine2.load_index(&index_path).unwrap();
+
+    let request = SearchRequest::keywords(["patient", "height", "gender"]).with_limit(10);
+    let warm = engine.search(&request).unwrap();
+    let cold = engine2.search(&request).unwrap();
+    assert_eq!(warm.len(), cold.len());
+    for (a, b) in warm.iter().zip(&cold) {
+        assert_eq!(a.id, b.id);
+        assert!((a.score - b.score).abs() < 1e-12);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn paper_scale_corpus_indexes_and_searches() {
+    // A scaled-down version of the 30k run that stays test-suite friendly;
+    // e1_scalability exercises the full 30k.
+    let corpus = Corpus::generate(&CorpusConfig {
+        target_size: 2_000,
+        seed: 10,
+        ..CorpusConfig::default()
+    });
+    let (repo, _) = load_corpus(&corpus);
+    let engine = SchemrEngine::new(repo);
+    engine.reindex_full();
+    assert_eq!(engine.index_stats().live_docs, 2_000);
+    let results = engine
+        .search(&SearchRequest::keywords(["patient", "height", "gender"]))
+        .unwrap();
+    assert!(!results.is_empty());
+    assert!(results[0].score > 0.0);
+}

@@ -1,0 +1,121 @@
+//! Integration of the Applications-section extensions: editor loop with
+//! provenance, community signals, codebook annotations, and summarization
+//! — all working against one engine.
+
+use std::sync::Arc;
+
+use schemr::{SchemrEngine, SearchRequest};
+use schemr_codebook::{annotate, SemanticType};
+use schemr_collab::{CommunityRanker, CommunityStore};
+use schemr_editor::{suggest_for, EditSession};
+use schemr_model::DataType;
+use schemr_repo::{import::import_str, Repository};
+use schemr_viz::summarize;
+
+fn engine() -> (Arc<Repository>, Arc<SchemrEngine>) {
+    let repo = Arc::new(Repository::new());
+    import_str(
+        &repo,
+        "reference_clinic",
+        "the community's reference design",
+        "CREATE TABLE patient (id INT, height REAL, weight REAL, gender TEXT, dob DATE, latitude REAL, longitude REAL)",
+    )
+    .unwrap();
+    import_str(
+        &repo,
+        "minimal_clinic",
+        "",
+        "CREATE TABLE patient (id INT, height REAL, gender TEXT, notes TEXT)",
+    )
+    .unwrap();
+    let engine = Arc::new(SchemrEngine::new(repo.clone()));
+    engine.reindex_full();
+    (repo, engine)
+}
+
+#[test]
+fn editor_loop_drafts_commits_and_reindexes() {
+    let (repo, engine) = engine();
+    let mut session = EditSession::new("new_clinic");
+    let patient = session.add_entity("patient");
+    session.add_attribute(patient, "height", DataType::Real);
+
+    // Suggestions come from the repository and exclude what's covered.
+    let suggestions = suggest_for(&session, &engine, 4, 0.8);
+    assert!(!suggestions.is_empty());
+    assert!(suggestions.iter().all(|s| s.name != "height"));
+
+    // Adopt one suggestion; provenance is captured.
+    let pick = suggestions[0].clone();
+    let stored = repo.get(pick.source_schema).unwrap();
+    session.adopt(
+        pick.source_schema,
+        &stored.schema,
+        pick.element,
+        Some(patient),
+    );
+    assert_eq!(session.provenance().len(), 1);
+
+    // Commit → visible to search after incremental reindex.
+    let id = session
+        .commit(&repo, "new_clinic", "from the editor")
+        .unwrap();
+    engine.reindex_incremental();
+    let results = engine
+        .search(&SearchRequest::keywords(["height", &pick.name]))
+        .unwrap();
+    assert!(results.iter().any(|r| r.id == id));
+}
+
+#[test]
+fn community_signals_rerank_and_persist() {
+    let (repo, engine) = engine();
+    let ids = repo.ids();
+    let (reference, minimal) = (ids[0], ids[1]);
+
+    let store = CommunityStore::new();
+    for _ in 0..15 {
+        store.rate(reference, 5);
+        store.rate(minimal, 2);
+    }
+    store.comment(reference, "mork", "solid field coverage", None);
+
+    let mut results = engine
+        .search(&SearchRequest::keywords(["patient", "height", "gender"]))
+        .unwrap();
+    CommunityRanker::new(&store).rerank(&mut results);
+    assert_eq!(results[0].id, reference);
+
+    // Persistence round trip keeps everything.
+    let restored = CommunityStore::from_json(&store.to_json()).unwrap();
+    assert_eq!(restored.signals(reference), store.signals(reference));
+    assert_eq!(restored.signals(reference).usage.impressions, 1);
+}
+
+#[test]
+fn codebook_annotates_search_results() {
+    let (repo, engine) = engine();
+    let results = engine
+        .search(&SearchRequest::keywords(["latitude", "longitude"]))
+        .unwrap();
+    let top = repo.get(results[0].id).unwrap();
+    let annotations = annotate(&top.schema);
+    let types: Vec<SemanticType> = annotations.iter().map(|a| a.semantic_type).collect();
+    assert!(types.contains(&SemanticType::Latitude));
+    assert!(types.contains(&SemanticType::Longitude));
+    assert!(types.contains(&SemanticType::Gender));
+    assert!(types.contains(&SemanticType::BirthDate));
+}
+
+#[test]
+fn summaries_of_results_stay_searchable_objects() {
+    let (repo, engine) = engine();
+    let results = engine
+        .search(&SearchRequest::keywords(["patient"]))
+        .unwrap();
+    let top = repo.get(results[0].id).unwrap();
+    let summary = summarize(&top.schema, 1, 3);
+    assert_eq!(summary.entities().len(), 1);
+    assert!(summary.attributes().len() <= 3);
+    assert!(schemr_model::validate(&summary).is_empty());
+}

@@ -1,0 +1,75 @@
+//! F1: Figure 1's query graph — "a forest of trees consisting of schema
+//! fragments and keywords" — built from raw user input through the real
+//! parsers.
+
+use schemr::SearchRequest;
+use schemr_model::ElementKind;
+
+const FRAGMENT_DDL: &str = "CREATE TABLE patient (height REAL, gender TEXT)";
+
+const FRAGMENT_XSD: &str = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="patient">
+    <xs:complexType><xs:sequence>
+      <xs:element name="height" type="xs:double"/>
+      <xs:element name="gender" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+#[test]
+fn figure1_from_ddl() {
+    let request = SearchRequest::parse("diagnosis", &[FRAGMENT_DDL]).unwrap();
+    let graph = request.query_graph();
+    // The flattened keyword list candidate extraction sees.
+    assert_eq!(
+        graph.flat_texts(),
+        vec!["patient", "height", "gender", "diagnosis"]
+    );
+    // The structured view Phase 2 sees: fragment terms point back into the
+    // fragment; the keyword is a one-node graph.
+    let terms = graph.terms();
+    assert_eq!(terms.len(), 4);
+    assert_eq!(terms[0].kind, ElementKind::Entity);
+    assert!(terms[..3].iter().all(|t| !t.is_keyword()));
+    assert!(terms[3].is_keyword());
+    let frag = &graph.fragments()[0];
+    assert_eq!(frag.entities().len(), 1);
+    assert_eq!(frag.children(frag.entities()[0]).len(), 2);
+}
+
+#[test]
+fn figure1_from_xsd_is_equivalent() {
+    let ddl = SearchRequest::parse("diagnosis", &[FRAGMENT_DDL]).unwrap();
+    let xsd = SearchRequest::parse("diagnosis", &[FRAGMENT_XSD]).unwrap();
+    // "The query-graph abstraction can capture multiple query formats,
+    // including relational and XML": both inputs flatten identically.
+    assert_eq!(
+        ddl.query_graph().flat_texts(),
+        xsd.query_graph().flat_texts()
+    );
+    // And both carry the same types on the height attribute.
+    let get_height_type = |r: &SearchRequest| {
+        let f = &r.fragments[0];
+        let attr = f
+            .attributes()
+            .into_iter()
+            .find(|&a| f.element(a).name == "height")
+            .unwrap();
+        f.element(attr).data_type
+    };
+    assert_eq!(get_height_type(&ddl), schemr_model::DataType::Real);
+    assert_eq!(get_height_type(&xsd), schemr_model::DataType::Real);
+}
+
+#[test]
+fn multiple_fragments_and_keywords_form_a_forest() {
+    let request = SearchRequest::parse(
+        "diagnosis, medication",
+        &[FRAGMENT_DDL, "CREATE TABLE visit (date DATE)"],
+    )
+    .unwrap();
+    let graph = request.query_graph();
+    assert_eq!(graph.fragments().len(), 2);
+    assert_eq!(graph.keywords().len(), 2);
+    assert_eq!(graph.terms().len(), 3 + 2 + 2);
+}

@@ -1,0 +1,114 @@
+//! F5: the architecture round-trip — repository → indexer → search
+//! service → XML/GraphML responses parsed back by the client-side XML
+//! machinery.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use schemr::SchemrEngine;
+use schemr_parse::xml::{Event, XmlParser};
+use schemr_repo::{import::import_str, Repository};
+use schemr_server::{SchemrServer, ServerConfig};
+
+fn start_server() -> (SchemrServer, schemr_model::SchemaId) {
+    let repo = Arc::new(Repository::new());
+    let clinic = import_str(
+        &repo,
+        "clinic",
+        "rural health clinic",
+        "CREATE TABLE patient (id INT, height REAL, gender TEXT, diagnosis TEXT);
+         CREATE TABLE visit (id INT, date DATE, patient_id INT REFERENCES patient(id))",
+    )
+    .unwrap();
+    import_str(
+        &repo,
+        "store",
+        "a shop",
+        "CREATE TABLE orders (id INT, total DECIMAL, quantity INT, customer TEXT)",
+    )
+    .unwrap();
+    let engine = Arc::new(SchemrEngine::new(repo));
+    engine.reindex_full();
+    let server = SchemrServer::start(engine, ServerConfig::default()).unwrap();
+    (server, clinic)
+}
+
+fn get(addr: std::net::SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    buf.split_once("\r\n\r\n").unwrap().1.to_string()
+}
+
+#[test]
+fn search_response_parses_and_ranks_like_the_engine() {
+    let (server, clinic) = start_server();
+    let xml = get(server.addr(), "/search?q=patient+height+gender");
+    let events = XmlParser::parse_all(&xml).unwrap();
+    // Pull (id, score) pairs out of the response.
+    let results: Vec<(String, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Start { name, attributes } if name == "result" => {
+                let id = attributes.iter().find(|a| a.name == "id")?.value.clone();
+                let score: f64 = attributes
+                    .iter()
+                    .find(|a| a.name == "score")?
+                    .value
+                    .parse()
+                    .ok()?;
+                Some((id, score))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(!results.is_empty());
+    assert_eq!(results[0].0, clinic.to_string());
+    // Scores are ranked non-increasing.
+    for w in results.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graphml_drill_in_reconstructs_the_schema_shape() {
+    let (server, clinic) = start_server();
+    let xml = get(server.addr(), &format!("/schema/{clinic}"));
+    let events = XmlParser::parse_all(&xml).unwrap();
+    let nodes = events
+        .iter()
+        .filter(|e| matches!(e, Event::Start { name, .. } if name == "node"))
+        .count();
+    let edges = events
+        .iter()
+        .filter(|e| matches!(e, Event::Start { name, .. } if name == "edge"))
+        .count();
+    // clinic: 2 entities + 7 attributes = 9 nodes; 7 containment + 1 FK = 8
+    // edges.
+    assert_eq!(nodes, 9);
+    assert_eq!(edges, 8);
+    server.shutdown();
+}
+
+#[test]
+fn fragment_post_round_trips_through_the_service() {
+    let (server, clinic) = start_server();
+    let fragment = "CREATE TABLE patient (height REAL, gender TEXT)";
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write!(
+        stream,
+        "POST /search?limit=1 HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+        fragment.len(),
+        fragment
+    )
+    .unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 200"));
+    assert!(buf.contains(&format!("id=\"{clinic}\"")));
+    assert!(buf.contains("count=\"1\""));
+    server.shutdown();
+}
