@@ -4,14 +4,72 @@
 //! relevant candidate schemas" and demonstrates search over 30,000 public
 //! schemas. This harness measures, per corpus size: mean end-to-end search
 //! latency, the per-phase breakdown (candidate extraction / matching /
-//! tightness scoring), and the index size.
+//! tightness scoring), and the index size. Per-phase p50/p95/p99 come from
+//! the engine's own `schemr_phase_seconds` histograms (the same series
+//! `/metrics` exports) and are written to `results/e1_scalability.json`.
 //!
 //! Run with `cargo run --release -p schemr-bench --bin e1_scalability`
 //! (pass `--quick` for a fast smoke run).
 
 use schemr_bench::{Table, Testbed};
 use schemr_corpus::{Corpus, CorpusConfig, Workload, WorkloadConfig};
+use schemr_obs::HistogramSnapshot;
 use std::time::Duration;
+
+const PHASES: &[&str] = &["candidate_extraction", "matching", "scoring"];
+
+/// One corpus size's measurements, ready for the JSON report.
+struct SizeReport {
+    corpus: usize,
+    docs: usize,
+    terms: usize,
+    queries: usize,
+    mean_total_ms: f64,
+    mean_candidates: f64,
+    /// `(phase, snapshot)` in `PHASES` order.
+    phases: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+fn json_report(top_candidates: usize, sizes: &[SizeReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e1_scalability\",\n");
+    out.push_str(&format!("  \"top_candidates\": {top_candidates},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (i, s) in sizes.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"corpus\": {},\n", s.corpus));
+        out.push_str(&format!("      \"docs\": {},\n", s.docs));
+        out.push_str(&format!("      \"terms\": {},\n", s.terms));
+        out.push_str(&format!("      \"queries\": {},\n", s.queries));
+        out.push_str(&format!(
+            "      \"mean_total_ms\": {:.4},\n",
+            s.mean_total_ms
+        ));
+        out.push_str(&format!(
+            "      \"mean_candidates\": {:.2},\n",
+            s.mean_candidates
+        ));
+        out.push_str("      \"phases\": {\n");
+        for (j, (name, snap)) in s.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"{}\": {{\"count\": {}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}{}\n",
+                name,
+                snap.count,
+                snap.quantile(0.50) * 1e3,
+                snap.quantile(0.95) * 1e3,
+                snap.quantile(0.99) * 1e3,
+                if j + 1 < s.phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      }\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < sizes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -31,8 +89,10 @@ fn main() {
         "p2 (ms)",
         "p3 (ms)",
         "total (ms)",
+        "p95 sum",
         "candidates",
     ]);
+    let mut reports: Vec<SizeReport> = Vec::with_capacity(sizes.len());
     for &size in sizes {
         let corpus = Corpus::generate(&CorpusConfig {
             target_size: size,
@@ -62,9 +122,22 @@ fn main() {
             p3 += resp.timings.scoring;
             cands += resp.candidates_evaluated;
         }
+        // Each testbed has a private registry, so these snapshots cover
+        // exactly this corpus size's workload.
+        let registry = bed.engine.metrics_registry();
+        let phases: Vec<(&'static str, HistogramSnapshot)> = PHASES
+            .iter()
+            .map(|&phase| {
+                let snap = registry
+                    .histogram_snapshot("schemr_phase_seconds", &[("phase", phase)])
+                    .expect("engine registers phase histograms");
+                (phase, snap)
+            })
+            .collect();
         let n = workload.queries.len() as f64;
         let ms = |d: Duration| format!("{:.2}", d.as_secs_f64() * 1000.0 / n);
         let stats = bed.engine.index_stats();
+        let p95_total_ms: f64 = phases.iter().map(|(_, s)| s.quantile(0.95) * 1e3).sum();
         table.row(&[
             size.to_string(),
             stats.live_docs.to_string(),
@@ -73,10 +146,27 @@ fn main() {
             ms(p2),
             ms(p3),
             format!("{:.2}", (p1 + p2 + p3).as_secs_f64() * 1000.0 / n),
+            format!("{p95_total_ms:.2}"),
             format!("{:.1}", cands as f64 / n),
         ]);
+        reports.push(SizeReport {
+            corpus: size,
+            docs: stats.live_docs,
+            terms: stats.distinct_terms,
+            queries: workload.queries.len(),
+            mean_total_ms: (p1 + p2 + p3).as_secs_f64() * 1e3 / n,
+            mean_candidates: cands as f64 / n,
+            phases,
+        });
     }
     table.print();
+
+    let json = json_report(50, &reports);
+    let out_path = std::path::Path::new("results").join("e1_scalability.json");
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&out_path, &json)) {
+        Ok(()) => println!("\nwrote per-phase p50/p95/p99 to {}", out_path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", out_path.display()),
+    }
     println!(
         "\nExpected shape: phase 1 grows sublinearly with corpus size (inverted index);\n\
          phases 2+3 are flat (bounded by top-n candidates), so total latency stays\n\

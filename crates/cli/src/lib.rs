@@ -9,7 +9,7 @@
 //! schemr-cli import    <repo.json> <file-or-dir>...
 //! schemr-cli list      <repo.json>
 //! schemr-cli show      <repo.json> <schema-id>
-//! schemr-cli search    <repo.json> [-k "<keywords>"] [-f <fragment-file>] [-n <limit>]
+//! schemr-cli search    <repo.json> [-k "<keywords>"] [-f <fragment-file>] [-n <limit>] [--explain]
 //! schemr-cli export    <repo.json> <schema-id> [--format ddl|graphml|svg]
 //! schemr-cli summarize <repo.json> <schema-id> [--entities <n>]
 //! schemr-cli stats     <repo.json>
@@ -48,6 +48,9 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// Flags that take no value — present or absent.
+const BOOL_FLAGS: &[&str] = &["explain"];
+
 /// Parsed flags: `-k v` / `--key v` pairs plus bare positionals.
 struct Args {
     positionals: Vec<String>,
@@ -61,6 +64,10 @@ impl Args {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if BOOL_FLAGS.contains(&name) {
+                    flags.push((name.to_string(), "true".to_string()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| err(format!("flag `{a}` expects a value")))?;
@@ -79,6 +86,10 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
+    fn has_flag(&self, names: &[&str]) -> bool {
+        self.flag(names).is_some()
+    }
+
     fn positional(&self, ix: usize, what: &str) -> Result<&str, CliError> {
         self.positionals
             .get(ix)
@@ -95,7 +106,9 @@ commands:
   import    <repo.json> <file-or-dir>...               import DDL/XSD/CSV sources
   list      <repo.json>                                list stored schemas
   show      <repo.json> <id>                           print one schema (DDL + annotations)
-  search    <repo.json> [-k words] [-f file] [-n N]    three-phase schema search
+  search    <repo.json> [-k words] [-f file] [-n N] [--explain]
+                                                       three-phase schema search
+                                                       (--explain prints the per-phase trace)
   export    <repo.json> <id> [--format ddl|xsd|graphml|svg]
   summarize <repo.json> <id> [--entities N]            importance-based summary
   stats     <repo.json>                                repository statistics
@@ -247,6 +260,9 @@ fn cmd_search(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
     if request.is_empty() {
         return Err(err("search needs -k keywords and/or -f fragment-file"));
     }
+    if args.has_flag(&["explain"]) {
+        request.explain = true;
+    }
     let engine = SchemrEngine::new(repo);
     engine.reindex_full();
     let response = engine
@@ -259,6 +275,35 @@ fn cmd_search(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
         response.candidates_evaluated,
         response.timings.total().as_secs_f64() * 1e3
     )?;
+    if let Some(trace) = &response.trace {
+        writeln!(out, "trace:")?;
+        writeln!(
+            out,
+            "  candidates: {} from index, {} evaluated on {} thread(s)",
+            trace.candidates_from_index, trace.candidates_evaluated, trace.match_threads_used
+        )?;
+        let t = &response.timings;
+        for (name, d) in [
+            ("candidate_extraction", t.candidate_extraction),
+            ("matching", t.matching),
+            ("scoring", t.scoring),
+        ] {
+            writeln!(
+                out,
+                "  phase {:<21} {:>9.3} ms",
+                name,
+                d.as_secs_f64() * 1e3
+            )?;
+        }
+        for m in &trace.matchers {
+            writeln!(
+                out,
+                "  matcher {:<19} {:>9.3} ms",
+                m.name,
+                m.wall.as_secs_f64() * 1e3
+            )?;
+        }
+    }
     Ok(0)
 }
 
@@ -467,6 +512,31 @@ mod tests {
         let (code, out) = run_str(&["search", &repo, "-f", frag.to_str().unwrap()]);
         assert_eq!(code, 0);
         assert!(out.lines().nth(2).unwrap().contains("store"), "{out}");
+    }
+
+    #[test]
+    fn search_explain_prints_the_trace() {
+        let (dir, repo) = temp_repo();
+        std::fs::write(
+            dir.path.join("clinic.sql"),
+            "CREATE TABLE patient (height REAL, gender TEXT, diagnosis TEXT)",
+        )
+        .unwrap();
+        run_str(&["import", &repo, dir.path.to_str().unwrap()]);
+
+        let (code, plain) = run_str(&["search", &repo, "-k", "patient"]);
+        assert_eq!(code, 0);
+        assert!(!plain.contains("trace:"));
+
+        let (code, out) = run_str(&["search", &repo, "-k", "patient", "--explain"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("phase candidate_extraction"), "{out}");
+        assert!(out.contains("phase matching"));
+        assert!(out.contains("phase scoring"));
+        assert!(out.contains("matcher name"));
+        assert!(out.contains("matcher context"));
+        assert!(out.contains("evaluated on"));
     }
 
     #[test]

@@ -7,16 +7,18 @@
 //! renders.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use schemr_index::{codec, Index, IndexDocument, IndexStats, SearchOptions};
 use schemr_match::Ensemble;
 use schemr_model::QueryGraph;
+use schemr_obs::{MetricsRegistry, SpanTimer};
 use schemr_repo::{ChangeKind, Repository};
 
+use crate::metrics::EngineMetrics;
 use crate::request::SearchRequest;
-use crate::result::{PhaseTimings, SearchResponse, SearchResult};
+use crate::result::{MatcherTiming, PhaseTimings, SearchResponse, SearchResult, SearchTrace};
 use crate::tightness::{tightness_of_fit, TightnessConfig};
 
 /// Engine configuration.
@@ -75,6 +77,7 @@ pub struct SchemrEngine {
     ensemble: RwLock<Ensemble>,
     config: EngineConfig,
     last_indexed_revision: Mutex<u64>,
+    metrics: EngineMetrics,
 }
 
 impl SchemrEngine {
@@ -87,18 +90,31 @@ impl SchemrEngine {
 
     /// Engine with explicit config.
     pub fn with_config(repo: Arc<Repository>, config: EngineConfig) -> Self {
+        let metrics = EngineMetrics::new();
         SchemrEngine {
             repo,
-            index: RwLock::new(Index::new()),
+            index: RwLock::new(Index::new().with_metrics(metrics.index.clone())),
             ensemble: RwLock::new(Ensemble::standard()),
             config,
             last_indexed_revision: Mutex::new(0),
+            metrics,
         }
     }
 
     /// The underlying repository.
     pub fn repository(&self) -> &Arc<Repository> {
         &self.repo
+    }
+
+    /// The engine's metric handles.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The engine's metrics registry — the HTTP layer registers its own
+    /// request metrics here and renders the whole set at `/metrics`.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        self.metrics.registry()
     }
 
     /// The engine's configuration.
@@ -120,8 +136,9 @@ impl SchemrEngine {
     /// Rebuild the document index from scratch — the offline indexer's
     /// full pass.
     pub fn reindex_full(&self) {
+        let _span = SpanTimer::start(self.metrics.reindex_seconds.clone());
         let revision = self.repo.revision();
-        let fresh = Index::new();
+        let fresh = Index::new().with_metrics(self.metrics.index.clone());
         for stored in self.repo.snapshot() {
             fresh.add(&IndexDocument::from_schema(
                 stored.metadata.id,
@@ -180,7 +197,8 @@ impl SchemrEngine {
 
     /// Load a previously saved index segment.
     pub fn load_index(&self, path: impl AsRef<std::path::Path>) -> Result<(), codec::CodecError> {
-        let loaded = codec::load_from(path)?;
+        let mut loaded = codec::load_from(path)?;
+        loaded.set_metrics(self.metrics.index.clone());
         *self.index.write() = loaded;
         *self.last_indexed_revision.lock() = self.repo.revision();
         Ok(())
@@ -208,8 +226,10 @@ impl SchemrEngine {
 
     /// Run the full search, returning phase timings too.
     pub fn search_detailed(&self, request: &SearchRequest) -> Result<SearchResponse, SearchError> {
+        self.metrics.searches_total.inc();
         let graph = request.query_graph();
         if graph.is_empty() {
+            self.metrics.search_errors_total.inc();
             return Err(SearchError::EmptyQuery);
         }
 
@@ -217,6 +237,7 @@ impl SchemrEngine {
         let t0 = Instant::now();
         let hits = self.extract_candidates(&graph);
         let candidate_extraction = t0.elapsed();
+        let candidates_from_index = hits.len();
 
         // Phase 2: matcher ensemble over the candidates.
         let t1 = Instant::now();
@@ -226,39 +247,64 @@ impl SchemrEngine {
             .into_iter()
             .filter_map(|h| self.repo.get(h.id).map(|s| (h, s)))
             .collect();
+        // Per-matcher wall time, accumulated across candidates (and,
+        // under parallel matching, summed over threads).
+        let mut matcher_wall: Vec<Duration> = vec![Duration::ZERO; ensemble.len()];
+        let threads_used: usize;
         let matrices: Vec<schemr_match::SimilarityMatrix> = if self.config.match_threads > 1
             && candidates.len() > 1
         {
             let threads = self.config.match_threads.min(candidates.len());
+            threads_used = threads;
             let chunk = candidates.len().div_ceil(threads);
             let mut out: Vec<Option<schemr_match::SimilarityMatrix>> = vec![None; candidates.len()];
+            let mut chunk_walls: Vec<Vec<Duration>> =
+                vec![vec![Duration::ZERO; ensemble.len()]; candidates.len().div_ceil(chunk)];
             crossbeam::thread::scope(|scope| {
-                for (ci, (slots, cands)) in out
+                for ((slots, cands), wall) in out
                     .chunks_mut(chunk)
                     .zip(candidates.chunks(chunk))
-                    .enumerate()
+                    .zip(chunk_walls.iter_mut())
                 {
                     let terms = &terms;
                     let graph = &graph;
                     let ensemble = &ensemble;
-                    let _ = ci;
                     scope.spawn(move |_| {
                         for (slot, (_, stored)) in slots.iter_mut().zip(cands) {
-                            *slot = Some(ensemble.combined(terms, graph, &stored.schema));
+                            let (matrix, timings) =
+                                ensemble.combined_traced(terms, graph, &stored.schema);
+                            for (acc, d) in wall.iter_mut().zip(timings) {
+                                *acc += d;
+                            }
+                            *slot = Some(matrix);
                         }
                     });
                 }
             })
             .expect("matcher threads do not panic");
+            for wall in chunk_walls {
+                for (acc, d) in matcher_wall.iter_mut().zip(wall) {
+                    *acc += d;
+                }
+            }
             out.into_iter()
                 .map(|m| m.expect("all chunks filled"))
                 .collect()
         } else {
+            threads_used = 1;
             candidates
                 .iter()
-                .map(|(_, stored)| ensemble.combined(&terms, &graph, &stored.schema))
+                .map(|(_, stored)| {
+                    let (matrix, timings) =
+                        ensemble.combined_traced(&terms, &graph, &stored.schema);
+                    for (acc, d) in matcher_wall.iter_mut().zip(timings) {
+                        *acc += d;
+                    }
+                    matrix
+                })
                 .collect()
         };
+        let matcher_names = ensemble.matcher_names();
         let matching = t1.elapsed();
 
         // Phase 3: tightness-of-fit and final ranking.
@@ -295,6 +341,34 @@ impl SchemrEngine {
         results.truncate(request.limit.unwrap_or(self.config.default_limit));
         let scoring = t2.elapsed();
 
+        // Record the phase work into the registry on every search (not just
+        // when the caller keeps the timings).
+        let m = &self.metrics;
+        m.candidates_evaluated_total
+            .add(candidates_evaluated as u64);
+        m.match_threads_used_total.add(threads_used as u64);
+        m.phase_candidate_extraction
+            .observe_duration(candidate_extraction);
+        m.phase_matching.observe_duration(matching);
+        m.phase_scoring.observe_duration(scoring);
+        for (name, wall) in matcher_names.iter().zip(&matcher_wall) {
+            m.matcher_histogram(name).observe_duration(*wall);
+        }
+
+        let trace = request.explain.then(|| SearchTrace {
+            candidates_from_index,
+            candidates_evaluated,
+            match_threads_used: threads_used,
+            matchers: matcher_names
+                .iter()
+                .zip(&matcher_wall)
+                .map(|(name, wall)| MatcherTiming {
+                    name: name.to_string(),
+                    wall: *wall,
+                })
+                .collect(),
+        });
+
         Ok(SearchResponse {
             results,
             timings: PhaseTimings {
@@ -303,6 +377,7 @@ impl SchemrEngine {
                 scoring,
             },
             candidates_evaluated,
+            trace,
         })
     }
 }
@@ -484,6 +559,135 @@ mod tests {
         let results = cold.search(&SearchRequest::keywords(["patient"])).unwrap();
         assert_eq!(results[0].title, "clinic");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn searches_populate_the_metrics_registry() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        engine.search(&SearchRequest::keywords(["gender"])).unwrap();
+        engine
+            .search(&SearchRequest::keywords(["patient", "height"]))
+            .unwrap();
+        assert_eq!(
+            engine.search(&SearchRequest::default()),
+            Err(SearchError::EmptyQuery)
+        );
+
+        let reg = engine.metrics_registry();
+        assert_eq!(
+            reg.counter_value("schemr_search_requests_total", &[]),
+            Some(3)
+        );
+        assert_eq!(
+            reg.counter_value("schemr_search_errors_total", &[]),
+            Some(1)
+        );
+        assert!(
+            reg.counter_value("schemr_candidates_evaluated_total", &[])
+                .unwrap()
+                >= 2
+        );
+        assert!(
+            reg.counter_value("schemr_match_threads_used_total", &[])
+                .unwrap()
+                >= 2
+        );
+        // Two successful searches → two observations per phase.
+        for phase in ["candidate_extraction", "matching", "scoring"] {
+            let snap = reg
+                .histogram_snapshot("schemr_phase_seconds", &[("phase", phase)])
+                .unwrap();
+            assert_eq!(snap.count, 2, "phase {phase}");
+        }
+        // Per-matcher histograms registered lazily during the searches.
+        for matcher in ["name", "context"] {
+            let snap = reg
+                .histogram_snapshot("schemr_matcher_seconds", &[("matcher", matcher)])
+                .unwrap();
+            assert_eq!(snap.count, 2, "matcher {matcher}");
+        }
+        // Index counters flowed through the engine-owned handles.
+        assert!(
+            reg.counter_value("schemr_index_terms_looked_up_total", &[])
+                .unwrap()
+                >= 3
+        );
+        // Re-index timing recorded once.
+        assert_eq!(
+            reg.histogram_snapshot("schemr_reindex_seconds", &[])
+                .unwrap()
+                .count,
+            1
+        );
+        // And the rendered exposition carries the headline families.
+        let text = reg.render_prometheus();
+        assert!(text.contains("schemr_search_requests_total 3"));
+        assert!(text.contains("schemr_phase_seconds_bucket{phase=\"matching\","));
+    }
+
+    #[test]
+    fn index_counters_survive_reindex_and_reload() {
+        let dir = std::env::temp_dir().join("schemr-engine-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.idx");
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        engine.search(&SearchRequest::keywords(["gender"])).unwrap();
+        let before = engine
+            .metrics_registry()
+            .counter_value("schemr_index_terms_looked_up_total", &[])
+            .unwrap();
+        assert!(before >= 1);
+        // A rebuild swaps the Index value but keeps the same counters.
+        engine.save_index(&path).unwrap();
+        engine.reindex_full();
+        engine.load_index(&path).unwrap();
+        engine.search(&SearchRequest::keywords(["gender"])).unwrap();
+        let after = engine
+            .metrics_registry()
+            .counter_value("schemr_index_terms_looked_up_total", &[])
+            .unwrap();
+        assert!(after > before, "{after} vs {before}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn explain_attaches_a_trace_only_when_requested() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        let plain = engine
+            .search_detailed(&SearchRequest::keywords(["gender"]))
+            .unwrap();
+        assert!(plain.trace.is_none());
+
+        let explained = engine
+            .search_detailed(&SearchRequest::keywords(["gender"]).with_explain())
+            .unwrap();
+        let trace = explained.trace.expect("explain requested");
+        assert!(trace.candidates_from_index >= trace.candidates_evaluated);
+        assert!(trace.candidates_evaluated >= 2);
+        assert!(trace.match_threads_used >= 1);
+        let names: Vec<&str> = trace.matchers.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["name", "context"]);
+    }
+
+    #[test]
+    fn parallel_explain_reports_threads_and_matcher_walls() {
+        let engine = SchemrEngine::with_config(
+            clinic_repo(),
+            EngineConfig {
+                match_threads: 2,
+                ..Default::default()
+            },
+        );
+        engine.reindex_full();
+        let resp = engine
+            .search_detailed(&SearchRequest::keywords(["gender"]).with_explain())
+            .unwrap();
+        let trace = resp.trace.unwrap();
+        assert_eq!(trace.match_threads_used, 2);
+        assert_eq!(trace.matchers.len(), 2);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod engine;
+pub mod metrics;
 pub mod request;
 pub mod result;
 pub mod scheduler;
@@ -50,8 +51,9 @@ pub mod tightness;
 mod query;
 
 pub use engine::{EngineConfig, SchemrEngine, SearchError};
+pub use metrics::EngineMetrics;
 pub use query::{parse_keywords, QueryParseError};
 pub use request::SearchRequest;
-pub use result::{PhaseTimings, SearchResponse, SearchResult};
+pub use result::{MatcherTiming, PhaseTimings, SearchResponse, SearchResult, SearchTrace};
 pub use scheduler::IndexScheduler;
 pub use tightness::{MatchedElement, TightnessConfig, TightnessScore};

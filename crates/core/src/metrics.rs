@@ -1,0 +1,155 @@
+//! Engine-level observability: the shared registry and the handles the
+//! search path records into.
+//!
+//! Every [`crate::SchemrEngine`] owns one [`EngineMetrics`], which owns
+//! (or is handed) an `Arc<MetricsRegistry>`. The handles are registered
+//! once at construction so the hot path pays only relaxed atomic adds;
+//! the HTTP layer renders the same registry at `GET /metrics`.
+
+use std::sync::Arc;
+
+use schemr_index::IndexMetrics;
+use schemr_obs::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS};
+
+/// Pre-registered metric handles for one engine.
+///
+/// Exported families (all prefixed `schemr_`):
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `schemr_search_requests_total` | counter | searches started |
+/// | `schemr_search_errors_total` | counter | searches rejected (empty query) |
+/// | `schemr_candidates_evaluated_total` | counter | Phase 1 survivors matched in Phase 2 |
+/// | `schemr_match_threads_used_total` | counter | threads used by Phase 2, summed per search |
+/// | `schemr_phase_seconds{phase=…}` | histogram | per-phase wall time per search |
+/// | `schemr_matcher_seconds{matcher=…}` | histogram | per-matcher wall time per search |
+/// | `schemr_reindex_seconds` | histogram | full re-index wall time |
+/// | `schemr_index_*_total` | counter | term/posting/candidate work inside the index |
+pub struct EngineMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Searches started (`SchemrEngine::search*` calls).
+    pub searches_total: Arc<Counter>,
+    /// Searches rejected before Phase 1 (empty query).
+    pub search_errors_total: Arc<Counter>,
+    /// Candidates that reached the Phase 2 matcher ensemble.
+    pub candidates_evaluated_total: Arc<Counter>,
+    /// Threads used by Phase 2, summed over searches; divide by
+    /// `searches_total` for mean utilization.
+    pub match_threads_used_total: Arc<Counter>,
+    /// Phase 1 wall time.
+    pub phase_candidate_extraction: Arc<Histogram>,
+    /// Phase 2 wall time.
+    pub phase_matching: Arc<Histogram>,
+    /// Phase 3 wall time.
+    pub phase_scoring: Arc<Histogram>,
+    /// Full re-index wall time.
+    pub reindex_seconds: Arc<Histogram>,
+    /// Counters threaded into every index the engine builds.
+    pub index: IndexMetrics,
+}
+
+impl EngineMetrics {
+    /// Metrics backed by a fresh private registry.
+    pub fn new() -> Self {
+        Self::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Metrics registered into an existing (possibly shared) registry.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        let phase = |name: &str| {
+            registry.histogram_with(
+                "schemr_phase_seconds",
+                "Wall time of each search phase, per search.",
+                &[("phase", name)],
+                LATENCY_BUCKETS,
+            )
+        };
+        EngineMetrics {
+            searches_total: registry.counter(
+                "schemr_search_requests_total",
+                "Searches started against the engine.",
+            ),
+            search_errors_total: registry.counter(
+                "schemr_search_errors_total",
+                "Searches rejected before candidate extraction (empty query).",
+            ),
+            candidates_evaluated_total: registry.counter(
+                "schemr_candidates_evaluated_total",
+                "Phase 1 candidates evaluated by the Phase 2 matcher ensemble.",
+            ),
+            match_threads_used_total: registry.counter(
+                "schemr_match_threads_used_total",
+                "Threads used by Phase 2 matching, summed per search.",
+            ),
+            phase_candidate_extraction: phase("candidate_extraction"),
+            phase_matching: phase("matching"),
+            phase_scoring: phase("scoring"),
+            reindex_seconds: registry.histogram(
+                "schemr_reindex_seconds",
+                "Wall time of full index rebuilds.",
+                LATENCY_BUCKETS,
+            ),
+            index: IndexMetrics::registered(&registry),
+            registry,
+        }
+    }
+
+    /// The backing registry (render it with
+    /// [`MetricsRegistry::render_prometheus`]).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The per-matcher wall-time histogram for `matcher` (registered on
+    /// first use, so replacement ensembles get series automatically).
+    pub fn matcher_histogram(&self, matcher: &str) -> Arc<Histogram> {
+        self.registry.histogram_with(
+            "schemr_matcher_seconds",
+            "Wall time spent in each matcher, per search.",
+            &[("matcher", matcher)],
+            LATENCY_BUCKETS,
+        )
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_every_engine_family() {
+        let m = EngineMetrics::new();
+        let names = m.registry().family_names();
+        for expected in [
+            "schemr_search_requests_total",
+            "schemr_search_errors_total",
+            "schemr_candidates_evaluated_total",
+            "schemr_match_threads_used_total",
+            "schemr_phase_seconds",
+            "schemr_reindex_seconds",
+            "schemr_index_terms_looked_up_total",
+            "schemr_index_postings_scanned_total",
+            "schemr_index_candidates_returned_total",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn matcher_histograms_register_lazily_and_are_shared() {
+        let m = EngineMetrics::new();
+        let a = m.matcher_histogram("name");
+        a.observe(0.001);
+        let snap = m
+            .registry()
+            .histogram_snapshot("schemr_matcher_seconds", &[("matcher", "name")])
+            .unwrap();
+        assert_eq!(snap.count, 1);
+    }
+}

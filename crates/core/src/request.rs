@@ -13,6 +13,9 @@ pub struct SearchRequest {
     pub fragments: Vec<Schema>,
     /// Maximum results to return (`None` → engine default).
     pub limit: Option<usize>,
+    /// Attach a [`crate::SearchTrace`] (per-phase and per-matcher
+    /// timings, candidate counts) to the response.
+    pub explain: bool,
 }
 
 impl SearchRequest {
@@ -48,6 +51,7 @@ impl SearchRequest {
             keywords,
             fragments: graph.fragments().to_vec(),
             limit: None,
+            explain: false,
         })
     }
 
@@ -66,6 +70,12 @@ impl SearchRequest {
     /// Cap the number of results, builder-style.
     pub fn with_limit(mut self, limit: usize) -> Self {
         self.limit = Some(limit);
+        self
+    }
+
+    /// Request an explain trace, builder-style.
+    pub fn with_explain(mut self) -> Self {
+        self.explain = true;
         self
     }
 

@@ -46,6 +46,33 @@ impl PhaseTimings {
     }
 }
 
+/// Wall time spent inside one matcher across all candidates of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatcherTiming {
+    /// The matcher's registered name (`name`, `context`, …).
+    pub name: String,
+    /// Total wall time across candidates. Under parallel matching this
+    /// is CPU-side wall time summed over threads, so it can exceed the
+    /// phase's elapsed time.
+    pub wall: std::time::Duration,
+}
+
+/// The per-query "explain" trace: where a search spent its time and how
+/// much work each stage did. Produced when
+/// [`crate::SearchRequest::explain`] is set; surfaced by the server via
+/// `/search?…&explain=1` and by the CLI via `--explain`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchTrace {
+    /// Hits returned by the Phase 1 index probe.
+    pub candidates_from_index: usize,
+    /// Candidates that survived repository lookup and were matched.
+    pub candidates_evaluated: usize,
+    /// Threads Phase 2 ran on.
+    pub match_threads_used: usize,
+    /// Per-matcher cost split, in ensemble registration order.
+    pub matchers: Vec<MatcherTiming>,
+}
+
 /// A full search response: ranked results plus instrumentation.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchResponse {
@@ -55,6 +82,8 @@ pub struct SearchResponse {
     pub timings: PhaseTimings,
     /// Number of Phase 1 candidates evaluated in Phase 2.
     pub candidates_evaluated: usize,
+    /// The explain trace, when the request asked for one.
+    pub trace: Option<SearchTrace>,
 }
 
 #[cfg(test)]

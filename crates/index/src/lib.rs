@@ -28,6 +28,7 @@
 pub mod codec;
 pub mod document;
 pub mod field;
+pub mod metrics;
 pub mod postings;
 pub mod search;
 
@@ -36,6 +37,7 @@ mod memory;
 pub use document::IndexDocument;
 pub use field::Field;
 pub use memory::{Index, IndexStats};
+pub use metrics::IndexMetrics;
 pub use search::{Hit, SearchOptions};
 
 /// Internal dense document ordinal (position in insertion order).

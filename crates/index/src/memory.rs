@@ -8,6 +8,7 @@ use schemr_text::Analyzer;
 
 use crate::document::IndexDocument;
 use crate::field::Field;
+use crate::metrics::IndexMetrics;
 use crate::postings::PostingsList;
 use crate::search::{search_postings, Hit, SearchOptions};
 use crate::DocOrd;
@@ -40,6 +41,7 @@ pub struct Index {
     pub(crate) inner: RwLock<Inner>,
     names: Analyzer,
     prose: Analyzer,
+    metrics: IndexMetrics,
 }
 
 impl Default for Index {
@@ -55,6 +57,7 @@ impl Index {
             inner: RwLock::new(Inner::default()),
             names: Analyzer::for_names(),
             prose: Analyzer::for_documents(),
+            metrics: IndexMetrics::default(),
         }
     }
 
@@ -65,7 +68,27 @@ impl Index {
             inner: RwLock::new(Inner::default()),
             names,
             prose,
+            metrics: IndexMetrics::default(),
         }
+    }
+
+    /// Attach shared observability counters (builder-style). The engine
+    /// threads one registered [`IndexMetrics`] into every index it
+    /// builds so the exported series stay monotone across re-indexes.
+    pub fn with_metrics(mut self, metrics: IndexMetrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Replace the counters on an existing index (used after
+    /// [`crate::codec::load_from`] reconstructs one from disk).
+    pub fn set_metrics(&mut self, metrics: IndexMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// The index's observability counters.
+    pub fn metrics(&self) -> &IndexMetrics {
+        &self.metrics
     }
 
     /// The analyzer applied to element names and query terms.
@@ -153,7 +176,7 @@ impl Index {
     /// Search with pre-analyzed terms.
     pub fn search_terms(&self, terms: &[String], options: &SearchOptions) -> Vec<Hit> {
         let inner = self.inner.read();
-        search_postings(&inner, terms, options)
+        search_postings(&inner, terms, options, &self.metrics)
     }
 
     /// Index statistics.
@@ -330,6 +353,37 @@ mod tests {
         index.add(&doc(1, "t", &["patient"]));
         index.add(&doc(2, "t", &["patient"]));
         assert_eq!(index.doc_freq(Field::Elements, "patient"), 2);
+    }
+
+    #[test]
+    fn search_counters_observe_lookup_work() {
+        let reg = schemr_obs::MetricsRegistry::new();
+        let index = Index::new().with_metrics(IndexMetrics::registered(&reg));
+        index.add(&doc(1, "clinic", &["patient", "height"]));
+        index.add(&doc(2, "store", &["order", "total"]));
+        let hits = index.search(&["patient", "height"], &SearchOptions::default());
+        assert_eq!(hits.len(), 1);
+        // Two distinct terms probed, one candidate returned, and at
+        // least the two matching postings scanned.
+        assert_eq!(
+            reg.counter_value("schemr_index_terms_looked_up_total", &[]),
+            Some(2)
+        );
+        assert_eq!(
+            reg.counter_value("schemr_index_candidates_returned_total", &[]),
+            Some(1)
+        );
+        assert!(
+            reg.counter_value("schemr_index_postings_scanned_total", &[])
+                .unwrap()
+                >= 2
+        );
+        // A second search keeps accumulating on the same counters.
+        index.search(&["order"], &SearchOptions::default());
+        assert_eq!(
+            reg.counter_value("schemr_index_terms_looked_up_total", &[]),
+            Some(3)
+        );
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Index-level observability counters.
+
+use std::sync::Arc;
+
+use schemr_obs::{Counter, MetricsRegistry};
+
+/// Shared counters describing how much work the candidate-extraction
+/// phase does inside the inverted index.
+///
+/// The handles are `Arc`s so one set of counters can outlive any single
+/// [`crate::Index`] instance: the engine registers them once in its
+/// [`MetricsRegistry`] and threads the same handles into every index it
+/// (re)builds, keeping the exported series monotone across full
+/// re-indexes.
+#[derive(Debug, Clone)]
+pub struct IndexMetrics {
+    /// Distinct analyzed query terms probed against the term dictionary.
+    pub terms_looked_up: Arc<Counter>,
+    /// Posting entries scanned while scoring (live and tombstoned).
+    pub postings_scanned: Arc<Counter>,
+    /// Candidate hits returned to the caller after top-*n* selection.
+    pub candidates_returned: Arc<Counter>,
+}
+
+impl Default for IndexMetrics {
+    /// Free-standing counters, not attached to any registry — the
+    /// default for indexes built outside an engine (tests, tools).
+    fn default() -> Self {
+        IndexMetrics {
+            terms_looked_up: Arc::new(Counter::new()),
+            postings_scanned: Arc::new(Counter::new()),
+            candidates_returned: Arc::new(Counter::new()),
+        }
+    }
+}
+
+impl IndexMetrics {
+    /// Counters registered under the `schemr_index_*` names.
+    pub fn registered(registry: &MetricsRegistry) -> Self {
+        IndexMetrics {
+            terms_looked_up: registry.counter(
+                "schemr_index_terms_looked_up_total",
+                "Distinct analyzed query terms probed against the term dictionary.",
+            ),
+            postings_scanned: registry.counter(
+                "schemr_index_postings_scanned_total",
+                "Posting entries scanned while scoring candidate documents.",
+            ),
+            candidates_returned: registry.counter(
+                "schemr_index_candidates_returned_total",
+                "Candidate hits returned by Phase 1 after top-n selection.",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_counters_render_under_index_names() {
+        let reg = MetricsRegistry::new();
+        let m = IndexMetrics::registered(&reg);
+        m.terms_looked_up.add(3);
+        m.candidates_returned.inc();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("schemr_index_terms_looked_up_total 3"),
+            "{text}"
+        );
+        assert!(text.contains("schemr_index_candidates_returned_total 1"));
+        assert!(text.contains("schemr_index_postings_scanned_total 0"));
+    }
+
+    #[test]
+    fn default_counters_are_free_standing() {
+        let a = IndexMetrics::default();
+        let b = IndexMetrics::default();
+        a.terms_looked_up.inc();
+        assert_eq!(b.terms_looked_up.get(), 0);
+    }
+}

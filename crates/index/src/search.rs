@@ -8,6 +8,7 @@ use schemr_model::SchemaId;
 
 use crate::field::Field;
 use crate::memory::Inner;
+use crate::metrics::IndexMetrics;
 
 /// Options controlling candidate extraction.
 #[derive(Debug, Clone)]
@@ -104,6 +105,7 @@ pub(crate) fn search_postings(
     inner: &Inner,
     terms: &[String],
     options: &SearchOptions,
+    metrics: &IndexMetrics,
 ) -> Vec<Hit> {
     if terms.is_empty() || inner.live_docs == 0 || options.top_n == 0 {
         return Vec::new();
@@ -113,6 +115,10 @@ pub(crate) fn search_postings(
     let mut distinct: Vec<&String> = terms.iter().collect();
     distinct.sort();
     distinct.dedup();
+    metrics.terms_looked_up.add(distinct.len() as u64);
+    // Accumulated locally and published once — the scan loop stays free
+    // of atomic traffic.
+    let mut postings_scanned = 0u64;
 
     let n_docs = inner.live_docs as f64;
     // Sparse accumulators: doc ordinal → (score, distinct matched terms).
@@ -137,6 +143,7 @@ pub(crate) fn search_postings(
                 continue;
             }
             let idf = 1.0 + (n_docs / (1.0 + df as f64)).ln();
+            postings_scanned += pl.doc_freq() as u64;
             for posting in pl.iter() {
                 let entry = &inner.docs[posting.doc as usize];
                 if entry.deleted {
@@ -230,6 +237,8 @@ pub(crate) fn search_postings(
             .unwrap_or(Ordering::Equal)
             .then(a.id.cmp(&b.id))
     });
+    metrics.postings_scanned.add(postings_scanned);
+    metrics.candidates_returned.add(hits.len() as u64);
     hits
 }
 

@@ -5,6 +5,8 @@
 //! scores. We combine the scores from each matcher with a weighting scheme,
 //! which is initially uniform."
 
+use std::time::{Duration, Instant};
+
 use schemr_model::{QueryGraph, QueryTerm, Schema};
 
 use crate::context::ContextMatcher;
@@ -81,17 +83,39 @@ impl Ensemble {
         query: &QueryGraph,
         candidate: &Schema,
     ) -> SimilarityMatrix {
+        self.combined_traced(terms, query, candidate).0
+    }
+
+    /// Like [`Ensemble::combined`], but also returns each matcher's wall
+    /// time (in registration order — align with
+    /// [`Ensemble::matcher_names`]). The engine aggregates these per
+    /// search to expose the name-vs-context cost split.
+    pub fn combined_traced(
+        &self,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        candidate: &Schema,
+    ) -> (SimilarityMatrix, Vec<Duration>) {
+        let mut timings = Vec::with_capacity(self.matchers.len());
         let matrices: Vec<(SimilarityMatrix, f64, bool)> = self
             .matchers
             .iter()
-            .map(|(m, w)| (m.score(terms, query, candidate), *w, m.abstains()))
+            .map(|(m, w)| {
+                let start = Instant::now();
+                let scored = m.score(terms, query, candidate);
+                timings.push(start.elapsed());
+                (scored, *w, m.abstains())
+            })
             .collect();
         if matrices.is_empty() {
-            return SimilarityMatrix::zeros(terms.len(), candidate.len());
+            return (
+                SimilarityMatrix::zeros(terms.len(), candidate.len()),
+                timings,
+            );
         }
         let refs: Vec<(&SimilarityMatrix, f64, bool)> =
             matrices.iter().map(|(m, w, a)| (m, *w, *a)).collect();
-        SimilarityMatrix::combine_with_abstention(&refs)
+        (SimilarityMatrix::combine_with_abstention(&refs), timings)
     }
 
     /// Run every matcher and return the individual matrices (the learner's
@@ -210,6 +234,20 @@ mod tests {
         assert_eq!(per.len(), 4);
         let names: Vec<_> = per.iter().map(|(n, _)| *n).collect();
         assert_eq!(names, ["name", "context", "token", "edit"]);
+    }
+
+    #[test]
+    fn combined_traced_times_every_matcher_and_matches_combined() {
+        let (q, terms, candidate) = query_and_candidate();
+        let e = Ensemble::standard();
+        let (traced, timings) = e.combined_traced(&terms, &q, &candidate);
+        assert_eq!(timings.len(), e.len());
+        let plain = e.combined(&terms, &q, &candidate);
+        for r in 0..plain.rows() {
+            for c in 0..plain.cols() {
+                assert!((traced.get(r, c) - plain.get(r, c)).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

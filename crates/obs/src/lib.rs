@@ -1,0 +1,33 @@
+//! # schemr-obs
+//!
+//! Zero-dependency observability primitives for the Schemr stack.
+//!
+//! The paper's three-phase search pipeline (candidate extraction → matcher
+//! ensemble → tightness-of-fit) is exactly where latency and quality
+//! regressions hide as the corpus grows, so every layer of the
+//! reproduction records what it did into a shared [`MetricsRegistry`]:
+//!
+//! * [`Counter`] — a lock-free monotonically increasing `AtomicU64`,
+//! * [`Histogram`] — fixed-bucket latency histogram with lock-free
+//!   `observe` and p50/p95/p99 readout via [`HistogramSnapshot`],
+//! * [`MetricsRegistry`] — names and labels metrics, hands out shared
+//!   handles, and renders the whole set in Prometheus text exposition
+//!   format ([`MetricsRegistry::render_prometheus`]),
+//! * [`SpanTimer`] — an RAII guard that observes its lifetime into a
+//!   histogram.
+//!
+//! The crate deliberately has **no dependencies** (not even workspace
+//! ones): it sits below `schemr-index`, `schemr` (core), and
+//! `schemr-server` in the crate graph, so anything it pulled in would be
+//! paid by the entire stack.
+
+pub mod counter;
+pub mod histogram;
+pub mod registry;
+pub mod render;
+pub mod timer;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramSnapshot, LATENCY_BUCKETS};
+pub use registry::{LabelSet, MetricsRegistry};
+pub use timer::SpanTimer;

@@ -1,0 +1,95 @@
+//! RAII span timing.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::histogram::Histogram;
+
+/// A guard that records its own lifetime into a histogram.
+///
+/// Start one at the top of a span; when it drops (or [`SpanTimer::stop`]
+/// is called explicitly) the elapsed wall time is observed in seconds.
+/// Dropping records exactly once.
+#[derive(Debug)]
+pub struct SpanTimer {
+    histogram: Arc<Histogram>,
+    start: Instant,
+    recorded: bool,
+}
+
+impl SpanTimer {
+    /// Start timing into `histogram`.
+    pub fn start(histogram: Arc<Histogram>) -> Self {
+        SpanTimer {
+            histogram,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Elapsed time so far, without recording.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stop now, record, and return the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.histogram.observe_duration(elapsed);
+        self.recorded = true;
+        elapsed
+    }
+
+    /// Abandon the span without recording anything.
+    pub fn cancel(mut self) {
+        self.recorded = true;
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.histogram.observe_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Arc::new(Histogram::latency());
+        {
+            let _t = SpanTimer::start(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_and_prevents_double_count() {
+        let h = Arc::new(Histogram::latency());
+        let t = SpanTimer::start(h.clone());
+        let d = t.stop();
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - d.as_secs_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Arc::new(Histogram::latency());
+        SpanTimer::start(h.clone()).cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let h = Arc::new(Histogram::latency());
+        let t = SpanTimer::start(h);
+        let a = t.elapsed();
+        let b = t.elapsed();
+        assert!(b >= a);
+        t.cancel();
+    }
+}

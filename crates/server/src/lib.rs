@@ -19,11 +19,12 @@
 //!
 //! | Method | Path | Response |
 //! |---|---|---|
-//! | GET | `/search?q=<keywords>&limit=<n>` | results XML |
+//! | GET | `/search?q=<keywords>&limit=<n>&explain=1` | results XML (+ `<trace>` with `explain=1`) |
 //! | POST | `/search?q=<keywords>` (body = DDL/XSD fragment) | results XML |
 //! | GET | `/schema/<id>` | GraphML |
 //! | GET | `/schema/<id>/svg?layout=tree\|radial&depth=<d>` | SVG |
-//! | GET | `/healthz` | `ok` |
+//! | GET | `/healthz` | JSON: status, repository revision, indexed doc count |
+//! | GET | `/metrics` | Prometheus text exposition of the engine + HTTP metrics |
 
 pub mod http;
 pub mod xml_response;

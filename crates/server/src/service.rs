@@ -3,14 +3,16 @@
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use schemr::{parse_keywords, SchemrEngine, SearchRequest};
 use schemr_model::SchemaId;
+use schemr_obs::{MetricsRegistry, LATENCY_BUCKETS};
 use schemr_viz::{radial_layout, to_graphml, tree_layout, GraphmlOptions, SvgOptions};
 
 use crate::http::{read_request, Request, Response};
-use crate::xml_response::results_to_xml;
+use crate::xml_response::search_response_to_xml;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -52,10 +54,12 @@ impl SchemrServer {
             let engine = engine.clone();
             workers.push(std::thread::spawn(move || {
                 while let Ok(mut stream) = rx.recv() {
-                    let response = match read_request(&mut stream) {
-                        Ok(request) => route(&engine, &request),
-                        Err(e) => Response::bad_request(e.to_string()),
+                    let started = Instant::now();
+                    let (label, response) = match read_request(&mut stream) {
+                        Ok(request) => (route_label(&request.path), route(&engine, &request)),
+                        Err(e) => ("malformed", Response::bad_request(e.to_string())),
                     };
+                    record_request(engine.metrics_registry(), label, &response, started);
                     let _ = response.write_to(&mut stream);
                 }
             }));
@@ -113,15 +117,72 @@ impl Drop for SchemrServer {
     }
 }
 
+/// Normalize a request path to a bounded label set so `/schema/<id>`
+/// doesn't explode the `route` label cardinality.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/stats" => "/stats",
+        "/search" => "/search",
+        _ if path.starts_with("/schema/") => "/schema",
+        _ => "other",
+    }
+}
+
+/// Record one served request into the shared registry.
+fn record_request(
+    registry: &Arc<MetricsRegistry>,
+    label: &str,
+    response: &Response,
+    started: Instant,
+) {
+    let status = match response.status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        _ => "other",
+    };
+    registry
+        .counter_with(
+            "schemr_http_requests_total",
+            "HTTP requests served, by route and status.",
+            &[("route", label), ("status", status)],
+        )
+        .inc();
+    registry
+        .histogram_with(
+            "schemr_http_request_seconds",
+            "Wall time from request read to response ready, by route.",
+            &[("route", label)],
+            LATENCY_BUCKETS,
+        )
+        .observe_duration(started.elapsed());
+}
+
 /// Dispatch a request to a handler.
 fn route(engine: &SchemrEngine, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::ok("text/plain", "ok"),
+        ("GET", "/healthz") => handle_healthz(engine),
+        ("GET", "/metrics") => Response::ok(
+            "text/plain; version=0.0.4",
+            engine.metrics_registry().render_prometheus(),
+        ),
         ("GET", "/stats") => handle_stats(engine),
         ("GET" | "POST", "/search") => handle_search(engine, request),
         _ if request.path.starts_with("/schema/") => handle_schema(engine, request),
         _ => Response::not_found(format!("no route for {} {}", request.method, request.path)),
     }
+}
+
+fn handle_healthz(engine: &SchemrEngine) -> Response {
+    let body = format!(
+        "{{\"status\":\"ok\",\"revision\":{},\"indexed_docs\":{}}}",
+        engine.repository().revision(),
+        engine.index_stats().live_docs
+    );
+    Response::ok("application/json", body)
 }
 
 fn handle_stats(engine: &SchemrEngine) -> Response {
@@ -155,8 +216,9 @@ fn handle_search(engine: &SchemrEngine, request: &Request) -> Response {
             Err(_) => return Response::bad_request("limit must be an integer"),
         }
     }
-    match engine.search(&sr) {
-        Ok(results) => Response::ok("text/xml", results_to_xml(&results)),
+    sr.explain = matches!(request.param("explain"), Some("1") | Some("true"));
+    match engine.search_detailed(&sr) {
+        Ok(response) => Response::ok("text/xml", search_response_to_xml(&response)),
         Err(e) => Response::bad_request(e.to_string()),
     }
 }
@@ -255,10 +317,51 @@ mod tests {
     }
 
     #[test]
-    fn healthz() {
+    fn healthz_reports_revision_and_doc_count() {
         let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
         let (status, body) = get(server.addr(), "/healthz");
-        assert_eq!((status, body.as_str()), (200, "ok"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"revision\":2"), "{body}");
+        assert!(body.contains("\"indexed_docs\":2"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_engine_and_http_families() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let (status, _) = get(addr, "/search?q=patient");
+        assert_eq!(status, 200);
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE schemr_search_requests_total counter"));
+        assert!(body.contains("schemr_search_requests_total 1"), "{body}");
+        assert!(
+            body.contains("schemr_phase_seconds_bucket{phase=\"matching\","),
+            "{body}"
+        );
+        assert!(body.contains("schemr_matcher_seconds_bucket{matcher=\"name\","));
+        assert!(
+            body.contains("schemr_http_requests_total{route=\"/search\",status=\"200\"} 1"),
+            "{body}"
+        );
+        assert!(body.contains("schemr_http_request_seconds_bucket{route=\"/search\","));
+        server.shutdown();
+    }
+
+    #[test]
+    fn explain_param_attaches_a_trace() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let (status, plain) = get(addr, "/search?q=patient");
+        assert_eq!(status, 200);
+        assert!(!plain.contains("<trace"));
+        let (status, body) = get(addr, "/search?q=patient&explain=1");
+        assert_eq!(status, 200);
+        assert!(body.contains("<trace candidates-from-index="), "{body}");
+        assert!(body.contains("<phase name=\"candidate_extraction\""));
+        assert!(body.contains("<matcher name=\"name\""));
         server.shutdown();
     }
 

@@ -2,7 +2,7 @@
 //! with their corresponding score, is finally sent as an XML response to
 //! the client".
 
-use schemr::SearchResult;
+use schemr::{SearchResponse, SearchResult};
 use schemr_parse::xml::escape;
 
 /// Serialize ranked results to the response XML.
@@ -20,6 +20,63 @@ pub fn results_to_xml(results: &[SearchResult]) -> String {
     let mut out = String::with_capacity(256 + results.len() * 160);
     out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
     out.push_str(&format!("<results count=\"{}\">\n", results.len()));
+    push_results(&mut out, results);
+    out.push_str("</results>\n");
+    out
+}
+
+/// Serialize a full [`SearchResponse`]. When the response carries an
+/// explain trace (`/search?…&explain=1`), a `<trace>` element with
+/// per-phase and per-matcher timings follows the results.
+///
+/// ```xml
+/// <results count="1">
+///   <result …>…</result>
+///   <trace candidates-from-index="5" candidates-evaluated="5" match-threads="4">
+///     <phase name="candidate_extraction" seconds="0.000041"/>
+///     <phase name="matching" seconds="0.000305"/>
+///     <phase name="scoring" seconds="0.000012"/>
+///     <matcher name="name" seconds="0.000171"/>
+///     <matcher name="context" seconds="0.000092"/>
+///   </trace>
+/// </results>
+/// ```
+pub fn search_response_to_xml(response: &SearchResponse) -> String {
+    let mut out = String::with_capacity(256 + response.results.len() * 160);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str(&format!("<results count=\"{}\">\n", response.results.len()));
+    push_results(&mut out, &response.results);
+    if let Some(trace) = &response.trace {
+        out.push_str(&format!(
+            "  <trace candidates-from-index=\"{}\" candidates-evaluated=\"{}\" match-threads=\"{}\">\n",
+            trace.candidates_from_index, trace.candidates_evaluated, trace.match_threads_used
+        ));
+        let t = &response.timings;
+        for (name, d) in [
+            ("candidate_extraction", t.candidate_extraction),
+            ("matching", t.matching),
+            ("scoring", t.scoring),
+        ] {
+            out.push_str(&format!(
+                "    <phase name=\"{}\" seconds=\"{:.6}\"/>\n",
+                name,
+                d.as_secs_f64()
+            ));
+        }
+        for m in &trace.matchers {
+            out.push_str(&format!(
+                "    <matcher name=\"{}\" seconds=\"{:.6}\"/>\n",
+                escape(&m.name),
+                m.wall.as_secs_f64()
+            ));
+        }
+        out.push_str("  </trace>\n");
+    }
+    out.push_str("</results>\n");
+    out
+}
+
+fn push_results(out: &mut String, results: &[SearchResult]) {
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "  <result id=\"{}\" rank=\"{}\" score=\"{:.4}\" matches=\"{}\" entities=\"{}\" attributes=\"{}\">\n",
@@ -34,8 +91,6 @@ pub fn results_to_xml(results: &[SearchResult]) -> String {
         out.push_str(&format!("    <summary>{}</summary>\n", escape(&r.summary)));
         out.push_str("  </result>\n");
     }
-    out.push_str("</results>\n");
-    out
 }
 
 #[cfg(test)]
@@ -78,5 +133,57 @@ mod tests {
         let xml = results_to_xml(&[]);
         assert!(xml.contains("count=\"0\""));
         assert!(XmlParser::parse_all(&xml).is_ok());
+    }
+
+    #[test]
+    fn response_without_trace_matches_plain_results() {
+        let response = SearchResponse {
+            results: vec![result(3, "clinic")],
+            ..Default::default()
+        };
+        assert_eq!(
+            search_response_to_xml(&response),
+            results_to_xml(&response.results)
+        );
+    }
+
+    #[test]
+    fn response_with_trace_renders_phases_and_matchers() {
+        use schemr::{MatcherTiming, PhaseTimings, SearchTrace};
+        use std::time::Duration;
+        let response = SearchResponse {
+            results: vec![result(3, "clinic")],
+            timings: PhaseTimings {
+                candidate_extraction: Duration::from_micros(41),
+                matching: Duration::from_micros(305),
+                scoring: Duration::from_micros(12),
+            },
+            candidates_evaluated: 5,
+            trace: Some(SearchTrace {
+                candidates_from_index: 7,
+                candidates_evaluated: 5,
+                match_threads_used: 4,
+                matchers: vec![
+                    MatcherTiming {
+                        name: "name".to_string(),
+                        wall: Duration::from_micros(171),
+                    },
+                    MatcherTiming {
+                        name: "context".to_string(),
+                        wall: Duration::from_micros(92),
+                    },
+                ],
+            }),
+        };
+        let xml = search_response_to_xml(&response);
+        assert!(XmlParser::parse_all(&xml).is_ok(), "{xml}");
+        assert!(xml.contains(
+            "<trace candidates-from-index=\"7\" candidates-evaluated=\"5\" match-threads=\"4\">"
+        ));
+        assert!(xml.contains("<phase name=\"candidate_extraction\" seconds=\"0.000041\"/>"));
+        assert!(xml.contains("<phase name=\"matching\" seconds=\"0.000305\"/>"));
+        assert!(xml.contains("<phase name=\"scoring\" seconds=\"0.000012\"/>"));
+        assert!(xml.contains("<matcher name=\"name\" seconds=\"0.000171\"/>"));
+        assert!(xml.contains("<matcher name=\"context\" seconds=\"0.000092\"/>"));
     }
 }

@@ -94,6 +94,103 @@ fn graphml_drill_in_reconstructs_the_schema_shape() {
 }
 
 #[test]
+fn healthz_reports_revision_and_indexed_docs() {
+    let (server, _) = start_server();
+    let body = get(server.addr(), "/healthz");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"revision\":2"), "{body}");
+    assert!(body.contains("\"indexed_docs\":2"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_expose_search_phase_and_http_families() {
+    let (server, _) = start_server();
+    let addr = server.addr();
+    // Drive two searches (one explained) so every family has data.
+    get(addr, "/search?q=patient+height");
+    get(addr, "/search?q=gender&explain=1");
+    let body = get(addr, "/metrics");
+    assert!(body.contains("# TYPE schemr_search_requests_total counter"));
+    assert!(body.contains("schemr_search_requests_total 2"), "{body}");
+    for phase in ["candidate_extraction", "matching", "scoring"] {
+        assert!(
+            body.contains(&format!(
+                "schemr_phase_seconds_count{{phase=\"{phase}\"}} 2"
+            )),
+            "phase {phase}: {body}"
+        );
+    }
+    for matcher in ["name", "context"] {
+        assert!(
+            body.contains(&format!(
+                "schemr_matcher_seconds_count{{matcher=\"{matcher}\"}} 2"
+            )),
+            "matcher {matcher}: {body}"
+        );
+    }
+    assert!(
+        body.contains("schemr_http_requests_total{route=\"/search\",status=\"200\"} 2"),
+        "{body}"
+    );
+    assert!(body.contains("schemr_index_terms_looked_up_total"));
+    server.shutdown();
+}
+
+#[test]
+fn explain_trace_round_trips_through_the_xml_parser() {
+    let (server, _) = start_server();
+    let xml = get(server.addr(), "/search?q=patient+height&explain=1");
+    let events = XmlParser::parse_all(&xml).unwrap();
+    let trace = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Start { name, attributes } if name == "trace" => Some(attributes.clone()),
+            _ => None,
+        })
+        .expect("trace element present");
+    let attr = |n: &str| {
+        trace
+            .iter()
+            .find(|a| a.name == n)
+            .map(|a| a.value.clone())
+            .unwrap()
+    };
+    let from_index: usize = attr("candidates-from-index").parse().unwrap();
+    let evaluated: usize = attr("candidates-evaluated").parse().unwrap();
+    let threads: usize = attr("match-threads").parse().unwrap();
+    assert!(from_index >= evaluated);
+    assert!(evaluated >= 1);
+    assert!(threads >= 1);
+    let phases: Vec<String> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Start { name, attributes } if name == "phase" => attributes
+                .iter()
+                .find(|a| a.name == "name")
+                .map(|a| a.value.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(phases, ["candidate_extraction", "matching", "scoring"]);
+    let matchers: Vec<String> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Start { name, attributes } if name == "matcher" => attributes
+                .iter()
+                .find(|a| a.name == "name")
+                .map(|a| a.value.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(matchers, ["name", "context"]);
+    // A plain search carries no trace.
+    let plain = get(server.addr(), "/search?q=patient");
+    assert!(!plain.contains("<trace"));
+    server.shutdown();
+}
+
+#[test]
 fn fragment_post_round_trips_through_the_service() {
     let (server, clinic) = start_server();
     let fragment = "CREATE TABLE patient (height REAL, gender TEXT)";
