@@ -10,11 +10,17 @@
 //!
 //! Run with `cargo run --release -p schemr-bench --bin e1_scalability`
 //! (pass `--quick` for a fast smoke run).
+//!
+//! Pass `--check-overhead` to instead compare traced vs untraced search
+//! latency on one corpus (per-query paired timings, median ratio) and exit
+//! nonzero when request tracing costs more than 5% — the CI guard that
+//! keeps `schemr-trace` honest about being cheap enough to leave on.
 
+use schemr::EngineConfig;
 use schemr_bench::{Table, Testbed};
-use schemr_corpus::{Corpus, CorpusConfig, Workload, WorkloadConfig};
-use schemr_obs::HistogramSnapshot;
-use std::time::Duration;
+use schemr_corpus::{Corpus, CorpusConfig, GeneratedQuery, Workload, WorkloadConfig};
+use schemr_obs::{HistogramSnapshot, TracerConfig};
+use std::time::{Duration, Instant};
 
 const PHASES: &[&str] = &["candidate_extraction", "matching", "scoring"];
 
@@ -71,8 +77,116 @@ fn json_report(top_candidates: usize, sizes: &[SizeReport]) -> String {
     out
 }
 
+/// Wall-clock for one full pass over the workload.
+fn run_workload(bed: &Testbed, workload: &Workload) -> f64 {
+    let start = Instant::now();
+    for q in &workload.queries {
+        bed.engine
+            .search_detailed(&Testbed::to_request(q, 10))
+            .expect("nonempty query");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Wall-clock for one query on one engine.
+fn time_query(bed: &Testbed, q: &GeneratedQuery) -> f64 {
+    let start = Instant::now();
+    bed.engine
+        .search_detailed(&Testbed::to_request(q, 10))
+        .expect("nonempty query");
+    start.elapsed().as_secs_f64()
+}
+
+/// `--check-overhead`: traced vs untraced latency on one corpus.
+///
+/// Each query is timed on both engines back to back (alternating which
+/// side goes first), and the verdict is the median of the per-query
+/// traced/untraced ratios. Pairing adjacent timings cancels the slow
+/// machine drift (CPU frequency, co-tenants) that dominates round-level
+/// comparisons on shared hardware, and the median discards the pairs a
+/// scheduler hiccup lands in. Returns the process exit code.
+fn check_overhead(quick: bool) -> i32 {
+    let size = if quick { 1_000 } else { 5_000 };
+    let queries = if quick { 30 } else { 60 };
+    let rounds = if quick { 7 } else { 11 };
+    const BUDGET_PCT: f64 = 5.0;
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        target_size: size,
+        seed: 42,
+        ..CorpusConfig::default()
+    });
+    let workload = Workload::generate(
+        &corpus,
+        &WorkloadConfig {
+            queries,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let traced = Testbed::build_with_config(&corpus, EngineConfig::default());
+    let untraced = Testbed::build_with_config(
+        &corpus,
+        EngineConfig {
+            trace: TracerConfig::disabled(),
+            ..EngineConfig::default()
+        },
+    );
+
+    // Warm both engines before timing anything.
+    run_workload(&traced, &workload);
+    run_workload(&untraced, &workload);
+
+    let mut ratios = Vec::with_capacity(rounds * workload.queries.len());
+    let mut on_total = 0.0;
+    let mut off_total = 0.0;
+    for round in 0..rounds {
+        for (qi, q) in workload.queries.iter().enumerate() {
+            let (t_on, t_off) = if (round + qi) % 2 == 0 {
+                let on = time_query(&traced, q);
+                let off = time_query(&untraced, q);
+                (on, off)
+            } else {
+                let off = time_query(&untraced, q);
+                let on = time_query(&traced, q);
+                (on, off)
+            };
+            on_total += t_on;
+            off_total += t_off;
+            if t_off > 0.0 {
+                ratios.push(t_on / t_off);
+            }
+        }
+    }
+    let overhead_pct = (median(&mut ratios) - 1.0) * 100.0;
+
+    println!("E1 --check-overhead: tracing cost, per-query paired timings");
+    println!(
+        "  corpus {size}, {queries} queries x {rounds} rounds = {} pairs",
+        ratios.len()
+    );
+    println!("  total wall, tracing on:  {:.2} ms", on_total * 1e3);
+    println!("  total wall, tracing off: {:.2} ms", off_total * 1e3);
+    println!("  overhead: {overhead_pct:+.2}% (budget {BUDGET_PCT}%, median paired ratio)");
+    if overhead_pct < BUDGET_PCT {
+        println!("  PASS: tracing fits the {BUDGET_PCT}% budget");
+        0
+    } else {
+        println!("  FAIL: tracing exceeds the {BUDGET_PCT}% budget");
+        1
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--check-overhead") {
+        std::process::exit(check_overhead(quick));
+    }
     let sizes: &[usize] = if quick {
         &[500, 1_000, 2_000]
     } else {

@@ -13,7 +13,11 @@
 //! schemr-cli export    <repo.json> <schema-id> [--format ddl|graphml|svg]
 //! schemr-cli summarize <repo.json> <schema-id> [--entities <n>]
 //! schemr-cli stats     <repo.json>
-//! schemr-cli serve     <repo.json> [--bind <addr>]
+//! schemr-cli serve     <repo.json> [--bind <addr>] [--event-log <path>]
+//!                      [--slowlog-ms <n>] [--trace-ring <n>]
+//! schemr-cli tracelog  tail   <event.log> [-n <limit>]
+//! schemr-cli tracelog  stats  <event.log>
+//! schemr-cli tracelog  replay <event.log> <repo.json>
 //! ```
 //!
 //! The argument parser is deliberately from scratch (no dependency): each
@@ -113,6 +117,10 @@ commands:
   summarize <repo.json> <id> [--entities N]            importance-based summary
   stats     <repo.json>                                repository statistics
   serve     <repo.json> [--bind 127.0.0.1:7878]        start the search service
+            [--event-log path] [--slowlog-ms N] [--trace-ring N]
+  tracelog  tail   <event.log> [-n N]                  print the last N logged searches
+  tracelog  stats  <event.log>                         aggregate timings across the log
+  tracelog  replay <event.log> <repo.json>             re-run logged queries, diff results
 ";
 
 /// Run the CLI. Returns the process exit code.
@@ -136,6 +144,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<i32, CliError> {
         "summarize" => cmd_summarize(&rest, out),
         "stats" => cmd_stats(&rest, out),
         "serve" => cmd_serve(&rest, out),
+        "tracelog" => cmd_tracelog(&rest, out),
         other => Err(err(format!("unknown command `{other}`\n{USAGE}"))),
     }
 }
@@ -385,7 +394,22 @@ fn cmd_stats(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
 fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
     let (_, repo) = load_repo(args)?;
     let bind = args.flag(&["bind"]).unwrap_or("127.0.0.1:7878").to_string();
-    let engine = Arc::new(SchemrEngine::new(repo));
+    let mut config = schemr::EngineConfig::default();
+    if let Some(path) = args.flag(&["event-log"]) {
+        config.trace.event_log_path = Some(path.into());
+    }
+    if let Some(ms) = args.flag(&["slowlog-ms"]) {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| err("slowlog-ms must be an integer (milliseconds)"))?;
+        config.trace.slow_threshold = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = args.flag(&["trace-ring"]) {
+        config.trace.ring_capacity = n
+            .parse()
+            .map_err(|_| err("trace-ring must be an integer"))?;
+    }
+    let engine = Arc::new(SchemrEngine::with_config(repo, config));
     engine.reindex_full();
     let server = schemr_server::SchemrServer::start(
         engine,
@@ -397,6 +421,138 @@ fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
     loop {
         std::thread::park();
     }
+}
+
+fn load_events(args: &Args, ix: usize) -> Result<(String, Vec<schemr_obs::SearchEvent>), CliError> {
+    let path = args.positional(ix, "event-log path")?.to_string();
+    let events = schemr_obs::read_events_at(std::path::Path::new(&path))
+        .map_err(|e| err(format!("read {path}: {e}")))?;
+    Ok((path, events))
+}
+
+/// `tracelog tail|stats|replay` — inspect and re-execute the durable
+/// search event log written by `serve --event-log` (or any engine with
+/// `TracerConfig::event_log_path` set).
+fn cmd_tracelog(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    match args.positional(0, "tracelog subcommand (tail|stats|replay)")? {
+        "tail" => cmd_tracelog_tail(args, out),
+        "stats" => cmd_tracelog_stats(args, out),
+        "replay" => cmd_tracelog_replay(args, out),
+        other => Err(err(format!(
+            "unknown tracelog subcommand `{other}` (tail|stats|replay)"
+        ))),
+    }
+}
+
+fn cmd_tracelog_tail(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, events) = load_events(args, 1)?;
+    let limit = match args.flag(&["n", "limit"]) {
+        Some(n) => n.parse().map_err(|_| err("limit must be an integer"))?,
+        None => 20usize,
+    };
+    let start = events.len().saturating_sub(limit);
+    for ev in &events[start..] {
+        let top = ev.results.first().map(|r| r.id.as_str()).unwrap_or("-");
+        writeln!(
+            out,
+            "{}\t{:>9.3} ms\t{} result(s)\ttop={}\t\"{}\"",
+            ev.trace_id,
+            ev.total_us as f64 / 1e3,
+            ev.results.len(),
+            top,
+            ev.query
+        )?;
+    }
+    writeln!(out, "{} of {} event(s)", events.len() - start, events.len())?;
+    Ok(0)
+}
+
+fn cmd_tracelog_stats(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, events) = load_events(args, 1)?;
+    writeln!(out, "events:       {}", events.len())?;
+    if events.is_empty() {
+        return Ok(0);
+    }
+    let n = events.len() as f64;
+    let total: u64 = events.iter().map(|e| e.total_us).sum();
+    writeln!(out, "mean total:   {:.3} ms", total as f64 / n / 1e3)?;
+    // Mean per phase, in the order phases first appear in the log.
+    let mut phases: Vec<(String, u64)> = Vec::new();
+    for ev in &events {
+        for (name, us) in &ev.phase_us {
+            match phases.iter_mut().find(|(n, _)| n == name) {
+                Some((_, sum)) => *sum += us,
+                None => phases.push((name.clone(), *us)),
+            }
+        }
+    }
+    for (name, sum) in &phases {
+        writeln!(out, "mean {:<21} {:>9.3} ms", name, *sum as f64 / n / 1e3)?;
+    }
+    let slowest = events.iter().max_by_key(|e| e.total_us).expect("non-empty");
+    writeln!(
+        out,
+        "slowest:      {} ({:.3} ms, \"{}\")",
+        slowest.trace_id,
+        slowest.total_us as f64 / 1e3,
+        slowest.query
+    )?;
+    let empty = events.iter().filter(|e| e.results.is_empty()).count();
+    writeln!(out, "empty results: {empty}")?;
+    Ok(0)
+}
+
+/// Re-execute every logged query against the repository as it stands
+/// now and diff the result lists. Queries are replayed from the logged
+/// normalized term text, so fragment structure is flattened to keywords;
+/// on an unchanged repository the top-1 (and normally the full list)
+/// must come back identical.
+fn cmd_tracelog_replay(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let (_, events) = load_events(args, 1)?;
+    let repo_path = args.positional(2, "repository path")?;
+    let repo = persist::load(repo_path).map_err(|e| err(format!("open {repo_path}: {e}")))?;
+    let engine = SchemrEngine::new(Arc::new(repo));
+    engine.reindex_full();
+
+    let mut drifted = 0usize;
+    let mut replayed = 0usize;
+    for ev in &events {
+        let mut request = SearchRequest::default();
+        request.keywords = schemr::parse_keywords(&ev.query);
+        if request.keywords.is_empty() {
+            writeln!(out, "{}\tskipped (empty query)", ev.trace_id)?;
+            continue;
+        }
+        request.limit = Some(ev.results.len().max(1));
+        let response = engine
+            .search_detailed(&request)
+            .map_err(|e| err(e.to_string()))?;
+        replayed += 1;
+        let logged: Vec<String> = ev.results.iter().map(|r| r.id.clone()).collect();
+        let now: Vec<String> = response.results.iter().map(|r| r.id.to_string()).collect();
+        if logged == now {
+            writeln!(out, "{}\tok ({} result(s))", ev.trace_id, now.len())?;
+        } else if logged.first() == now.first() {
+            writeln!(
+                out,
+                "{}\ttop-1 stable, tail drifted (logged {:?}, now {:?})",
+                ev.trace_id, logged, now
+            )?;
+        } else {
+            drifted += 1;
+            writeln!(
+                out,
+                "{}\tTOP-1 DRIFTED (logged {:?}, now {:?})",
+                ev.trace_id, logged, now
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "replayed {replayed} of {} event(s); {drifted} with a changed top-1",
+        events.len()
+    )?;
+    Ok(if drifted == 0 { 0 } else { 1 })
 }
 
 #[cfg(test)]
@@ -608,5 +764,102 @@ mod tests {
     fn init_refuses_to_overwrite() {
         let (_dir, repo) = temp_repo();
         assert!(run_err(&["init", &repo]).contains("already exists"));
+    }
+
+    /// Run searches through an engine configured to write `log`, so the
+    /// tracelog tests exercise the same JSONL the server produces.
+    fn write_event_log(repo: &str, log: &std::path::Path, queries: &[&str]) {
+        let repo = Arc::new(persist::load(repo).unwrap());
+        let engine = SchemrEngine::with_config(
+            repo,
+            schemr::EngineConfig {
+                trace: schemr_obs::TracerConfig {
+                    event_log_path: Some(log.to_path_buf()),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        engine.reindex_full();
+        for q in queries {
+            let mut request = SearchRequest::default();
+            request.keywords = schemr::parse_keywords(q);
+            engine.search_detailed(&request).unwrap();
+        }
+    }
+
+    #[test]
+    fn tracelog_tail_and_stats_summarize_the_log() {
+        let (dir, repo) = temp_repo();
+        std::fs::write(
+            dir.path.join("clinic.sql"),
+            "CREATE TABLE patient (height REAL, gender TEXT, diagnosis TEXT)",
+        )
+        .unwrap();
+        run_str(&["import", &repo, dir.path.to_str().unwrap()]);
+        let log = dir.path.join("events.log");
+        write_event_log(&repo, &log, &["patient height", "gender"]);
+        let log_s = log.to_str().unwrap();
+
+        let (code, out) = run_str(&["tracelog", "tail", log_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("patient height"), "{out}");
+        assert!(out.contains("top=s0"), "{out}");
+        assert!(out.contains("2 of 2 event(s)"), "{out}");
+
+        let (code, out) = run_str(&["tracelog", "tail", log_s, "-n", "1"]);
+        assert_eq!(code, 0);
+        assert!(
+            !out.contains("patient height"),
+            "limit 1 keeps newest: {out}"
+        );
+        assert!(out.contains("1 of 2 event(s)"), "{out}");
+
+        let (code, out) = run_str(&["tracelog", "stats", log_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("events:       2"), "{out}");
+        assert!(out.contains("mean candidate_extraction"), "{out}");
+        assert!(out.contains("mean matching"), "{out}");
+        assert!(out.contains("mean tightness_scoring"), "{out}");
+        assert!(out.contains("slowest:"), "{out}");
+    }
+
+    #[test]
+    fn tracelog_replay_reproduces_logged_results() {
+        let (dir, repo) = temp_repo();
+        std::fs::write(
+            dir.path.join("clinic.sql"),
+            "CREATE TABLE patient (height REAL, gender TEXT, diagnosis TEXT)",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.path.join("store.sql"),
+            "CREATE TABLE orders (total DECIMAL, quantity INT, customer TEXT)",
+        )
+        .unwrap();
+        run_str(&["import", &repo, dir.path.to_str().unwrap()]);
+        let log = dir.path.join("events.log");
+        write_event_log(&repo, &log, &["patient height", "orders total customer"]);
+
+        let (code, out) = run_str(&["tracelog", "replay", log.to_str().unwrap(), &repo]);
+        assert_eq!(
+            code, 0,
+            "replay must reproduce top-1 on an unchanged repo: {out}"
+        );
+        assert!(
+            out.contains("replayed 2 of 2 event(s); 0 with a changed top-1"),
+            "{out}"
+        );
+        assert!(!out.contains("DRIFTED"), "{out}");
+    }
+
+    #[test]
+    fn tracelog_errors_are_informative() {
+        assert!(run_err(&["tracelog"]).contains("tracelog subcommand"));
+        assert!(run_err(&["tracelog", "frob", "x"]).contains("unknown tracelog subcommand"));
+        assert!(run_err(&["tracelog", "tail", "/nonexistent/events.log"]).contains("read"));
+        let (_dir, repo) = temp_repo();
+        assert!(run_err(&["serve", &repo, "--slowlog-ms", "abc"]).contains("slowlog-ms"));
+        assert!(run_err(&["serve", &repo, "--trace-ring", "x"]).contains("trace-ring"));
     }
 }

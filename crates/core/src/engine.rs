@@ -13,7 +13,9 @@ use parking_lot::{Mutex, RwLock};
 use schemr_index::{codec, Index, IndexDocument, IndexStats, SearchOptions};
 use schemr_match::Ensemble;
 use schemr_model::QueryGraph;
-use schemr_obs::{MetricsRegistry, SpanTimer};
+use schemr_obs::{
+    EventResult, MetricsRegistry, SearchOutcome, SpanGuard, SpanTimer, Tracer, TracerConfig,
+};
 use schemr_repo::{ChangeKind, Repository};
 
 use crate::metrics::EngineMetrics;
@@ -36,6 +38,8 @@ pub struct EngineConfig {
     pub match_threads: usize,
     /// Default result-list length when the request doesn't set one.
     pub default_limit: usize,
+    /// Request-tracing configuration (trace ring, slowlog, event log).
+    pub trace: TracerConfig,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +53,7 @@ impl Default for EngineConfig {
                 .map_or(1, |n| n.get())
                 .min(8),
             default_limit: 10,
+            trace: TracerConfig::default(),
         }
     }
 }
@@ -78,6 +83,7 @@ pub struct SchemrEngine {
     config: EngineConfig,
     last_indexed_revision: Mutex<u64>,
     metrics: EngineMetrics,
+    tracer: Arc<Tracer>,
 }
 
 impl SchemrEngine {
@@ -91,6 +97,7 @@ impl SchemrEngine {
     /// Engine with explicit config.
     pub fn with_config(repo: Arc<Repository>, config: EngineConfig) -> Self {
         let metrics = EngineMetrics::new();
+        let tracer = Arc::new(Tracer::new(config.trace.clone()));
         SchemrEngine {
             repo,
             index: RwLock::new(Index::new().with_metrics(metrics.index.clone())),
@@ -98,6 +105,7 @@ impl SchemrEngine {
             config,
             last_indexed_revision: Mutex::new(0),
             metrics,
+            tracer,
         }
     }
 
@@ -120,6 +128,12 @@ impl SchemrEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's request tracer — the server's `/debug/traces`,
+    /// `/debug/slowlog`, and event-log surfaces all read through this.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Replace the matcher ensemble (e.g. with learned weights or an
@@ -207,15 +221,24 @@ impl SchemrEngine {
     /// Phase 1 only: the coarse candidate list for a query graph. Exposed
     /// for the scalability and coordination experiments.
     pub fn extract_candidates(&self, graph: &QueryGraph) -> Vec<schemr_index::Hit> {
+        self.extract_candidates_traced(graph, None)
+    }
+
+    fn extract_candidates_traced(
+        &self,
+        graph: &QueryGraph,
+        span: Option<&SpanGuard<'_>>,
+    ) -> Vec<schemr_index::Hit> {
         let texts = graph.flat_texts();
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-        self.index.read().search(
+        self.index.read().search_traced(
             &refs,
             &SearchOptions {
                 top_n: self.config.top_candidates,
                 coordination: self.config.coordination,
                 proximity_weight: self.config.proximity_weight,
             },
+            span,
         )
     }
 
@@ -232,24 +255,47 @@ impl SchemrEngine {
             self.metrics.search_errors_total.inc();
             return Err(SearchError::EmptyQuery);
         }
+        // Request tracing: when enabled, one root span per search with
+        // one child per phase. The disabled path costs a single branch.
+        let ctx = self.tracer.begin(request.trace_id.as_deref());
+        let want_trace = ctx.is_some();
+        let query_text = if want_trace {
+            graph.flat_texts().join(" ")
+        } else {
+            String::new()
+        };
+        let root = ctx.as_ref().map(|c| c.root_span("search"));
+        if let Some(r) = &root {
+            r.annotate("query", &query_text);
+        }
 
         // Phase 1: candidate extraction.
         let t0 = Instant::now();
-        let hits = self.extract_candidates(&graph);
+        let p1 = root.as_ref().map(|r| r.child("candidate_extraction"));
+        let hits = self.extract_candidates_traced(&graph, p1.as_ref());
+        drop(p1);
         let candidate_extraction = t0.elapsed();
         let candidates_from_index = hits.len();
 
         // Phase 2: matcher ensemble over the candidates.
         let t1 = Instant::now();
+        let p2 = root.as_ref().map(|r| r.child("matching"));
         let terms = graph.terms();
         let ensemble = self.ensemble.read();
+        let matcher_names = ensemble.matcher_names();
         let candidates: Vec<(schemr_index::Hit, schemr_repo::StoredSchema)> = hits
             .into_iter()
             .filter_map(|h| self.repo.get(h.id).map(|s| (h, s)))
             .collect();
+        if let Some(s) = &p2 {
+            s.annotate("candidates", candidates.len());
+        }
         // Per-matcher wall time, accumulated across candidates (and,
         // under parallel matching, summed over threads).
         let mut matcher_wall: Vec<Duration> = vec![Duration::ZERO; ensemble.len()];
+        // Per-candidate per-matcher strengths for the event log; only
+        // collected while tracing.
+        let mut strengths: Vec<Vec<f64>> = vec![Vec::new(); candidates.len()];
         let threads_used: usize;
         let matrices: Vec<schemr_match::SimilarityMatrix> = if self.config.match_threads > 1
             && candidates.len() > 1
@@ -260,9 +306,15 @@ impl SchemrEngine {
             let mut out: Vec<Option<schemr_match::SimilarityMatrix>> = vec![None; candidates.len()];
             let mut chunk_walls: Vec<Vec<Duration>> =
                 vec![vec![Duration::ZERO; ensemble.len()]; candidates.len().div_ceil(chunk)];
+            // Span plumbing that crosses into the scoped threads: the
+            // context reference and the matching span's index are both
+            // Copy, so each worker opens its own `match_chunk` child.
+            let tctx = ctx.as_ref();
+            let p2_idx = p2.as_ref().map(|s| s.index());
             crossbeam::thread::scope(|scope| {
-                for ((slots, cands), wall) in out
+                for (((slots, strength_slots), cands), wall) in out
                     .chunks_mut(chunk)
+                    .zip(strengths.chunks_mut(chunk))
                     .zip(candidates.chunks(chunk))
                     .zip(chunk_walls.iter_mut())
                 {
@@ -270,13 +322,20 @@ impl SchemrEngine {
                     let graph = &graph;
                     let ensemble = &ensemble;
                     scope.spawn(move |_| {
-                        for (slot, (_, stored)) in slots.iter_mut().zip(cands) {
-                            let (matrix, timings) =
-                                ensemble.combined_traced(terms, graph, &stored.schema);
-                            for (acc, d) in wall.iter_mut().zip(timings) {
+                        let chunk_span =
+                            tctx.and_then(|c| p2_idx.map(|p| c.child_of(p, "match_chunk")));
+                        if let Some(cs) = &chunk_span {
+                            cs.annotate("candidates", cands.len());
+                        }
+                        for ((slot, strength_slot), (_, stored)) in
+                            slots.iter_mut().zip(strength_slots.iter_mut()).zip(cands)
+                        {
+                            let run = ensemble.run(terms, graph, &stored.schema, want_trace);
+                            for (acc, d) in wall.iter_mut().zip(run.timings) {
                                 *acc += d;
                             }
-                            *slot = Some(matrix);
+                            *strength_slot = run.strengths;
+                            *slot = Some(run.matrix);
                         }
                     });
                 }
@@ -292,24 +351,38 @@ impl SchemrEngine {
                 .collect()
         } else {
             threads_used = 1;
-            candidates
-                .iter()
-                .map(|(_, stored)| {
-                    let (matrix, timings) =
-                        ensemble.combined_traced(&terms, &graph, &stored.schema);
-                    for (acc, d) in matcher_wall.iter_mut().zip(timings) {
-                        *acc += d;
-                    }
-                    matrix
-                })
-                .collect()
+            let mut mats = Vec::with_capacity(candidates.len());
+            for (i, (_, stored)) in candidates.iter().enumerate() {
+                let run = ensemble.run(&terms, &graph, &stored.schema, want_trace);
+                for (acc, d) in matcher_wall.iter_mut().zip(run.timings) {
+                    *acc += d;
+                }
+                strengths[i] = run.strengths;
+                mats.push(run.matrix);
+            }
+            mats
         };
-        let matcher_names = ensemble.matcher_names();
+        // Materialize each matcher's accumulated wall as a closed child
+        // of the matching span.
+        if let Some(s) = &p2 {
+            for (name, wall) in matcher_names.iter().zip(&matcher_wall) {
+                s.add_closed_child(&format!("matcher:{name}"), *wall);
+            }
+        }
+        drop(p2);
         let matching = t1.elapsed();
 
         // Phase 3: tightness-of-fit and final ranking.
         let t2 = Instant::now();
+        let p3 = root.as_ref().map(|r| r.child("tightness_scoring"));
         let candidates_evaluated = candidates.len();
+        // Candidate ids in Phase 2 order, for mapping ranked results back
+        // to their per-matcher strengths.
+        let candidate_ids: Vec<schemr_model::SchemaId> = if want_trace {
+            candidates.iter().map(|(h, _)| h.id).collect()
+        } else {
+            Vec::new()
+        };
         let mut results: Vec<SearchResult> = candidates
             .into_iter()
             .zip(matrices)
@@ -339,6 +412,10 @@ impl SchemrEngine {
                 .then(a.id.cmp(&b.id))
         });
         results.truncate(request.limit.unwrap_or(self.config.default_limit));
+        if let Some(s) = &p3 {
+            s.annotate("results", results.len());
+        }
+        drop(p3);
         let scoring = t2.elapsed();
 
         // Record the phase work into the registry on every search (not just
@@ -369,6 +446,43 @@ impl SchemrEngine {
                 .collect(),
         });
 
+        // Close the trace: publish to the ring/slowlog/event log and
+        // echo the id so callers can fetch the span tree.
+        drop(root);
+        let trace_id = ctx.map(|ctx| {
+            let event_results = results
+                .iter()
+                .map(|r| {
+                    let matcher_scores = candidate_ids
+                        .iter()
+                        .position(|id| *id == r.id)
+                        .map(|pos| {
+                            matcher_names
+                                .iter()
+                                .zip(&strengths[pos])
+                                .map(|(name, s)| (name.to_string(), *s))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    EventResult {
+                        id: r.id.to_string(),
+                        score: r.score,
+                        matcher_scores,
+                    }
+                })
+                .collect();
+            let completed = self.tracer.finish(
+                ctx,
+                SearchOutcome {
+                    query: query_text,
+                    candidates_from_index,
+                    candidates_evaluated,
+                    results: event_results,
+                },
+            );
+            completed.trace_id.clone()
+        });
+
         Ok(SearchResponse {
             results,
             timings: PhaseTimings {
@@ -378,6 +492,7 @@ impl SchemrEngine {
             },
             candidates_evaluated,
             trace,
+            trace_id,
         })
     }
 }
@@ -688,6 +803,141 @@ mod tests {
         let trace = resp.trace.unwrap();
         assert_eq!(trace.match_threads_used, 2);
         assert_eq!(trace.matchers.len(), 2);
+    }
+
+    #[test]
+    fn searches_are_traced_with_three_phase_spans() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        let resp = engine
+            .search_detailed(
+                &SearchRequest::keywords(["patient", "gender"]).with_trace_id("test-trace-1"),
+            )
+            .unwrap();
+        assert_eq!(resp.trace_id.as_deref(), Some("test-trace-1"));
+        let trace = engine.tracer().get("test-trace-1").expect("retained");
+        assert_eq!(trace.query, "patient gender");
+        assert!(trace.candidates_from_index >= trace.candidates_evaluated);
+        let phases = trace.phase_names();
+        assert_eq!(
+            phases,
+            vec!["candidate_extraction", "matching", "tightness_scoring"]
+        );
+        // Matcher walls materialized as children of the matching span.
+        let matching_idx = trace
+            .spans
+            .iter()
+            .position(|s| s.name == "matching")
+            .unwrap();
+        let matcher_children: Vec<&str> = trace
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(matching_idx) && s.name.starts_with("matcher:"))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(matcher_children, vec!["matcher:name", "matcher:context"]);
+        // Phase 1 annotated with index probe stats.
+        let p1 = &trace.spans[trace
+            .spans
+            .iter()
+            .position(|s| s.name == "candidate_extraction")
+            .unwrap()];
+        assert!(p1.attrs.iter().any(|(k, _)| k == "postings_scanned"));
+        // Results carry per-matcher strengths for the event log.
+        assert!(!trace.results.is_empty());
+        assert_eq!(
+            trace.results[0]
+                .matcher_scores
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["name", "context"]
+        );
+        // Generated ids for requests without one; response echoes it.
+        let auto = engine
+            .search_detailed(&SearchRequest::keywords(["gender"]))
+            .unwrap();
+        let auto_id = auto.trace_id.expect("tracer enabled");
+        assert!(engine.tracer().get(&auto_id).is_some());
+    }
+
+    #[test]
+    fn parallel_matching_traces_chunk_spans() {
+        let engine = SchemrEngine::with_config(
+            clinic_repo(),
+            EngineConfig {
+                match_threads: 2,
+                ..Default::default()
+            },
+        );
+        engine.reindex_full();
+        let resp = engine
+            .search_detailed(&SearchRequest::keywords(["gender"]).with_trace_id("par-1"))
+            .unwrap();
+        assert_eq!(resp.trace_id.as_deref(), Some("par-1"));
+        let trace = engine.tracer().get("par-1").unwrap();
+        let matching_idx = trace
+            .spans
+            .iter()
+            .position(|s| s.name == "matching")
+            .unwrap();
+        let chunks = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "match_chunk" && s.parent == Some(matching_idx))
+            .count();
+        assert!(chunks >= 2, "expected >=2 chunk spans, got {chunks}");
+    }
+
+    #[test]
+    fn disabled_tracer_costs_nothing_and_reports_no_id() {
+        let engine = SchemrEngine::with_config(
+            clinic_repo(),
+            EngineConfig {
+                trace: schemr_obs::TracerConfig::disabled(),
+                ..Default::default()
+            },
+        );
+        engine.reindex_full();
+        let resp = engine
+            .search_detailed(&SearchRequest::keywords(["gender"]).with_trace_id("ignored"))
+            .unwrap();
+        assert!(resp.trace_id.is_none());
+        assert!(engine.tracer().recent(10).is_empty());
+    }
+
+    #[test]
+    fn traced_searches_append_to_the_event_log() {
+        let dir = std::env::temp_dir().join(format!("schemr-engine-evlog-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = SchemrEngine::with_config(
+            clinic_repo(),
+            EngineConfig {
+                trace: schemr_obs::TracerConfig {
+                    event_log_path: Some(dir.join("events.jsonl")),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        engine.reindex_full();
+        engine
+            .search(&SearchRequest::keywords(["patient", "height"]))
+            .unwrap();
+        let events = engine.tracer().event_log().unwrap().read_events().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].query, "patient height");
+        assert_eq!(
+            events[0]
+                .phase_us
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["candidate_extraction", "matching", "tightness_scoring"]
+        );
+        assert!(!events[0].results.is_empty());
+        assert!(events[0].results[0].matcher_scores.len() == 2);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -16,6 +16,11 @@ pub struct SearchRequest {
     /// Attach a [`crate::SearchTrace`] (per-phase and per-matcher
     /// timings, candidate counts) to the response.
     pub explain: bool,
+    /// Client-supplied trace id (e.g. from `X-Schemr-Trace-Id`). When
+    /// `None` — or invalid — the engine's tracer assigns a monotonic one;
+    /// either way the id used comes back in
+    /// [`crate::SearchResponse::trace_id`].
+    pub trace_id: Option<String>,
 }
 
 impl SearchRequest {
@@ -52,6 +57,7 @@ impl SearchRequest {
             fragments: graph.fragments().to_vec(),
             limit: None,
             explain: false,
+            trace_id: None,
         })
     }
 
@@ -76,6 +82,12 @@ impl SearchRequest {
     /// Request an explain trace, builder-style.
     pub fn with_explain(mut self) -> Self {
         self.explain = true;
+        self
+    }
+
+    /// Supply a trace id, builder-style.
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> Self {
+        self.trace_id = Some(trace_id.into());
         self
     }
 

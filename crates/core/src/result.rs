@@ -84,6 +84,10 @@ pub struct SearchResponse {
     pub candidates_evaluated: usize,
     /// The explain trace, when the request asked for one.
     pub trace: Option<SearchTrace>,
+    /// The id this search was traced under (client-supplied or engine
+    /// assigned); `None` when the engine's tracer is disabled. Look the
+    /// full span tree up via `Tracer::get` / `GET /debug/traces/{id}`.
+    pub trace_id: Option<String>,
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ pub use document::IndexDocument;
 pub use field::Field;
 pub use memory::{Index, IndexStats};
 pub use metrics::IndexMetrics;
-pub use search::{Hit, SearchOptions};
+pub use search::{Hit, ProbeStats, SearchOptions};
 
 /// Internal dense document ordinal (position in insertion order).
 pub(crate) type DocOrd = u32;

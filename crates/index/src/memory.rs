@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::RwLock;
 use schemr_model::SchemaId;
+use schemr_obs::SpanGuard;
 use schemr_text::Analyzer;
 
 use crate::document::IndexDocument;
@@ -169,14 +170,41 @@ impl Index {
     /// Search with raw query strings (each analyzed through the name
     /// pipeline — queries are element names and keywords).
     pub fn search(&self, query: &[&str], options: &SearchOptions) -> Vec<Hit> {
+        self.search_traced(query, options, None)
+    }
+
+    /// [`Index::search`] with an optional trace span to annotate with
+    /// probe statistics (distinct terms, postings scanned, hits).
+    pub fn search_traced(
+        &self,
+        query: &[&str],
+        options: &SearchOptions,
+        span: Option<&SpanGuard<'_>>,
+    ) -> Vec<Hit> {
         let terms: Vec<String> = query.iter().flat_map(|q| self.names.analyze(q)).collect();
-        self.search_terms(&terms, options)
+        self.search_terms_traced(&terms, options, span)
     }
 
     /// Search with pre-analyzed terms.
     pub fn search_terms(&self, terms: &[String], options: &SearchOptions) -> Vec<Hit> {
+        self.search_terms_traced(terms, options, None)
+    }
+
+    /// [`Index::search_terms`] with an optional trace span to annotate.
+    pub fn search_terms_traced(
+        &self,
+        terms: &[String],
+        options: &SearchOptions,
+        span: Option<&SpanGuard<'_>>,
+    ) -> Vec<Hit> {
         let inner = self.inner.read();
-        search_postings(&inner, terms, options, &self.metrics)
+        let (hits, stats) = search_postings(&inner, terms, options, &self.metrics);
+        if let Some(span) = span {
+            span.annotate("distinct_terms", stats.distinct_terms);
+            span.annotate("postings_scanned", stats.postings_scanned);
+            span.annotate("hits", hits.len());
+        }
+        hits
     }
 
     /// Index statistics.

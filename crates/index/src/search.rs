@@ -47,6 +47,16 @@ pub struct Hit {
     pub matched_terms: usize,
 }
 
+/// How much work one Phase 1 probe did — annotated onto the request's
+/// `candidate_extraction` span when tracing is on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Distinct analyzed query terms probed.
+    pub distinct_terms: usize,
+    /// Postings entries scanned across all term/field lookups.
+    pub postings_scanned: u64,
+}
+
 /// Min-heap entry for top-n selection (reverse ordering on score).
 struct HeapEntry {
     score: f64,
@@ -106,9 +116,9 @@ pub(crate) fn search_postings(
     terms: &[String],
     options: &SearchOptions,
     metrics: &IndexMetrics,
-) -> Vec<Hit> {
+) -> (Vec<Hit>, ProbeStats) {
     if terms.is_empty() || inner.live_docs == 0 || options.top_n == 0 {
-        return Vec::new();
+        return (Vec::new(), ProbeStats::default());
     }
     // Distinct terms: a query repeating a word is one semantic term both
     // for scoring and for the coordination denominator.
@@ -239,7 +249,13 @@ pub(crate) fn search_postings(
     });
     metrics.postings_scanned.add(postings_scanned);
     metrics.candidates_returned.add(hits.len() as u64);
-    hits
+    (
+        hits,
+        ProbeStats {
+            distinct_terms: total_terms,
+            postings_scanned,
+        },
+    )
 }
 
 #[cfg(test)]

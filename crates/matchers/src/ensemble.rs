@@ -20,6 +20,19 @@ pub struct Ensemble {
     matchers: Vec<(Box<dyn Matcher>, f64)>,
 }
 
+/// The output of one ensemble pass over a candidate.
+pub struct EnsembleRun {
+    /// The weighted combined similarity matrix.
+    pub matrix: SimilarityMatrix,
+    /// Per-matcher wall time, in registration order.
+    pub timings: Vec<Duration>,
+    /// Per-matcher strength ([`SimilarityMatrix::mean_row_max`] of each
+    /// matcher's individual matrix), in registration order. Empty unless
+    /// requested — computing it costs one extra matrix scan per matcher,
+    /// so callers without an event log skip it.
+    pub strengths: Vec<f64>,
+}
+
 impl Ensemble {
     /// An empty ensemble. Add matchers with [`Ensemble::push`].
     pub fn empty() -> Self {
@@ -96,6 +109,20 @@ impl Ensemble {
         query: &QueryGraph,
         candidate: &Schema,
     ) -> (SimilarityMatrix, Vec<Duration>) {
+        let run = self.run(terms, query, candidate, false);
+        (run.matrix, run.timings)
+    }
+
+    /// The full instrumented pass: combined matrix, per-matcher wall
+    /// times, and (when `with_strengths`) each matcher's
+    /// [`SimilarityMatrix::mean_row_max`] strength for the event log.
+    pub fn run(
+        &self,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        candidate: &Schema,
+        with_strengths: bool,
+    ) -> EnsembleRun {
         let mut timings = Vec::with_capacity(self.matchers.len());
         let matrices: Vec<(SimilarityMatrix, f64, bool)> = self
             .matchers
@@ -107,15 +134,25 @@ impl Ensemble {
                 (scored, *w, m.abstains())
             })
             .collect();
+        let strengths = if with_strengths {
+            matrices.iter().map(|(m, _, _)| m.mean_row_max()).collect()
+        } else {
+            Vec::new()
+        };
         if matrices.is_empty() {
-            return (
-                SimilarityMatrix::zeros(terms.len(), candidate.len()),
+            return EnsembleRun {
+                matrix: SimilarityMatrix::zeros(terms.len(), candidate.len()),
                 timings,
-            );
+                strengths,
+            };
         }
         let refs: Vec<(&SimilarityMatrix, f64, bool)> =
             matrices.iter().map(|(m, w, a)| (m, *w, *a)).collect();
-        (SimilarityMatrix::combine_with_abstention(&refs), timings)
+        EnsembleRun {
+            matrix: SimilarityMatrix::combine_with_abstention(&refs),
+            timings,
+            strengths,
+        }
     }
 
     /// Run every matcher and return the individual matrices (the learner's
@@ -246,6 +283,30 @@ mod tests {
         for r in 0..plain.rows() {
             for c in 0..plain.cols() {
                 assert!((traced.get(r, c) - plain.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn run_collects_strengths_only_on_request() {
+        let (q, terms, candidate) = query_and_candidate();
+        let e = Ensemble::standard();
+        let bare = e.run(&terms, &q, &candidate, false);
+        assert!(bare.strengths.is_empty());
+        let full = e.run(&terms, &q, &candidate, true);
+        assert_eq!(full.strengths.len(), e.len());
+        // Identical query and candidate → the name matcher's rows all max
+        // at 1.0.
+        assert!(
+            full.strengths[0] > 0.99,
+            "name strength {}",
+            full.strengths[0]
+        );
+        assert!(full.strengths.iter().all(|s| (0.0..=1.0).contains(s)));
+        // The combined matrix is unaffected by strength collection.
+        for r in 0..bare.matrix.rows() {
+            for c in 0..bare.matrix.cols() {
+                assert!((bare.matrix.get(r, c) - full.matrix.get(r, c)).abs() < 1e-12);
             }
         }
     }

@@ -41,7 +41,7 @@ pub mod typematch;
 
 pub use context::ContextMatcher;
 pub use edit::EditDistanceMatcher;
-pub use ensemble::Ensemble;
+pub use ensemble::{Ensemble, EnsembleRun};
 pub use flooding::FloodingMatcher;
 pub use matrix::SimilarityMatrix;
 pub use name::NameMatcher;

@@ -72,6 +72,18 @@ impl SimilarityMatrix {
         (0..self.cols).map(|c| self.get(row, c)).fold(0.0, f64::max)
     }
 
+    /// Mean of the row maxima: how well the *average* query term matched
+    /// anywhere in the schema. This is the per-matcher strength signal
+    /// the search-history event log records for each ranked result — a
+    /// scalar per (matcher, candidate) that weight learning can regress
+    /// against without storing whole matrices.
+    pub fn mean_row_max(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        (0..self.rows).map(|r| self.row_max(r)).sum::<f64>() / self.rows as f64
+    }
+
     /// Weighted combination of matcher matrices: `Σ wᵢMᵢ / Σ wᵢ`.
     ///
     /// All matrices must share dimensions. Non-positive total weight yields
@@ -185,6 +197,15 @@ mod tests {
         let mut m = SimilarityMatrix::zeros(1, 3);
         m.set(0, 2, 0.7);
         assert_eq!(m.row_max(0), 0.7);
+    }
+
+    #[test]
+    fn mean_row_max_averages_per_term_bests() {
+        let mut m = SimilarityMatrix::zeros(2, 2);
+        m.set(0, 0, 0.8);
+        m.set(1, 1, 0.4);
+        assert!((m.mean_row_max() - 0.6).abs() < 1e-12);
+        assert_eq!(SimilarityMatrix::zeros(0, 3).mean_row_max(), 0.0);
     }
 
     #[test]

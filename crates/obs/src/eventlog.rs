@@ -1,0 +1,385 @@
+//! Durable append-only search-history log.
+//!
+//! One JSONL record per completed search: the normalized query, candidate
+//! counts, per-phase timings, and the top-k result IDs with their
+//! per-matcher scores. This is the raw material for the ROADMAP's weight
+//! learning — a logistic-regression pass over (per-matcher score, was the
+//! result clicked/kept) pairs needs exactly these rows — and for
+//! `schemr-cli tracelog replay`, which re-executes logged queries against
+//! the current engine and diffs the result lists.
+//!
+//! Records carry a schema version (`"v":1`) so future fields can be added
+//! without breaking replay of old logs. Rotation is size-based: when an
+//! append would push the current file past `max_bytes`, the file is
+//! renamed to `<path>.N` (N increasing, so `.1` is the oldest) and a
+//! fresh file is started. Each record is written with a single
+//! `write_all` of one complete line under a mutex, so concurrent writers
+//! can never interleave partial lines.
+
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::{self, Json};
+
+/// Event-log record schema version written as `"v"` in every line.
+pub const EVENT_SCHEMA_VERSION: u64 = 1;
+
+/// One result row inside a [`SearchEvent`]: a ranked hit plus the score
+/// each matcher contributed (keyed by matcher name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventResult {
+    pub id: String,
+    pub score: f64,
+    /// `(matcher name, per-matcher strength)` in ensemble order.
+    pub matcher_scores: Vec<(String, f64)>,
+}
+
+impl EventResult {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"score\":{},\"matchers\":{{",
+            json::escape(&self.id),
+            json::number(self.score),
+        );
+        for (i, (name, score)) in self.matcher_scores.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json::escape(name), json::number(*score));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    fn from_json(v: &Json) -> Option<EventResult> {
+        let id = v.get("id")?.as_str()?.to_string();
+        let score = v.get("score")?.as_f64()?;
+        let matcher_scores = v
+            .get("matchers")
+            .and_then(Json::as_obj)
+            .map(|fields| {
+                fields
+                    .iter()
+                    .filter_map(|(k, val)| Some((k.clone(), val.as_f64()?)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(EventResult {
+            id,
+            score,
+            matcher_scores,
+        })
+    }
+}
+
+/// One search-history record (one JSONL line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchEvent {
+    /// Trace id the record belongs to.
+    pub trace_id: String,
+    /// Wall-clock time of the search, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Normalized query text.
+    pub query: String,
+    /// Phase 1 hit count.
+    pub candidates_from_index: usize,
+    /// Candidates that reached Phase 2/3.
+    pub candidates_evaluated: usize,
+    /// `(phase name, duration in µs)`.
+    pub phase_us: Vec<(String, u64)>,
+    /// End-to-end duration in µs.
+    pub total_us: u64,
+    /// Top-k results with per-matcher scores.
+    pub results: Vec<EventResult>,
+}
+
+impl SearchEvent {
+    /// Render as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192 + self.results.len() * 64);
+        let _ = write!(
+            out,
+            "{{\"v\":{},\"trace_id\":\"{}\",\"unix_ms\":{},\"query\":\"{}\",\"candidates_from_index\":{},\"candidates_evaluated\":{},\"total_us\":{},\"phases\":{{",
+            EVENT_SCHEMA_VERSION,
+            json::escape(&self.trace_id),
+            self.unix_ms,
+            json::escape(&self.query),
+            self.candidates_from_index,
+            self.candidates_evaluated,
+            self.total_us,
+        );
+        for (i, (name, us)) in self.phase_us.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json::escape(name), us);
+        }
+        out.push_str("},\"results\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse one JSONL line back into a record. Returns `None` for lines
+    /// that don't parse or miss required fields (replay skips them).
+    pub fn from_json_line(line: &str) -> Option<SearchEvent> {
+        let v = Json::parse(line.trim()).ok()?;
+        // Unknown future versions are still read best-effort; the
+        // required fields below are the v1 contract.
+        let trace_id = v.get("trace_id")?.as_str()?.to_string();
+        let query = v.get("query")?.as_str()?.to_string();
+        let unix_ms = v.get("unix_ms").and_then(Json::as_u64).unwrap_or(0);
+        let total_us = v.get("total_us").and_then(Json::as_u64).unwrap_or(0);
+        let candidates_from_index = v
+            .get("candidates_from_index")
+            .and_then(Json::as_u64)
+            .unwrap_or(0) as usize;
+        let candidates_evaluated = v
+            .get("candidates_evaluated")
+            .and_then(Json::as_u64)
+            .unwrap_or(0) as usize;
+        let phase_us = v
+            .get("phases")
+            .and_then(Json::as_obj)
+            .map(|fields| {
+                fields
+                    .iter()
+                    .filter_map(|(k, val)| Some((k.clone(), val.as_u64()?)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let results = v
+            .get("results")
+            .and_then(Json::as_arr)
+            .map(|items| items.iter().filter_map(EventResult::from_json).collect())
+            .unwrap_or_default();
+        Some(SearchEvent {
+            trace_id,
+            unix_ms,
+            query,
+            candidates_from_index,
+            candidates_evaluated,
+            phase_us,
+            total_us,
+            results,
+        })
+    }
+}
+
+struct LogInner {
+    file: File,
+    /// Bytes written to the current file so far.
+    written: u64,
+}
+
+/// Append-only JSONL event log with size-based rotation.
+#[derive(Debug)]
+pub struct EventLog {
+    path: PathBuf,
+    max_bytes: u64,
+    inner: Mutex<LogInner>,
+}
+
+impl std::fmt::Debug for LogInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogInner")
+            .field("written", &self.written)
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// Open (creating if needed) the log at `path`. `max_bytes` bounds
+    /// the size of the active file; a record that would push it past the
+    /// bound triggers rotation first. Rotated files never exceed
+    /// `max_bytes` plus one record.
+    pub fn open(path: impl Into<PathBuf>, max_bytes: u64) -> io::Result<EventLog> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let written = file.metadata()?.len();
+        Ok(EventLog {
+            path,
+            max_bytes: max_bytes.max(1),
+            inner: Mutex::new(LogInner { file, written }),
+        })
+    }
+
+    /// Path of the active log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record as a single line. Returns any I/O error; the
+    /// caller (the tracer) treats failures as non-fatal.
+    pub fn append(&self, event: &SearchEvent) -> io::Result<()> {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut guard = self.inner.lock().expect("event log lock");
+        let inner = &mut *guard;
+        if inner.written > 0 && inner.written + line.len() as u64 > self.max_bytes {
+            // Rotate: shift the current file to the next free `.N`.
+            let next = self.next_rotation_index();
+            let rotated = rotated_path(&self.path, next);
+            // Flush before rename so the rotated file is complete.
+            inner.file.flush()?;
+            std::fs::rename(&self.path, rotated)?;
+            inner.file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?;
+            inner.written = 0;
+        }
+        // One write_all per line: concurrent appends serialize on the
+        // mutex, so no reader ever sees a torn line.
+        inner.file.write_all(line.as_bytes())?;
+        inner.written += line.len() as u64;
+        Ok(())
+    }
+
+    fn next_rotation_index(&self) -> u64 {
+        (1..)
+            .find(|&n| !rotated_path(&self.path, n).exists())
+            .unwrap_or(1)
+    }
+
+    /// All records in chronological order: rotated files `.1 .. .N`
+    /// first, then the active file. Unparseable lines are skipped.
+    pub fn read_events(&self) -> io::Result<Vec<SearchEvent>> {
+        // Flush buffered bytes so readers in the same process see them.
+        self.inner.lock().expect("event log lock").file.flush()?;
+        read_events_at(&self.path)
+    }
+}
+
+fn rotated_path(path: &Path, n: u64) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".{n}"));
+    PathBuf::from(os)
+}
+
+/// Replay reader: read every record for the log at `path` (rotated files
+/// in order, then the active file). Standalone so the CLI can read a log
+/// without opening it for writing. A path with neither an active file
+/// nor rotated siblings is `NotFound`, not an empty log.
+pub fn read_events_at(path: &Path) -> io::Result<Vec<SearchEvent>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for n in 1.. {
+        let rotated = rotated_path(path, n);
+        if rotated.exists() {
+            files.push(rotated);
+        } else {
+            break;
+        }
+    }
+    if path.exists() {
+        files.push(path.to_path_buf());
+    } else if files.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no event log at {}", path.display()),
+        ));
+    }
+    let mut events = Vec::new();
+    for file in files {
+        let reader = BufReader::new(File::open(&file)?);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(event) = SearchEvent::from_json_line(&line) {
+                events.push(event);
+            }
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: usize) -> SearchEvent {
+        SearchEvent {
+            trace_id: format!("t{i}"),
+            unix_ms: 1_000 + i as u64,
+            query: format!("customer order {i}"),
+            candidates_from_index: 10,
+            candidates_evaluated: 5,
+            phase_us: vec![
+                ("candidate_extraction".into(), 120),
+                ("matching".into(), 480),
+                ("tightness".into(), 60),
+            ],
+            total_us: 700,
+            results: vec![EventResult {
+                id: format!("schema-{i}"),
+                score: 0.75,
+                matcher_scores: vec![("name".into(), 0.8), ("structure".into(), 0.7)],
+            }],
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("schemr-obs-eventlog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let event = sample(3);
+        let line = event.to_json();
+        let parsed = SearchEvent::from_json_line(&line).expect("parses");
+        assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn append_then_read_back() {
+        let dir = tempdir("rw");
+        let log = EventLog::open(dir.join("events.jsonl"), 1 << 20).unwrap();
+        for i in 0..4 {
+            log.append(&sample(i)).unwrap();
+        }
+        let events = log.read_events().unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].trace_id, "t0");
+        assert_eq!(events[3].trace_id, "t3");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn skips_corrupt_lines() {
+        let dir = tempdir("corrupt");
+        let path = dir.join("events.jsonl");
+        let log = EventLog::open(&path, 1 << 20).unwrap();
+        log.append(&sample(0)).unwrap();
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "{{ not json").unwrap();
+        }
+        log.append(&sample(1)).unwrap();
+        let events = log.read_events().unwrap();
+        assert_eq!(events.len(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

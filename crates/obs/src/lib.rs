@@ -16,18 +16,40 @@
 //! * [`SpanTimer`] — an RAII guard that observes its lifetime into a
 //!   histogram.
 //!
+//! On top of the aggregate metrics sits **schemr-trace**, the
+//! per-request layer:
+//!
+//! * [`TraceContext`] / [`SpanGuard`] — hierarchical spans with RAII
+//!   close semantics and cross-thread child attachment,
+//! * [`Tracer`] — monotonic trace IDs, a bounded [`Ring`] of recent
+//!   [`CompletedTrace`]s, a threshold-gated slow-query ring, and an
+//!   optional durable [`EventLog`],
+//! * [`EventLog`] — append-only JSONL search history with size-based
+//!   rotation and a replay reader ([`read_events_at`]), one versioned
+//!   [`SearchEvent`] record per search.
+//!
 //! The crate deliberately has **no dependencies** (not even workspace
 //! ones): it sits below `schemr-index`, `schemr` (core), and
 //! `schemr-server` in the crate graph, so anything it pulled in would be
-//! paid by the entire stack.
+//! paid by the entire stack. That is also why [`json`] hand-rolls a
+//! ~300-line JSON encoder/parser instead of using serde.
 
 pub mod counter;
+pub mod eventlog;
 pub mod histogram;
+pub mod json;
 pub mod registry;
 pub mod render;
+pub mod ring;
+pub mod span;
 pub mod timer;
+pub mod tracer;
 
 pub use counter::Counter;
+pub use eventlog::{read_events_at, EventLog, EventResult, SearchEvent, EVENT_SCHEMA_VERSION};
 pub use histogram::{Histogram, HistogramSnapshot, LATENCY_BUCKETS};
 pub use registry::{LabelSet, MetricsRegistry};
+pub use ring::Ring;
+pub use span::{CompletedTrace, SpanGuard, SpanRecord, TraceContext};
 pub use timer::SpanTimer;
+pub use tracer::{SearchOutcome, Tracer, TracerConfig};

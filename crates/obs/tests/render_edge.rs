@@ -1,0 +1,89 @@
+//! Renderer edge cases: shapes the unit tests' happy paths skip —
+//! empty registries, histograms nobody has observed yet, and label
+//! values that abuse the exposition format's escape rules.
+
+use schemr_obs::MetricsRegistry;
+
+#[test]
+fn empty_registry_renders_to_an_empty_document() {
+    let reg = MetricsRegistry::new();
+    assert_eq!(reg.render_prometheus(), "");
+}
+
+#[test]
+fn zero_observation_histogram_renders_all_buckets_at_zero() {
+    let reg = MetricsRegistry::new();
+    reg.histogram("schemr_idle_seconds", "Never observed.", &[0.1, 1.0]);
+    let text = reg.render_prometheus();
+    assert!(
+        text.contains("# TYPE schemr_idle_seconds histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("schemr_idle_seconds_bucket{le=\"0.1\"} 0"),
+        "{text}"
+    );
+    assert!(
+        text.contains("schemr_idle_seconds_bucket{le=\"1\"} 0"),
+        "{text}"
+    );
+    assert!(
+        text.contains("schemr_idle_seconds_bucket{le=\"+Inf\"} 0"),
+        "{text}"
+    );
+    assert!(text.contains("schemr_idle_seconds_sum 0"), "{text}");
+    assert!(text.contains("schemr_idle_seconds_count 0"), "{text}");
+}
+
+#[test]
+fn zero_observation_histogram_quantiles_are_finite() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("h", "empty", &[0.5]);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    // Quantiles over an empty histogram must not panic or go NaN.
+    assert!(snap.quantile(0.5).is_finite());
+    assert!(snap.quantile(0.99).is_finite());
+}
+
+#[test]
+fn newline_label_values_stay_on_one_exposition_line() {
+    let reg = MetricsRegistry::new();
+    reg.counter_with("m_total", "h", &[("q", "line one\nline two")])
+        .inc();
+    let text = reg.render_prometheus();
+    // The raw newline must be escaped, never emitted: every series line
+    // in the document must still start with a metric name or comment.
+    assert!(
+        text.contains("m_total{q=\"line one\\nline two\"} 1"),
+        "{text}"
+    );
+    for line in text.lines() {
+        assert!(
+            line.starts_with('#') || line.starts_with("m_total"),
+            "torn exposition line: {line:?}"
+        );
+    }
+}
+
+#[test]
+fn backslash_label_values_round_trip_the_escape_rules() {
+    let reg = MetricsRegistry::new();
+    // A Windows path: backslashes must double, the quote must escape.
+    reg.counter_with("m_total", "h", &[("path", r#"C:\logs\"q".jsonl"#)])
+        .inc();
+    let text = reg.render_prometheus();
+    assert!(
+        text.contains(r#"m_total{path="C:\\logs\\\"q\".jsonl"} 1"#),
+        "{text}"
+    );
+}
+
+#[test]
+fn escape_helpers_cover_the_documented_character_set() {
+    assert_eq!(schemr_obs::render::escape_help("a\\b\nc"), "a\\\\b\\nc");
+    assert_eq!(
+        schemr_obs::render::escape_label_value("a\"b\\c\nd"),
+        "a\\\"b\\\\c\\nd"
+    );
+}

@@ -175,6 +175,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Body.
     pub body: String,
+    /// Extra response headers (e.g. `X-Schemr-Trace-Id`), emitted after
+    /// Content-Type.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -184,6 +187,7 @@ impl Response {
             status: 200,
             content_type,
             body: body.into(),
+            headers: Vec::new(),
         }
     }
 
@@ -193,6 +197,7 @@ impl Response {
             status: 404,
             content_type: "text/plain",
             body: msg.into(),
+            headers: Vec::new(),
         }
     }
 
@@ -202,7 +207,26 @@ impl Response {
             status: 400,
             content_type: "text/plain",
             body: msg.into(),
+            headers: Vec::new(),
         }
+    }
+
+    /// 503 with a body — `/healthz` on an empty index, so orchestrators
+    /// don't route traffic to a node with nothing to serve.
+    pub fn unavailable(content_type: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status: 503,
+            content_type,
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Attach an extra response header, builder-style. Header values must
+    /// already be CR/LF-free (callers validate ids before echoing them).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     /// Serialize and write to a stream.
@@ -212,14 +236,20 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         };
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-            self.status,
-            reason,
-            self.content_type,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}; charset=utf-8\r\n",
+            self.status, reason, self.content_type,
+        )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(
+            stream,
+            "Content-Length: {}\r\nConnection: close\r\n\r\n{}",
             self.body.len(),
             self.body
         )?;
@@ -281,6 +311,19 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 4\r\n"));
         assert!(text.ends_with("<a/>"));
+    }
+
+    #[test]
+    fn extra_headers_and_503_serialize() {
+        let mut buf = Vec::new();
+        Response::unavailable("application/json", "{}")
+            .with_header("X-Schemr-Trace-Id", "t7")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("X-Schemr-Trace-Id: t7\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
     }
 
     #[test]

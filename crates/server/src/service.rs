@@ -117,14 +117,19 @@ impl Drop for SchemrServer {
     }
 }
 
-/// Normalize a request path to a bounded label set so `/schema/<id>`
-/// doesn't explode the `route` label cardinality.
+/// Normalize a request path to a bounded label set: known routes keep
+/// their name, id-carrying routes collapse to their prefix, and every
+/// unknown path becomes one shared `other` label — a scanner probing
+/// random URLs must not mint unbounded metric series.
 fn route_label(path: &str) -> &'static str {
     match path {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
         "/stats" => "/stats",
         "/search" => "/search",
+        "/debug/traces" => "/debug/traces",
+        "/debug/slowlog" => "/debug/slowlog",
+        _ if path.starts_with("/debug/traces/") => "/debug/traces/{id}",
         _ if path.starts_with("/schema/") => "/schema",
         _ => "other",
     }
@@ -142,6 +147,7 @@ fn record_request(
         400 => "400",
         404 => "404",
         405 => "405",
+        503 => "503",
         _ => "other",
     };
     registry
@@ -171,18 +177,70 @@ fn route(engine: &SchemrEngine, request: &Request) -> Response {
         ),
         ("GET", "/stats") => handle_stats(engine),
         ("GET" | "POST", "/search") => handle_search(engine, request),
+        ("GET", "/debug/traces") => handle_traces(engine, request),
+        ("GET", "/debug/slowlog") => handle_slowlog(engine, request),
+        ("GET", _) if request.path.starts_with("/debug/traces/") => {
+            handle_trace_by_id(engine, &request.path["/debug/traces/".len()..])
+        }
         _ if request.path.starts_with("/schema/") => handle_schema(engine, request),
         _ => Response::not_found(format!("no route for {} {}", request.method, request.path)),
     }
 }
 
 fn handle_healthz(engine: &SchemrEngine) -> Response {
+    let live_docs = engine.index_stats().live_docs;
+    let status = if live_docs == 0 { "unavailable" } else { "ok" };
     let body = format!(
-        "{{\"status\":\"ok\",\"revision\":{},\"indexed_docs\":{}}}",
+        "{{\"status\":\"{}\",\"revision\":{},\"indexed_docs\":{}}}",
+        status,
         engine.repository().revision(),
-        engine.index_stats().live_docs
+        live_docs
     );
-    Response::ok("application/json", body)
+    if live_docs == 0 {
+        Response::unavailable("application/json", body)
+    } else {
+        Response::ok("application/json", body)
+    }
+}
+
+/// Parse a `limit` query param with a default and an upper bound.
+fn limit_param(request: &Request, default: usize, max: usize) -> usize {
+    request
+        .param("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
+        .min(max)
+}
+
+fn handle_traces(engine: &SchemrEngine, request: &Request) -> Response {
+    let limit = limit_param(request, 50, 1000);
+    let summaries: Vec<String> = engine
+        .tracer()
+        .recent(limit)
+        .iter()
+        .map(|t| t.summary_json())
+        .collect();
+    Response::ok("application/json", format!("[{}]", summaries.join(",")))
+}
+
+fn handle_trace_by_id(engine: &SchemrEngine, id: &str) -> Response {
+    match engine.tracer().get(id) {
+        Some(trace) => Response::ok("application/json", trace.to_json()),
+        None => Response::not_found(format!("no retained trace with id `{id}`")),
+    }
+}
+
+fn handle_slowlog(engine: &SchemrEngine, request: &Request) -> Response {
+    let limit = limit_param(request, 50, 1000);
+    // The slowlog keeps few entries by design, so return the full span
+    // trees — that's what makes a slow query diagnosable after the fact.
+    let entries: Vec<String> = engine
+        .tracer()
+        .slow(limit)
+        .iter()
+        .map(|t| t.to_json())
+        .collect();
+    Response::ok("application/json", format!("[{}]", entries.join(",")))
 }
 
 fn handle_stats(engine: &SchemrEngine) -> Response {
@@ -217,8 +275,18 @@ fn handle_search(engine: &SchemrEngine, request: &Request) -> Response {
         }
     }
     sr.explain = matches!(request.param("explain"), Some("1") | Some("true"));
+    // Propagate a client-supplied trace id; the engine validates it and
+    // falls back to a generated one. Either way the id actually used is
+    // echoed back in `X-Schemr-Trace-Id`.
+    sr.trace_id = request.headers.get("x-schemr-trace-id").cloned();
     match engine.search_detailed(&sr) {
-        Ok(response) => Response::ok("text/xml", search_response_to_xml(&response)),
+        Ok(response) => {
+            let mut http = Response::ok("text/xml", search_response_to_xml(&response));
+            if let Some(id) = &response.trace_id {
+                http = http.with_header("X-Schemr-Trace-Id", id);
+            }
+            http
+        }
         Err(e) => Response::bad_request(e.to_string()),
     }
 }
@@ -229,6 +297,7 @@ fn handle_schema(engine: &SchemrEngine, request: &Request) -> Response {
             status: 405,
             content_type: "text/plain",
             body: "only GET is supported for /schema".to_string(),
+            headers: Vec::new(),
         };
     }
     let rest = &request.path["/schema/".len()..];
@@ -297,6 +366,19 @@ mod tests {
 
     fn get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
         request(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    /// Like `get`, but returns the raw response text (headers included).
+    fn get_raw(addr: std::net::SocketAddr, target: &str, extra_headers: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                format!("GET {target} HTTP/1.1\r\nHost: t\r\n{extra_headers}\r\n").as_bytes(),
+            )
+            .unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        buf
     }
 
     fn request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
@@ -442,6 +524,131 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_returns_503_on_an_empty_index() {
+        let repo = Arc::new(Repository::new());
+        let eng = Arc::new(SchemrEngine::new(repo));
+        eng.reindex_full();
+        let server = SchemrServer::start(eng, ServerConfig::default()).unwrap();
+        let (status, body) = get(server.addr(), "/healthz");
+        assert_eq!(status, 503);
+        assert!(body.contains("\"status\":\"unavailable\""), "{body}");
+        assert!(body.contains("\"indexed_docs\":0"));
+        // The 503 lands in the request metrics under its own status label.
+        let (_, metrics) = get(server.addr(), "/metrics");
+        assert!(
+            metrics.contains("schemr_http_requests_total{route=\"/healthz\",status=\"503\"} 1"),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_and_metrics_set_content_type() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let health = get_raw(server.addr(), "/healthz", "");
+        assert!(
+            health.contains("Content-Type: application/json; charset=utf-8\r\n"),
+            "{health}"
+        );
+        let metrics = get_raw(server.addr(), "/metrics", "");
+        assert!(
+            metrics.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_trace_ids_round_trip_through_debug_traces() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let raw = get_raw(
+            addr,
+            "/search?q=patient+height",
+            "X-Schemr-Trace-Id: my-req-7\r\n",
+        );
+        assert!(raw.starts_with("HTTP/1.1 200"));
+        assert!(raw.contains("X-Schemr-Trace-Id: my-req-7\r\n"), "{raw}");
+        // The span tree is retrievable by that id and covers all three
+        // phases.
+        let (status, body) = get(addr, "/debug/traces/my-req-7");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"trace_id\":\"my-req-7\""), "{body}");
+        assert!(body.contains("\"query\":\"patient height\""));
+        for phase in ["candidate_extraction", "matching", "tightness_scoring"] {
+            assert!(body.contains(&format!("\"name\":\"{phase}\"")), "{body}");
+        }
+        // The listing shows it too.
+        let (status, listing) = get(addr, "/debug/traces");
+        assert_eq!(status, 200);
+        assert!(listing.contains("my-req-7"), "{listing}");
+        // Searches without the header still get an id assigned.
+        let raw = get_raw(addr, "/search?q=gender", "");
+        assert!(raw.contains("X-Schemr-Trace-Id: "), "{raw}");
+        // Unknown ids are 404.
+        assert_eq!(get(addr, "/debug/traces/never-seen").0, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_searches_appear_in_the_slowlog() {
+        use schemr::EngineConfig;
+        let repo = Arc::new(Repository::new());
+        import_str(
+            &repo,
+            "clinic",
+            "rural health clinic",
+            "CREATE TABLE patient (id INT, height REAL, gender TEXT)",
+        )
+        .unwrap();
+        // Threshold zero: every search is "slow".
+        let eng = Arc::new(SchemrEngine::with_config(
+            repo,
+            EngineConfig {
+                trace: schemr_obs::TracerConfig {
+                    slow_threshold: std::time::Duration::ZERO,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ));
+        eng.reindex_full();
+        let server = SchemrServer::start(eng, ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let raw = get_raw(addr, "/search?q=patient", "X-Schemr-Trace-Id: slow-1\r\n");
+        assert!(raw.starts_with("HTTP/1.1 200"));
+        let (status, body) = get(addr, "/debug/slowlog");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"trace_id\":\"slow-1\""), "{body}");
+        // Full span trees, not just summaries.
+        assert!(body.contains("\"spans\":["), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_routes_share_one_metric_label() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        assert_eq!(get(addr, "/totally/made/up").0, 404);
+        assert_eq!(get(addr, "/another-random-path-42").0, 404);
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(
+            metrics.contains("schemr_http_requests_total{route=\"other\",status=\"404\"} 2"),
+            "{metrics}"
+        );
+        // And the id-carrying debug route collapses too.
+        let _ = get(addr, "/debug/traces/some-id");
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(
+            metrics.contains(
+                "schemr_http_requests_total{route=\"/debug/traces/{id}\",status=\"404\"} 1"
+            ),
+            "{metrics}"
+        );
         server.shutdown();
     }
 
