@@ -413,7 +413,11 @@ fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
     engine.reindex_full();
     let server = schemr_server::SchemrServer::start(
         engine,
-        schemr_server::ServerConfig { bind, workers: 4 },
+        schemr_server::ServerConfig {
+            bind,
+            workers: 4,
+            ..Default::default()
+        },
     )?;
     writeln!(out, "serving on http://{} — Ctrl-C to stop", server.addr())?;
     out.flush()?;

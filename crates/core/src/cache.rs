@@ -1,0 +1,262 @@
+//! Revision-keyed candidate cache for Phase 1.
+//!
+//! Candidate extraction is deterministic given the analyzed query terms,
+//! the search options, and the exact state of the index — and
+//! [`IndexRevision`] identifies that state precisely. The cache therefore
+//! stores `(terms, options) → hits` entries stamped with the revision they
+//! were computed against, and an entry is served only while the index
+//! still reports the same revision. Any mutation (add, tombstone, vacuum,
+//! index swap) changes the revision, so stale entries can never be
+//! returned; they are dropped lazily on the next lookup.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use schemr_index::{Hit, IndexRevision, SearchOptions};
+use schemr_obs::Counter;
+
+/// The cache key: analyzed query terms plus a fingerprint of every
+/// [`SearchOptions`] field that affects the result. `proximity_weight` is
+/// folded in by bit pattern so the key stays `Eq + Hash` despite the f64.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    terms: Vec<String>,
+    top_n: usize,
+    coordination: bool,
+    proximity_bits: u64,
+}
+
+impl CacheKey {
+    pub(crate) fn new(terms: Vec<String>, options: &SearchOptions) -> Self {
+        CacheKey {
+            terms,
+            top_n: options.top_n,
+            coordination: options.coordination,
+            proximity_bits: options.proximity_weight.to_bits(),
+        }
+    }
+}
+
+struct Entry {
+    hits: Vec<Hit>,
+    revision: IndexRevision,
+    /// Logical timestamp of the last access, for LRU eviction.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct State {
+    entries: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+/// A small LRU cache of Phase 1 results, safe under concurrent searches
+/// and writers. `capacity == 0` disables it entirely.
+pub(crate) struct CandidateCache {
+    capacity: usize,
+    state: Mutex<State>,
+    /// Lookups answered from the cache.
+    pub hits: Arc<Counter>,
+    /// Lookups that fell through to the index.
+    pub misses: Arc<Counter>,
+    /// Entries evicted to make room (capacity pressure).
+    pub evictions: Arc<Counter>,
+    /// Entries dropped because their revision no longer matched.
+    pub invalidations: Arc<Counter>,
+}
+
+impl CandidateCache {
+    pub(crate) fn new(
+        capacity: usize,
+        hits: Arc<Counter>,
+        misses: Arc<Counter>,
+        evictions: Arc<Counter>,
+        invalidations: Arc<Counter>,
+    ) -> Self {
+        CandidateCache {
+            capacity,
+            state: Mutex::new(State::default()),
+            hits,
+            misses,
+            evictions,
+            invalidations,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look up `key` against the index's `current` revision. A present
+    /// entry with a different revision is stale — it is removed and
+    /// counted as an invalidation, and the lookup is a miss.
+    pub(crate) fn get(&self, key: &CacheKey, current: IndexRevision) -> Option<Vec<Hit>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut state = self.state.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        match state.entries.get_mut(key) {
+            Some(entry) if entry.revision == current => {
+                entry.last_used = clock;
+                let hits = entry.hits.clone();
+                drop(state);
+                self.hits.inc();
+                Some(hits)
+            }
+            Some(_) => {
+                state.entries.remove(key);
+                drop(state);
+                self.invalidations.inc();
+                self.misses.inc();
+                None
+            }
+            None => {
+                drop(state);
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Store a result computed at `revision`. The caller must have read
+    /// `revision` under the same index lock hold that produced `hits`
+    /// (see `Index::search_terms_versioned`), otherwise a concurrent
+    /// writer could stamp the entry with a state it does not reflect.
+    pub(crate) fn put(&self, key: CacheKey, revision: IndexRevision, hits: Vec<Hit>) {
+        if !self.enabled() {
+            return;
+        }
+        let mut state = self.state.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        if !state.entries.contains_key(&key) && state.entries.len() >= self.capacity {
+            // Evict the least-recently-used entry. Capacity is small
+            // (hundreds), so a linear scan beats maintaining an order list.
+            if let Some(victim) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                state.entries.remove(&victim);
+                self.evictions.inc();
+            }
+        }
+        state.entries.insert(
+            key,
+            Entry {
+                hits,
+                revision,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Resident entries (tests).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemr_model::SchemaId;
+
+    fn cache(capacity: usize) -> CandidateCache {
+        CandidateCache::new(
+            capacity,
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+        )
+    }
+
+    fn key(word: &str) -> CacheKey {
+        CacheKey::new(vec![word.to_string()], &SearchOptions::default())
+    }
+
+    fn rev(mutations: u64) -> IndexRevision {
+        IndexRevision {
+            instance: 1,
+            mutations,
+        }
+    }
+
+    fn hit(id: u64) -> Hit {
+        Hit {
+            id: SchemaId(id),
+            score: 1.0,
+            matched_terms: 1,
+        }
+    }
+
+    #[test]
+    fn hit_after_put_at_same_revision() {
+        let c = cache(4);
+        assert!(c.get(&key("a"), rev(1)).is_none());
+        c.put(key("a"), rev(1), vec![hit(7)]);
+        let got = c.get(&key("a"), rev(1)).unwrap();
+        assert_eq!(got[0].id, SchemaId(7));
+        assert_eq!(c.hits.get(), 1);
+        assert_eq!(c.misses.get(), 1);
+    }
+
+    #[test]
+    fn revision_change_invalidates() {
+        let c = cache(4);
+        c.put(key("a"), rev(1), vec![hit(7)]);
+        assert!(c.get(&key("a"), rev(2)).is_none());
+        assert_eq!(c.invalidations.get(), 1);
+        assert_eq!(c.len(), 0, "stale entry dropped eagerly");
+        // Different instance is just as stale.
+        c.put(key("a"), rev(2), vec![hit(7)]);
+        let other_instance = IndexRevision {
+            instance: 9,
+            mutations: 2,
+        };
+        assert!(c.get(&key("a"), other_instance).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let c = cache(2);
+        c.put(key("a"), rev(1), vec![]);
+        c.put(key("b"), rev(1), vec![]);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(c.get(&key("a"), rev(1)).is_some());
+        c.put(key("c"), rev(1), vec![]);
+        assert_eq!(c.evictions.get(), 1);
+        assert!(c.get(&key("a"), rev(1)).is_some());
+        assert!(c.get(&key("b"), rev(1)).is_none());
+        assert!(c.get(&key("c"), rev(1)).is_some());
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let c = cache(4);
+        let narrow = CacheKey::new(
+            vec!["a".into()],
+            &SearchOptions {
+                top_n: 5,
+                ..Default::default()
+            },
+        );
+        c.put(narrow.clone(), rev(1), vec![hit(1)]);
+        assert!(c.get(&key("a"), rev(1)).is_none(), "different top_n");
+        assert!(c.get(&narrow, rev(1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = cache(0);
+        c.put(key("a"), rev(1), vec![hit(1)]);
+        assert!(c.get(&key("a"), rev(1)).is_none());
+        assert_eq!(c.misses.get(), 0, "disabled cache records nothing");
+    }
+}

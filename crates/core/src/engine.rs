@@ -18,6 +18,7 @@ use schemr_obs::{
 };
 use schemr_repo::{ChangeKind, Repository};
 
+use crate::cache::{CacheKey, CandidateCache};
 use crate::metrics::EngineMetrics;
 use crate::request::SearchRequest;
 use crate::result::{MatcherTiming, PhaseTimings, SearchResponse, SearchResult, SearchTrace};
@@ -40,6 +41,9 @@ pub struct EngineConfig {
     pub default_limit: usize,
     /// Request-tracing configuration (trace ring, slowlog, event log).
     pub trace: TracerConfig,
+    /// Capacity of the revision-keyed Phase 1 candidate cache (entries).
+    /// 0 disables caching entirely.
+    pub candidate_cache_entries: usize,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +58,7 @@ impl Default for EngineConfig {
                 .min(8),
             default_limit: 10,
             trace: TracerConfig::default(),
+            candidate_cache_entries: 512,
         }
     }
 }
@@ -82,6 +87,7 @@ pub struct SchemrEngine {
     ensemble: RwLock<Ensemble>,
     config: EngineConfig,
     last_indexed_revision: Mutex<u64>,
+    candidate_cache: CandidateCache,
     metrics: EngineMetrics,
     tracer: Arc<Tracer>,
 }
@@ -98,12 +104,20 @@ impl SchemrEngine {
     pub fn with_config(repo: Arc<Repository>, config: EngineConfig) -> Self {
         let metrics = EngineMetrics::new();
         let tracer = Arc::new(Tracer::new(config.trace.clone()));
+        let candidate_cache = CandidateCache::new(
+            config.candidate_cache_entries,
+            metrics.candidate_cache_hits.clone(),
+            metrics.candidate_cache_misses.clone(),
+            metrics.candidate_cache_evictions.clone(),
+            metrics.candidate_cache_invalidations.clone(),
+        );
         SchemrEngine {
             repo,
             index: RwLock::new(Index::new().with_metrics(metrics.index.clone())),
             ensemble: RwLock::new(Ensemble::standard()),
             config,
             last_indexed_revision: Mutex::new(0),
+            candidate_cache,
             metrics,
             tracer,
         }
@@ -229,17 +243,59 @@ impl SchemrEngine {
         graph: &QueryGraph,
         span: Option<&SpanGuard<'_>>,
     ) -> Vec<schemr_index::Hit> {
-        let texts = graph.flat_texts();
-        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-        self.index.read().search_traced(
-            &refs,
-            &SearchOptions {
-                top_n: self.config.top_candidates,
-                coordination: self.config.coordination,
-                proximity_weight: self.config.proximity_weight,
-            },
-            span,
-        )
+        let options = SearchOptions {
+            top_n: self.config.top_candidates,
+            coordination: self.config.coordination,
+            proximity_weight: self.config.proximity_weight,
+        };
+        let index = self.index.read();
+        let terms: Vec<String> = graph
+            .flat_texts()
+            .iter()
+            .flat_map(|t| index.name_analyzer().analyze(t))
+            .collect();
+        if !self.candidate_cache.enabled() {
+            return index.search_terms_traced(&terms, &options, span);
+        }
+        let key = CacheKey::new(terms.clone(), &options);
+        // A revision observed *before* the lookup can only be older than
+        // the entry's true state, which makes a stale hit impossible and
+        // at worst turns a usable entry into a miss.
+        if let Some(hits) = self.candidate_cache.get(&key, index.revision()) {
+            if let Some(s) = span {
+                s.annotate("candidate_cache", "hit");
+                s.annotate("hits", hits.len());
+            }
+            return hits;
+        }
+        // The versioned search reads the revision and the postings under
+        // one lock hold, so the entry is stamped with exactly the state
+        // that produced it — the invariant the cache's correctness rests
+        // on.
+        let (hits, revision) = index.search_terms_versioned(&terms, &options, span);
+        if let Some(s) = span {
+            s.annotate("candidate_cache", "miss");
+        }
+        self.candidate_cache.put(key, revision, hits.clone());
+        hits
+    }
+
+    /// Vacuum the index when the tombstone ratio reaches `threshold`
+    /// (0 < threshold ≤ 1). Returns whether a vacuum ran. The scheduler
+    /// calls this every tick so put/delete churn cannot degrade Phase 1
+    /// indefinitely.
+    pub fn maybe_vacuum(&self, threshold: f64) -> bool {
+        if threshold <= 0.0 {
+            return false;
+        }
+        let index = self.index.read();
+        let stats = index.stats();
+        let deleted = stats.total_docs - stats.live_docs;
+        if deleted == 0 || (deleted as f64) < threshold * stats.total_docs as f64 {
+            return false;
+        }
+        index.vacuum();
+        true
     }
 
     /// Run the full three-phase search.

@@ -48,6 +48,7 @@ pub mod result;
 pub mod scheduler;
 pub mod tightness;
 
+mod cache;
 mod query;
 
 pub use engine::{EngineConfig, SchemrEngine, SearchError};
@@ -55,5 +56,5 @@ pub use metrics::EngineMetrics;
 pub use query::{parse_keywords, QueryParseError};
 pub use request::SearchRequest;
 pub use result::{MatcherTiming, PhaseTimings, SearchResponse, SearchResult, SearchTrace};
-pub use scheduler::IndexScheduler;
+pub use scheduler::{IndexScheduler, DEFAULT_VACUUM_THRESHOLD};
 pub use tightness::{MatchedElement, TightnessConfig, TightnessScore};

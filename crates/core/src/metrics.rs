@@ -24,7 +24,8 @@ use schemr_obs::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS};
 /// | `schemr_phase_seconds{phase=…}` | histogram | per-phase wall time per search |
 /// | `schemr_matcher_seconds{matcher=…}` | histogram | per-matcher wall time per search |
 /// | `schemr_reindex_seconds` | histogram | full re-index wall time |
-/// | `schemr_index_*_total` | counter | term/posting/candidate work inside the index |
+/// | `schemr_candidate_cache_{hits,misses,evictions,invalidations}_total` | counter | Phase 1 candidate-cache traffic |
+/// | `schemr_index_*_total` | counter | term/posting/candidate/vacuum work inside the index |
 pub struct EngineMetrics {
     registry: Arc<MetricsRegistry>,
     /// Searches started (`SchemrEngine::search*` calls).
@@ -44,6 +45,14 @@ pub struct EngineMetrics {
     pub phase_scoring: Arc<Histogram>,
     /// Full re-index wall time.
     pub reindex_seconds: Arc<Histogram>,
+    /// Phase 1 candidate-cache lookups answered from the cache.
+    pub candidate_cache_hits: Arc<Counter>,
+    /// Phase 1 candidate-cache lookups that fell through to the index.
+    pub candidate_cache_misses: Arc<Counter>,
+    /// Candidate-cache entries evicted under capacity pressure.
+    pub candidate_cache_evictions: Arc<Counter>,
+    /// Candidate-cache entries dropped because the index revision moved.
+    pub candidate_cache_invalidations: Arc<Counter>,
     /// Counters threaded into every index the engine builds.
     pub index: IndexMetrics,
 }
@@ -88,6 +97,22 @@ impl EngineMetrics {
                 "schemr_reindex_seconds",
                 "Wall time of full index rebuilds.",
                 LATENCY_BUCKETS,
+            ),
+            candidate_cache_hits: registry.counter(
+                "schemr_candidate_cache_hits_total",
+                "Phase 1 candidate-cache lookups answered from the cache.",
+            ),
+            candidate_cache_misses: registry.counter(
+                "schemr_candidate_cache_misses_total",
+                "Phase 1 candidate-cache lookups that fell through to the index.",
+            ),
+            candidate_cache_evictions: registry.counter(
+                "schemr_candidate_cache_evictions_total",
+                "Candidate-cache entries evicted under capacity pressure.",
+            ),
+            candidate_cache_invalidations: registry.counter(
+                "schemr_candidate_cache_invalidations_total",
+                "Candidate-cache entries dropped because the index revision moved.",
             ),
             index: IndexMetrics::registered(&registry),
             registry,
@@ -136,6 +161,11 @@ mod tests {
             "schemr_index_terms_looked_up_total",
             "schemr_index_postings_scanned_total",
             "schemr_index_candidates_returned_total",
+            "schemr_index_vacuums_total",
+            "schemr_candidate_cache_hits_total",
+            "schemr_candidate_cache_misses_total",
+            "schemr_candidate_cache_evictions_total",
+            "schemr_candidate_cache_invalidations_total",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }

@@ -161,6 +161,9 @@ pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
 
     let term_count = get_varint(&mut buf)? as usize;
     let mut terms: BTreeMap<(u8, String), PostingsList> = BTreeMap::new();
+    // Forward index and per-list live document frequencies, rebuilt from
+    // the decoded postings against the document table's tombstone flags.
+    let mut doc_terms: Vec<Vec<(u8, String)>> = vec![Vec::new(); docs.len()];
     for _ in 0..term_count {
         if !buf.has_remaining() {
             return Err(CodecError::Corrupt("truncated dictionary"));
@@ -209,7 +212,16 @@ pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
             }
             postings.push(Posting { doc, positions });
         }
-        terms.insert((field, term), PostingsList::from_postings(postings));
+        for p in &postings {
+            doc_terms[p.doc as usize].push((field, term.clone()));
+        }
+        let live = postings
+            .iter()
+            .filter(|p| !docs[p.doc as usize].deleted)
+            .count();
+        let mut pl = PostingsList::from_postings(postings);
+        pl.set_live_doc_freq(live);
+        terms.insert((field, term), pl);
     }
 
     let by_id = docs
@@ -223,7 +235,9 @@ pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
         terms,
         docs,
         by_id,
+        doc_terms,
         live_docs,
+        revision: 0,
     };
     Ok(index)
 }
@@ -295,6 +309,25 @@ mod tests {
             assert_eq!(x.id, y.id);
             assert!((x.score - y.score).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn decode_restores_live_df_and_forward_index() {
+        // sample_index() leaves one tombstoned version of schema 9, so the
+        // (Title, "store") list holds two postings but only one live doc.
+        let decoded = decode(&encode(&sample_index())).unwrap();
+        {
+            let inner = decoded.inner.read();
+            let pl = inner.terms.get(&(0u8, "store".to_string())).unwrap();
+            assert_eq!(pl.doc_freq(), 2);
+            assert_eq!(pl.live_doc_freq(), 1);
+        }
+        // The forward index must be usable: removing the live schema 9
+        // drives its lists' live df to zero, hiding it from search.
+        assert!(decoded.remove(SchemaId(9)));
+        assert!(decoded
+            .search(&["store"], &SearchOptions::default())
+            .is_empty());
     }
 
     #[test]

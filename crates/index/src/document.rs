@@ -43,19 +43,76 @@ impl IndexDocument {
 
     /// Analyze one field into index terms, using the right pipeline per
     /// field (names use the name pipeline; prose uses the document
-    /// pipeline).
+    /// pipeline). Positions are dropped; see
+    /// [`IndexDocument::field_terms_positioned`] for the indexable form.
     pub fn field_terms(&self, field: Field, names: &Analyzer, prose: &Analyzer) -> Vec<String> {
+        self.field_terms_positioned(field, names, prose)
+            .into_iter()
+            .map(|(term, _)| term)
+            .collect()
+    }
+
+    /// Analyze one field into `(term, position)` pairs — what the writer
+    /// actually indexes.
+    ///
+    /// Tokens from one source string sit at consecutive positions, so the
+    /// proximity scorer can recognize an intact compound name
+    /// (`patient_height` → `patient`@p, `height`@p+1). Between *separate*
+    /// source strings — one element path and the next, one doc string and
+    /// the next — the position counter jumps by
+    /// [`ELEMENT_POSITION_GAP`] (> 1), so two adjacent single-token
+    /// elements (`["patient", "height"]`) never masquerade as a compound.
+    pub fn field_terms_positioned(
+        &self,
+        field: Field,
+        names: &Analyzer,
+        prose: &Analyzer,
+    ) -> Vec<(String, u32)> {
         match field {
-            Field::Title => names.analyze(&self.title),
-            Field::Summary => prose.analyze(&self.summary),
-            Field::Elements => self
-                .elements
-                .iter()
-                .flat_map(|e| names.analyze(e))
-                .collect(),
-            Field::Docs => self.docs.iter().flat_map(|d| prose.analyze(d)).collect(),
+            Field::Title => positioned(std::iter::once(self.title.as_str()), |t| names.analyze(t)),
+            Field::Summary => {
+                positioned(std::iter::once(self.summary.as_str()), |t| prose.analyze(t))
+            }
+            Field::Elements => positioned(self.elements.iter().map(String::as_str), |t| {
+                names.analyze(t)
+            }),
+            Field::Docs => positioned(self.docs.iter().map(String::as_str), |t| prose.analyze(t)),
         }
     }
+}
+
+/// Position increment between the last token of one source string and the
+/// first token of the next. Any value > 1 breaks false adjacency across
+/// element boundaries; 2 keeps delta-encoded positions compact.
+pub const ELEMENT_POSITION_GAP: u32 = 2;
+
+/// Assign positions to the analyzed tokens of a sequence of source
+/// strings: consecutive within a string, a gap of [`ELEMENT_POSITION_GAP`]
+/// across strings.
+fn positioned<'a>(
+    sources: impl Iterator<Item = &'a str>,
+    analyze: impl Fn(&str) -> Vec<String>,
+) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut pos = 0u32;
+    let mut first_source = true;
+    for source in sources {
+        let tokens = analyze(source);
+        if tokens.is_empty() {
+            continue;
+        }
+        if !first_source {
+            // `pos` is already one past the previous token, so adding
+            // GAP - 1 makes the increment between adjacent tokens GAP.
+            pos += ELEMENT_POSITION_GAP - 1;
+        }
+        first_source = false;
+        for token in tokens {
+            out.push((token, pos));
+            pos += 1;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -94,5 +151,57 @@ mod tests {
         // Stopword "a" removed by the prose pipeline.
         assert!(!summary.contains(&"a".to_string()));
         assert!(summary.contains(&"clinic".to_string()));
+    }
+
+    #[test]
+    fn element_boundaries_get_a_position_gap() {
+        let d = IndexDocument {
+            id: SchemaId(1),
+            title: String::new(),
+            summary: String::new(),
+            elements: vec!["patient".into(), "height".into()],
+            docs: vec![],
+        };
+        let names = Analyzer::for_names();
+        let prose = Analyzer::for_documents();
+        let terms = d.field_terms_positioned(Field::Elements, &names, &prose);
+        assert_eq!(terms.len(), 2);
+        let delta = terms[1].1 - terms[0].1;
+        assert!(
+            delta > 1,
+            "separate elements must not sit at adjacent positions (delta {delta})"
+        );
+    }
+
+    #[test]
+    fn tokens_within_one_element_stay_adjacent() {
+        let d = IndexDocument {
+            id: SchemaId(1),
+            title: String::new(),
+            summary: String::new(),
+            elements: vec!["patient_height".into()],
+            docs: vec![],
+        };
+        let names = Analyzer::for_names();
+        let prose = Analyzer::for_documents();
+        let terms = d.field_terms_positioned(Field::Elements, &names, &prose);
+        let patient = terms.iter().find(|(t, _)| t == "patient").unwrap().1;
+        let height = terms.iter().find(|(t, _)| t == "height").unwrap().1;
+        assert_eq!(height, patient + 1, "compound tokens stay adjacent");
+    }
+
+    #[test]
+    fn empty_sources_do_not_advance_positions() {
+        let d = IndexDocument {
+            id: SchemaId(1),
+            title: String::new(),
+            summary: String::new(),
+            elements: vec![String::new(), "patient".into()],
+            docs: vec![],
+        };
+        let names = Analyzer::for_names();
+        let prose = Analyzer::for_documents();
+        let terms = d.field_terms_positioned(Field::Elements, &names, &prose);
+        assert_eq!(terms, vec![("patient".to_string(), 0)]);
     }
 }

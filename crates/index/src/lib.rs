@@ -34,9 +34,9 @@ pub mod search;
 
 mod memory;
 
-pub use document::IndexDocument;
+pub use document::{IndexDocument, ELEMENT_POSITION_GAP};
 pub use field::Field;
-pub use memory::{Index, IndexStats};
+pub use memory::{Index, IndexRevision, IndexStats};
 pub use metrics::IndexMetrics;
 pub use search::{Hit, ProbeStats, SearchOptions};
 

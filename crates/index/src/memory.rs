@@ -1,6 +1,7 @@
 //! The thread-safe inverted index.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use schemr_model::SchemaId;
@@ -24,13 +25,55 @@ pub(crate) struct DocEntry {
 
 /// The index's mutable core. Term dictionary keys are `(field, term)`;
 /// `BTreeMap` keeps the codec output deterministic.
+///
+/// `doc_terms` is a forward index: for every document slot, the distinct
+/// `(field, term)` keys it contributed postings to. It exists so a
+/// tombstone can decrement the live document frequency of exactly the
+/// postings lists that mention the document — O(terms of the doc) instead
+/// of a dictionary-wide scan — and it is rebuilt by `vacuum()` and the
+/// codec load path.
+///
+/// `revision` counts mutations (adds, tombstones, vacuums). It is read and
+/// written strictly under this struct's lock, so a search result paired
+/// with the revision observed by the *same* lock hold is exactly the
+/// output the index would produce for that revision — the candidate
+/// cache's invalidation rule.
 #[derive(Debug, Default)]
 pub(crate) struct Inner {
     pub terms: BTreeMap<(u8, String), PostingsList>,
     pub docs: Vec<DocEntry>,
     pub by_id: HashMap<SchemaId, DocOrd>,
+    pub doc_terms: Vec<Vec<(u8, String)>>,
     pub live_docs: usize,
+    pub revision: u64,
 }
+
+impl Inner {
+    /// Decrement the live df of every postings list `ord` appears in.
+    /// Called exactly once per tombstoned document.
+    fn note_tombstoned(&mut self, ord: DocOrd) {
+        for key in &self.doc_terms[ord as usize] {
+            if let Some(pl) = self.terms.get_mut(key) {
+                pl.note_doc_tombstoned();
+            }
+        }
+    }
+}
+
+/// Identifies one exact state of one index instance: which in-memory index
+/// (`instance` is unique per [`Index`] constructed in this process) at
+/// which mutation count. Equal revisions imply identical search results,
+/// which is what makes this the key of the engine's candidate cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexRevision {
+    /// Process-unique id of the index instance.
+    pub instance: u64,
+    /// Mutations (adds, tombstones, vacuums) applied so far.
+    pub mutations: u64,
+}
+
+/// Source of process-unique index instance ids.
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
 /// A thread-safe inverted index over flattened schema documents.
 ///
@@ -40,6 +83,7 @@ pub(crate) struct Inner {
 /// applies repository changes.
 pub struct Index {
     pub(crate) inner: RwLock<Inner>,
+    instance: u64,
     names: Analyzer,
     prose: Analyzer,
     metrics: IndexMetrics,
@@ -56,6 +100,7 @@ impl Index {
     pub fn new() -> Self {
         Index {
             inner: RwLock::new(Inner::default()),
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             names: Analyzer::for_names(),
             prose: Analyzer::for_documents(),
             metrics: IndexMetrics::default(),
@@ -67,9 +112,21 @@ impl Index {
     pub fn with_analyzers(names: Analyzer, prose: Analyzer) -> Self {
         Index {
             inner: RwLock::new(Inner::default()),
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             names,
             prose,
             metrics: IndexMetrics::default(),
+        }
+    }
+
+    /// The index's current revision: `(instance, mutation count)`. Two
+    /// equal revisions guarantee identical search results, so callers can
+    /// key caches on it; any add, tombstone, or vacuum changes it, and a
+    /// freshly built or loaded index gets a new `instance`.
+    pub fn revision(&self) -> IndexRevision {
+        IndexRevision {
+            instance: self.instance,
+            mutations: self.inner.read().revision,
         }
     }
 
@@ -104,19 +161,32 @@ impl Index {
             if !inner.docs[old as usize].deleted {
                 inner.docs[old as usize].deleted = true;
                 inner.live_docs -= 1;
+                inner.note_tombstoned(old);
             }
         }
         let ord = inner.docs.len() as DocOrd;
         let mut field_lengths = [0u32; 4];
+        let mut keys: Vec<(u8, String)> = Vec::new();
         for field in Field::ALL {
-            let terms = doc.field_terms(field, &self.names, &self.prose);
+            let terms = doc.field_terms_positioned(field, &self.names, &self.prose);
             field_lengths[field.ordinal() as usize] = terms.len() as u32;
-            for (pos, term) in terms.into_iter().enumerate() {
+            // Forward-index entry: the distinct (field, term) keys this
+            // document contributes to, so remove() can decrement their
+            // live df without scanning the dictionary.
+            let mut distinct: Vec<&str> = terms.iter().map(|(t, _)| t.as_str()).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            keys.extend(
+                distinct
+                    .into_iter()
+                    .map(|t| (field.ordinal(), t.to_string())),
+            );
+            for (term, pos) in terms {
                 inner
                     .terms
                     .entry((field.ordinal(), term))
                     .or_default()
-                    .push_occurrence(ord, pos as u32);
+                    .push_occurrence(ord, pos);
             }
         }
         inner.docs.push(DocEntry {
@@ -124,8 +194,10 @@ impl Index {
             field_lengths,
             deleted: false,
         });
+        inner.doc_terms.push(keys);
         inner.by_id.insert(doc.id, ord);
         inner.live_docs += 1;
+        inner.revision += 1;
     }
 
     /// Add many documents.
@@ -142,6 +214,8 @@ impl Index {
             Some(ord) if !inner.docs[ord as usize].deleted => {
                 inner.docs[ord as usize].deleted = true;
                 inner.live_docs -= 1;
+                inner.note_tombstoned(ord);
+                inner.revision += 1;
                 true
             }
             _ => false,
@@ -197,14 +271,32 @@ impl Index {
         options: &SearchOptions,
         span: Option<&SpanGuard<'_>>,
     ) -> Vec<Hit> {
+        self.search_terms_versioned(terms, options, span).0
+    }
+
+    /// [`Index::search_terms_traced`], also returning the [`IndexRevision`]
+    /// the results were computed against. Revision and results are read
+    /// under one lock hold, so the pair is consistent even while writers
+    /// mutate concurrently — this is the safe way to populate a
+    /// revision-keyed cache.
+    pub fn search_terms_versioned(
+        &self,
+        terms: &[String],
+        options: &SearchOptions,
+        span: Option<&SpanGuard<'_>>,
+    ) -> (Vec<Hit>, IndexRevision) {
         let inner = self.inner.read();
+        let revision = IndexRevision {
+            instance: self.instance,
+            mutations: inner.revision,
+        };
         let (hits, stats) = search_postings(&inner, terms, options, &self.metrics);
         if let Some(span) = span {
             span.annotate("distinct_terms", stats.distinct_terms);
             span.annotate("postings_scanned", stats.postings_scanned);
             span.annotate("hits", hits.len());
         }
-        hits
+        (hits, revision)
     }
 
     /// Index statistics.
@@ -251,10 +343,17 @@ impl Index {
             }
         }
         let mut new_terms: BTreeMap<(u8, String), PostingsList> = BTreeMap::new();
+        // Forward index rebuilt alongside: every posting that survives the
+        // remap is by construction live, so `push_occurrence`'s live-df
+        // accounting is already correct for the compacted lists.
+        let mut new_doc_terms: Vec<Vec<(u8, String)>> = vec![Vec::new(); new_docs.len()];
         for (key, pl) in &inner.terms {
             let mut out = PostingsList::new();
             for posting in pl.iter() {
                 if let Some(new_ord) = remap[posting.doc as usize] {
+                    if out.last_doc() != Some(new_ord) {
+                        new_doc_terms[new_ord as usize].push(key.clone());
+                    }
                     for &pos in &posting.positions {
                         out.push_occurrence(new_ord, pos);
                     }
@@ -272,6 +371,9 @@ impl Index {
         inner.live_docs = new_docs.len();
         inner.docs = new_docs;
         inner.terms = new_terms;
+        inner.doc_terms = new_doc_terms;
+        inner.revision += 1;
+        self.metrics.vacuums.inc();
     }
 }
 

@@ -20,6 +20,8 @@ pub struct IndexMetrics {
     pub postings_scanned: Arc<Counter>,
     /// Candidate hits returned to the caller after top-*n* selection.
     pub candidates_returned: Arc<Counter>,
+    /// Vacuum compactions performed (tombstone reclamation).
+    pub vacuums: Arc<Counter>,
 }
 
 impl Default for IndexMetrics {
@@ -30,6 +32,7 @@ impl Default for IndexMetrics {
             terms_looked_up: Arc::new(Counter::new()),
             postings_scanned: Arc::new(Counter::new()),
             candidates_returned: Arc::new(Counter::new()),
+            vacuums: Arc::new(Counter::new()),
         }
     }
 }
@@ -49,6 +52,10 @@ impl IndexMetrics {
             candidates_returned: registry.counter(
                 "schemr_index_candidates_returned_total",
                 "Candidate hits returned by Phase 1 after top-n selection.",
+            ),
+            vacuums: registry.counter(
+                "schemr_index_vacuums_total",
+                "Vacuum compactions that reclaimed tombstoned documents.",
             ),
         }
     }
@@ -71,6 +78,7 @@ mod tests {
         );
         assert!(text.contains("schemr_index_candidates_returned_total 1"));
         assert!(text.contains("schemr_index_postings_scanned_total 0"));
+        assert!(text.contains("schemr_index_vacuums_total 0"));
     }
 
     #[test]

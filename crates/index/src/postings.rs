@@ -22,9 +22,17 @@ impl Posting {
 }
 
 /// A term's postings within one field: documents sorted by ordinal.
+///
+/// Alongside the postings themselves the list maintains a **live document
+/// frequency** — the number of postings whose document is not tombstoned.
+/// Writers keep it incrementally up to date (`push_occurrence` counts the
+/// new document as live; the index decrements it when a document is
+/// tombstoned) so the scorer never has to rescan postings against the
+/// tombstone table just to compute df.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PostingsList {
     postings: Vec<Posting>,
+    live: usize,
 }
 
 impl PostingsList {
@@ -33,9 +41,16 @@ impl PostingsList {
         Self::default()
     }
 
-    /// Document frequency: how many documents contain the term.
+    /// Document frequency: how many documents contain the term, including
+    /// tombstoned ones still awaiting vacuum.
     pub fn doc_freq(&self) -> usize {
         self.postings.len()
+    }
+
+    /// Live document frequency: postings whose document is not deleted.
+    /// This is the df the TF/IDF scorer uses.
+    pub fn live_doc_freq(&self) -> usize {
+        self.live
     }
 
     /// The postings, sorted by document ordinal.
@@ -43,25 +58,57 @@ impl PostingsList {
         self.postings.iter()
     }
 
-    /// Record an occurrence of the term at `position` in `doc`.
+    /// The last (largest) document ordinal present, if any.
+    pub fn last_doc(&self) -> Option<DocOrd> {
+        self.postings.last().map(|p| p.doc)
+    }
+
+    /// Record an occurrence of the term at `position` in `doc`. Returns
+    /// `true` when this was the first occurrence for `doc` (a new posting
+    /// was appended).
     ///
     /// Documents must be added in non-decreasing ordinal order (the writer
     /// guarantees this); positions in non-decreasing order per document.
-    pub fn push_occurrence(&mut self, doc: DocOrd, position: u32) {
+    /// The document being written is assumed live, so a new posting
+    /// increments the live document frequency.
+    pub fn push_occurrence(&mut self, doc: DocOrd, position: u32) -> bool {
         match self.postings.last_mut() {
-            Some(last) if last.doc == doc => last.positions.push(position),
+            Some(last) if last.doc == doc => {
+                last.positions.push(position);
+                false
+            }
             Some(last) => {
                 debug_assert!(last.doc < doc, "documents must arrive in order");
                 self.postings.push(Posting {
                     doc,
                     positions: vec![position],
                 });
+                self.live += 1;
+                true
             }
-            None => self.postings.push(Posting {
-                doc,
-                positions: vec![position],
-            }),
+            None => {
+                self.postings.push(Posting {
+                    doc,
+                    positions: vec![position],
+                });
+                self.live += 1;
+                true
+            }
         }
+    }
+
+    /// One of this list's documents was tombstoned: drop it from the live
+    /// document frequency.
+    pub(crate) fn note_doc_tombstoned(&mut self) {
+        debug_assert!(self.live > 0, "live df underflow");
+        self.live = self.live.saturating_sub(1);
+    }
+
+    /// Overwrite the live document frequency (codec load path, where
+    /// liveness is only known after the document table is decoded).
+    pub(crate) fn set_live_doc_freq(&mut self, live: usize) {
+        debug_assert!(live <= self.postings.len());
+        self.live = live;
     }
 
     /// Binary-search the posting for `doc`.
@@ -72,10 +119,13 @@ impl PostingsList {
             .map(|i| &self.postings[i])
     }
 
-    /// Construct from pre-sorted postings (codec path).
+    /// Construct from pre-sorted postings (codec path). Until
+    /// [`PostingsList::set_live_doc_freq`] corrects it, every posting is
+    /// presumed live.
     pub fn from_postings(postings: Vec<Posting>) -> Self {
         debug_assert!(postings.windows(2).all(|w| w[0].doc < w[1].doc));
-        PostingsList { postings }
+        let live = postings.len();
+        PostingsList { postings, live }
     }
 
     /// Total occurrences across all documents.
@@ -91,15 +141,16 @@ mod tests {
     #[test]
     fn occurrences_group_by_document() {
         let mut pl = PostingsList::new();
-        pl.push_occurrence(0, 1);
-        pl.push_occurrence(0, 5);
-        pl.push_occurrence(2, 0);
+        assert!(pl.push_occurrence(0, 1));
+        assert!(!pl.push_occurrence(0, 5));
+        assert!(pl.push_occurrence(2, 0));
         assert_eq!(pl.doc_freq(), 2);
         assert_eq!(pl.get(0).unwrap().term_freq(), 2);
         assert_eq!(pl.get(0).unwrap().positions, [1, 5]);
         assert_eq!(pl.get(2).unwrap().term_freq(), 1);
         assert!(pl.get(1).is_none());
         assert_eq!(pl.total_term_freq(), 3);
+        assert_eq!(pl.last_doc(), Some(2));
     }
 
     #[test]
@@ -116,7 +167,39 @@ mod tests {
     fn empty_list() {
         let pl = PostingsList::new();
         assert_eq!(pl.doc_freq(), 0);
+        assert_eq!(pl.live_doc_freq(), 0);
         assert_eq!(pl.total_term_freq(), 0);
         assert!(pl.get(0).is_none());
+        assert!(pl.last_doc().is_none());
+    }
+
+    #[test]
+    fn live_df_tracks_tombstones() {
+        let mut pl = PostingsList::new();
+        pl.push_occurrence(0, 0);
+        pl.push_occurrence(0, 3);
+        pl.push_occurrence(1, 0);
+        pl.push_occurrence(4, 2);
+        assert_eq!(pl.live_doc_freq(), 3);
+        pl.note_doc_tombstoned();
+        assert_eq!(pl.live_doc_freq(), 2);
+        assert_eq!(pl.doc_freq(), 3, "postings themselves stay until vacuum");
+        pl.set_live_doc_freq(1);
+        assert_eq!(pl.live_doc_freq(), 1);
+    }
+
+    #[test]
+    fn from_postings_presumes_live() {
+        let pl = PostingsList::from_postings(vec![
+            Posting {
+                doc: 0,
+                positions: vec![0],
+            },
+            Posting {
+                doc: 5,
+                positions: vec![1, 2],
+            },
+        ]);
+        assert_eq!(pl.live_doc_freq(), 2);
     }
 }

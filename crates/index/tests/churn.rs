@@ -1,0 +1,239 @@
+//! Churn invariants for the incremental live-df bookkeeping.
+//!
+//! A long interleaved put/delete/replace stream must leave the index
+//! observably identical to a fresh index built from just the surviving
+//! documents: scores depend on live document frequencies and the live doc
+//! count, so any drift in the incremental accounting shows up as a score
+//! or ranking difference. Deterministic hand-rolled RNG — no external
+//! property-testing dependency.
+
+use std::collections::BTreeMap;
+
+use schemr_index::{Hit, Index, IndexDocument, SearchOptions};
+use schemr_model::SchemaId;
+
+/// xorshift64* — deterministic, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const VOCAB: &[&str] = &[
+    "patient",
+    "height",
+    "gender",
+    "diagnosis",
+    "order",
+    "total",
+    "quantity",
+    "doctor",
+    "specimen",
+    "assay",
+    "patient_height",
+    "order_total",
+];
+
+fn doc(id: u64, rng: &mut Rng) -> IndexDocument {
+    let n = 2 + rng.below(4) as usize;
+    let elements = (0..n)
+        .map(|_| VOCAB[rng.below(VOCAB.len() as u64) as usize].to_string())
+        .collect();
+    IndexDocument {
+        id: SchemaId(id),
+        title: format!("schema{}", rng.below(6)),
+        summary: String::new(),
+        elements,
+        docs: vec![],
+    }
+}
+
+const QUERIES: &[&[&str]] = &[
+    &["patient", "height"],
+    &["order", "total"],
+    &["doctor"],
+    &["specimen", "assay", "gender"],
+    &["patient_height"],
+];
+
+fn all_results(index: &Index) -> Vec<Vec<Hit>> {
+    let options = SearchOptions {
+        top_n: 1_000,
+        ..Default::default()
+    };
+    QUERIES.iter().map(|q| index.search(q, &options)).collect()
+}
+
+fn assert_equivalent(churned: &Index, what: &str) {
+    // Oracle: rebuild from scratch with only the live documents. Same
+    // live docs + same live dfs ⇒ identical scores; any incremental
+    // bookkeeping bug in the churned index breaks the equality.
+    let stats = churned.stats();
+    let a = all_results(churned);
+    for (qi, hits) in a.iter().enumerate() {
+        for h in hits {
+            assert!(
+                churned.contains(h.id),
+                "{what}: query {qi} surfaced tombstoned {:?}",
+                h.id
+            );
+        }
+    }
+    let vacuumed = {
+        // vacuum() must not change what any query returns.
+        churned.vacuum();
+        churned
+    };
+    assert_eq!(vacuumed.stats().live_docs, stats.live_docs, "{what}");
+    assert_eq!(
+        vacuumed.stats().total_docs,
+        stats.live_docs,
+        "{what}: vacuum reclaims every tombstone"
+    );
+    let b = all_results(vacuumed);
+    for (qi, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.len(), y.len(), "{what}: query {qi} count changed");
+        for (hx, hy) in x.iter().zip(y) {
+            assert_eq!(hx.id, hy.id, "{what}: query {qi} ranking changed");
+            assert_eq!(hx.matched_terms, hy.matched_terms, "{what}: query {qi}");
+            assert!(
+                (hx.score - hy.score).abs() < 1e-9,
+                "{what}: query {qi} score drifted: {} vs {}",
+                hx.score,
+                hy.score
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_churn_matches_a_fresh_rebuild() {
+    let mut rng = Rng(0x5EED_CAFE);
+    let index = Index::new();
+    // Model of what should be live: id → current document.
+    let mut live: BTreeMap<u64, IndexDocument> = BTreeMap::new();
+
+    for step in 0..400u32 {
+        let id = rng.below(48);
+        match rng.below(3) {
+            0 | 1 => {
+                // Put (fresh insert or replacement).
+                let d = doc(id, &mut rng);
+                index.add(&d);
+                live.insert(id, d);
+            }
+            _ => {
+                let removed = index.remove(SchemaId(id));
+                assert_eq!(removed, live.remove(&id).is_some(), "step {step}");
+            }
+        }
+        assert_eq!(index.len(), live.len(), "step {step}");
+    }
+
+    // Side-by-side oracle: a fresh index over only the live documents
+    // must return exactly the same ranked hits.
+    let fresh = Index::new();
+    for d in live.values() {
+        fresh.add(d);
+    }
+    let churned_hits = all_results(&index);
+    let fresh_hits = all_results(&fresh);
+    for (qi, (a, b)) in churned_hits.iter().zip(&fresh_hits).enumerate() {
+        assert_eq!(a.len(), b.len(), "query {qi}: hit counts differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.id, y.id, "query {qi}: ranking differs");
+            assert_eq!(x.matched_terms, y.matched_terms, "query {qi}");
+            assert!(
+                (x.score - y.score).abs() < 1e-9,
+                "query {qi}: live-df accounting drifted: {} vs {}",
+                x.score,
+                y.score
+            );
+        }
+    }
+
+    assert_equivalent(&index, "after churn");
+}
+
+#[test]
+fn codec_round_trip_preserves_live_df_under_churn() {
+    let mut rng = Rng(0xD15C_0B07);
+    let index = Index::new();
+    for _ in 0..120 {
+        let id = rng.below(24);
+        if rng.below(3) == 0 {
+            index.remove(SchemaId(id));
+        } else {
+            index.add(&doc(id, &mut rng));
+        }
+    }
+    let decoded = schemr_index::codec::decode(&schemr_index::codec::encode(&index)).unwrap();
+    assert_eq!(decoded.stats(), index.stats());
+    let a = all_results(&index);
+    let b = all_results(&decoded);
+    for (qi, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.len(), y.len(), "query {qi}");
+        for (hx, hy) in x.iter().zip(y) {
+            assert_eq!(hx.id, hy.id, "query {qi}");
+            assert!(
+                (hx.score - hy.score).abs() < 1e-12,
+                "query {qi}: decoded live df differs: {} vs {}",
+                hx.score,
+                hy.score
+            );
+        }
+    }
+    // The decoded index keeps churning correctly: the forward index was
+    // rebuilt, so further removals keep df accounting exact.
+    let live_ids: Vec<u64> = (0..24).filter(|&i| index.contains(SchemaId(i))).collect();
+    for &id in live_ids.iter().take(live_ids.len() / 2) {
+        assert!(decoded.remove(SchemaId(id)));
+        assert!(index.remove(SchemaId(id)));
+    }
+    let a = all_results(&index);
+    let b = all_results(&decoded);
+    for (qi, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.len(), y.len(), "post-removal query {qi}");
+        for (hx, hy) in x.iter().zip(y) {
+            assert_eq!(hx.id, hy.id, "post-removal query {qi}");
+            assert!((hx.score - hy.score).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn revision_moves_on_every_mutation_and_is_instance_scoped() {
+    let index = Index::new();
+    let r0 = index.revision();
+    index.add(&IndexDocument {
+        id: SchemaId(1),
+        title: "t".into(),
+        summary: String::new(),
+        elements: vec!["patient".into()],
+        docs: vec![],
+    });
+    let r1 = index.revision();
+    assert_ne!(r0, r1, "add must move the revision");
+    assert!(!index.remove(SchemaId(9)));
+    assert_eq!(index.revision(), r1, "failed remove is not a mutation");
+    assert!(index.remove(SchemaId(1)));
+    let r2 = index.revision();
+    assert_ne!(r1, r2);
+    index.vacuum();
+    assert_ne!(r2, index.revision(), "vacuum must move the revision");
+    // Two indexes never share a revision, even at the same mutation count.
+    let other = Index::new();
+    assert_ne!(other.revision(), Index::new().revision());
+    assert_ne!(other.revision(), r0);
+}

@@ -44,6 +44,21 @@ impl std::fmt::Display for HttpError {
     }
 }
 
+impl HttpError {
+    /// True when the underlying I/O failed because a socket timeout
+    /// elapsed (`WouldBlock` on Unix, `TimedOut` on Windows — both kinds
+    /// are produced by `set_read_timeout`).
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            HttpError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            HttpError::Malformed(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for HttpError {}
 
 impl From<std::io::Error> for HttpError {
@@ -211,6 +226,17 @@ impl Response {
         }
     }
 
+    /// 408 — the client held the connection open without completing a
+    /// request before the socket read timeout.
+    pub fn request_timeout() -> Self {
+        Response {
+            status: 408,
+            content_type: "text/plain",
+            body: "request not received before the read timeout".to_string(),
+            headers: Vec::new(),
+        }
+    }
+
     /// 503 with a body — `/healthz` on an empty index, so orchestrators
     /// don't route traffic to a node with nothing to serve.
     pub fn unavailable(content_type: &'static str, body: impl Into<String>) -> Self {
@@ -235,6 +261,7 @@ impl Response {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            408 => "Request Timeout",
             405 => "Method Not Allowed",
             503 => "Service Unavailable",
             _ => "Internal Server Error",
@@ -324,6 +351,25 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("X-Schemr-Trace-Id: t7\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
+    }
+
+    #[test]
+    fn timeout_errors_are_classified_and_serialized() {
+        let timed_out: HttpError =
+            std::io::Error::new(std::io::ErrorKind::WouldBlock, "timed out").into();
+        assert!(timed_out.is_timeout());
+        let broken: HttpError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset").into();
+        assert!(!broken.is_timeout());
+        assert!(!HttpError::Malformed("x").is_timeout());
+
+        let mut buf = Vec::new();
+        Response::request_timeout().write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use schemr::{parse_keywords, SchemrEngine, SearchRequest};
@@ -21,6 +21,11 @@ pub struct ServerConfig {
     pub bind: String,
     /// Worker threads handling connections.
     pub workers: usize,
+    /// Socket read timeout — a client that stalls mid-request gets a 408
+    /// instead of parking a worker forever. `None` disables the timeout.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout for the response. `None` disables it.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -28,6 +33,8 @@ impl Default for ServerConfig {
         ServerConfig {
             bind: "127.0.0.1:0".to_string(),
             workers: 4,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -52,11 +59,20 @@ impl SchemrServer {
         for _ in 0..config.workers.max(1) {
             let rx = rx.clone();
             let engine = engine.clone();
+            let read_timeout = config.read_timeout;
+            let write_timeout = config.write_timeout;
             workers.push(std::thread::spawn(move || {
                 while let Ok(mut stream) = rx.recv() {
+                    // Bound how long one connection can hold this worker:
+                    // without timeouts a client that never finishes its
+                    // request (or never drains the response) pins the
+                    // thread indefinitely.
+                    let _ = stream.set_read_timeout(read_timeout);
+                    let _ = stream.set_write_timeout(write_timeout);
                     let started = Instant::now();
                     let (label, response) = match read_request(&mut stream) {
                         Ok(request) => (route_label(&request.path), route(&engine, &request)),
+                        Err(e) if e.is_timeout() => ("timeout", Response::request_timeout()),
                         Err(e) => ("malformed", Response::bad_request(e.to_string())),
                     };
                     record_request(engine.metrics_registry(), label, &response, started);
@@ -147,6 +163,7 @@ fn record_request(
         400 => "400",
         404 => "404",
         405 => "405",
+        408 => "408",
         503 => "503",
         _ => "other",
     };
@@ -647,6 +664,37 @@ mod tests {
             metrics.contains(
                 "schemr_http_requests_total{route=\"/debug/traces/{id}\",status=\"404\"} 1"
             ),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_clients_get_408_and_free_the_worker() {
+        let server = SchemrServer::start(
+            engine(),
+            ServerConfig {
+                read_timeout: Some(Duration::from_millis(200)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // A partial request with no terminating blank line: the worker
+        // must time out reading it rather than block forever.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /search?q=patient HTTP/1.1\r\nHost: t")
+            .unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 408 Request Timeout\r\n"), "{buf}");
+        drop(stream);
+        // The worker is free again and the timeout is visible in metrics.
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("schemr_http_requests_total{route=\"timeout\",status=\"408\"} 1"),
             "{metrics}"
         );
         server.shutdown();
