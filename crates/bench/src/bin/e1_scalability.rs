@@ -21,13 +21,61 @@
 //! the revision-keyed candidate cache, and an interleaved
 //! put/delete/search segment runs through the scheduler (which vacuums
 //! past the tombstone threshold). Results land in `results/e1_churn.json`.
+//!
+//! Pass `--phase2` to measure Phase 2 matching cost instead: large
+//! candidate sets (raised `top_candidates`) over wide generated schemas,
+//! per-candidate matching wall time (p50/p95/p99) and an
+//! allocations-per-query proxy (a counting global allocator), for three
+//! configurations — naive (prepared path disabled), cold artifact cache
+//! (every query invalidated), and warm. Results land in
+//! `results/e2_matching.json`. Combine with `--check-speedup` to exit
+//! nonzero unless warm-cache matching is at least 2x faster per candidate
+//! than cold — the CI guard on the prepared-matching pipeline.
 
 use schemr::{EngineConfig, IndexScheduler};
 use schemr_bench::{Table, Testbed};
-use schemr_corpus::{Corpus, CorpusConfig, GeneratedQuery, Workload, WorkloadConfig};
+use schemr_corpus::{
+    Corpus, CorpusConfig, GeneratedQuery, GeneratorConfig, Workload, WorkloadConfig,
+};
+use schemr_match::Ensemble;
 use schemr_model::SchemaId;
 use schemr_obs::{HistogramSnapshot, TracerConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Allocation-counting wrapper around the system allocator: the
+/// allocations-per-query proxy the `--phase2` report uses. One relaxed
+/// atomic add per allocation — cheap enough to leave on for every mode.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a side effect only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 const PHASES: &[&str] = &["candidate_extraction", "matching", "scoring"];
 
@@ -352,10 +400,240 @@ fn run_churn(quick: bool) {
     );
 }
 
+/// Per-candidate matching samples and allocation counts for one
+/// `--phase2` configuration.
+struct Phase2Segment {
+    /// Per-query `matching wall / candidates evaluated`, in seconds.
+    samples: Vec<f64>,
+    /// Allocations observed across the segment's search calls.
+    allocs: u64,
+    /// Search calls in the segment.
+    queries: u64,
+}
+
+impl Phase2Segment {
+    fn sorted(mut self) -> Self {
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self
+    }
+
+    /// Quantile of the (sorted) per-candidate cost, in microseconds.
+    fn us(&self, q: f64) -> f64 {
+        let i = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        self.samples[i] * 1e6
+    }
+
+    fn allocs_per_query(&self) -> f64 {
+        self.allocs as f64 / self.queries as f64
+    }
+}
+
+/// One pass over the workload on `bed`, sampling per-candidate matching
+/// cost. When `invalidate`, the ensemble generation is bumped before
+/// every query so each search sees a fully cold artifact cache.
+fn phase2_pass(bed: &Testbed, workload: &Workload, invalidate: bool, seg: &mut Phase2Segment) {
+    for q in &workload.queries {
+        if invalidate {
+            // Replacing the ensemble stamps a new generation: every
+            // cached artifact goes stale, so this query pays the full
+            // preparation cost — the cold measurement.
+            bed.engine.set_ensemble(Ensemble::standard());
+        }
+        let a0 = ALLOCATIONS.load(Ordering::Relaxed);
+        let resp = bed
+            .engine
+            .search_detailed(&Testbed::to_request(q, 10))
+            .expect("nonempty query");
+        seg.allocs += ALLOCATIONS.load(Ordering::Relaxed) - a0;
+        seg.queries += 1;
+        if resp.candidates_evaluated > 0 {
+            seg.samples
+                .push(resp.timings.matching.as_secs_f64() / resp.candidates_evaluated as f64);
+        }
+    }
+}
+
+/// `--phase2`: per-candidate Phase 2 cost, naive vs cold vs warm
+/// artifact cache, over large candidate sets and wide schemas. Returns
+/// the process exit code (nonzero only under `--check-speedup` when the
+/// warm cache misses the 2x bar).
+fn run_phase2(quick: bool, check_speedup: bool) -> i32 {
+    let size = if quick { 400 } else { 2_000 };
+    let queries = if quick { 12 } else { 30 };
+    let rounds = if quick { 3 } else { 5 };
+    let top = if quick { 100 } else { 200 };
+    const SPEEDUP_BAR: f64 = 2.0;
+
+    // Wide schemas: more elements per candidate → matching dominates.
+    let corpus = Corpus::generate(&CorpusConfig {
+        target_size: size,
+        seed: 42,
+        generator: GeneratorConfig {
+            entities: (4, 9),
+            attributes: (8, 18),
+            ..GeneratorConfig::default()
+        },
+        ..CorpusConfig::default()
+    });
+    let workload = Workload::generate(
+        &corpus,
+        &WorkloadConfig {
+            queries,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    // Sequential matching so per-candidate wall time is not divided
+    // across threads, and a raised candidate budget so Phase 2 is the
+    // bulk of every search.
+    let build = |artifact_bytes: usize| {
+        Testbed::build_with_config(
+            &corpus,
+            EngineConfig {
+                top_candidates: top,
+                match_threads: 1,
+                match_artifact_cache_bytes: artifact_bytes,
+                ..EngineConfig::default()
+            },
+        )
+    };
+    let naive_bed = build(0);
+    let prepared_bed = build(64 * 1024 * 1024);
+
+    // Warm the OS/caches once on each engine before any timing.
+    run_workload(&naive_bed, &workload);
+    run_workload(&prepared_bed, &workload);
+
+    let mut naive = Phase2Segment {
+        samples: Vec::new(),
+        allocs: 0,
+        queries: 0,
+    };
+    let mut cold = Phase2Segment {
+        samples: Vec::new(),
+        allocs: 0,
+        queries: 0,
+    };
+    let mut warm = Phase2Segment {
+        samples: Vec::new(),
+        allocs: 0,
+        queries: 0,
+    };
+    for _ in 0..rounds {
+        phase2_pass(&naive_bed, &workload, false, &mut naive);
+        phase2_pass(&prepared_bed, &workload, true, &mut cold);
+    }
+    // Prime once after the cold segment's final invalidation, then
+    // measure warm rounds — every candidate served from the cache.
+    run_workload(&prepared_bed, &workload);
+    for _ in 0..rounds {
+        phase2_pass(&prepared_bed, &workload, false, &mut warm);
+    }
+    let naive = naive.sorted();
+    let cold = cold.sorted();
+    let warm = warm.sorted();
+
+    let speedup_vs_cold = cold.us(0.50) / warm.us(0.50);
+    let speedup_vs_naive = naive.us(0.50) / warm.us(0.50);
+
+    let reg = prepared_bed.engine.metrics_registry();
+    let counter = |name: &str| reg.counter_value(name, &[]).unwrap_or(0);
+    let (hits, misses) = (
+        counter("schemr_match_artifact_cache_hits_total"),
+        counter("schemr_match_artifact_cache_misses_total"),
+    );
+    let (evictions, invalidations) = (
+        counter("schemr_match_artifact_cache_evictions_total"),
+        counter("schemr_match_artifact_cache_invalidations_total"),
+    );
+    let (bytes_in, bytes_out) = (
+        counter("schemr_match_artifact_cache_bytes_inserted_total"),
+        counter("schemr_match_artifact_cache_bytes_evicted_total"),
+    );
+
+    println!(
+        "E1 --phase2: per-candidate matching cost, corpus {size}, top-n {top}, {} queries x {rounds} rounds\n",
+        workload.queries.len()
+    );
+    let mut table = Table::new(&[
+        "segment",
+        "p50 (us)",
+        "p95 (us)",
+        "p99 (us)",
+        "allocs/query",
+    ]);
+    for (name, seg) in [
+        ("naive", &naive),
+        ("cache cold", &cold),
+        ("cache warm", &warm),
+    ] {
+        table.row(&[
+            name.into(),
+            format!("{:.2}", seg.us(0.50)),
+            format!("{:.2}", seg.us(0.95)),
+            format!("{:.2}", seg.us(0.99)),
+            format!("{:.0}", seg.allocs_per_query()),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nwarm vs cold speedup: {speedup_vs_cold:.2}x; warm vs naive: {speedup_vs_naive:.2}x"
+    );
+    println!(
+        "artifact cache: {hits} hits, {misses} misses, {evictions} evictions, {invalidations} invalidations, {bytes_in} bytes in, {bytes_out} bytes evicted"
+    );
+
+    let seg_json = |seg: &Phase2Segment| {
+        format!(
+            "{{\"per_candidate_us\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}}, \"allocs_per_query\": {:.0}}}",
+            seg.us(0.50),
+            seg.us(0.95),
+            seg.us(0.99),
+            seg.allocs_per_query()
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"e2_matching\",\n  \"corpus\": {size},\n  \"top_candidates\": {top},\n  \"queries\": {},\n  \"rounds\": {rounds},\n  \"naive\": {},\n  \"cold\": {},\n  \"warm\": {},\n  \"speedup_warm_vs_cold\": {speedup_vs_cold:.2},\n  \"speedup_warm_vs_naive\": {speedup_vs_naive:.2},\n  \"artifact_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}, \"invalidations\": {invalidations}, \"bytes_inserted\": {bytes_in}, \"bytes_evicted\": {bytes_out}}}\n}}\n",
+        workload.queries.len(),
+        seg_json(&naive),
+        seg_json(&cold),
+        seg_json(&warm),
+    );
+    let out_path = std::path::Path::new("results").join("e2_matching.json");
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&out_path, &json)) {
+        Ok(()) => println!("\nwrote matching measurements to {}", out_path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", out_path.display()),
+    }
+
+    if check_speedup {
+        if speedup_vs_cold >= SPEEDUP_BAR {
+            println!(
+                "\nPASS: warm cache is {speedup_vs_cold:.2}x faster than cold (bar {SPEEDUP_BAR}x)"
+            );
+            0
+        } else {
+            println!("\nFAIL: warm cache is only {speedup_vs_cold:.2}x faster than cold (bar {SPEEDUP_BAR}x)");
+            1
+        }
+    } else {
+        println!(
+            "\nExpected shape: warm-cache matching skips all text analysis (hashed\n\
+             signatures + sorted merges only), so its per-candidate cost and\n\
+             allocations sit well below both the naive path and the cold cache."
+        );
+        0
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     if std::env::args().any(|a| a == "--check-overhead") {
         std::process::exit(check_overhead(quick));
+    }
+    if std::env::args().any(|a| a == "--phase2") {
+        let check = std::env::args().any(|a| a == "--check-speedup");
+        std::process::exit(run_phase2(quick, check));
     }
     if std::env::args().any(|a| a == "--churn") {
         run_churn(quick);

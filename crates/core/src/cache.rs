@@ -1,19 +1,31 @@
-//! Revision-keyed candidate cache for Phase 1.
+//! Revision-keyed caches: Phase 1 candidates and Phase 2 match artifacts.
 //!
-//! Candidate extraction is deterministic given the analyzed query terms,
-//! the search options, and the exact state of the index — and
-//! [`IndexRevision`] identifies that state precisely. The cache therefore
-//! stores `(terms, options) → hits` entries stamped with the revision they
-//! were computed against, and an entry is served only while the index
-//! still reports the same revision. Any mutation (add, tombstone, vacuum,
-//! index swap) changes the revision, so stale entries can never be
-//! returned; they are dropped lazily on the next lookup.
+//! Both caches rest on the same correctness idea — *lazy invalidation by
+//! stamp*. An entry is stored together with an identifier of the exact
+//! state it was computed against, and is served only while the caller's
+//! current state matches; any mutation changes the stamp, so stale
+//! entries can never be returned and are dropped on the next lookup.
+//!
+//! * [`CandidateCache`] stores `(terms, options) → hits` stamped with the
+//!   [`IndexRevision`] — any index mutation (add, tombstone, vacuum,
+//!   swap) changes it.
+//! * [`MatchArtifactCache`] stores `schema id → prepared matcher
+//!   artifacts` stamped with the schema's repository revision plus the
+//!   engine's ensemble generation — a schema update or a matcher-set
+//!   replacement changes it.
+//!
+//! Shared mechanics live in [`LruCore`]: a stamped entry map with a
+//! logical clock and weighted LRU eviction (weight 1 per entry for the
+//! candidate cache, heap bytes for the artifact cache).
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use schemr_index::{Hit, IndexRevision, SearchOptions};
+use schemr_match::PreparedCandidate;
+use schemr_model::SchemaId;
 use schemr_obs::Counter;
 
 /// The cache key: analyzed query terms plus a fingerprint of every
@@ -38,24 +50,115 @@ impl CacheKey {
     }
 }
 
-struct Entry {
-    hits: Vec<Hit>,
-    revision: IndexRevision,
+struct LruEntry<V, S> {
+    value: V,
+    stamp: S,
+    weight: usize,
     /// Logical timestamp of the last access, for LRU eviction.
     last_used: u64,
 }
 
-#[derive(Default)]
-struct State {
-    entries: HashMap<CacheKey, Entry>,
+/// Outcome of a stamped lookup.
+enum Lookup<V> {
+    /// Present with a matching stamp.
+    Hit(V),
+    /// Present but stamped with a different state — removed.
+    Stale,
+    /// Not present.
+    Absent,
+}
+
+/// The stamped-LRU core shared by both caches: entries carry the state
+/// stamp they were computed against and a weight; [`LruCore::put`] evicts
+/// least-recently-used entries until total weight fits the budget.
+struct LruCore<K, V, S> {
+    entries: HashMap<K, LruEntry<V, S>>,
     clock: u64,
+    weight: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone, S: PartialEq> LruCore<K, V, S> {
+    fn new() -> Self {
+        LruCore {
+            entries: HashMap::new(),
+            clock: 0,
+            weight: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Look up `key` against the caller's current `stamp`. A present
+    /// entry with a different stamp is stale — it is removed so the
+    /// slot's weight is released immediately.
+    fn get(&mut self, key: &K, stamp: &S) -> Lookup<V> {
+        let clock = self.tick();
+        match self.entries.get_mut(key) {
+            Some(entry) if entry.stamp == *stamp => {
+                entry.last_used = clock;
+                Lookup::Hit(entry.value.clone())
+            }
+            Some(_) => {
+                if let Some(old) = self.entries.remove(key) {
+                    self.weight -= old.weight;
+                }
+                Lookup::Stale
+            }
+            None => Lookup::Absent,
+        }
+    }
+
+    /// Insert, replacing any previous entry under `key`, then evict
+    /// least-recently-used entries while the total weight exceeds
+    /// `budget`. The just-inserted entry holds the newest timestamp, so
+    /// it is evicted only if it alone exceeds the budget. Returns the
+    /// evicted `(count, weight)`.
+    fn put(&mut self, key: K, stamp: S, value: V, weight: usize, budget: usize) -> (u64, usize) {
+        let clock = self.tick();
+        if let Some(old) = self.entries.insert(
+            key,
+            LruEntry {
+                value,
+                stamp,
+                weight,
+                last_used: clock,
+            },
+        ) {
+            self.weight -= old.weight;
+        }
+        self.weight += weight;
+        let mut evicted = 0u64;
+        let mut evicted_weight = 0usize;
+        while self.weight > budget && !self.entries.is_empty() {
+            // Capacity is small (hundreds of entries), so a linear scan
+            // beats maintaining an order list.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            let entry = self.entries.remove(&victim).expect("victim present");
+            self.weight -= entry.weight;
+            evicted += 1;
+            evicted_weight += entry.weight;
+        }
+        (evicted, evicted_weight)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 /// A small LRU cache of Phase 1 results, safe under concurrent searches
 /// and writers. `capacity == 0` disables it entirely.
 pub(crate) struct CandidateCache {
     capacity: usize,
-    state: Mutex<State>,
+    state: Mutex<LruCore<CacheKey, Vec<Hit>, IndexRevision>>,
     /// Lookups answered from the cache.
     pub hits: Arc<Counter>,
     /// Lookups that fell through to the index.
@@ -76,7 +179,7 @@ impl CandidateCache {
     ) -> Self {
         CandidateCache {
             capacity,
-            state: Mutex::new(State::default()),
+            state: Mutex::new(LruCore::new()),
             hits,
             misses,
             evictions,
@@ -95,26 +198,18 @@ impl CandidateCache {
         if !self.enabled() {
             return None;
         }
-        let mut state = self.state.lock();
-        state.clock += 1;
-        let clock = state.clock;
-        match state.entries.get_mut(key) {
-            Some(entry) if entry.revision == current => {
-                entry.last_used = clock;
-                let hits = entry.hits.clone();
-                drop(state);
+        let outcome = self.state.lock().get(key, &current);
+        match outcome {
+            Lookup::Hit(hits) => {
                 self.hits.inc();
                 Some(hits)
             }
-            Some(_) => {
-                state.entries.remove(key);
-                drop(state);
+            Lookup::Stale => {
                 self.invalidations.inc();
                 self.misses.inc();
                 None
             }
-            None => {
-                drop(state);
+            Lookup::Absent => {
                 self.misses.inc();
                 None
             }
@@ -129,36 +224,138 @@ impl CandidateCache {
         if !self.enabled() {
             return;
         }
-        let mut state = self.state.lock();
-        state.clock += 1;
-        let clock = state.clock;
-        if !state.entries.contains_key(&key) && state.entries.len() >= self.capacity {
-            // Evict the least-recently-used entry. Capacity is small
-            // (hundreds), so a linear scan beats maintaining an order list.
-            if let Some(victim) = state
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                state.entries.remove(&victim);
-                self.evictions.inc();
-            }
-        }
-        state.entries.insert(
-            key,
-            Entry {
-                hits,
-                revision,
-                last_used: clock,
-            },
-        );
+        // Weight 1 per entry: the byte budget degenerates to an entry
+        // count.
+        let (evicted, _) = self.state.lock().put(key, revision, hits, 1, self.capacity);
+        self.evictions.add(evicted);
     }
 
     /// Resident entries (tests).
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.state.lock().entries.len()
+        self.state.lock().len()
+    }
+}
+
+/// Stamp for a prepared-candidate entry: the schema's repository revision
+/// plus the engine's ensemble generation. `Repository::update` bumps the
+/// former, `SchemrEngine::set_ensemble` the latter; weight-only changes
+/// (`set_ensemble_weights`) leave artifacts valid because they are
+/// weight-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ArtifactStamp {
+    /// `StoredSchema::metadata::revision` at preparation time.
+    pub schema_revision: u64,
+    /// The engine's ensemble generation at preparation time.
+    pub ensemble_generation: u64,
+}
+
+/// A byte-budgeted LRU cache of [`PreparedCandidate`] artifact bundles,
+/// keyed by schema id and stamped with [`ArtifactStamp`]. Survives across
+/// searches and is shared by the parallel `match_chunk` workers.
+/// `budget_bytes == 0` disables it entirely (and, in the engine, the
+/// whole prepared scoring path).
+pub(crate) struct MatchArtifactCache {
+    budget_bytes: usize,
+    state: Mutex<LruCore<SchemaId, Arc<PreparedCandidate>, ArtifactStamp>>,
+    /// Lookups answered from the cache.
+    pub hits: Arc<Counter>,
+    /// Lookups that fell through to `Ensemble::prepare`.
+    pub misses: Arc<Counter>,
+    /// Entries evicted under byte-budget pressure.
+    pub evictions: Arc<Counter>,
+    /// Entries dropped because their stamp no longer matched.
+    pub invalidations: Arc<Counter>,
+    /// Artifact bytes admitted into the cache.
+    pub bytes_inserted: Arc<Counter>,
+    /// Artifact bytes released by eviction.
+    pub bytes_evicted: Arc<Counter>,
+}
+
+impl MatchArtifactCache {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        budget_bytes: usize,
+        hits: Arc<Counter>,
+        misses: Arc<Counter>,
+        evictions: Arc<Counter>,
+        invalidations: Arc<Counter>,
+        bytes_inserted: Arc<Counter>,
+        bytes_evicted: Arc<Counter>,
+    ) -> Self {
+        MatchArtifactCache {
+            budget_bytes,
+            state: Mutex::new(LruCore::new()),
+            hits,
+            misses,
+            evictions,
+            invalidations,
+            bytes_inserted,
+            bytes_evicted,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.budget_bytes > 0
+    }
+
+    /// Look up the artifacts for `id` against the caller's current
+    /// `stamp`. A present entry with a different stamp (schema updated,
+    /// or matcher set replaced) is dropped and counted as an
+    /// invalidation.
+    pub(crate) fn get(&self, id: SchemaId, stamp: ArtifactStamp) -> Option<Arc<PreparedCandidate>> {
+        if !self.enabled() {
+            return None;
+        }
+        let outcome = self.state.lock().get(&id, &stamp);
+        match outcome {
+            Lookup::Hit(artifacts) => {
+                self.hits.inc();
+                Some(artifacts)
+            }
+            Lookup::Stale => {
+                self.invalidations.inc();
+                self.misses.inc();
+                None
+            }
+            Lookup::Absent => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Store `artifacts` prepared at `stamp`, then evict LRU entries
+    /// until resident bytes fit the budget.
+    pub(crate) fn put(
+        &self,
+        id: SchemaId,
+        stamp: ArtifactStamp,
+        artifacts: Arc<PreparedCandidate>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let bytes = artifacts.bytes.max(1);
+        let (evicted, evicted_bytes) =
+            self.state
+                .lock()
+                .put(id, stamp, artifacts, bytes, self.budget_bytes);
+        self.bytes_inserted.add(bytes as u64);
+        self.evictions.add(evicted);
+        self.bytes_evicted.add(evicted_bytes as u64);
+    }
+
+    /// Resident bytes (tests).
+    #[cfg(test)]
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.state.lock().weight
+    }
+
+    /// Resident entries (tests).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().len()
     }
 }
 
@@ -257,6 +454,112 @@ mod tests {
         let c = cache(0);
         c.put(key("a"), rev(1), vec![hit(1)]);
         assert!(c.get(&key("a"), rev(1)).is_none());
+        assert_eq!(c.misses.get(), 0, "disabled cache records nothing");
+    }
+
+    // --- MatchArtifactCache ---
+
+    fn artifact_cache(budget: usize) -> MatchArtifactCache {
+        MatchArtifactCache::new(
+            budget,
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+        )
+    }
+
+    fn artifacts(bytes: usize) -> Arc<PreparedCandidate> {
+        Arc::new(PreparedCandidate {
+            per_matcher: Vec::new(),
+            bytes,
+        })
+    }
+
+    fn stamp(schema_revision: u64, ensemble_generation: u64) -> ArtifactStamp {
+        ArtifactStamp {
+            schema_revision,
+            ensemble_generation,
+        }
+    }
+
+    #[test]
+    fn artifact_hit_after_put_at_same_stamp() {
+        let c = artifact_cache(1024);
+        assert!(c.get(SchemaId(1), stamp(3, 1)).is_none());
+        c.put(SchemaId(1), stamp(3, 1), artifacts(100));
+        let got = c.get(SchemaId(1), stamp(3, 1)).unwrap();
+        assert_eq!(got.bytes, 100);
+        assert_eq!(c.hits.get(), 1);
+        assert_eq!(c.misses.get(), 1);
+        assert_eq!(c.bytes_inserted.get(), 100);
+        assert_eq!(c.resident_bytes(), 100);
+    }
+
+    #[test]
+    fn schema_revision_change_invalidates_artifacts() {
+        let c = artifact_cache(1024);
+        c.put(SchemaId(1), stamp(3, 1), artifacts(100));
+        assert!(c.get(SchemaId(1), stamp(4, 1)).is_none(), "schema updated");
+        assert_eq!(c.invalidations.get(), 1);
+        assert_eq!(c.len(), 0, "stale entry dropped eagerly");
+        assert_eq!(c.resident_bytes(), 0, "stale bytes released");
+    }
+
+    #[test]
+    fn ensemble_generation_change_invalidates_artifacts() {
+        let c = artifact_cache(1024);
+        c.put(SchemaId(1), stamp(3, 1), artifacts(100));
+        assert!(
+            c.get(SchemaId(1), stamp(3, 2)).is_none(),
+            "matcher set replaced"
+        );
+        assert_eq!(c.invalidations.get(), 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let c = artifact_cache(250);
+        c.put(SchemaId(1), stamp(1, 1), artifacts(100));
+        c.put(SchemaId(2), stamp(1, 1), artifacts(100));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(SchemaId(1), stamp(1, 1)).is_some());
+        c.put(SchemaId(3), stamp(1, 1), artifacts(100));
+        assert_eq!(c.evictions.get(), 1);
+        assert_eq!(c.bytes_evicted.get(), 100);
+        assert!(c.get(SchemaId(1), stamp(1, 1)).is_some());
+        assert!(c.get(SchemaId(2), stamp(1, 1)).is_none());
+        assert!(c.get(SchemaId(3), stamp(1, 1)).is_some());
+        assert!(c.resident_bytes() <= 250);
+    }
+
+    #[test]
+    fn oversized_entry_does_not_stick() {
+        let c = artifact_cache(50);
+        c.put(SchemaId(1), stamp(1, 1), artifacts(100));
+        // The entry alone exceeds the budget: admitted, then immediately
+        // evicted — the cache never holds more than the budget.
+        assert_eq!(c.resident_bytes(), 0);
+        assert!(c.get(SchemaId(1), stamp(1, 1)).is_none());
+    }
+
+    #[test]
+    fn replacing_an_entry_adjusts_resident_bytes() {
+        let c = artifact_cache(1024);
+        c.put(SchemaId(1), stamp(1, 1), artifacts(100));
+        c.put(SchemaId(1), stamp(2, 1), artifacts(60));
+        assert_eq!(c.resident_bytes(), 60);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_budget_disables_artifacts() {
+        let c = artifact_cache(0);
+        assert!(!c.enabled());
+        c.put(SchemaId(1), stamp(1, 1), artifacts(10));
+        assert!(c.get(SchemaId(1), stamp(1, 1)).is_none());
         assert_eq!(c.misses.get(), 0, "disabled cache records nothing");
     }
 }

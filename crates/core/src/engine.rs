@@ -6,19 +6,20 @@
 //! ranked results carry the metadata and per-element detail the GUI
 //! renders.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use schemr_index::{codec, Index, IndexDocument, IndexStats, SearchOptions};
-use schemr_match::Ensemble;
+use schemr_match::{Ensemble, PreparedCandidate};
 use schemr_model::QueryGraph;
 use schemr_obs::{
     EventResult, MetricsRegistry, SearchOutcome, SpanGuard, SpanTimer, Tracer, TracerConfig,
 };
 use schemr_repo::{ChangeKind, Repository};
 
-use crate::cache::{CacheKey, CandidateCache};
+use crate::cache::{ArtifactStamp, CacheKey, CandidateCache, MatchArtifactCache};
 use crate::metrics::EngineMetrics;
 use crate::request::SearchRequest;
 use crate::result::{MatcherTiming, PhaseTimings, SearchResponse, SearchResult, SearchTrace};
@@ -44,6 +45,10 @@ pub struct EngineConfig {
     /// Capacity of the revision-keyed Phase 1 candidate cache (entries).
     /// 0 disables caching entirely.
     pub candidate_cache_entries: usize,
+    /// Byte budget of the revision-keyed Phase 2 match-artifact cache.
+    /// 0 disables the cache *and* the prepared scoring path — Phase 2
+    /// falls back to the per-candidate naive ensemble pass.
+    pub match_artifact_cache_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +64,7 @@ impl Default for EngineConfig {
             default_limit: 10,
             trace: TracerConfig::default(),
             candidate_cache_entries: 512,
+            match_artifact_cache_bytes: 8 * 1024 * 1024,
         }
     }
 }
@@ -88,6 +94,11 @@ pub struct SchemrEngine {
     config: EngineConfig,
     last_indexed_revision: Mutex<u64>,
     candidate_cache: CandidateCache,
+    artifact_cache: MatchArtifactCache,
+    /// Generation of the current matcher set; part of every artifact
+    /// stamp so [`SchemrEngine::set_ensemble`] invalidates cached
+    /// artifacts lazily.
+    ensemble_generation: AtomicU64,
     metrics: EngineMetrics,
     tracer: Arc<Tracer>,
 }
@@ -111,6 +122,15 @@ impl SchemrEngine {
             metrics.candidate_cache_evictions.clone(),
             metrics.candidate_cache_invalidations.clone(),
         );
+        let artifact_cache = MatchArtifactCache::new(
+            config.match_artifact_cache_bytes,
+            metrics.match_artifact_cache_hits.clone(),
+            metrics.match_artifact_cache_misses.clone(),
+            metrics.match_artifact_cache_evictions.clone(),
+            metrics.match_artifact_cache_invalidations.clone(),
+            metrics.match_artifact_cache_bytes_inserted.clone(),
+            metrics.match_artifact_cache_bytes_evicted.clone(),
+        );
         SchemrEngine {
             repo,
             index: RwLock::new(Index::new().with_metrics(metrics.index.clone())),
@@ -118,6 +138,8 @@ impl SchemrEngine {
             config,
             last_indexed_revision: Mutex::new(0),
             candidate_cache,
+            artifact_cache,
+            ensemble_generation: AtomicU64::new(0),
             metrics,
             tracer,
         }
@@ -154,6 +176,12 @@ impl SchemrEngine {
     /// ablation variant).
     pub fn set_ensemble(&self, ensemble: Ensemble) {
         *self.ensemble.write() = ensemble;
+        // Cached match artifacts are matcher-set-specific: a new
+        // generation makes every existing entry stale, so a bundle
+        // prepared for the old set can never be zipped against the new
+        // one. Weight changes (`set_ensemble_weights`) don't bump it —
+        // artifacts are weight-independent.
+        self.ensemble_generation.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Replace the ensemble weights in place.
@@ -280,6 +308,31 @@ impl SchemrEngine {
         hits
     }
 
+    /// Resolve the prepared match artifacts for `stored` through the
+    /// revision-keyed artifact cache, building and admitting them on a
+    /// miss. Returns the artifacts and whether the lookup was a hit.
+    /// Concurrent `match_chunk` workers may race on a cold entry; both
+    /// build the same deterministic bundle and the second put replaces
+    /// the first, so the race costs work but never correctness.
+    fn prepared_for(
+        &self,
+        ensemble: &Ensemble,
+        generation: u64,
+        stored: &schemr_repo::StoredSchema,
+    ) -> (Arc<PreparedCandidate>, bool) {
+        let stamp = ArtifactStamp {
+            schema_revision: stored.metadata.revision,
+            ensemble_generation: generation,
+        };
+        if let Some(artifacts) = self.artifact_cache.get(stored.metadata.id, stamp) {
+            return (artifacts, true);
+        }
+        let artifacts = Arc::new(ensemble.prepare(&stored.schema));
+        self.artifact_cache
+            .put(stored.metadata.id, stamp, artifacts.clone());
+        (artifacts, false)
+    }
+
     /// Vacuum the index when the tombstone ratio reaches `threshold`
     /// (0 < threshold ≤ 1). Returns whether a vacuum ran. The scheduler
     /// calls this every tick so put/delete churn cannot degrade Phase 1
@@ -346,6 +399,15 @@ impl SchemrEngine {
         if let Some(s) = &p2 {
             s.annotate("candidates", candidates.len());
         }
+        // Prepared matching: query-side artifacts are built once per
+        // search, candidate-side artifacts resolve through the
+        // revision-keyed cache. A zero byte budget disables the whole
+        // prepared path and Phase 2 runs the naive per-candidate pass.
+        let ensemble_generation = self.ensemble_generation.load(Ordering::Acquire);
+        let equery = self
+            .artifact_cache
+            .enabled()
+            .then(|| ensemble.prepare_query(&terms, &graph));
         // Per-matcher wall time, accumulated across candidates (and,
         // under parallel matching, summed over threads).
         let mut matcher_wall: Vec<Duration> = vec![Duration::ZERO; ensemble.len()];
@@ -367,6 +429,8 @@ impl SchemrEngine {
             // Copy, so each worker opens its own `match_chunk` child.
             let tctx = ctx.as_ref();
             let p2_idx = p2.as_ref().map(|s| s.index());
+            let equery = equery.as_ref();
+            let engine = self;
             crossbeam::thread::scope(|scope| {
                 for (((slots, strength_slots), cands), wall) in out
                     .chunks_mut(chunk)
@@ -383,15 +447,41 @@ impl SchemrEngine {
                         if let Some(cs) = &chunk_span {
                             cs.annotate("candidates", cands.len());
                         }
+                        let mut cache_hits = 0u64;
+                        let mut cache_misses = 0u64;
                         for ((slot, strength_slot), (_, stored)) in
                             slots.iter_mut().zip(strength_slots.iter_mut()).zip(cands)
                         {
-                            let run = ensemble.run(terms, graph, &stored.schema, want_trace);
+                            let run = match equery {
+                                Some(eq) => {
+                                    let (artifacts, was_hit) =
+                                        engine.prepared_for(ensemble, ensemble_generation, stored);
+                                    if was_hit {
+                                        cache_hits += 1;
+                                    } else {
+                                        cache_misses += 1;
+                                    }
+                                    ensemble.run_prepared(
+                                        eq,
+                                        terms,
+                                        graph,
+                                        &artifacts,
+                                        &stored.schema,
+                                        want_trace,
+                                    )
+                                }
+                                None => ensemble.run(terms, graph, &stored.schema, want_trace),
+                            };
                             for (acc, d) in wall.iter_mut().zip(run.timings) {
                                 *acc += d;
                             }
                             *strength_slot = run.strengths;
                             *slot = Some(run.matrix);
+                        }
+                        if let (Some(cs), Some(_)) = (&chunk_span, equery) {
+                            // One batch per chunk: "hit" only when every
+                            // candidate's artifacts came from the cache.
+                            cs_annotate_batch(cs, cache_hits, cache_misses);
                         }
                     });
                 }
@@ -407,14 +497,39 @@ impl SchemrEngine {
                 .collect()
         } else {
             threads_used = 1;
+            let mut cache_hits = 0u64;
+            let mut cache_misses = 0u64;
             let mut mats = Vec::with_capacity(candidates.len());
             for (i, (_, stored)) in candidates.iter().enumerate() {
-                let run = ensemble.run(&terms, &graph, &stored.schema, want_trace);
+                let run = match &equery {
+                    Some(eq) => {
+                        let (artifacts, was_hit) =
+                            self.prepared_for(&ensemble, ensemble_generation, stored);
+                        if was_hit {
+                            cache_hits += 1;
+                        } else {
+                            cache_misses += 1;
+                        }
+                        ensemble.run_prepared(
+                            eq,
+                            &terms,
+                            &graph,
+                            &artifacts,
+                            &stored.schema,
+                            want_trace,
+                        )
+                    }
+                    None => ensemble.run(&terms, &graph, &stored.schema, want_trace),
+                };
                 for (acc, d) in matcher_wall.iter_mut().zip(run.timings) {
                     *acc += d;
                 }
                 strengths[i] = run.strengths;
                 mats.push(run.matrix);
+            }
+            if let (Some(s), Some(_)) = (&p2, &equery) {
+                // The sequential pass is one candidate batch.
+                cs_annotate_batch(s, cache_hits, cache_misses);
             }
             mats
         };
@@ -551,6 +666,15 @@ impl SchemrEngine {
             trace_id,
         })
     }
+}
+
+/// Annotate a matching-phase batch span with its artifact-cache outcome:
+/// `artifact_cache=hit` only when every candidate in the batch was served
+/// from the cache, plus the raw hit/miss counts.
+fn cs_annotate_batch(span: &SpanGuard<'_>, hits: u64, misses: u64) {
+    span.annotate("artifact_cache", if misses == 0 { "hit" } else { "miss" });
+    span.annotate("artifact_hits", hits);
+    span.annotate("artifact_misses", misses);
 }
 
 #[cfg(test)]
@@ -994,6 +1118,140 @@ mod tests {
         assert!(!events[0].results.is_empty());
         assert!(events[0].results[0].matcher_scores.len() == 2);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn warm_artifact_cache_reproduces_cold_and_naive_results_bitwise() {
+        let repo = clinic_repo();
+        let prepared = SchemrEngine::new(repo.clone());
+        prepared.reindex_full();
+        let naive = SchemrEngine::with_config(
+            repo,
+            EngineConfig {
+                match_artifact_cache_bytes: 0,
+                ..Default::default()
+            },
+        );
+        naive.reindex_full();
+        let request = SearchRequest::keywords(["patient", "gender", "height"]);
+        let cold = prepared.search(&request).unwrap();
+        let cold_misses = prepared.metrics().match_artifact_cache_misses.get();
+        assert!(cold_misses > 0, "first search prepares artifacts");
+        let warm = prepared.search(&request).unwrap();
+        assert!(
+            prepared.metrics().match_artifact_cache_hits.get() >= cold_misses,
+            "second search reuses every prepared candidate"
+        );
+        let reference = naive.search(&request).unwrap();
+        assert_eq!(cold.len(), reference.len());
+        for ((c, w), n) in cold.iter().zip(&warm).zip(&reference) {
+            assert_eq!(c.id, w.id);
+            assert_eq!(c.id, n.id);
+            assert_eq!(c.score.to_bits(), w.score.to_bits());
+            assert_eq!(c.score.to_bits(), n.score.to_bits(), "prepared vs naive");
+        }
+        // The naive engine never touched its (disabled) artifact cache.
+        assert_eq!(naive.metrics().match_artifact_cache_misses.get(), 0);
+        assert_eq!(naive.metrics().match_artifact_cache_hits.get(), 0);
+    }
+
+    #[test]
+    fn schema_update_invalidates_cached_artifacts() {
+        let repo = clinic_repo();
+        let engine = SchemrEngine::new(repo.clone());
+        engine.reindex_full();
+        let request = SearchRequest::keywords(["gender"]);
+        engine.search(&request).unwrap();
+        // Replace the hr schema: its cached artifacts are now stale.
+        let id = repo
+            .snapshot()
+            .into_iter()
+            .find(|s| s.metadata.title == "hr")
+            .unwrap()
+            .metadata
+            .id;
+        let replacement = schemr_parse::parse_fragment(
+            "hr",
+            "CREATE TABLE staff (id INT, gender TEXT, grade INT)",
+        )
+        .unwrap();
+        repo.update(id, replacement).unwrap();
+        engine.reindex_incremental();
+        engine.search(&request).unwrap();
+        assert!(
+            engine.metrics().match_artifact_cache_invalidations.get() >= 1,
+            "stale artifacts dropped after the update"
+        );
+        // The refreshed entry serves the next search.
+        let hits_before = engine.metrics().match_artifact_cache_hits.get();
+        engine.search(&request).unwrap();
+        assert!(engine.metrics().match_artifact_cache_hits.get() > hits_before);
+    }
+
+    #[test]
+    fn set_ensemble_invalidates_cached_artifacts() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        let request = SearchRequest::keywords(["gender"]);
+        engine.search(&request).unwrap();
+        engine.set_ensemble(Ensemble::standard());
+        engine.search(&request).unwrap();
+        assert!(
+            engine.metrics().match_artifact_cache_invalidations.get() >= 1,
+            "artifacts from the old matcher set are stale"
+        );
+    }
+
+    #[test]
+    fn parallel_matching_shares_the_artifact_cache() {
+        let engine = SchemrEngine::with_config(
+            clinic_repo(),
+            EngineConfig {
+                match_threads: 4,
+                ..Default::default()
+            },
+        );
+        engine.reindex_full();
+        let request = SearchRequest::keywords(["patient", "gender"]);
+        let first = engine.search(&request).unwrap();
+        let second = engine.search(&request).unwrap();
+        assert!(engine.metrics().match_artifact_cache_hits.get() > 0);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn matching_spans_report_the_artifact_cache_outcome() {
+        let engine = SchemrEngine::new(clinic_repo());
+        engine.reindex_full();
+        engine
+            .search_detailed(&SearchRequest::keywords(["gender"]).with_trace_id("art-cold"))
+            .unwrap();
+        let cold = engine.tracer().get("art-cold").unwrap();
+        let batch = cold
+            .spans
+            .iter()
+            .find(|s| s.attrs.iter().any(|(k, _)| k == "artifact_cache"))
+            .expect("a batch span carries the artifact_cache annotation");
+        assert!(batch
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "artifact_cache" && v == "miss"));
+        engine
+            .search_detailed(&SearchRequest::keywords(["gender"]).with_trace_id("art-warm"))
+            .unwrap();
+        let warm = engine.tracer().get("art-warm").unwrap();
+        let batch = warm
+            .spans
+            .iter()
+            .find(|s| s.attrs.iter().any(|(k, _)| k == "artifact_cache"))
+            .unwrap();
+        assert!(batch
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "artifact_cache" && v == "hit"));
     }
 
     #[test]

@@ -25,6 +25,8 @@ use schemr_obs::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS};
 /// | `schemr_matcher_seconds{matcher=…}` | histogram | per-matcher wall time per search |
 /// | `schemr_reindex_seconds` | histogram | full re-index wall time |
 /// | `schemr_candidate_cache_{hits,misses,evictions,invalidations}_total` | counter | Phase 1 candidate-cache traffic |
+/// | `schemr_match_artifact_cache_{hits,misses,evictions,invalidations}_total` | counter | Phase 2 match-artifact-cache traffic |
+/// | `schemr_match_artifact_cache_{bytes_inserted,bytes_evicted}_total` | counter | artifact bytes admitted/released (difference ≈ resident bytes) |
 /// | `schemr_index_*_total` | counter | term/posting/candidate/vacuum work inside the index |
 pub struct EngineMetrics {
     registry: Arc<MetricsRegistry>,
@@ -53,6 +55,19 @@ pub struct EngineMetrics {
     pub candidate_cache_evictions: Arc<Counter>,
     /// Candidate-cache entries dropped because the index revision moved.
     pub candidate_cache_invalidations: Arc<Counter>,
+    /// Phase 2 artifact-cache lookups answered from the cache.
+    pub match_artifact_cache_hits: Arc<Counter>,
+    /// Phase 2 artifact-cache lookups that fell through to preparation.
+    pub match_artifact_cache_misses: Arc<Counter>,
+    /// Artifact-cache entries evicted under byte-budget pressure.
+    pub match_artifact_cache_evictions: Arc<Counter>,
+    /// Artifact-cache entries dropped because the schema revision or the
+    /// matcher set moved.
+    pub match_artifact_cache_invalidations: Arc<Counter>,
+    /// Artifact bytes admitted into the cache.
+    pub match_artifact_cache_bytes_inserted: Arc<Counter>,
+    /// Artifact bytes released by eviction.
+    pub match_artifact_cache_bytes_evicted: Arc<Counter>,
     /// Counters threaded into every index the engine builds.
     pub index: IndexMetrics,
 }
@@ -114,6 +129,30 @@ impl EngineMetrics {
                 "schemr_candidate_cache_invalidations_total",
                 "Candidate-cache entries dropped because the index revision moved.",
             ),
+            match_artifact_cache_hits: registry.counter(
+                "schemr_match_artifact_cache_hits_total",
+                "Phase 2 match-artifact-cache lookups answered from the cache.",
+            ),
+            match_artifact_cache_misses: registry.counter(
+                "schemr_match_artifact_cache_misses_total",
+                "Phase 2 match-artifact-cache lookups that fell through to preparation.",
+            ),
+            match_artifact_cache_evictions: registry.counter(
+                "schemr_match_artifact_cache_evictions_total",
+                "Match-artifact-cache entries evicted under byte-budget pressure.",
+            ),
+            match_artifact_cache_invalidations: registry.counter(
+                "schemr_match_artifact_cache_invalidations_total",
+                "Match-artifact-cache entries dropped because the schema revision or matcher set moved.",
+            ),
+            match_artifact_cache_bytes_inserted: registry.counter(
+                "schemr_match_artifact_cache_bytes_inserted_total",
+                "Prepared-artifact bytes admitted into the match-artifact cache.",
+            ),
+            match_artifact_cache_bytes_evicted: registry.counter(
+                "schemr_match_artifact_cache_bytes_evicted_total",
+                "Prepared-artifact bytes released by match-artifact-cache eviction.",
+            ),
             index: IndexMetrics::registered(&registry),
             registry,
         }
@@ -166,6 +205,12 @@ mod tests {
             "schemr_candidate_cache_misses_total",
             "schemr_candidate_cache_evictions_total",
             "schemr_candidate_cache_invalidations_total",
+            "schemr_match_artifact_cache_hits_total",
+            "schemr_match_artifact_cache_misses_total",
+            "schemr_match_artifact_cache_evictions_total",
+            "schemr_match_artifact_cache_invalidations_total",
+            "schemr_match_artifact_cache_bytes_inserted_total",
+            "schemr_match_artifact_cache_bytes_evicted_total",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }

@@ -1,0 +1,196 @@
+//! The prepared-vs-naive equivalence oracle.
+//!
+//! Prepared matching (hashed gram signatures + the revision-keyed match-
+//! artifact cache) is a pure performance optimization: it must never
+//! change a single bit of any similarity matrix or final score. Two
+//! layers of checks enforce that over a generated corpus:
+//!
+//! * matcher level — `Ensemble::run_prepared` reproduces
+//!   `Ensemble::run`'s combined matrix bitwise for keyword and fragment
+//!   queries across corpus schemas;
+//! * engine level — an engine with the artifact cache enabled and one
+//!   with it disabled (`match_artifact_cache_bytes: 0`, which also turns
+//!   off the prepared path) return identical result lists — same ids,
+//!   bitwise-equal scores — through cold/warm passes and add / replace /
+//!   remove churn.
+//!
+//! Deterministic by construction (seeded corpus, fixed query derivation).
+
+use std::sync::Arc;
+
+use schemr::{EngineConfig, SchemrEngine, SearchRequest};
+use schemr_corpus::{Corpus, CorpusConfig};
+use schemr_match::{Ensemble, TokenMatcher};
+use schemr_model::{QueryGraph, SchemaId};
+use schemr_repo::Repository;
+
+/// Load every corpus schema into a fresh repository.
+fn build_repo(corpus: &Corpus) -> (Arc<Repository>, Vec<SchemaId>) {
+    let repo = Arc::new(Repository::new());
+    let mut ids = Vec::with_capacity(corpus.schemas.len());
+    for labeled in &corpus.schemas {
+        ids.push(
+            repo.insert(
+                labeled.title.clone(),
+                labeled.summary.clone(),
+                labeled.schema.clone(),
+            )
+            .expect("corpus schemas validate"),
+        );
+    }
+    (repo, ids)
+}
+
+/// Derive a deterministic keyword query from corpus schema `i`: its title
+/// plus a stride of its element paths.
+fn query_for(corpus: &Corpus, i: usize) -> SearchRequest {
+    let labeled = &corpus.schemas[i];
+    let mut words = vec![labeled.title.clone()];
+    let paths: Vec<String> = labeled
+        .schema
+        .ids()
+        .map(|el| labeled.schema.path(el))
+        .collect();
+    for path in paths.iter().step_by(3).take(3) {
+        words.push(path.clone());
+    }
+    SearchRequest::keywords(words)
+}
+
+#[test]
+fn prepared_matchers_reproduce_naive_matrices_bitwise() {
+    let corpus = Corpus::generate(&CorpusConfig::small(11));
+    let n = corpus.schemas.len();
+    assert!(n >= 10, "corpus too small to be a test");
+    let mut ensemble = Ensemble::standard();
+    ensemble.push(Box::new(TokenMatcher::new()), 0.5);
+
+    for i in (0..n).step_by(4) {
+        // A mixed query: one keyword plus a schema fragment, so the
+        // name, context, and token matchers all produce nonzero rows.
+        let mut q = QueryGraph::new();
+        q.add_keyword(corpus.schemas[i].title.clone());
+        q.add_fragment(corpus.schemas[(i + 1) % n].schema.clone());
+        let terms = q.terms();
+        let equery = ensemble.prepare_query(&terms, &q);
+        for j in (0..n).step_by(3) {
+            let candidate = &corpus.schemas[j].schema;
+            let pcand = ensemble.prepare(candidate);
+            let naive = ensemble.run(&terms, &q, candidate, true);
+            let prepared = ensemble.run_prepared(&equery, &terms, &q, &pcand, candidate, true);
+            assert_eq!(naive.matrix.rows(), prepared.matrix.rows());
+            assert_eq!(naive.matrix.cols(), prepared.matrix.cols());
+            for r in 0..naive.matrix.rows() {
+                for c in 0..naive.matrix.cols() {
+                    assert_eq!(
+                        prepared.matrix.get(r, c).to_bits(),
+                        naive.matrix.get(r, c).to_bits(),
+                        "query {i} × candidate {j}, cell ({r},{c})"
+                    );
+                }
+            }
+            for (s, t) in prepared.strengths.iter().zip(naive.strengths.iter()) {
+                assert_eq!(s.to_bits(), t.to_bits(), "query {i} × candidate {j}");
+            }
+        }
+    }
+}
+
+fn assert_same_results(
+    prepared: &SchemrEngine,
+    naive: &SchemrEngine,
+    queries: &[SearchRequest],
+    what: &str,
+) {
+    for (qi, request) in queries.iter().enumerate() {
+        let a = prepared.search(request).unwrap();
+        let b = naive.search(request).unwrap();
+        assert_eq!(a.len(), b.len(), "{what}, query {qi}: result count differs");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id, "{what}, query {qi}: ranking differs");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{what}, query {qi}: scores differ: {} vs {}",
+                x.score,
+                y.score
+            );
+            assert_eq!(x.coarse_score.to_bits(), y.coarse_score.to_bits());
+        }
+    }
+}
+
+#[test]
+fn prepared_engine_matches_naive_engine_across_churn() {
+    let corpus = Corpus::generate(&CorpusConfig::small(23));
+    let n = corpus.schemas.len();
+    let (repo, ids) = build_repo(&corpus);
+
+    let prepared = SchemrEngine::with_config(
+        repo.clone(),
+        EngineConfig {
+            match_artifact_cache_bytes: 4 * 1024 * 1024,
+            ..Default::default()
+        },
+    );
+    let naive = SchemrEngine::with_config(
+        repo.clone(),
+        EngineConfig {
+            match_artifact_cache_bytes: 0,
+            ..Default::default()
+        },
+    );
+    prepared.reindex_full();
+    naive.reindex_full();
+
+    let mut queries: Vec<SearchRequest> =
+        (0..n).step_by(2).map(|i| query_for(&corpus, i)).collect();
+    // One fragment query so the context matcher's prepared path runs end
+    // to end.
+    queries.push(
+        SearchRequest::parse("", &["CREATE TABLE patient (height REAL, gender TEXT)"]).unwrap(),
+    );
+
+    // Cold pass fills the artifact cache; warm pass serves from it.
+    assert_same_results(&prepared, &naive, &queries, "cold pass");
+    assert_same_results(&prepared, &naive, &queries, "warm pass");
+    let reg = prepared.metrics_registry();
+    assert!(
+        reg.counter_value("schemr_match_artifact_cache_hits_total", &[])
+            .unwrap()
+            > 0,
+        "warm pass should reuse prepared artifacts"
+    );
+
+    // Churn: add a schema, replace another, remove a third. Revisions
+    // move, so cached artifacts for the touched schemas are stale.
+    repo.insert(
+        "churn new".to_string(),
+        "added mid-test".to_string(),
+        corpus.schemas[1].schema.clone(),
+    )
+    .unwrap();
+    repo.update(ids[0], corpus.schemas[n - 1].schema.clone())
+        .unwrap();
+    repo.remove(ids[2]).unwrap();
+    prepared.reindex_incremental();
+    naive.reindex_incremental();
+
+    assert_same_results(&prepared, &naive, &queries, "post-churn pass");
+    assert!(
+        reg.counter_value("schemr_match_artifact_cache_invalidations_total", &[])
+            .unwrap()
+            > 0,
+        "the replaced schema's artifacts must be invalidated"
+    );
+    // And a second post-churn pass is warm again.
+    let hits_before = reg
+        .counter_value("schemr_match_artifact_cache_hits_total", &[])
+        .unwrap();
+    assert_same_results(&prepared, &naive, &queries, "post-churn warm pass");
+    assert!(
+        reg.counter_value("schemr_match_artifact_cache_hits_total", &[])
+            .unwrap()
+            > hits_before
+    );
+}

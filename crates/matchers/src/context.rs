@@ -13,9 +13,10 @@
 use std::collections::HashSet;
 
 use schemr_model::{ElementId, QueryGraph, QueryTerm, Schema};
-use schemr_text::Analyzer;
+use schemr_text::{Analyzer, GramSet};
 
 use crate::matrix::SimilarityMatrix;
+use crate::prepare::{PreparedQuery, PreparedSchema};
 use crate::Matcher;
 
 /// Neighbor-term-set context matcher.
@@ -68,6 +69,80 @@ impl ContextMatcher {
         let inter = a.intersection(b).count();
         2.0 * inter as f64 / (a.len() + b.len()) as f64
     }
+
+    /// True when no term can produce a nonzero context row: keywords
+    /// carry no fragment membership, so a keyword-only query's matrix is
+    /// all zero by construction and the candidate neighborhoods need not
+    /// be derived at all.
+    fn no_fragment_terms(terms: &[QueryTerm]) -> bool {
+        terms
+            .iter()
+            .all(|t| t.fragment.is_none() || t.element.is_none())
+    }
+
+    /// The hashed term-id form of an element's neighborhood — the
+    /// prepared counterpart of [`ContextMatcher::neighbor_terms`].
+    fn neighbor_signature(&self, schema: &Schema, id: ElementId) -> GramSet {
+        let mut names: Vec<&str> = Vec::new();
+        let el = schema.element(id);
+        if let Some(p) = el.parent {
+            names.push(&schema.element(p).name);
+            for sib in schema.children(p) {
+                if sib != id {
+                    names.push(&schema.element(sib).name);
+                }
+            }
+        }
+        for child in schema.children(id) {
+            names.push(&schema.element(child).name);
+        }
+        let analyzed: Vec<String> = names
+            .into_iter()
+            .flat_map(|n| self.analyzer.analyze(n))
+            .collect();
+        GramSet::of_terms(analyzed.iter().map(String::as_str))
+    }
+
+    /// `score` with instrumentation: also returns how many candidate
+    /// neighborhoods were derived. The keyword-only regression test
+    /// asserts this stays zero when no term carries fragment context.
+    pub fn score_with_stats(
+        &self,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        candidate: &Schema,
+    ) -> (SimilarityMatrix, usize) {
+        let m = SimilarityMatrix::zeros(terms.len(), candidate.len());
+        // Keyword-only queries produce an all-zero matrix; return before
+        // any candidate traversal happens.
+        if Self::no_fragment_terms(terms) {
+            return (m, 0);
+        }
+        let mut m = m;
+        // Candidate neighborhoods, precomputed per column.
+        let cand_ctx: Vec<HashSet<String>> = candidate
+            .ids()
+            .map(|id| self.neighbor_terms(candidate, id))
+            .collect();
+        let traversed = cand_ctx.len();
+        for (row, term) in terms.iter().enumerate() {
+            let (Some(frag_ix), Some(el)) = (term.fragment, term.element) else {
+                continue; // keywords have no context
+            };
+            let fragment = &query.fragments()[frag_ix];
+            let query_ctx = self.neighbor_terms(fragment, el);
+            if query_ctx.is_empty() {
+                continue;
+            }
+            for (col, ctx) in cand_ctx.iter().enumerate() {
+                let s = Self::set_similarity(&query_ctx, ctx);
+                if s > 0.0 {
+                    m.set(row, col, s);
+                }
+            }
+        }
+        (m, traversed)
+    }
 }
 
 impl Matcher for ContextMatcher {
@@ -81,23 +156,79 @@ impl Matcher for ContextMatcher {
         query: &QueryGraph,
         candidate: &Schema,
     ) -> SimilarityMatrix {
+        self.score_with_stats(terms, query, candidate).0
+    }
+
+    fn prepare(&self, schema: &Schema) -> PreparedSchema {
+        PreparedSchema {
+            neighborhoods: Some(
+                schema
+                    .ids()
+                    .map(|id| self.neighbor_signature(schema, id))
+                    .collect(),
+            ),
+            ..PreparedSchema::default()
+        }
+    }
+
+    fn prepare_query(&self, terms: &[QueryTerm], query: &QueryGraph) -> PreparedQuery {
+        PreparedQuery {
+            term_contexts: Some(
+                terms
+                    .iter()
+                    .map(|t| match (t.fragment, t.element) {
+                        (Some(frag_ix), Some(el)) => {
+                            let sig = self.neighbor_signature(&query.fragments()[frag_ix], el);
+                            (!sig.is_empty()).then_some(sig)
+                        }
+                        _ => None, // keywords have no context
+                    })
+                    .collect(),
+            ),
+            ..PreparedQuery::default()
+        }
+    }
+
+    fn score_prepared(
+        &self,
+        prepared_query: &PreparedQuery,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        prepared: &PreparedSchema,
+        candidate: &Schema,
+    ) -> SimilarityMatrix {
         let mut m = SimilarityMatrix::zeros(terms.len(), candidate.len());
-        // Candidate neighborhoods, precomputed per column.
-        let cand_ctx: Vec<HashSet<String>> = candidate
-            .ids()
-            .map(|id| self.neighbor_terms(candidate, id))
-            .collect();
-        for (row, term) in terms.iter().enumerate() {
-            let (Some(frag_ix), Some(el)) = (term.fragment, term.element) else {
-                continue; // keywords have no context
-            };
-            let fragment = &query.fragments()[frag_ix];
-            let query_ctx = self.neighbor_terms(fragment, el);
-            if query_ctx.is_empty() {
-                continue;
+        // The keyword-only early return applies on the prepared path too.
+        if Self::no_fragment_terms(terms) {
+            return m;
+        }
+        let built_query: Vec<Option<GramSet>>;
+        let term_contexts: &[Option<GramSet>] = match &prepared_query.term_contexts {
+            Some(tc) if tc.len() == terms.len() => tc,
+            _ => {
+                built_query = self.prepare_query(terms, query).term_contexts.unwrap();
+                &built_query
             }
+        };
+        let built_cand: Vec<GramSet>;
+        let cand_ctx: &[GramSet] = match &prepared.neighborhoods {
+            Some(n) if n.len() == candidate.len() => n,
+            _ => {
+                built_cand = candidate
+                    .ids()
+                    .map(|id| self.neighbor_signature(candidate, id))
+                    .collect();
+                &built_cand
+            }
+        };
+        for (row, query_ctx) in term_contexts.iter().enumerate() {
+            let Some(query_ctx) = query_ctx else {
+                continue; // keyword or empty neighborhood
+            };
             for (col, ctx) in cand_ctx.iter().enumerate() {
-                let s = Self::set_similarity(&query_ctx, ctx);
+                // Dice over hashed term ids, arithmetic-identical to
+                // `set_similarity` (an empty side yields 0 either way).
+                let s = query_ctx.dice(ctx);
                 if s > 0.0 {
                     m.set(row, col, s);
                 }
@@ -174,6 +305,58 @@ mod tests {
             entries.is_empty(),
             "expected empty matrix, found {entries:?}"
         );
+    }
+
+    #[test]
+    fn keyword_only_queries_skip_candidate_traversal() {
+        // Regression: `score` used to derive every candidate column's
+        // neighborhood even when the query had no fragment terms and the
+        // matrix was guaranteed all-zero.
+        let mut q = QueryGraph::new();
+        q.add_keyword("patient");
+        q.add_keyword("diagnosis");
+        let terms = q.terms();
+        let candidate = SchemaBuilder::new("cand")
+            .entity("patient", |e| {
+                e.attr("height", DataType::Real)
+                    .attr("gender", DataType::Text)
+            })
+            .entity("doctor", |e| e.attr("specialty", DataType::Text))
+            .build_unchecked();
+        let (m, traversed) = ContextMatcher::new().score_with_stats(&terms, &q, &candidate);
+        assert_eq!(traversed, 0, "no candidate neighborhood may be derived");
+        assert!(m.nonzero().next().is_none());
+        assert_eq!((m.rows(), m.cols()), (terms.len(), candidate.len()));
+        // Fragment queries still traverse.
+        let (q2, terms2) = fragment_query();
+        let (_, traversed2) = ContextMatcher::new().score_with_stats(&terms2, &q2, &candidate);
+        assert_eq!(traversed2, candidate.len());
+    }
+
+    #[test]
+    fn prepared_matrix_is_bitwise_equal_to_naive() {
+        let (q, terms) = fragment_query();
+        let candidate = SchemaBuilder::new("cand")
+            .entity("person", |e| {
+                e.attr("height", DataType::Real)
+                    .attr("gender", DataType::Text)
+            })
+            .entity("doctor", |e| e.attr("gender", DataType::Text))
+            .build_unchecked();
+        let matcher = ContextMatcher::new();
+        let naive = matcher.score(&terms, &q, &candidate);
+        let pq = matcher.prepare_query(&terms, &q);
+        let ps = matcher.prepare(&candidate);
+        let prepared = matcher.score_prepared(&pq, &terms, &q, &ps, &candidate);
+        for r in 0..naive.rows() {
+            for c in 0..naive.cols() {
+                assert_eq!(
+                    prepared.get(r, c).to_bits(),
+                    naive.get(r, c).to_bits(),
+                    "cell ({r},{c})"
+                );
+            }
+        }
     }
 
     #[test]

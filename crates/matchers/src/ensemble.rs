@@ -12,6 +12,7 @@ use schemr_model::{QueryGraph, QueryTerm, Schema};
 use crate::context::ContextMatcher;
 use crate::matrix::SimilarityMatrix;
 use crate::name::NameMatcher;
+use crate::prepare::{EnsembleQuery, PreparedCandidate};
 use crate::Matcher;
 
 /// A weighted set of matchers producing one combined similarity matrix per
@@ -130,6 +131,72 @@ impl Ensemble {
             .map(|(m, w)| {
                 let start = Instant::now();
                 let scored = m.score(terms, query, candidate);
+                timings.push(start.elapsed());
+                (scored, *w, m.abstains())
+            })
+            .collect();
+        let strengths = if with_strengths {
+            matrices.iter().map(|(m, _, _)| m.mean_row_max()).collect()
+        } else {
+            Vec::new()
+        };
+        if matrices.is_empty() {
+            return EnsembleRun {
+                matrix: SimilarityMatrix::zeros(terms.len(), candidate.len()),
+                timings,
+                strengths,
+            };
+        }
+        let refs: Vec<(&SimilarityMatrix, f64, bool)> =
+            matrices.iter().map(|(m, w, a)| (m, *w, *a)).collect();
+        EnsembleRun {
+            matrix: SimilarityMatrix::combine_with_abstention(&refs),
+            timings,
+            strengths,
+        }
+    }
+
+    /// Build the query-side prepared artifacts for every matcher, once
+    /// per search.
+    pub fn prepare_query(&self, terms: &[QueryTerm], query: &QueryGraph) -> EnsembleQuery {
+        let refs: Vec<&dyn Matcher> = self.matchers.iter().map(|(m, _)| m.as_ref()).collect();
+        EnsembleQuery::build(&refs, terms, query)
+    }
+
+    /// Build the candidate-side prepared artifacts for every matcher.
+    /// The engine caches the result per (schema id, repository revision).
+    pub fn prepare(&self, schema: &Schema) -> PreparedCandidate {
+        let refs: Vec<&dyn Matcher> = self.matchers.iter().map(|(m, _)| m.as_ref()).collect();
+        PreparedCandidate::build(&refs, schema)
+    }
+
+    /// Like [`Ensemble::run`], but scoring through each matcher's
+    /// prepared path. The combined matrix is bitwise-identical to the
+    /// unprepared [`Ensemble::run`]. If either artifact bundle was built
+    /// for a different matcher set (length mismatch), the whole pass
+    /// falls back to the unprepared path.
+    pub fn run_prepared(
+        &self,
+        equery: &EnsembleQuery,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        pcand: &PreparedCandidate,
+        candidate: &Schema,
+        with_strengths: bool,
+    ) -> EnsembleRun {
+        if equery.per_matcher.len() != self.matchers.len()
+            || pcand.per_matcher.len() != self.matchers.len()
+        {
+            return self.run(terms, query, candidate, with_strengths);
+        }
+        let mut timings = Vec::with_capacity(self.matchers.len());
+        let matrices: Vec<(SimilarityMatrix, f64, bool)> = self
+            .matchers
+            .iter()
+            .zip(equery.per_matcher.iter().zip(pcand.per_matcher.iter()))
+            .map(|((m, w), (pq, ps))| {
+                let start = Instant::now();
+                let scored = m.score_prepared(pq, terms, query, ps, candidate);
                 timings.push(start.elapsed());
                 (scored, *w, m.abstains())
             })
@@ -307,6 +374,58 @@ mod tests {
         for r in 0..bare.matrix.rows() {
             for c in 0..bare.matrix.cols() {
                 assert!((bare.matrix.get(r, c) - full.matrix.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn run_prepared_is_bitwise_equal_to_run() {
+        let (q, terms, candidate) = query_and_candidate();
+        let mut e = Ensemble::standard();
+        // Include a matcher with a prepared port (token) and one without
+        // (edit — exercises the default fall-through inside the prepared
+        // pass).
+        e.push(Box::new(TokenMatcher::new()), 0.5);
+        e.push(Box::new(EditDistanceMatcher::new()), 0.25);
+        let naive = e.run(&terms, &q, &candidate, true);
+        let equery = e.prepare_query(&terms, &q);
+        let pcand = e.prepare(&candidate);
+        assert_eq!(equery.per_matcher.len(), e.len());
+        assert_eq!(pcand.per_matcher.len(), e.len());
+        assert!(pcand.bytes > 0, "prepared artifacts report a footprint");
+        let prepared = e.run_prepared(&equery, &terms, &q, &pcand, &candidate, true);
+        assert_eq!(prepared.timings.len(), e.len());
+        assert_eq!(prepared.strengths.len(), e.len());
+        for r in 0..naive.matrix.rows() {
+            for c in 0..naive.matrix.cols() {
+                assert_eq!(
+                    prepared.matrix.get(r, c).to_bits(),
+                    naive.matrix.get(r, c).to_bits(),
+                    "cell ({r},{c})"
+                );
+            }
+        }
+        for (s, n) in prepared.strengths.iter().zip(naive.strengths.iter()) {
+            assert_eq!(s.to_bits(), n.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_prepared_falls_back_on_artifact_shape_mismatch() {
+        let (q, terms, candidate) = query_and_candidate();
+        let e = Ensemble::standard();
+        let naive = e.run(&terms, &q, &candidate, false);
+        // Artifacts built for a different matcher count must not be
+        // zipped positionally — the pass reverts to the unprepared path.
+        let stale_query = crate::prepare::EnsembleQuery::default();
+        let stale_cand = crate::prepare::PreparedCandidate::default();
+        let out = e.run_prepared(&stale_query, &terms, &q, &stale_cand, &candidate, false);
+        for r in 0..naive.matrix.rows() {
+            for c in 0..naive.matrix.cols() {
+                assert_eq!(
+                    out.matrix.get(r, c).to_bits(),
+                    naive.matrix.get(r, c).to_bits()
+                );
             }
         }
     }

@@ -36,6 +36,7 @@ pub mod flooding;
 pub mod learner;
 pub mod matrix;
 pub mod name;
+pub mod prepare;
 pub mod token;
 pub mod typematch;
 
@@ -45,6 +46,7 @@ pub use ensemble::{Ensemble, EnsembleRun};
 pub use flooding::FloodingMatcher;
 pub use matrix::SimilarityMatrix;
 pub use name::NameMatcher;
+pub use prepare::{EnsembleQuery, PreparedCandidate, PreparedQuery, PreparedSchema};
 pub use token::TokenMatcher;
 pub use typematch::TypeMatcher;
 
@@ -71,5 +73,40 @@ pub trait Matcher: Send + Sync {
     /// the dense matchers in the weighted combination.
     fn abstains(&self) -> bool {
         false
+    }
+
+    /// Precompute this matcher's candidate-side artifacts for `schema`.
+    /// Candidate schemas are immutable between repository revisions, so
+    /// the engine caches the result per (schema id, revision) and feeds
+    /// it back through [`Matcher::score_prepared`]. The default returns
+    /// an empty artifact, which makes `score_prepared` fall back to the
+    /// unprepared path — third-party matchers keep working unchanged.
+    fn prepare(&self, schema: &Schema) -> PreparedSchema {
+        let _ = schema;
+        PreparedSchema::default()
+    }
+
+    /// Precompute this matcher's query-side artifacts, once per search
+    /// (the unprepared path rebuilds them once per *candidate*).
+    fn prepare_query(&self, terms: &[QueryTerm], query: &QueryGraph) -> PreparedQuery {
+        let _ = (terms, query);
+        PreparedQuery::default()
+    }
+
+    /// Score using prepared artifacts. Implementations must produce a
+    /// matrix bitwise-identical to [`Matcher::score`] — the engine
+    /// switches between the two paths based on cache configuration, and
+    /// the prepared-vs-naive equivalence oracle enforces the contract.
+    /// The default ignores the artifacts and calls `score`.
+    fn score_prepared(
+        &self,
+        prepared_query: &PreparedQuery,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        prepared: &PreparedSchema,
+        candidate: &Schema,
+    ) -> SimilarityMatrix {
+        let _ = (prepared_query, prepared);
+        self.score(terms, query, candidate)
     }
 }

@@ -12,9 +12,10 @@ use std::collections::HashSet;
 
 use schemr_model::{QueryGraph, QueryTerm, Schema};
 use schemr_text::ngram::{dice, overlap};
-use schemr_text::Analyzer;
+use schemr_text::{Analyzer, GramSet};
 
 use crate::matrix::SimilarityMatrix;
+use crate::prepare::{PreparedQuery, PreparedSchema};
 use crate::Matcher;
 
 /// Name matcher configuration.
@@ -106,6 +107,68 @@ impl NameMatcher {
     pub fn similarity(&self, a: &str, b: &str) -> f64 {
         self.name_similarity(&self.gram_sets(a), &self.gram_sets(b))
     }
+
+    /// Decompose a raw name into per-word hashed gram signatures — the
+    /// prepared counterpart of [`NameMatcher::gram_sets`].
+    fn signatures(&self, name: &str) -> Vec<GramSet> {
+        self.analyzer
+            .analyze(name)
+            .iter()
+            .map(|w| GramSet::all_grams(w))
+            .collect()
+    }
+
+    /// `(1-α)·dice + α·overlap` over hashed signatures — arithmetic-
+    /// identical to the string-set `word_pair` in
+    /// [`NameMatcher::name_similarity`].
+    fn word_pair_prepared(&self, x: &GramSet, y: &GramSet) -> f64 {
+        let alpha = self.config.overlap_alpha;
+        (1.0 - alpha) * x.dice(y) + alpha * x.overlap(y)
+    }
+
+    /// An upper bound on [`NameMatcher::word_pair_prepared`] from set
+    /// sizes alone: the intersection can be at most `min(|x|, |y|)`, so
+    /// `dice ≤ 2·min/(|x|+|y|)` and `overlap ≤ 1`. Every operation is
+    /// monotone under IEEE rounding, so the bound is safe — a pair whose
+    /// bound does not exceed the current best cannot change the maximum.
+    fn word_pair_upper_bound(&self, x: &GramSet, y: &GramSet) -> f64 {
+        if x.is_empty() || y.is_empty() {
+            return 0.0; // both coefficients are 0 for an empty side
+        }
+        let alpha = self.config.overlap_alpha;
+        let min = x.len().min(y.len());
+        let dice_bound = 2.0 * min as f64 / (x.len() + y.len()) as f64;
+        (1.0 - alpha) * dice_bound + alpha
+    }
+
+    /// Prepared name similarity: greedy best word alignment over hashed
+    /// signatures, with size-ratio pruning of word pairs that cannot beat
+    /// the running best. Bitwise-identical to
+    /// [`NameMatcher::name_similarity`] on the same analyzed words.
+    fn name_similarity_prepared(&self, a: &[GramSet], b: &[GramSet]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let side = |from: &[GramSet], to: &[GramSet]| -> f64 {
+            let mut total = 0.0;
+            for x in from {
+                let mut best = 0.0f64;
+                for y in to {
+                    if self.word_pair_upper_bound(x, y) <= best {
+                        continue;
+                    }
+                    best = best.max(self.word_pair_prepared(x, y));
+                }
+                total += best;
+            }
+            total / from.len() as f64
+        };
+        if self.config.symmetric {
+            (side(a, b) + side(b, a)) / 2.0
+        } else {
+            side(a, b)
+        }
+    }
 }
 
 impl Matcher for NameMatcher {
@@ -120,12 +183,80 @@ impl Matcher for NameMatcher {
         candidate: &Schema,
     ) -> SimilarityMatrix {
         let mut m = SimilarityMatrix::zeros(terms.len(), candidate.len());
+        // Query-side gram sets are built once per call; the per-search
+        // hoist lives in `prepare_query`, which the engine's prepared
+        // path uses so this runs once per search instead of once per
+        // candidate.
         let term_grams: Vec<Vec<HashSet<String>>> =
             terms.iter().map(|t| self.gram_sets(&t.text)).collect();
         for (col, id) in candidate.ids().enumerate() {
             let el_grams = self.gram_sets(&candidate.element(id).name);
             for (row, tg) in term_grams.iter().enumerate() {
                 let s = self.name_similarity(tg, &el_grams);
+                if s > 0.0 {
+                    m.set(row, col, s);
+                }
+            }
+        }
+        m
+    }
+
+    fn prepare(&self, schema: &Schema) -> PreparedSchema {
+        PreparedSchema {
+            name_grams: Some(
+                schema
+                    .ids()
+                    .map(|id| self.signatures(&schema.element(id).name))
+                    .collect(),
+            ),
+            ..PreparedSchema::default()
+        }
+    }
+
+    fn prepare_query(&self, terms: &[QueryTerm], _query: &QueryGraph) -> PreparedQuery {
+        PreparedQuery {
+            term_grams: Some(terms.iter().map(|t| self.signatures(&t.text)).collect()),
+            ..PreparedQuery::default()
+        }
+    }
+
+    fn score_prepared(
+        &self,
+        prepared_query: &PreparedQuery,
+        terms: &[QueryTerm],
+        _query: &QueryGraph,
+        prepared: &PreparedSchema,
+        candidate: &Schema,
+    ) -> SimilarityMatrix {
+        // Query grams: from the per-search artifact when present, else
+        // built here — still once per candidate at worst, and hashed.
+        let built_terms: Vec<Vec<GramSet>>;
+        let term_grams: &[Vec<GramSet>] = match &prepared_query.term_grams {
+            Some(tg) if tg.len() == terms.len() => tg,
+            _ => {
+                built_terms = terms.iter().map(|t| self.signatures(&t.text)).collect();
+                &built_terms
+            }
+        };
+        // Element grams: from the cached candidate artifact when present
+        // (the warm path — zero analysis, zero allocation), else built
+        // on the fly (the non-prepared fallback, which still benefits
+        // from the hoisted query side).
+        let built_elements: Vec<Vec<GramSet>>;
+        let el_grams: &[Vec<GramSet>] = match &prepared.name_grams {
+            Some(eg) if eg.len() == candidate.len() => eg,
+            _ => {
+                built_elements = candidate
+                    .ids()
+                    .map(|id| self.signatures(&candidate.element(id).name))
+                    .collect();
+                &built_elements
+            }
+        };
+        let mut m = SimilarityMatrix::zeros(terms.len(), candidate.len());
+        for (col, eg) in el_grams.iter().enumerate() {
+            for (row, tg) in term_grams.iter().enumerate() {
+                let s = self.name_similarity_prepared(tg, eg);
                 if s > 0.0 {
                     m.set(row, col, s);
                 }
@@ -228,5 +359,74 @@ mod tests {
         let m = NameMatcher::new();
         assert_eq!(m.similarity("", "patient"), 0.0);
         assert_eq!(m.similarity("__", "--"), 0.0);
+    }
+
+    #[test]
+    fn prepared_matrix_is_bitwise_equal_to_naive() {
+        let schema = SchemaBuilder::new("s")
+            .entity("patient", |e| {
+                e.attr("height", DataType::Real)
+                    .attr("patient_height_cm", DataType::Real)
+                    .attr("descr", DataType::Text)
+            })
+            .entity("doctor", |e| e.attr("specialty", DataType::Text))
+            .build_unchecked();
+        let matcher = NameMatcher::new();
+        let q = QueryGraph::new();
+        let ts = terms(&["pat_ht", "height", "description", "xyzzy"]);
+        let naive = matcher.score(&ts, &q, &schema);
+        let pq = matcher.prepare_query(&ts, &q);
+        let ps = matcher.prepare(&schema);
+        let prepared = matcher.score_prepared(&pq, &ts, &q, &ps, &schema);
+        for r in 0..naive.rows() {
+            for c in 0..naive.cols() {
+                assert_eq!(
+                    prepared.get(r, c).to_bits(),
+                    naive.get(r, c).to_bits(),
+                    "cell ({r},{c}): prepared {} vs naive {}",
+                    prepared.get(r, c),
+                    naive.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_prepared_falls_back_without_artifacts() {
+        let schema = SchemaBuilder::new("s")
+            .entity("patient", |e| e.attr("height", DataType::Real))
+            .build_unchecked();
+        let matcher = NameMatcher::new();
+        let q = QueryGraph::new();
+        let ts = terms(&["height"]);
+        let naive = matcher.score(&ts, &q, &schema);
+        // Empty artifacts on both sides: the hashed fallback must still
+        // agree bitwise.
+        let prepared = matcher.score_prepared(
+            &crate::prepare::PreparedQuery::default(),
+            &ts,
+            &q,
+            &crate::prepare::PreparedSchema::default(),
+            &schema,
+        );
+        for r in 0..naive.rows() {
+            for c in 0..naive.cols() {
+                assert_eq!(prepared.get(r, c).to_bits(), naive.get(r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_dominates_word_pair_score() {
+        let m = NameMatcher::new();
+        let words = ["patient", "pat", "height", "ht", "x", "patient_height"];
+        for a in words {
+            for b in words {
+                let (ga, gb) = (GramSet::all_grams(a), GramSet::all_grams(b));
+                let score = m.word_pair_prepared(&ga, &gb);
+                let bound = m.word_pair_upper_bound(&ga, &gb);
+                assert!(score <= bound, "{a}×{b}: score {score} > bound {bound}");
+            }
+        }
     }
 }

@@ -9,9 +9,10 @@
 use std::collections::HashSet;
 
 use schemr_model::{QueryGraph, QueryTerm, Schema};
-use schemr_text::Analyzer;
+use schemr_text::{Analyzer, GramSet};
 
 use crate::matrix::SimilarityMatrix;
+use crate::prepare::{PreparedQuery, PreparedSchema};
 use crate::Matcher;
 
 /// Exact normalized-token Jaccard matcher.
@@ -35,6 +36,15 @@ impl TokenMatcher {
 
     fn tokens(&self, name: &str) -> HashSet<String> {
         self.analyzer.analyze(name).into_iter().collect()
+    }
+
+    /// Hashed exact-token signature: one 64-bit id per distinct analyzed
+    /// token. Set cardinalities and intersection counts match the string
+    /// sets (absent 64-bit hash collisions), so the Jaccard score is
+    /// bitwise-identical to the unprepared path.
+    fn signature(&self, name: &str) -> GramSet {
+        let tokens = self.analyzer.analyze(name);
+        GramSet::of_terms(tokens.iter().map(String::as_str))
     }
 
     /// Jaccard similarity of exact token sets.
@@ -79,6 +89,71 @@ impl Matcher for TokenMatcher {
         }
         m
     }
+
+    fn prepare(&self, schema: &Schema) -> PreparedSchema {
+        PreparedSchema {
+            tokens: Some(
+                schema
+                    .ids()
+                    .map(|id| self.signature(&schema.element(id).name))
+                    .collect(),
+            ),
+            ..PreparedSchema::default()
+        }
+    }
+
+    fn prepare_query(&self, terms: &[QueryTerm], _query: &QueryGraph) -> PreparedQuery {
+        PreparedQuery {
+            term_tokens: Some(terms.iter().map(|t| self.signature(&t.text)).collect()),
+            ..PreparedQuery::default()
+        }
+    }
+
+    fn score_prepared(
+        &self,
+        prepared_query: &PreparedQuery,
+        terms: &[QueryTerm],
+        _query: &QueryGraph,
+        prepared: &PreparedSchema,
+        candidate: &Schema,
+    ) -> SimilarityMatrix {
+        let mut m = SimilarityMatrix::zeros(terms.len(), candidate.len());
+        let local_terms;
+        let term_tokens: &[GramSet] = match &prepared_query.term_tokens {
+            Some(tt) if tt.len() == terms.len() => tt,
+            _ => {
+                local_terms = terms
+                    .iter()
+                    .map(|t| self.signature(&t.text))
+                    .collect::<Vec<_>>();
+                &local_terms
+            }
+        };
+        let local_elements;
+        let element_tokens: &[GramSet] = match &prepared.tokens {
+            Some(et) if et.len() == candidate.len() => et,
+            _ => {
+                local_elements = candidate
+                    .ids()
+                    .map(|id| self.signature(&candidate.element(id).name))
+                    .collect::<Vec<_>>();
+                &local_elements
+            }
+        };
+        for (col, el) in element_tokens.iter().enumerate() {
+            for (row, tt) in term_tokens.iter().enumerate() {
+                if tt.is_empty() || el.is_empty() {
+                    continue;
+                }
+                let inter = tt.intersection_size(el);
+                if inter > 0 {
+                    let union = tt.len() + el.len() - inter;
+                    m.set(row, col, inter as f64 / union as f64);
+                }
+            }
+        }
+        m
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +184,40 @@ mod tests {
         let m = TokenMatcher::new();
         // {patient, height} vs {patient, gender}: 1 / 3.
         assert!((m.similarity("patient_height", "patient_gender") - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepared_matrix_is_bitwise_equal_to_naive() {
+        use schemr_model::{DataType, QueryGraph, SchemaBuilder};
+        let mut q = QueryGraph::new();
+        q.add_keyword("patient height");
+        q.add_keyword("visit");
+        let terms = q.terms();
+        let candidate = SchemaBuilder::new("cand")
+            .entity("patient", |e| {
+                e.attr("patient_height", DataType::Real)
+                    .attr("gender", DataType::Text)
+            })
+            .entity("visit", |e| e.attr("visit_date", DataType::Date))
+            .build_unchecked();
+        let matcher = TokenMatcher::new();
+        let naive = matcher.score(&terms, &q, &candidate);
+        let pq = matcher.prepare_query(&terms, &q);
+        let ps = matcher.prepare(&candidate);
+        let prepared = matcher.score_prepared(&pq, &terms, &q, &ps, &candidate);
+        // And the fallback build (empty artifacts) must agree too.
+        let fallback = matcher.score_prepared(
+            &crate::prepare::PreparedQuery::default(),
+            &terms,
+            &q,
+            &crate::prepare::PreparedSchema::default(),
+            &candidate,
+        );
+        for r in 0..naive.rows() {
+            for c in 0..naive.cols() {
+                assert_eq!(prepared.get(r, c).to_bits(), naive.get(r, c).to_bits());
+                assert_eq!(fallback.get(r, c).to_bits(), naive.get(r, c).to_bits());
+            }
+        }
     }
 }

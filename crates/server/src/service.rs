@@ -442,6 +442,14 @@ mod tests {
         );
         assert!(body.contains("schemr_matcher_seconds_bucket{matcher=\"name\","));
         assert!(
+            body.contains("# TYPE schemr_match_artifact_cache_hits_total counter"),
+            "{body}"
+        );
+        assert!(
+            body.contains("schemr_match_artifact_cache_misses_total"),
+            "{body}"
+        );
+        assert!(
             body.contains("schemr_http_requests_total{route=\"/search\",status=\"200\"} 1"),
             "{body}"
         );

@@ -1,0 +1,210 @@
+//! Hashed gram signatures: the prepared, allocation-free counterpart of
+//! [`crate::ngram`]'s `HashSet<String>` sets.
+//!
+//! The name matcher compares all-n-gram sets for every (query word ×
+//! element word) pair, and candidate schemas are immutable between
+//! repository revisions — so the expensive part (building the sets) can be
+//! done once and reused, and the per-pair part (set intersection) should
+//! not allocate at all. A [`GramSet`] stores a word's gram set as a
+//! sorted, deduplicated `Vec<u64>` of FNV-1a gram hashes; Dice, Jaccard,
+//! and overlap coefficients come from a sorted-merge intersection count
+//! that touches no heap.
+//!
+//! The coefficients use the exact arithmetic of [`crate::ngram`], so a
+//! score computed over two `GramSet`s is bitwise identical to the same
+//! score over the corresponding string sets (up to 64-bit hash collisions,
+//! which are vanishingly unlikely within a schema vocabulary).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of a full string — the "term id" used by prepared context
+/// and token sets.
+pub fn hash_term(term: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in term.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A sorted, deduplicated set of 64-bit gram (or term) hashes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GramSet {
+    hashes: Vec<u64>,
+}
+
+impl GramSet {
+    /// The all-n-gram signature of one word: every character n-gram with
+    /// lengths `1..=word.len()`, hashed. Mirrors [`crate::ngram::all_ngrams`]
+    /// without allocating a string per gram — each suffix start extends
+    /// one rolling FNV-1a state per added character.
+    pub fn all_grams(word: &str) -> GramSet {
+        let chars: Vec<char> = word.chars().collect();
+        let mut hashes = Vec::with_capacity(chars.len() * (chars.len() + 1) / 2);
+        let mut utf8 = [0u8; 4];
+        for start in 0..chars.len() {
+            let mut h = FNV_OFFSET;
+            for &c in &chars[start..] {
+                for b in c.encode_utf8(&mut utf8).as_bytes() {
+                    h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
+                }
+                hashes.push(h);
+            }
+        }
+        Self::from_hashes(hashes)
+    }
+
+    /// A set of whole-term hashes (deduplicated): the prepared form of an
+    /// analyzed token or neighborhood term set.
+    pub fn of_terms<'a>(terms: impl IntoIterator<Item = &'a str>) -> GramSet {
+        Self::from_hashes(terms.into_iter().map(hash_term).collect())
+    }
+
+    /// Normalize a raw hash list into the sorted-dedup invariant.
+    pub fn from_hashes(mut hashes: Vec<u64>) -> GramSet {
+        hashes.sort_unstable();
+        hashes.dedup();
+        GramSet { hashes }
+    }
+
+    /// Number of distinct grams.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True when the set has no grams.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Approximate heap footprint, for byte-budgeted caches.
+    pub fn heap_bytes(&self) -> usize {
+        self.hashes.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// `|self ∩ other|` by sorted merge — no allocation, O(|a| + |b|).
+    pub fn intersection_size(&self, other: &GramSet) -> usize {
+        let (a, b) = (&self.hashes, &other.hashes);
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        inter
+    }
+
+    /// Dice coefficient, arithmetic-identical to [`crate::ngram::dice`].
+    pub fn dice(&self, other: &GramSet) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 0.0;
+        }
+        let inter = self.intersection_size(other);
+        2.0 * inter as f64 / (self.len() + other.len()) as f64
+    }
+
+    /// Jaccard coefficient, arithmetic-identical to
+    /// [`crate::ngram::jaccard`].
+    pub fn jaccard(&self, other: &GramSet) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 0.0;
+        }
+        let inter = self.intersection_size(other);
+        let union = self.len() + other.len() - inter;
+        inter as f64 / union as f64
+    }
+
+    /// Overlap coefficient, arithmetic-identical to
+    /// [`crate::ngram::overlap`].
+    pub fn overlap(&self, other: &GramSet) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        let inter = self.intersection_size(other);
+        inter as f64 / self.len().min(other.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram;
+
+    /// The string-set ground truth for a word's all-gram signature.
+    fn naive(word: &str) -> std::collections::HashSet<String> {
+        ngram::all_ngrams(word)
+    }
+
+    #[test]
+    fn all_grams_cardinality_matches_string_sets() {
+        for w in ["abc", "aa", "patient", "x", "", "héllo", "διάγνωση"] {
+            assert_eq!(GramSet::all_grams(w).len(), naive(w).len(), "word {w}");
+        }
+    }
+
+    #[test]
+    fn coefficients_are_bitwise_equal_to_string_sets() {
+        let pairs = [
+            ("patient", "pat"),
+            ("first_name", "firstname"),
+            ("height", "heights"),
+            ("abc", "xyz"),
+            ("diagnosis", "diagnoses"),
+            ("a", "a"),
+        ];
+        for (x, y) in pairs {
+            let (gx, gy) = (GramSet::all_grams(x), GramSet::all_grams(y));
+            let (sx, sy) = (naive(x), naive(y));
+            assert_eq!(gx.dice(&gy).to_bits(), ngram::dice(&sx, &sy).to_bits());
+            assert_eq!(
+                gx.jaccard(&gy).to_bits(),
+                ngram::jaccard(&sx, &sy).to_bits()
+            );
+            assert_eq!(
+                gx.overlap(&gy).to_bits(),
+                ngram::overlap(&sx, &sy).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_by_merge_matches_set_intersection() {
+        let a = GramSet::all_grams("patient");
+        let b = GramSet::all_grams("patent");
+        let expect = naive("patient").intersection(&naive("patent")).count();
+        assert_eq!(a.intersection_size(&b), expect);
+        assert_eq!(b.intersection_size(&a), expect);
+    }
+
+    #[test]
+    fn of_terms_dedupes_and_ignores_order() {
+        let a = GramSet::of_terms(["height", "gender", "height"]);
+        let b = GramSet::of_terms(["gender", "height"]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_sets_behave_like_the_string_versions() {
+        let e = GramSet::default();
+        let a = GramSet::all_grams("a");
+        assert_eq!(e.dice(&e), 0.0);
+        assert_eq!(e.jaccard(&e), 0.0);
+        assert_eq!(e.overlap(&a), 0.0);
+        assert!(GramSet::all_grams("").is_empty());
+    }
+
+    #[test]
+    fn hash_term_distinguishes_common_words() {
+        let words = ["patient", "height", "gender", "diagnosis", "pat", "ht"];
+        let set = GramSet::of_terms(words);
+        assert_eq!(set.len(), words.len());
+    }
+}

@@ -14,8 +14,10 @@
 //! * [`stem`] — a from-scratch Porter stemmer for grammatical variants,
 //! * [`stopwords`] — a small stopword list for flattened documents,
 //! * [`ngram`] — the all-n-gram decomposition the name matcher scores with,
+//! * [`gramset`] — hashed, sorted gram signatures for prepared matching,
 //! * [`Analyzer`] — a configurable pipeline combining the above.
 
+pub mod gramset;
 pub mod ngram;
 pub mod normalize;
 pub mod stem;
@@ -25,3 +27,4 @@ pub mod tokenize;
 mod analyzer;
 
 pub use analyzer::{Analyzer, AnalyzerConfig};
+pub use gramset::GramSet;

@@ -129,6 +129,18 @@ fn metrics_expose_search_phase_and_http_families() {
             "matcher {matcher}: {body}"
         );
     }
+    // Phase 2 match-artifact-cache families are exported; two searches of
+    // the same two-schema corpus guarantee at least one cache lookup.
+    assert!(
+        body.contains("# TYPE schemr_match_artifact_cache_hits_total counter"),
+        "{body}"
+    );
+    for family in ["misses", "invalidations", "bytes_inserted"] {
+        assert!(
+            body.contains(&format!("schemr_match_artifact_cache_{family}_total")),
+            "family {family}: {body}"
+        );
+    }
     assert!(
         body.contains("schemr_http_requests_total{route=\"/search\",status=\"200\"} 2"),
         "{body}"
