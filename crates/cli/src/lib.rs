@@ -118,6 +118,9 @@ commands:
   stats     <repo.json>                                repository statistics
   serve     <repo.json> [--bind 127.0.0.1:7878]        start the search service
             [--event-log path] [--slowlog-ms N] [--trace-ring N]
+            [--max-queue N] [--keepalive-requests N] [--drain-ms N]
+            [--serve-for-ms N]  (serve N ms, then drain and exit —
+                                 exit code 0 on a clean drain)
   tracelog  tail   <event.log> [-n N]                  print the last N logged searches
   tracelog  stats  <event.log>                         aggregate timings across the log
   tracelog  replay <event.log> <repo.json>             re-run logged queries, diff results
@@ -409,21 +412,63 @@ fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
             .parse()
             .map_err(|_| err("trace-ring must be an integer"))?;
     }
+    let mut server_config = schemr_server::ServerConfig {
+        bind,
+        workers: 4,
+        ..Default::default()
+    };
+    if let Some(n) = args.flag(&["max-queue"]) {
+        server_config.max_queue = n.parse().map_err(|_| err("max-queue must be an integer"))?;
+    }
+    if let Some(n) = args.flag(&["keepalive-requests"]) {
+        server_config.keepalive_requests = n
+            .parse()
+            .map_err(|_| err("keepalive-requests must be an integer"))?;
+    }
+    if let Some(ms) = args.flag(&["drain-ms"]) {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| err("drain-ms must be an integer (milliseconds)"))?;
+        server_config.drain_deadline = std::time::Duration::from_millis(ms);
+    }
+    let serve_for = match args.flag(&["serve-for-ms"]) {
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse()
+                .map_err(|_| err("serve-for-ms must be an integer (milliseconds)"))?,
+        )),
+        None => None,
+    };
     let engine = Arc::new(SchemrEngine::with_config(repo, config));
     engine.reindex_full();
-    let server = schemr_server::SchemrServer::start(
-        engine,
-        schemr_server::ServerConfig {
-            bind,
-            workers: 4,
-            ..Default::default()
-        },
-    )?;
-    writeln!(out, "serving on http://{} — Ctrl-C to stop", server.addr())?;
-    out.flush()?;
-    // Serve until the process is killed.
-    loop {
-        std::thread::park();
+    let server = schemr_server::SchemrServer::start(engine, server_config)?;
+    match serve_for {
+        // Bounded run (smoke tests, CI): serve for the window, then
+        // drain. The exit code reports whether the drain was clean.
+        Some(window) => {
+            writeln!(
+                out,
+                "serving on http://{} for {} ms, then draining",
+                server.addr(),
+                window.as_millis()
+            )?;
+            out.flush()?;
+            std::thread::sleep(window);
+            let clean = server.shutdown();
+            writeln!(
+                out,
+                "drain {}",
+                if clean { "clean" } else { "exceeded deadline" }
+            )?;
+            Ok(if clean { 0 } else { 1 })
+        }
+        None => {
+            writeln!(out, "serving on http://{} — Ctrl-C to stop", server.addr())?;
+            out.flush()?;
+            // Serve until the process is killed.
+            loop {
+                std::thread::park();
+            }
+        }
     }
 }
 
@@ -865,5 +910,33 @@ mod tests {
         let (_dir, repo) = temp_repo();
         assert!(run_err(&["serve", &repo, "--slowlog-ms", "abc"]).contains("slowlog-ms"));
         assert!(run_err(&["serve", &repo, "--trace-ring", "x"]).contains("trace-ring"));
+        assert!(run_err(&["serve", &repo, "--max-queue", "x"]).contains("max-queue"));
+        assert!(
+            run_err(&["serve", &repo, "--keepalive-requests", "x"]).contains("keepalive-requests")
+        );
+        assert!(run_err(&["serve", &repo, "--drain-ms", "x"]).contains("drain-ms"));
+        assert!(run_err(&["serve", &repo, "--serve-for-ms", "x"]).contains("serve-for-ms"));
+    }
+
+    #[test]
+    fn serve_for_a_bounded_window_exits_with_a_clean_drain() {
+        let (_dir, repo) = temp_repo();
+        let (code, out) = run_str(&[
+            "serve",
+            &repo,
+            "--bind",
+            "127.0.0.1:0",
+            "--serve-for-ms",
+            "100",
+            "--drain-ms",
+            "2000",
+            "--max-queue",
+            "8",
+            "--keepalive-requests",
+            "4",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("then draining"), "{out}");
+        assert!(out.contains("drain clean"), "{out}");
     }
 }

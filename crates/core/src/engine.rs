@@ -376,6 +376,9 @@ impl SchemrEngine {
         let root = ctx.as_ref().map(|c| c.root_span("search"));
         if let Some(r) = &root {
             r.annotate("query", &query_text);
+            if let Some(wait) = request.queue_wait {
+                r.annotate("queue_wait_us", wait.as_micros());
+            }
         }
 
         // Phase 1: candidate extraction.
@@ -571,17 +574,7 @@ impl SchemrEngine {
                 }
             })
             .collect();
-        results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(
-                    b.coarse_score
-                        .partial_cmp(&a.coarse_score)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
-                .then(a.id.cmp(&b.id))
-        });
+        results.sort_by(rank_order);
         results.truncate(request.limit.unwrap_or(self.config.default_limit));
         if let Some(s) = &p3 {
             s.annotate("results", results.len());
@@ -668,6 +661,19 @@ impl SchemrEngine {
     }
 }
 
+/// The final ranking order: tightness score descending, Phase 1 coarse
+/// score descending, schema id ascending. Uses `total_cmp` so the order
+/// is total even if a NaN score ever slips through — `partial_cmp`'s
+/// `unwrap_or(Equal)` made NaN non-transitive, and a non-total
+/// comparator makes the sort order depend on the input permutation
+/// (identical corpora could rank differently across runs).
+pub(crate) fn rank_order(a: &SearchResult, b: &SearchResult) -> std::cmp::Ordering {
+    b.score
+        .total_cmp(&a.score)
+        .then(b.coarse_score.total_cmp(&a.coarse_score))
+        .then(a.id.cmp(&b.id))
+}
+
 /// Annotate a matching-phase batch span with its artifact-cache outcome:
 /// `artifact_cache=hit` only when every candidate in the batch was served
 /// from the cache, plus the raw hit/miss counts.
@@ -709,6 +715,48 @@ mod tests {
         )
         .unwrap();
         repo
+    }
+
+    #[test]
+    fn rank_order_is_total_and_pins_the_tie_break() {
+        use schemr_model::SchemaId;
+        let result = |id: u64, score: f64, coarse: f64| SearchResult {
+            id: SchemaId(id),
+            title: String::new(),
+            summary: String::new(),
+            score,
+            coarse_score: coarse,
+            matched_terms: 0,
+            stats: Default::default(),
+            matches: Vec::new(),
+        };
+        // Score descending, then coarse descending, then id ascending.
+        let mut rows = vec![
+            result(5, 0.3, 0.9),
+            result(2, 0.7, 0.1),
+            result(4, 0.3, 0.9),
+            result(3, 0.7, 0.5),
+            result(1, f64::NAN, 0.8),
+        ];
+        rows.sort_by(rank_order);
+        let order: Vec<u64> = rows.iter().map(|r| r.id.0).collect();
+        // total_cmp puts NaN above every finite score (descending), and
+        // critically the order is a *total* order: the old
+        // `partial_cmp(..).unwrap_or(Equal)` comparator was
+        // non-transitive around NaN, so the final ranking depended on
+        // the input permutation.
+        assert_eq!(order, vec![1, 3, 2, 4, 5]);
+        // Same elements, different starting permutation, same ranking.
+        let mut shuffled = vec![
+            result(1, f64::NAN, 0.8),
+            result(4, 0.3, 0.9),
+            result(3, 0.7, 0.5),
+            result(5, 0.3, 0.9),
+            result(2, 0.7, 0.1),
+        ];
+        shuffled.sort_by(rank_order);
+        let order2: Vec<u64> = shuffled.iter().map(|r| r.id.0).collect();
+        assert_eq!(order, order2);
     }
 
     #[test]

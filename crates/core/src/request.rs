@@ -21,6 +21,11 @@ pub struct SearchRequest {
     /// either way the id used comes back in
     /// [`crate::SearchResponse::trace_id`].
     pub trace_id: Option<String>,
+    /// How long the request waited in the serving layer's admission
+    /// queue before a worker picked it up. Annotated onto the root
+    /// `search` span so queueing delay is separable from engine time
+    /// when diagnosing slow requests.
+    pub queue_wait: Option<std::time::Duration>,
 }
 
 impl SearchRequest {
@@ -58,6 +63,7 @@ impl SearchRequest {
             limit: None,
             explain: false,
             trace_id: None,
+            queue_wait: None,
         })
     }
 

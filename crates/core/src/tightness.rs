@@ -145,8 +145,8 @@ pub fn tightness_of_fit(
             total
         };
         return TightnessScore {
-            score: score * weight,
-            anchored_score: score,
+            score: sanitize(score * weight),
+            anchored_score: sanitize(score),
             coverage,
             best_anchor: None,
             matched: matched
@@ -199,11 +199,23 @@ pub fn tightness_of_fit(
         })
         .collect();
     TightnessScore {
-        score: anchored_score * weight,
-        anchored_score,
+        score: sanitize(anchored_score * weight),
+        anchored_score: sanitize(anchored_score),
         coverage,
         best_anchor: Some(best_anchor),
         matched,
+    }
+}
+
+/// NaN → 0.0. The similarity matrix already scrubs NaN on `set`, but a
+/// NaN produced *inside* the aggregation (e.g. a pathological weight)
+/// must not leak into the final ranking, where a non-total score makes
+/// the sort order depend on the input permutation.
+fn sanitize(score: f64) -> f64 {
+    if score.is_nan() {
+        0.0
+    } else {
+        score
     }
 }
 
@@ -270,6 +282,25 @@ mod tests {
             .filter(|e| e.class == DistanceClass::Neighborhood)
             .count();
         assert_eq!((same, nb), (2, 3));
+    }
+
+    #[test]
+    fn nan_similarities_never_reach_the_final_score() {
+        // A matcher that fails to compute yields NaN; the matrix scrubs
+        // it on `set` and the tightness aggregation sanitizes its own
+        // output, so the final score stays finite and the ranking total.
+        let (schema, _) = figure4();
+        let mut m = SimilarityMatrix::zeros(5, schema.len());
+        for col in 0..schema.len() {
+            m.set(0, col, f64::NAN);
+        }
+        m.set(1, 2, 0.8);
+        let t = tightness_of_fit(&schema, &m, &TightnessConfig::default());
+        assert!(t.score.is_finite(), "score = {}", t.score);
+        assert!(t.anchored_score.is_finite());
+        assert!(t.matched.iter().all(|e| e.score.is_finite()));
+        assert_eq!(sanitize(f64::NAN), 0.0);
+        assert_eq!(sanitize(0.4), 0.4);
     }
 
     #[test]

@@ -41,9 +41,13 @@ impl SimilarityMatrix {
         self.values[row * self.cols + col]
     }
 
-    /// Set the value at (`row`, `col`), clamping into `[0, 1]`.
+    /// Set the value at (`row`, `col`), clamping into `[0, 1]`. NaN
+    /// clamps to 0.0: a similarity that failed to compute is "no match",
+    /// and letting NaN into the matrix would make every downstream
+    /// comparison (column maxima, final ranking) order-dependent.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         debug_assert!(row < self.rows && col < self.cols);
+        let value = if value.is_nan() { 0.0 } else { value };
         self.values[row * self.cols + col] = value.clamp(0.0, 1.0);
     }
 
@@ -179,6 +183,16 @@ mod tests {
         assert_eq!(m.get(0, 1), 0.5);
         assert_eq!(m.get(1, 2), 1.0);
         assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn nan_scores_clamp_to_zero() {
+        let mut m = SimilarityMatrix::zeros(2, 2);
+        m.set(0, 0, f64::NAN);
+        m.set(1, 0, 0.6);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.column_max(0), (1, 0.6));
+        assert!(m.mean_row_max().is_finite());
     }
 
     #[test]

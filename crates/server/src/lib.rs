@@ -10,10 +10,15 @@
 //!
 //! Implemented from scratch on `std::net`:
 //!
-//! * [`http`] — a minimal HTTP/1.1 request parser and response writer,
+//! * [`http`] — a minimal HTTP/1.1 parser (bounded by [`HttpLimits`]:
+//!   request-line, per-header, header-count, total-header and body caps)
+//!   and response writer with keep-alive support,
 //! * [`xml_response`] — the search-results XML format,
-//! * [`SchemrServer`] — the service itself, with a crossbeam-channel
-//!   worker pool and graceful shutdown.
+//! * [`SchemrServer`] — the service itself: a bounded admission queue in
+//!   front of a worker pool (full queue ⇒ `503 + Retry-After`),
+//!   HTTP/1.1 keep-alive with a per-connection request budget and idle
+//!   timeout, and graceful drain ([`SchemrServer::shutdown`] finishes
+//!   in-flight requests within [`ServerConfig::drain_deadline`]).
 //!
 //! Endpoints:
 //!
@@ -31,4 +36,5 @@ pub mod xml_response;
 
 mod service;
 
+pub use http::HttpLimits;
 pub use service::{SchemrServer, ServerConfig};

@@ -1,18 +1,35 @@
-//! The search service: routing, worker pool, lifecycle.
+//! The search service: routing, admission control, worker pool,
+//! lifecycle.
+//!
+//! The connection path is production-shaped: the accept loop feeds a
+//! *bounded* pending-connection queue and sheds load with
+//! `503 + Retry-After` when it is full (saturation surfaces as fast
+//! rejections, never as an unbounded backlog); workers serve HTTP/1.1
+//! keep-alive connections under a per-connection request budget and
+//! idle timeout; parsing is bounded by [`HttpLimits`]; and
+//! [`SchemrServer::shutdown`] drains in-flight requests within a
+//! configurable deadline, answering keep-alive clients with
+//! `Connection: close` while draining.
 
+use std::io::{BufRead, BufReader};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use schemr::{parse_keywords, SchemrEngine, SearchRequest};
 use schemr_model::SchemaId;
-use schemr_obs::{MetricsRegistry, LATENCY_BUCKETS};
+use schemr_obs::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS};
 use schemr_viz::{radial_layout, to_graphml, tree_layout, GraphmlOptions, SvgOptions};
 
-use crate::http::{read_request, Request, Response};
+use crate::http::{read_request, HttpLimits, Request, Response};
 use crate::xml_response::search_response_to_xml;
+
+/// How often a worker parked between keep-alive requests re-checks the
+/// drain flag and the idle deadline. Bounds both drain latency for idle
+/// connections and the overshoot of the idle timeout.
+const IDLE_POLL: Duration = Duration::from_millis(25);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -26,6 +43,25 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Socket write timeout for the response. `None` disables it.
     pub write_timeout: Option<Duration>,
+    /// Hard caps on request parsing (request line, headers, body).
+    pub http_limits: HttpLimits,
+    /// How long a keep-alive connection may sit between requests before
+    /// the server closes it. `None` keeps idle connections forever.
+    pub idle_timeout: Option<Duration>,
+    /// Requests served per connection before the server closes it
+    /// (`Connection: close` on the last one). Bounds how long one client
+    /// can monopolize a worker; minimum effective value is 1.
+    pub keepalive_requests: usize,
+    /// Capacity of the pending-connection queue between the accept loop
+    /// and the workers. When full, new connections are shed with
+    /// `503 + Retry-After` instead of queueing without bound; minimum
+    /// effective value is 1.
+    pub max_queue: usize,
+    /// How long [`SchemrServer::shutdown`] waits for in-flight requests
+    /// before giving up on stragglers.
+    pub drain_deadline: Duration,
+    /// The `Retry-After` value (seconds) on shed responses.
+    pub retry_after_secs: u32,
 }
 
 impl Default for ServerConfig {
@@ -35,6 +71,67 @@ impl Default for ServerConfig {
             workers: 4,
             read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(10)),
+            http_limits: HttpLimits::default(),
+            idle_timeout: Some(Duration::from_secs(10)),
+            keepalive_requests: 64,
+            max_queue: 128,
+            drain_deadline: Duration::from_secs(5),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// A connection admitted to the pending queue, stamped so the dequeuing
+/// worker can record how long it waited.
+struct Pending {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+/// Pre-registered handles for the serving-path metric families, shared
+/// by the accept loop and the workers.
+struct HttpMetrics {
+    /// Connections rejected with `503 + Retry-After` because the pending
+    /// queue was full.
+    shed: Arc<Counter>,
+    /// Connections admitted to the pending queue. Queue depth is
+    /// `enqueued - dequeued - shed-free`: the registry is
+    /// counters-and-histograms only, so depth is expressed as a counter
+    /// pair instead of a gauge.
+    queue_enqueued: Arc<Counter>,
+    /// Connections taken off the queue by a worker.
+    queue_dequeued: Arc<Counter>,
+    /// Requests served on an already-used connection (the second and
+    /// later requests of each keep-alive session).
+    keepalive_reuse: Arc<Counter>,
+    /// Time connections spent waiting in the pending queue.
+    queue_wait: Arc<Histogram>,
+}
+
+impl HttpMetrics {
+    fn register(registry: &MetricsRegistry) -> HttpMetrics {
+        HttpMetrics {
+            shed: registry.counter(
+                "schemr_http_shed_total",
+                "Connections rejected with 503 because the pending queue was full.",
+            ),
+            queue_enqueued: registry.counter(
+                "schemr_http_queue_enqueued_total",
+                "Connections admitted to the pending queue.",
+            ),
+            queue_dequeued: registry.counter(
+                "schemr_http_queue_dequeued_total",
+                "Connections dequeued by a worker.",
+            ),
+            keepalive_reuse: registry.counter(
+                "schemr_http_keepalive_reuse_total",
+                "Requests served on a reused keep-alive connection.",
+            ),
+            queue_wait: registry.histogram(
+                "schemr_http_queue_wait_seconds",
+                "Time connections waited in the pending queue.",
+                LATENCY_BUCKETS,
+            ),
         }
     }
 }
@@ -45,6 +142,10 @@ pub struct SchemrServer {
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Each worker sends one `()` here when it exits; drain counts them
+    /// against the deadline instead of `join`ing (which has no timeout).
+    worker_done: mpsc::Receiver<()>,
+    drain_deadline: Duration,
 }
 
 impl SchemrServer {
@@ -53,45 +154,60 @@ impl SchemrServer {
         let listener = TcpListener::bind(&config.bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = unbounded();
+        let metrics = Arc::new(HttpMetrics::register(engine.metrics_registry()));
+        let (tx, rx): (Sender<Pending>, Receiver<Pending>) = bounded(config.max_queue.max(1));
+        let (done_tx, worker_done) = mpsc::channel();
 
         let mut workers = Vec::with_capacity(config.workers);
         for _ in 0..config.workers.max(1) {
             let rx = rx.clone();
             let engine = engine.clone();
-            let read_timeout = config.read_timeout;
-            let write_timeout = config.write_timeout;
+            let metrics = metrics.clone();
+            let stop = stop.clone();
+            let config = config.clone();
+            let done_tx = done_tx.clone();
             workers.push(std::thread::spawn(move || {
-                while let Ok(mut stream) = rx.recv() {
-                    // Bound how long one connection can hold this worker:
-                    // without timeouts a client that never finishes its
-                    // request (or never drains the response) pins the
-                    // thread indefinitely.
-                    let _ = stream.set_read_timeout(read_timeout);
-                    let _ = stream.set_write_timeout(write_timeout);
-                    let started = Instant::now();
-                    let (label, response) = match read_request(&mut stream) {
-                        Ok(request) => (route_label(&request.path), route(&engine, &request)),
-                        Err(e) if e.is_timeout() => ("timeout", Response::request_timeout()),
-                        Err(e) => ("malformed", Response::bad_request(e.to_string())),
-                    };
-                    record_request(engine.metrics_registry(), label, &response, started);
-                    let _ = response.write_to(&mut stream);
+                while let Ok(pending) = rx.recv() {
+                    metrics.queue_dequeued.inc();
+                    let queue_wait = pending.enqueued.elapsed();
+                    metrics.queue_wait.observe_duration(queue_wait);
+                    serve_connection(
+                        pending.stream,
+                        queue_wait,
+                        &engine,
+                        &metrics,
+                        &config,
+                        &stop,
+                    );
                 }
+                let _ = done_tx.send(());
             }));
         }
+        drop(done_tx);
 
         let stop2 = stop.clone();
+        let engine2 = engine.clone();
+        let metrics2 = metrics.clone();
+        let retry_after = config.retry_after_secs;
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop2.load(Ordering::Relaxed) {
                     break;
                 }
-                if let Ok(stream) = stream {
-                    let _ = tx.send(stream);
+                let Ok(stream) = stream else { continue };
+                match tx.try_send(Pending {
+                    stream,
+                    enqueued: Instant::now(),
+                }) {
+                    Ok(()) => metrics2.queue_enqueued.inc(),
+                    Err(TrySendError::Full(pending)) => {
+                        shed(pending.stream, retry_after, &engine2, &metrics2)
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
-            drop(tx); // close the channel so workers exit
+            // Dropping tx closes the queue: workers finish what was
+            // admitted, then exit.
         });
 
         Ok(SchemrServer {
@@ -99,6 +215,8 @@ impl SchemrServer {
             stop,
             accept_thread: Some(accept_thread),
             workers,
+            worker_done,
+            drain_deadline: config.drain_deadline,
         })
     }
 
@@ -107,20 +225,48 @@ impl SchemrServer {
         self.addr
     }
 
-    /// Stop accepting and join all threads.
-    pub fn shutdown(mut self) {
-        self.stop_threads();
+    /// Graceful drain: stop accepting, let admitted connections finish
+    /// their in-flight requests (keep-alive clients get
+    /// `Connection: close`), and wait up to the configured drain
+    /// deadline. Returns `true` when every worker exited within the
+    /// deadline; on `false`, stragglers are left to finish detached.
+    pub fn shutdown(mut self) -> bool {
+        self.stop_threads()
     }
 
-    fn stop_threads(&mut self) {
+    fn stop_threads(&mut self) -> bool {
         self.stop.store(true, Ordering::Relaxed);
         // Unblock the accept loop with a no-op connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // The accept thread dropped the queue sender, so each worker
+        // exits once its current connection is done. Count exits against
+        // the deadline; `join` alone has no timeout.
+        let deadline = Instant::now() + self.drain_deadline;
+        let mut remaining = self.workers.len();
+        while remaining > 0 {
+            let now = Instant::now();
+            let Some(budget) = deadline.checked_duration_since(now).filter(|b| !b.is_zero())
+            else {
+                break;
+            };
+            match self.worker_done.recv_timeout(budget) {
+                Ok(()) => remaining -= 1,
+                Err(_) => break,
+            }
+        }
+        if remaining == 0 {
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+            true
+        } else {
+            // Stragglers hold connections past the deadline; dropping
+            // their handles detaches them rather than blocking shutdown.
+            self.workers.clear();
+            false
         }
     }
 }
@@ -129,6 +275,129 @@ impl Drop for SchemrServer {
     fn drop(&mut self) {
         if self.accept_thread.is_some() {
             self.stop_threads();
+        }
+    }
+}
+
+/// Reject a connection the queue has no room for: `503 + Retry-After`,
+/// written from the accept thread under a short write timeout so a slow
+/// peer cannot stall accepting.
+fn shed(mut stream: TcpStream, retry_after_secs: u32, engine: &SchemrEngine, m: &HttpMetrics) {
+    m.shed.inc();
+    let started = Instant::now();
+    let response = Response::overloaded(retry_after_secs);
+    record_request(engine.metrics_registry(), "shed", &response, started);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = response.write_to(&mut stream);
+}
+
+/// What the between-requests wait ended with.
+enum Wake {
+    /// Request bytes are waiting in the buffer.
+    Bytes,
+    /// Close the connection without an answer: clean EOF, idle past the
+    /// deadline, a drain with nothing in flight, or a socket error.
+    Close,
+}
+
+/// Park until the next request's first byte arrives, without consuming
+/// it. Polls in short slices so an idle keep-alive connection notices a
+/// drain (or its idle deadline) promptly, while leaving mid-request
+/// reads to the full `read_timeout`.
+fn wait_for_request(
+    reader: &mut BufReader<TcpStream>,
+    idle_timeout: Option<Duration>,
+    stop: &AtomicBool,
+) -> Wake {
+    let deadline = idle_timeout.map(|d| Instant::now() + d);
+    if reader.get_ref().set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return Wake::Close;
+    }
+    loop {
+        match reader.fill_buf() {
+            // Checked before the stop flag: bytes already sent during a
+            // drain still get served (with `Connection: close`).
+            Ok(buf) if !buf.is_empty() => return Wake::Bytes,
+            Ok(_) => return Wake::Close,
+            Err(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return Wake::Close;
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Wake::Close;
+                }
+            }
+            Err(_) => return Wake::Close,
+        }
+    }
+}
+
+/// Serve one connection: up to `keepalive_requests` requests through a
+/// single buffered reader (pipelined bytes survive between requests),
+/// closing on client request, budget exhaustion, parse errors, idle
+/// timeout, or drain.
+fn serve_connection(
+    stream: TcpStream,
+    queue_wait: Duration,
+    engine: &SchemrEngine,
+    metrics: &HttpMetrics,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_write_timeout(config.write_timeout);
+    let mut reader = BufReader::new(stream);
+    let budget = config.keepalive_requests.max(1);
+    let mut served = 0usize;
+    while served < budget {
+        if matches!(
+            wait_for_request(&mut reader, config.idle_timeout, stop),
+            Wake::Close
+        ) {
+            break;
+        }
+        // Bound how long one request read can hold this worker: without
+        // the timeout a client that never finishes its request pins the
+        // thread indefinitely.
+        if reader.get_ref().set_read_timeout(config.read_timeout).is_err() {
+            break;
+        }
+        let draining = stop.load(Ordering::Relaxed);
+        let started = Instant::now();
+        let (label, response, client_keep_alive) =
+            match read_request(&mut reader, &config.http_limits) {
+                Ok(request) => {
+                    let keep = request.wants_keep_alive();
+                    // Queue wait is a property of the connection's arrival;
+                    // annotate it on the first request only.
+                    let wait = (served == 0).then_some(queue_wait);
+                    (
+                        route_label(&request.path),
+                        route(engine, &request, wait),
+                        keep,
+                    )
+                }
+                Err(e) => {
+                    let label = if e.is_timeout() { "timeout" } else { "malformed" };
+                    match Response::for_error(&e) {
+                        // Parse errors always close: the reader may be
+                        // mid-garbage and request framing is lost.
+                        Some(response) => (label, response, false),
+                        None => break,
+                    }
+                }
+            };
+        served += 1;
+        if served > 1 {
+            metrics.keepalive_reuse.inc();
+        }
+        let keep_alive = client_keep_alive && served < budget && !draining;
+        record_request(engine.metrics_registry(), label, &response, started);
+        if response.write_to_conn(reader.get_mut(), keep_alive).is_err() || !keep_alive {
+            break;
         }
     }
 }
@@ -164,6 +433,7 @@ fn record_request(
         404 => "404",
         405 => "405",
         408 => "408",
+        431 => "431",
         503 => "503",
         _ => "other",
     };
@@ -184,8 +454,9 @@ fn record_request(
         .observe_duration(started.elapsed());
 }
 
-/// Dispatch a request to a handler.
-fn route(engine: &SchemrEngine, request: &Request) -> Response {
+/// Dispatch a request to a handler. `queue_wait` is the admission-queue
+/// wait of the connection's first request, for span annotation.
+fn route(engine: &SchemrEngine, request: &Request, queue_wait: Option<Duration>) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(engine),
         ("GET", "/metrics") => Response::ok(
@@ -193,7 +464,7 @@ fn route(engine: &SchemrEngine, request: &Request) -> Response {
             engine.metrics_registry().render_prometheus(),
         ),
         ("GET", "/stats") => handle_stats(engine),
-        ("GET" | "POST", "/search") => handle_search(engine, request),
+        ("GET" | "POST", "/search") => handle_search(engine, request, queue_wait),
         ("GET", "/debug/traces") => handle_traces(engine, request),
         ("GET", "/debug/slowlog") => handle_slowlog(engine, request),
         ("GET", _) if request.path.starts_with("/debug/traces/") => {
@@ -274,9 +545,14 @@ fn handle_stats(engine: &SchemrEngine) -> Response {
     Response::ok("text/xml", xml)
 }
 
-fn handle_search(engine: &SchemrEngine, request: &Request) -> Response {
+fn handle_search(
+    engine: &SchemrEngine,
+    request: &Request,
+    queue_wait: Option<Duration>,
+) -> Response {
     let mut sr = SearchRequest {
         keywords: request.param("q").map(parse_keywords).unwrap_or_default(),
+        queue_wait,
         ..Default::default()
     };
     if request.method == "POST" && !request.body.trim().is_empty() {
@@ -381,8 +657,13 @@ mod tests {
         engine
     }
 
+    /// One-shot GET: sends `Connection: close` so `read_to_string` sees
+    /// EOF as soon as the response is written.
     fn get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
-        request(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+        request(
+            addr,
+            &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        )
     }
 
     /// Like `get`, but returns the raw response text (headers included).
@@ -390,7 +671,10 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
             .write_all(
-                format!("GET {target} HTTP/1.1\r\nHost: t\r\n{extra_headers}\r\n").as_bytes(),
+                format!(
+                    "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n{extra_headers}\r\n"
+                )
+                .as_bytes(),
             )
             .unwrap();
         let mut buf = String::new();
@@ -423,7 +707,7 @@ mod tests {
         assert!(body.contains("\"status\":\"ok\""), "{body}");
         assert!(body.contains("\"revision\":2"), "{body}");
         assert!(body.contains("\"indexed_docs\":2"), "{body}");
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -454,7 +738,21 @@ mod tests {
             "{body}"
         );
         assert!(body.contains("schemr_http_request_seconds_bucket{route=\"/search\","));
-        server.shutdown();
+        // The serving-path families are pre-registered and render even
+        // before saturation or reuse has happened.
+        assert!(
+            body.contains("# TYPE schemr_http_shed_total counter"),
+            "{body}"
+        );
+        assert!(body.contains("schemr_http_shed_total 0"), "{body}");
+        assert!(body.contains("schemr_http_queue_enqueued_total"), "{body}");
+        assert!(body.contains("schemr_http_queue_dequeued_total"), "{body}");
+        assert!(body.contains("schemr_http_keepalive_reuse_total"), "{body}");
+        assert!(
+            body.contains("schemr_http_queue_wait_seconds_bucket"),
+            "{body}"
+        );
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -469,7 +767,7 @@ mod tests {
         assert!(body.contains("<trace candidates-from-index="), "{body}");
         assert!(body.contains("<phase name=\"candidate_extraction\""));
         assert!(body.contains("<matcher name=\"name\""));
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -482,7 +780,7 @@ mod tests {
         let clinic_pos = body.find("clinic").unwrap();
         let store_pos = body.find("store").unwrap_or(usize::MAX);
         assert!(clinic_pos < store_pos);
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -490,14 +788,14 @@ mod tests {
         let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
         let body = "CREATE TABLE patient (height REAL, gender TEXT)";
         let raw = format!(
-            "POST /search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            "POST /search HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
             body.len(),
             body
         );
         let (status, resp) = request(server.addr(), &raw);
         assert_eq!(status, 200);
         assert!(resp.contains("clinic"));
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -511,7 +809,7 @@ mod tests {
         let (status, svg) = get(server.addr(), &format!("/schema/{id}/svg?layout=radial"));
         assert_eq!(status, 200);
         assert!(svg.starts_with("<svg"));
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -524,7 +822,7 @@ mod tests {
         assert_eq!(get(addr, "/search").0, 400); // empty query
         assert_eq!(get(addr, "/search?q=patient&limit=abc").0, 400);
         assert_eq!(get(addr, "/schema/s0/svg?layout=spiral").0, 400);
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -549,7 +847,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -568,7 +866,7 @@ mod tests {
             metrics.contains("schemr_http_requests_total{route=\"/healthz\",status=\"503\"} 1"),
             "{metrics}"
         );
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -584,7 +882,7 @@ mod tests {
             metrics.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"),
             "{metrics}"
         );
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -607,6 +905,9 @@ mod tests {
         for phase in ["candidate_extraction", "matching", "tightness_scoring"] {
             assert!(body.contains(&format!("\"name\":\"{phase}\"")), "{body}");
         }
+        // Served over HTTP, the root span also records how long the
+        // connection waited for admission.
+        assert!(body.contains("\"queue_wait_us\""), "{body}");
         // The listing shows it too.
         let (status, listing) = get(addr, "/debug/traces");
         assert_eq!(status, 200);
@@ -616,7 +917,7 @@ mod tests {
         assert!(raw.contains("X-Schemr-Trace-Id: "), "{raw}");
         // Unknown ids are 404.
         assert_eq!(get(addr, "/debug/traces/never-seen").0, 404);
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -651,7 +952,7 @@ mod tests {
         assert!(body.contains("\"trace_id\":\"slow-1\""), "{body}");
         // Full span trees, not just summaries.
         assert!(body.contains("\"spans\":["), "{body}");
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -674,7 +975,7 @@ mod tests {
             ),
             "{metrics}"
         );
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -705,7 +1006,7 @@ mod tests {
             metrics.contains("schemr_http_requests_total{route=\"timeout\",status=\"408\"} 1"),
             "{metrics}"
         );
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -715,7 +1016,7 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("schemas=\"2\""), "{body}");
         assert!(body.contains("indexed=\"2\""));
-        server.shutdown();
+        assert!(server.shutdown());
     }
 
     #[test]
@@ -723,6 +1024,6 @@ mod tests {
         let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
         let (_, body) = get(server.addr(), "/search?q=id&limit=1");
         assert!(body.contains("count=\"1\""), "{body}");
-        server.shutdown();
+        assert!(server.shutdown());
     }
 }

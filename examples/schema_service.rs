@@ -55,7 +55,7 @@ fn main() {
     // 1. Keyword search → XML.
     let resp = http(
         addr,
-        "GET /search?q=patient+height+gender HTTP/1.1\r\nHost: x\r\n\r\n",
+        "GET /search?q=patient+height+gender HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
     );
     println!("GET /search?q=patient+height+gender →\n{}\n", body(&resp));
 
@@ -64,7 +64,7 @@ fn main() {
     let resp = http(
         addr,
         &format!(
-            "POST /search?limit=1 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            "POST /search?limit=1 HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
             fragment.len(),
             fragment
         ),
@@ -74,7 +74,7 @@ fn main() {
     // 3. Drill-in: GraphML for the clinic schema.
     let resp = http(
         addr,
-        &format!("GET /schema/{clinic} HTTP/1.1\r\nHost: x\r\n\r\n"),
+        &format!("GET /schema/{clinic} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
     );
     let graphml = body(&resp);
     println!(
@@ -85,13 +85,13 @@ fn main() {
     // 4. Radial SVG view.
     let resp = http(
         addr,
-        &format!("GET /schema/{clinic}/svg?layout=radial&depth=3 HTTP/1.1\r\nHost: x\r\n\r\n"),
+        &format!("GET /schema/{clinic}/svg?layout=radial&depth=3 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
     );
     println!(
         "GET /schema/{clinic}/svg → {} bytes of SVG",
         body(&resp).len()
     );
 
-    server.shutdown();
-    println!("\nserver shut down cleanly");
+    let clean = server.shutdown();
+    println!("\nserver drained cleanly: {clean}");
 }

@@ -36,7 +36,11 @@ fn start_server() -> (SchemrServer, schemr_model::SchemaId) {
 
 fn get(addr: std::net::SocketAddr, target: &str) -> String {
     let mut stream = TcpStream::connect(addr).unwrap();
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
     let mut buf = String::new();
     stream.read_to_string(&mut buf).unwrap();
     buf.split_once("\r\n\r\n").unwrap().1.to_string()
@@ -209,7 +213,7 @@ fn fragment_post_round_trips_through_the_service() {
     let mut stream = TcpStream::connect(server.addr()).unwrap();
     write!(
         stream,
-        "POST /search?limit=1 HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+        "POST /search?limit=1 HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
         fragment.len(),
         fragment
     )
