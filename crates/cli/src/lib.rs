@@ -14,7 +14,9 @@
 //! schemr-cli summarize <repo.json> <schema-id> [--entities <n>]
 //! schemr-cli stats     <repo.json>
 //! schemr-cli serve     <repo.json> [--bind <addr>] [--event-log <path>]
-//!                      [--slowlog-ms <n>] [--trace-ring <n>]
+//!                      [--slowlog-ms <n>] [--trace-ring <n>] [--profile-hz <n>]
+//!                      [--slo-p99-ms <n>] [--slo-error-pct <f>]
+//! schemr-cli profile   <host:port> [--ms <n>]
 //! schemr-cli tracelog  tail   <event.log> [-n <limit>]
 //! schemr-cli tracelog  stats  <event.log>
 //! schemr-cli tracelog  replay <event.log> <repo.json>
@@ -119,8 +121,14 @@ commands:
   serve     <repo.json> [--bind 127.0.0.1:7878]        start the search service
             [--event-log path] [--slowlog-ms N] [--trace-ring N]
             [--max-queue N] [--keepalive-requests N] [--drain-ms N]
+            [--profile-hz N]    (span-stack sampling rate; 0 disables)
+            [--slo-p99-ms N] [--slo-error-pct F]
+                                (objectives for /debug/slo burn rates)
             [--serve-for-ms N]  (serve N ms, then drain and exit —
                                  exit code 0 on a clean drain)
+  profile   <host:port> [--ms N]                       sample a running server's
+                                                       span stacks for N ms and
+                                                       print folded stacks
   tracelog  tail   <event.log> [-n N]                  print the last N logged searches
   tracelog  stats  <event.log>                         aggregate timings across the log
   tracelog  replay <event.log> <repo.json>             re-run logged queries, diff results
@@ -147,6 +155,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<i32, CliError> {
         "summarize" => cmd_summarize(&rest, out),
         "stats" => cmd_stats(&rest, out),
         "serve" => cmd_serve(&rest, out),
+        "profile" => cmd_profile(&rest, out),
         "tracelog" => cmd_tracelog(&rest, out),
         other => Err(err(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -412,6 +421,11 @@ fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
             .parse()
             .map_err(|_| err("trace-ring must be an integer"))?;
     }
+    if let Some(hz) = args.flag(&["profile-hz"]) {
+        config.trace.profile_hz = hz
+            .parse()
+            .map_err(|_| err("profile-hz must be an integer (samples per second; 0 disables)"))?;
+    }
     let mut server_config = schemr_server::ServerConfig {
         bind,
         workers: 4,
@@ -430,6 +444,17 @@ fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
             .parse()
             .map_err(|_| err("drain-ms must be an integer (milliseconds)"))?;
         server_config.drain_deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.flag(&["slo-p99-ms"]) {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| err("slo-p99-ms must be an integer (milliseconds)"))?;
+        server_config.slo.p99_latency = std::time::Duration::from_millis(ms);
+    }
+    if let Some(pct) = args.flag(&["slo-error-pct"]) {
+        server_config.slo.error_budget_pct = pct
+            .parse()
+            .map_err(|_| err("slo-error-pct must be a number (percent of requests)"))?;
     }
     let serve_for = match args.flag(&["serve-for-ms"]) {
         Some(ms) => Some(std::time::Duration::from_millis(
@@ -470,6 +495,48 @@ fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
             }
         }
     }
+}
+
+/// `profile <host:port> [--ms N]` — ask a running server to sample its
+/// live span stacks for a window and print the folded stacks, ready to
+/// pipe into a flamegraph renderer.
+fn cmd_profile(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let addr = args.positional(0, "server address (host:port)")?.to_string();
+    let ms: u64 = match args.flag(&["ms"]) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| err("ms must be an integer (milliseconds)"))?,
+        None => 500,
+    };
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| err(format!("connect {addr}: {e}")))?;
+    // The server blocks for the whole window before answering; allow it
+    // that plus generous headroom before giving up on the read.
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(ms + 10_000)))
+        .map_err(|e| err(format!("socket setup: {e}")))?;
+    write!(
+        stream,
+        "GET /debug/profile?ms={ms} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| err(format!("send request: {e}")))?;
+    let mut raw = String::new();
+    std::io::Read::read_to_string(&mut stream, &mut raw)
+        .map_err(|e| err(format!("read response: {e}")))?;
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if status != 200 {
+        return Err(err(format!(
+            "{addr} answered {status}: {}",
+            body.trim().lines().next().unwrap_or("")
+        )));
+    }
+    write!(out, "{body}")?;
+    Ok(0)
 }
 
 fn load_events(args: &Args, ix: usize) -> Result<(String, Vec<schemr_obs::SearchEvent>), CliError> {
@@ -566,13 +633,16 @@ fn cmd_tracelog_replay(args: &Args, out: &mut impl Write) -> Result<i32, CliErro
     let mut drifted = 0usize;
     let mut replayed = 0usize;
     for ev in &events {
-        let mut request = SearchRequest::default();
-        request.keywords = schemr::parse_keywords(&ev.query);
-        if request.keywords.is_empty() {
+        let keywords = schemr::parse_keywords(&ev.query);
+        if keywords.is_empty() {
             writeln!(out, "{}\tskipped (empty query)", ev.trace_id)?;
             continue;
         }
-        request.limit = Some(ev.results.len().max(1));
+        let request = SearchRequest {
+            keywords,
+            limit: Some(ev.results.len().max(1)),
+            ..SearchRequest::default()
+        };
         let response = engine
             .search_detailed(&request)
             .map_err(|e| err(e.to_string()))?;
@@ -831,8 +901,10 @@ mod tests {
         );
         engine.reindex_full();
         for q in queries {
-            let mut request = SearchRequest::default();
-            request.keywords = schemr::parse_keywords(q);
+            let request = SearchRequest {
+                keywords: schemr::parse_keywords(q),
+                ..SearchRequest::default()
+            };
             engine.search_detailed(&request).unwrap();
         }
     }
@@ -916,6 +988,11 @@ mod tests {
         );
         assert!(run_err(&["serve", &repo, "--drain-ms", "x"]).contains("drain-ms"));
         assert!(run_err(&["serve", &repo, "--serve-for-ms", "x"]).contains("serve-for-ms"));
+        assert!(run_err(&["serve", &repo, "--profile-hz", "x"]).contains("profile-hz"));
+        assert!(run_err(&["serve", &repo, "--slo-p99-ms", "abc"]).contains("slo-p99-ms"));
+        assert!(run_err(&["serve", &repo, "--slo-error-pct", "x"]).contains("slo-error-pct"));
+        assert!(run_err(&["profile"]).contains("server address"));
+        assert!(run_err(&["profile", "127.0.0.1:1", "--ms", "x"]).contains("ms must be"));
     }
 
     #[test]

@@ -149,6 +149,8 @@ impl<K: Eq + Hash + Clone, V: Clone, S: PartialEq> LruCore<K, V, S> {
         (evicted, evicted_weight)
     }
 
+    /// Resident entries; callers are all `#[cfg(test)]` accessors.
+    #[cfg(test)]
     fn len(&self) -> usize {
         self.entries.len()
     }

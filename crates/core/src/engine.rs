@@ -15,7 +15,9 @@ use schemr_index::{codec, Index, IndexDocument, IndexStats, SearchOptions};
 use schemr_match::{Ensemble, PreparedCandidate};
 use schemr_model::QueryGraph;
 use schemr_obs::{
-    EventResult, MetricsRegistry, SearchOutcome, SpanGuard, SpanTimer, Tracer, TracerConfig,
+    CpuProbeDepth, EventResult, LedgerProbe, MetricsRegistry, Profiler, ResourceLedger,
+    SearchOutcome, SpanGuard,
+    SpanTimer, StackSource, Tracer, TracerConfig,
 };
 use schemr_repo::{ChangeKind, Repository};
 
@@ -101,6 +103,13 @@ pub struct SchemrEngine {
     ensemble_generation: AtomicU64,
     metrics: EngineMetrics,
     tracer: Arc<Tracer>,
+    /// Span-stack sampling profiler; present when tracing is enabled
+    /// with a non-zero `profile_hz`. Samples the tracer's live span
+    /// stacks into folded-stack aggregates.
+    profiler: Option<Profiler>,
+    /// Resolved CPU-probe depth (`Auto` collapsed against the measured
+    /// clock-call cost once, at construction — not per query).
+    cpu_probe: CpuProbeDepth,
 }
 
 impl SchemrEngine {
@@ -115,6 +124,13 @@ impl SchemrEngine {
     pub fn with_config(repo: Arc<Repository>, config: EngineConfig) -> Self {
         let metrics = EngineMetrics::new();
         let tracer = Arc::new(Tracer::new(config.trace.clone()));
+        let profiler = if config.trace.enabled && config.trace.profile_hz > 0 {
+            let source: Arc<dyn StackSource> = tracer.clone();
+            Some(Profiler::start(source, config.trace.profile_hz))
+        } else {
+            None
+        };
+        let cpu_probe = config.trace.cpu_probe.resolve();
         let candidate_cache = CandidateCache::new(
             config.candidate_cache_entries,
             metrics.candidate_cache_hits.clone(),
@@ -142,6 +158,8 @@ impl SchemrEngine {
             ensemble_generation: AtomicU64::new(0),
             metrics,
             tracer,
+            profiler,
+            cpu_probe,
         }
     }
 
@@ -170,6 +188,13 @@ impl SchemrEngine {
     /// `/debug/slowlog`, and event-log surfaces all read through this.
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// The span-stack sampling profiler, when enabled
+    /// (`trace.enabled && trace.profile_hz > 0`). The server's
+    /// `/debug/profile` endpoint reads folded stacks through this.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
     }
 
     /// Replace the matcher ensemble (e.g. with learned weights or an
@@ -368,6 +393,15 @@ impl SchemrEngine {
         // one child per phase. The disabled path costs a single branch.
         let ctx = self.tracer.begin(request.trace_id.as_deref());
         let want_trace = ctx.is_some();
+        // Resource accounting rides the same gate as tracing: the
+        // disabled path takes no clock_gettime calls at all. How many
+        // clock reads the *traced* path takes is governed by the
+        // resolved probe depth — on kernels where the thread-CPU clock
+        // is a trapped syscall (tens of µs a read), only the root probe
+        // reads it and phase/worker probes collect allocations alone.
+        let root_cpu = want_trace && self.cpu_probe != CpuProbeDepth::Off;
+        let deep_cpu = want_trace && self.cpu_probe == CpuProbeDepth::Full;
+        let probe = want_trace.then(|| LedgerProbe::start_with_cpu(root_cpu));
         let query_text = if want_trace {
             graph.flat_texts().join(" ")
         } else {
@@ -384,7 +418,11 @@ impl SchemrEngine {
         // Phase 1: candidate extraction.
         let t0 = Instant::now();
         let p1 = root.as_ref().map(|r| r.child("candidate_extraction"));
+        let p1_probe = want_trace.then(|| LedgerProbe::start_with_cpu(deep_cpu));
         let hits = self.extract_candidates_traced(&graph, p1.as_ref());
+        if let (Some(s), Some(pr)) = (&p1, &p1_probe) {
+            annotate_ledger(s, &pr.delta());
+        }
         drop(p1);
         let candidate_extraction = t0.elapsed();
         let candidates_from_index = hits.len();
@@ -392,6 +430,10 @@ impl SchemrEngine {
         // Phase 2: matcher ensemble over the candidates.
         let t1 = Instant::now();
         let p2 = root.as_ref().map(|r| r.child("matching"));
+        // The matching span's own ledger covers the request thread only;
+        // parallel workers account for themselves on their `match_chunk`
+        // spans and their deltas are folded into the root ledger below.
+        let p2_probe = want_trace.then(|| LedgerProbe::start_with_cpu(deep_cpu));
         let terms = graph.terms();
         let ensemble = self.ensemble.read();
         let matcher_names = ensemble.matcher_names();
@@ -417,6 +459,9 @@ impl SchemrEngine {
         // Per-candidate per-matcher strengths for the event log; only
         // collected while tracing.
         let mut strengths: Vec<Vec<f64>> = vec![Vec::new(); candidates.len()];
+        // Per-thread resource deltas from parallel matching workers,
+        // merged into the request ledger after the scope joins.
+        let mut worker_ledgers: Vec<ResourceLedger> = Vec::new();
         let threads_used: usize;
         let matrices: Vec<schemr_match::SimilarityMatrix> = if self.config.match_threads > 1
             && candidates.len() > 1
@@ -427,6 +472,8 @@ impl SchemrEngine {
             let mut out: Vec<Option<schemr_match::SimilarityMatrix>> = vec![None; candidates.len()];
             let mut chunk_walls: Vec<Vec<Duration>> =
                 vec![vec![Duration::ZERO; ensemble.len()]; candidates.len().div_ceil(chunk)];
+            let mut chunk_ledgers: Vec<ResourceLedger> =
+                vec![ResourceLedger::default(); candidates.len().div_ceil(chunk)];
             // Span plumbing that crosses into the scoped threads: the
             // context reference and the matching span's index are both
             // Copy, so each worker opens its own `match_chunk` child.
@@ -435,11 +482,12 @@ impl SchemrEngine {
             let equery = equery.as_ref();
             let engine = self;
             crossbeam::thread::scope(|scope| {
-                for (((slots, strength_slots), cands), wall) in out
+                for ((((slots, strength_slots), cands), wall), ledger_slot) in out
                     .chunks_mut(chunk)
                     .zip(strengths.chunks_mut(chunk))
                     .zip(candidates.chunks(chunk))
                     .zip(chunk_walls.iter_mut())
+                    .zip(chunk_ledgers.iter_mut())
                 {
                     let terms = &terms;
                     let graph = &graph;
@@ -447,6 +495,9 @@ impl SchemrEngine {
                     scope.spawn(move |_| {
                         let chunk_span =
                             tctx.and_then(|c| p2_idx.map(|p| c.child_of(p, "match_chunk")));
+                        // Worker-thread resource delta; probes are
+                        // per-thread, so each worker opens its own.
+                        let wprobe = want_trace.then(|| LedgerProbe::start_with_cpu(deep_cpu));
                         if let Some(cs) = &chunk_span {
                             cs.annotate("candidates", cands.len());
                         }
@@ -486,6 +537,13 @@ impl SchemrEngine {
                             // candidate's artifacts came from the cache.
                             cs_annotate_batch(cs, cache_hits, cache_misses);
                         }
+                        if let Some(pr) = &wprobe {
+                            let d = pr.delta();
+                            if let Some(cs) = &chunk_span {
+                                annotate_ledger(cs, &d);
+                            }
+                            *ledger_slot = d;
+                        }
                     });
                 }
             })
@@ -495,6 +553,7 @@ impl SchemrEngine {
                     *acc += d;
                 }
             }
+            worker_ledgers = chunk_ledgers;
             out.into_iter()
                 .map(|m| m.expect("all chunks filled"))
                 .collect()
@@ -543,12 +602,16 @@ impl SchemrEngine {
                 s.add_closed_child(&format!("matcher:{name}"), *wall);
             }
         }
+        if let (Some(s), Some(pr)) = (&p2, &p2_probe) {
+            annotate_ledger(s, &pr.delta());
+        }
         drop(p2);
         let matching = t1.elapsed();
 
         // Phase 3: tightness-of-fit and final ranking.
         let t2 = Instant::now();
         let p3 = root.as_ref().map(|r| r.child("tightness_scoring"));
+        let p3_probe = want_trace.then(|| LedgerProbe::start_with_cpu(deep_cpu));
         let candidates_evaluated = candidates.len();
         // Candidate ids in Phase 2 order, for mapping ranked results back
         // to their per-matcher strengths.
@@ -578,6 +641,9 @@ impl SchemrEngine {
         results.truncate(request.limit.unwrap_or(self.config.default_limit));
         if let Some(s) = &p3 {
             s.annotate("results", results.len());
+            if let Some(pr) = &p3_probe {
+                annotate_ledger(s, &pr.delta());
+            }
         }
         drop(p3);
         let scoring = t2.elapsed();
@@ -588,10 +654,14 @@ impl SchemrEngine {
         m.candidates_evaluated_total
             .add(candidates_evaluated as u64);
         m.match_threads_used_total.add(threads_used as u64);
+        // Offer each observation as its bucket's exemplar: a p99 spike on
+        // `/metrics` then links straight to `/debug/traces/{id}`. With
+        // tracing off the id is empty and the histogram records plainly.
+        let tid = ctx.as_ref().map_or("", |c| c.trace_id());
         m.phase_candidate_extraction
-            .observe_duration(candidate_extraction);
-        m.phase_matching.observe_duration(matching);
-        m.phase_scoring.observe_duration(scoring);
+            .observe_duration_exemplar(candidate_extraction, tid);
+        m.phase_matching.observe_duration_exemplar(matching, tid);
+        m.phase_scoring.observe_duration_exemplar(scoring, tid);
         for (name, wall) in matcher_names.iter().zip(&matcher_wall) {
             m.matcher_histogram(name).observe_duration(*wall);
         }
@@ -609,6 +679,21 @@ impl SchemrEngine {
                 })
                 .collect(),
         });
+
+        // Fold the per-worker deltas into the request thread's own delta:
+        // the full cost of this search across every thread that touched
+        // it. Stamped on the root span so traces, the event log, and the
+        // `X-Schemr-Cost` header all agree.
+        let ledger = probe.map_or_else(ResourceLedger::default, |p| {
+            let mut total = p.delta();
+            for wl in &worker_ledgers {
+                total.merge(wl);
+            }
+            total
+        });
+        if let Some(r) = &root {
+            annotate_ledger(r, &ledger);
+        }
 
         // Close the trace: publish to the ring/slowlog/event log and
         // echo the id so callers can fetch the span tree.
@@ -642,6 +727,7 @@ impl SchemrEngine {
                     candidates_from_index,
                     candidates_evaluated,
                     results: event_results,
+                    ledger,
                 },
             );
             completed.trace_id.clone()
@@ -657,7 +743,24 @@ impl SchemrEngine {
             candidates_evaluated,
             trace,
             trace_id,
+            ledger: want_trace.then_some(ledger),
         })
+    }
+}
+
+/// Stamp a thread's resource delta onto a span as annotations. Zero
+/// fields are skipped rather than printed: `cpu_us` is 0 whenever the
+/// probe depth withheld the clock from this span, and the allocation
+/// counters are 0 unless a counting allocator is installed
+/// (`schemr_obs::CountingAlloc`) — either way an explicit 0 would read
+/// as a measurement when it is really an absence.
+fn annotate_ledger(span: &SpanGuard<'_>, ledger: &ResourceLedger) {
+    if ledger.cpu_us > 0 {
+        span.annotate("cpu_us", ledger.cpu_us);
+    }
+    if ledger.alloc_count > 0 || ledger.alloc_bytes > 0 {
+        span.annotate("alloc_count", ledger.alloc_count);
+        span.annotate("alloc_bytes", ledger.alloc_bytes);
     }
 }
 
@@ -731,7 +834,7 @@ mod tests {
             matches: Vec::new(),
         };
         // Score descending, then coarse descending, then id ascending.
-        let mut rows = vec![
+        let mut rows = [
             result(5, 0.3, 0.9),
             result(2, 0.7, 0.1),
             result(4, 0.3, 0.9),
@@ -747,7 +850,7 @@ mod tests {
         // the input permutation.
         assert_eq!(order, vec![1, 3, 2, 4, 5]);
         // Same elements, different starting permutation, same ranking.
-        let mut shuffled = vec![
+        let mut shuffled = [
             result(1, f64::NAN, 0.8),
             result(4, 0.3, 0.9),
             result(3, 0.7, 0.5),

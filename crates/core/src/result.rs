@@ -2,6 +2,7 @@
 //! per-element detail the visualization encodes.
 
 use schemr_model::{SchemaId, SchemaStats};
+use schemr_obs::ResourceLedger;
 
 use crate::tightness::MatchedElement;
 
@@ -88,6 +89,11 @@ pub struct SearchResponse {
     /// assigned); `None` when the engine's tracer is disabled. Look the
     /// full span tree up via `Tracer::get` / `GET /debug/traces/{id}`.
     pub trace_id: Option<String>,
+    /// What this search cost across every thread that worked on it:
+    /// scheduled CPU time plus allocator traffic (the latter zero unless
+    /// a counting allocator is installed). `None` when tracing is
+    /// disabled. The server renders this as the `X-Schemr-Cost` header.
+    pub ledger: Option<ResourceLedger>,
 }
 
 #[cfg(test)]

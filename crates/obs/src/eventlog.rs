@@ -97,6 +97,13 @@ pub struct SearchEvent {
     pub total_us: u64,
     /// Top-k results with per-matcher scores.
     pub results: Vec<EventResult>,
+    /// Scheduled CPU time across the search's threads, µs (ledger;
+    /// 0 in records written before the ledger existed).
+    pub cpu_us: u64,
+    /// Allocation events attributed to the search (ledger).
+    pub alloc_count: u64,
+    /// Bytes requested from the allocator (ledger).
+    pub alloc_bytes: u64,
 }
 
 impl SearchEvent {
@@ -105,7 +112,7 @@ impl SearchEvent {
         let mut out = String::with_capacity(192 + self.results.len() * 64);
         let _ = write!(
             out,
-            "{{\"v\":{},\"trace_id\":\"{}\",\"unix_ms\":{},\"query\":\"{}\",\"candidates_from_index\":{},\"candidates_evaluated\":{},\"total_us\":{},\"phases\":{{",
+            "{{\"v\":{},\"trace_id\":\"{}\",\"unix_ms\":{},\"query\":\"{}\",\"candidates_from_index\":{},\"candidates_evaluated\":{},\"total_us\":{},\"cpu_us\":{},\"alloc_count\":{},\"alloc_bytes\":{},\"phases\":{{",
             EVENT_SCHEMA_VERSION,
             json::escape(&self.trace_id),
             self.unix_ms,
@@ -113,6 +120,9 @@ impl SearchEvent {
             self.candidates_from_index,
             self.candidates_evaluated,
             self.total_us,
+            self.cpu_us,
+            self.alloc_count,
+            self.alloc_bytes,
         );
         for (i, (name, us)) in self.phase_us.iter().enumerate() {
             if i > 0 {
@@ -164,6 +174,10 @@ impl SearchEvent {
             .and_then(Json::as_arr)
             .map(|items| items.iter().filter_map(EventResult::from_json).collect())
             .unwrap_or_default();
+        // Ledger fields arrived after v1 shipped; absent in old records.
+        let cpu_us = v.get("cpu_us").and_then(Json::as_u64).unwrap_or(0);
+        let alloc_count = v.get("alloc_count").and_then(Json::as_u64).unwrap_or(0);
+        let alloc_bytes = v.get("alloc_bytes").and_then(Json::as_u64).unwrap_or(0);
         Some(SearchEvent {
             trace_id,
             unix_ms,
@@ -173,6 +187,9 @@ impl SearchEvent {
             phase_us,
             total_us,
             results,
+            cpu_us,
+            alloc_count,
+            alloc_bytes,
         })
     }
 }
@@ -333,6 +350,9 @@ mod tests {
                 score: 0.75,
                 matcher_scores: vec![("name".into(), 0.8), ("structure".into(), 0.7)],
             }],
+            cpu_us: 650,
+            alloc_count: 42,
+            alloc_bytes: 16_384,
         }
     }
 
@@ -350,6 +370,52 @@ mod tests {
         let line = event.to_json();
         let parsed = SearchEvent::from_json_line(&line).expect("parses");
         assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn pre_ledger_v1_records_still_parse() {
+        // A `"v":1` line exactly as written before the ledger fields
+        // existed: it must replay with the ledger defaulted to zero.
+        let old = "{\"v\":1,\"trace_id\":\"t9\",\"unix_ms\":1000,\"query\":\"customer order\",\
+                   \"candidates_from_index\":10,\"candidates_evaluated\":5,\"total_us\":700,\
+                   \"phases\":{\"candidate_extraction\":120,\"matching\":480},\
+                   \"results\":[{\"id\":\"s1\",\"score\":0.75,\"matchers\":{\"name\":0.8}}]}";
+        let parsed = SearchEvent::from_json_line(old).expect("old records parse");
+        assert_eq!(parsed.trace_id, "t9");
+        assert_eq!(parsed.total_us, 700);
+        assert_eq!(parsed.phase_us.len(), 2);
+        assert_eq!(parsed.results[0].id, "s1");
+        assert_eq!(parsed.cpu_us, 0);
+        assert_eq!(parsed.alloc_count, 0);
+        assert_eq!(parsed.alloc_bytes, 0);
+    }
+
+    #[test]
+    fn old_and_new_records_coexist_in_one_log() {
+        let dir = tempdir("mixed");
+        let path = dir.join("events.jsonl");
+        // Hand-write an old-format line, then append a new-format one.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(
+                f,
+                "{{\"v\":1,\"trace_id\":\"old\",\"unix_ms\":1,\"query\":\"q\",\"total_us\":5,\"phases\":{{}},\"results\":[]}}"
+            )
+            .unwrap();
+        }
+        let log = EventLog::open(&path, 1 << 20).unwrap();
+        log.append(&sample(1)).unwrap();
+        let events = log.read_events().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].trace_id, "old");
+        assert_eq!(events[0].cpu_us, 0);
+        assert_eq!(events[1].cpu_us, 650);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

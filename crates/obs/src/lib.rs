@@ -28,28 +28,48 @@
 //!   rotation and a replay reader ([`read_events_at`]), one versioned
 //!   [`SearchEvent`] record per search.
 //!
+//! The third tier is **resource accounting and service objectives**:
+//!
+//! * [`ResourceLedger`] / [`LedgerProbe`] — per-query CPU time (via
+//!   `CLOCK_THREAD_CPUTIME_ID`) and allocator traffic (via the
+//!   [`alloc::CountingAlloc`] counting allocator, feature `obs-alloc`),
+//! * [`Profiler`] — a span-stack sampling profiler that folds the
+//!   tracer's live span stacks into flamegraph-compatible aggregates,
+//! * [`Exemplar`] — per-bucket histogram exemplars linking latency
+//!   spikes to the trace that caused them (OpenMetrics syntax),
+//! * [`SloTracker`] — rolling 5m/1h latency- and error-budget burn
+//!   rates against configurable objectives.
+//!
 //! The crate deliberately has **no dependencies** (not even workspace
 //! ones): it sits below `schemr-index`, `schemr` (core), and
 //! `schemr-server` in the crate graph, so anything it pulled in would be
 //! paid by the entire stack. That is also why [`json`] hand-rolls a
 //! ~300-line JSON encoder/parser instead of using serde.
 
+pub mod alloc;
 pub mod counter;
 pub mod eventlog;
 pub mod histogram;
 pub mod json;
+pub mod ledger;
+pub mod profiler;
 pub mod registry;
 pub mod render;
 pub mod ring;
+pub mod slo;
 pub mod span;
 pub mod timer;
 pub mod tracer;
 
+pub use alloc::CountingAlloc;
 pub use counter::Counter;
 pub use eventlog::{read_events_at, EventLog, EventResult, SearchEvent, EVENT_SCHEMA_VERSION};
-pub use histogram::{Histogram, HistogramSnapshot, LATENCY_BUCKETS};
+pub use histogram::{Exemplar, Histogram, HistogramSnapshot, LATENCY_BUCKETS};
+pub use ledger::{thread_clock_cost, thread_cpu_us, CpuProbeDepth, LedgerProbe, ResourceLedger};
+pub use profiler::{ProfileSnapshot, Profiler, StackSource, DEFAULT_PROFILE_HZ};
 pub use registry::{LabelSet, MetricsRegistry};
 pub use ring::Ring;
+pub use slo::{SloConfig, SloReport, SloTracker, WindowBurn};
 pub use span::{CompletedTrace, SpanGuard, SpanRecord, TraceContext};
 pub use timer::SpanTimer;
 pub use tracer::{SearchOutcome, Tracer, TracerConfig};

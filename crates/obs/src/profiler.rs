@@ -1,0 +1,323 @@
+//! Span-stack sampling profiler.
+//!
+//! A [`Profiler`] runs one background thread that, at a configurable
+//! rate, asks a [`StackSource`] (in practice the [`crate::Tracer`]'s
+//! live-trace registry) for every currently-open span stack and folds
+//! the answers into flamegraph-compatible aggregates:
+//!
+//! ```text
+//! search;matching;match_chunk 421
+//! search;candidate_extraction 57
+//! ```
+//!
+//! Unlike a signal-based profiler there is no frame-pointer walking and
+//! no symbolization — the "stacks" are the request span trees the code
+//! already maintains, so every sample lands on a named phase and the
+//! whole thing stays dependency-free and async-signal-safety-free.
+//!
+//! Aggregates are cumulative; callers that want a window (the
+//! `/debug/profile?ms=N` handler) take a [`ProfileSnapshot`] before and
+//! after and diff them with [`ProfileSnapshot::since`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default sampling rate. A prime, so the sampler cannot phase-lock
+/// with millisecond-aligned periodic work.
+pub const DEFAULT_PROFILE_HZ: u32 = 97;
+
+/// Anything that can enumerate the currently-open span stacks, one
+/// folded `a;b;c` string per live leaf span. Implemented by
+/// [`crate::Tracer`].
+pub trait StackSource: Send + Sync {
+    fn sample_stacks(&self) -> Vec<String>;
+}
+
+/// A point-in-time copy of the profiler's aggregates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileSnapshot {
+    /// Sampling ticks taken so far (including ticks that saw no live
+    /// trace).
+    pub ticks: u64,
+    /// Folded stack → number of samples in which it was live.
+    pub stacks: BTreeMap<String, u64>,
+}
+
+impl ProfileSnapshot {
+    /// The samples accumulated after `earlier` was taken.
+    pub fn since(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
+        let stacks = self
+            .stacks
+            .iter()
+            .filter_map(|(name, &n)| {
+                let delta = n.saturating_sub(earlier.stacks.get(name).copied().unwrap_or(0));
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect();
+        ProfileSnapshot {
+            ticks: self.ticks.saturating_sub(earlier.ticks),
+            stacks,
+        }
+    }
+
+    /// Total sample weight across all stacks.
+    pub fn total_weight(&self) -> u64 {
+        self.stacks.values().sum()
+    }
+
+    /// Render in folded-stack format (`stack count`, one per line) —
+    /// pipe straight into `flamegraph.pl` / speedscope.
+    pub fn render_folded(&self) -> String {
+        let mut out = String::with_capacity(self.stacks.len() * 48);
+        for (stack, count) in &self.stacks {
+            let _ = writeln!(out, "{stack} {count}");
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    stop: AtomicBool,
+    ticks: AtomicU64,
+    agg: Mutex<BTreeMap<String, u64>>,
+}
+
+/// The background sampler. Dropping it stops and joins the thread.
+#[derive(Debug)]
+pub struct Profiler {
+    shared: Arc<Shared>,
+    hz: u32,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Profiler {
+    /// Start sampling `source` at `hz` samples per second (clamped to
+    /// 1..=1000).
+    pub fn start(source: Arc<dyn StackSource>, hz: u32) -> Profiler {
+        let hz = hz.clamp(1, 1000);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            ticks: AtomicU64::new(0),
+            agg: Mutex::new(BTreeMap::new()),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let period = Duration::from_secs_f64(1.0 / f64::from(hz));
+        let handle = std::thread::Builder::new()
+            .name("schemr-profiler".into())
+            .spawn(move || sampler_loop(source, thread_shared, period))
+            .expect("spawn profiler thread");
+        Profiler {
+            shared,
+            hz,
+            handle: Some(handle),
+        }
+    }
+
+    /// The (clamped) sampling rate.
+    pub fn hz(&self) -> u32 {
+        self.hz
+    }
+
+    /// Copy the cumulative aggregates.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            ticks: self.shared.ticks.load(Ordering::Relaxed),
+            stacks: self.shared.agg.lock().expect("profiler lock").clone(),
+        }
+    }
+
+    /// Block for `window`, then return only the samples taken during it
+    /// — the `/debug/profile?ms=N` primitive.
+    pub fn profile_window(&self, window: Duration) -> ProfileSnapshot {
+        let before = self.snapshot();
+        std::thread::sleep(window);
+        self.snapshot().since(&before)
+    }
+}
+
+impl Drop for Profiler {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn sampler_loop(source: Arc<dyn StackSource>, shared: Arc<Shared>, period: Duration) {
+    // Sleep in bounded slices so Drop never waits a full (possibly 1s)
+    // period to join. The cap only matters below ~40 Hz — at higher
+    // rates the remaining time to the next tick is shorter than the
+    // slice, so the loop wakes exactly once per period instead of
+    // burning extra context switches (which cost real query latency on
+    // small hosts where the sampler shares cores with match workers).
+    const SLICE: Duration = Duration::from_millis(25);
+    let mut next = Instant::now() + period;
+    loop {
+        while Instant::now() < next {
+            if shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(SLICE.min(next.saturating_duration_since(Instant::now()).max(Duration::from_micros(100))));
+        }
+        next += period;
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let stacks = source.sample_stacks();
+        shared.ticks.fetch_add(1, Ordering::Relaxed);
+        if !stacks.is_empty() {
+            let mut agg = shared.agg.lock().expect("profiler lock");
+            for stack in stacks {
+                *agg.entry(stack).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedSource(Vec<String>);
+    impl StackSource for FixedSource {
+        fn sample_stacks(&self) -> Vec<String> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn profiler_accumulates_and_windows() {
+        let source = Arc::new(FixedSource(vec![
+            "search;matching;match_chunk".into(),
+            "search;matching;match_chunk".into(),
+            "search;candidate_extraction".into(),
+        ]));
+        let profiler = Profiler::start(source, 200);
+        let window = profiler.profile_window(Duration::from_millis(120));
+        assert!(window.ticks > 0, "sampler must have ticked");
+        assert_eq!(
+            window.stacks.get("search;matching;match_chunk").copied(),
+            Some(window.ticks * 2),
+        );
+        assert_eq!(
+            window.stacks.get("search;candidate_extraction").copied(),
+            Some(window.ticks),
+        );
+        let folded = window.render_folded();
+        assert!(folded.contains("search;matching;match_chunk "), "{folded}");
+        assert!(folded.ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_source_yields_no_stacks_but_ticks() {
+        let profiler = Profiler::start(Arc::new(FixedSource(vec![])), 500);
+        let window = profiler.profile_window(Duration::from_millis(50));
+        assert!(window.ticks > 0);
+        assert_eq!(window.total_weight(), 0);
+        assert_eq!(window.render_folded(), "");
+    }
+
+    #[test]
+    fn snapshot_diff_is_order_safe() {
+        let a = ProfileSnapshot {
+            ticks: 10,
+            stacks: [("s".to_string(), 4u64)].into_iter().collect(),
+        };
+        let b = ProfileSnapshot {
+            ticks: 25,
+            stacks: [("s".to_string(), 9u64), ("t".to_string(), 2u64)]
+                .into_iter()
+                .collect(),
+        };
+        let d = b.since(&a);
+        assert_eq!(d.ticks, 15);
+        assert_eq!(d.stacks.get("s"), Some(&5));
+        assert_eq!(d.stacks.get("t"), Some(&2));
+        // Diffing the wrong way round saturates instead of panicking.
+        let r = a.since(&b);
+        assert_eq!(r.ticks, 0);
+        assert!(r.stacks.is_empty());
+    }
+
+    #[test]
+    fn folded_rendering_is_stable_across_insertion_order() {
+        // The folded output feeds diff-based tooling (flamegraph diffs,
+        // golden files in CI), so two snapshots with the same content
+        // must render byte-identically no matter how the aggregates were
+        // accumulated.
+        let forward = ProfileSnapshot {
+            ticks: 9,
+            stacks: [
+                ("search;candidate_extraction".to_string(), 3u64),
+                ("search;matching;match_chunk".to_string(), 5),
+                ("search;tightness_scoring".to_string(), 1),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        let reversed = ProfileSnapshot {
+            ticks: 9,
+            stacks: [
+                ("search;tightness_scoring".to_string(), 1u64),
+                ("search;matching;match_chunk".to_string(), 5),
+                ("search;candidate_extraction".to_string(), 3),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        assert_eq!(forward.render_folded(), reversed.render_folded());
+        let rendered = forward.render_folded();
+        let lines: Vec<&str> = rendered.lines().map(|l| l.trim()).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "folded stacks render in sorted order");
+        assert_eq!(
+            forward.render_folded(),
+            "search;candidate_extraction 3\nsearch;matching;match_chunk 5\nsearch;tightness_scoring 1\n"
+        );
+    }
+
+    #[test]
+    fn identical_workloads_fold_to_identical_stack_names() {
+        // Two runs of the same span structure must sample to the same
+        // folded names — the profile of a repeated workload should diff
+        // clean, with only the counts moving.
+        let run = |trace_id: &str| {
+            let ctx = Arc::new(crate::TraceContext::new(trace_id.into()));
+            let root = ctx.root_span("search");
+            let matching = root.child("matching");
+            let _w0 = ctx.child_of(matching.index(), "match_chunk");
+            let _w1 = ctx.child_of(matching.index(), "match_chunk");
+            let mut stacks = ctx.open_stacks();
+            stacks.sort_unstable();
+            stacks
+        };
+        let first = run("stable-1");
+        let second = run("stable-2");
+        assert_eq!(first, second);
+        assert_eq!(
+            first,
+            vec![
+                "search;matching;match_chunk".to_string(),
+                "search;matching;match_chunk".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn drop_joins_promptly_even_at_low_hz() {
+        let profiler = Profiler::start(Arc::new(FixedSource(vec![])), 1);
+        let t0 = Instant::now();
+        drop(profiler);
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "drop must not wait out a full 1 Hz period"
+        );
+    }
+}

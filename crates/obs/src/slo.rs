@@ -1,0 +1,355 @@
+//! SLO objectives and multi-window burn-rate tracking.
+//!
+//! An [`SloTracker`] holds two objectives — a p99 latency target and an
+//! error budget — and answers "how fast are we spending the budget?"
+//! over rolling 5-minute and 1-hour windows, the classic fast/slow
+//! burn-rate pair: the 5m window catches sharp regressions quickly, the
+//! 1h window confirms sustained ones without flapping.
+//!
+//! Definitions (per window):
+//!
+//! * latency burn rate = (fraction of requests slower than the p99
+//!   objective) / 1% — at exactly the objective the burn rate is 1.0,
+//!   meaning the budget is being consumed exactly as provisioned;
+//! * error burn rate = (fraction of requests that failed) / (error
+//!   budget fraction).
+//!
+//! Storage is a fixed ring of per-second slots stamped with the second
+//! they describe, so stale slots are skipped rather than zeroed on a
+//! timer — recording stays O(1) and lock-held time is tiny.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The service objectives the tracker burns against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// p99 latency objective: at most 1% of requests may take longer.
+    pub p99_latency: Duration,
+    /// Error budget as a percentage of requests (e.g. `1.0` = 1% of
+    /// requests may fail).
+    pub error_budget_pct: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            p99_latency: Duration::from_millis(250),
+            error_budget_pct: 1.0,
+        }
+    }
+}
+
+/// The two rolling windows: (label, length in seconds).
+pub const SLO_WINDOWS: [(&str, u64); 2] = [("5m", 300), ("1h", 3600)];
+
+/// Burn rates above this render as "at cap" — avoids infinities when the
+/// budget is zero.
+const BURN_CAP: f64 = 1e6;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    /// Absolute second (since tracker start) this slot describes.
+    sec: u64,
+    total: u64,
+    slow: u64,
+    errors: u64,
+}
+
+/// Rolling multi-window burn-rate tracker. Cheap to share behind an
+/// `Arc`; `record` takes `&self`.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    t0: Instant,
+    slots: Mutex<Vec<Slot>>,
+}
+
+/// One window's worth of burn-rate readout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowBurn {
+    /// Window label (`5m`, `1h`).
+    pub window: String,
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Requests observed in the window.
+    pub total: u64,
+    /// Requests over the latency objective.
+    pub slow: u64,
+    /// Failed requests.
+    pub errors: u64,
+    /// Latency-budget burn rate (1.0 = burning exactly at provision).
+    pub latency_burn: f64,
+    /// Error-budget burn rate.
+    pub error_burn: f64,
+}
+
+/// Full tracker readout: the objectives plus one [`WindowBurn`] per
+/// rolling window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// The latency objective in milliseconds.
+    pub p99_objective_ms: u64,
+    /// The error budget in percent.
+    pub error_budget_pct: f64,
+    /// Per-window burn rates, fast window first.
+    pub windows: Vec<WindowBurn>,
+}
+
+impl SloReport {
+    /// True when the fast (first) window is burning budget faster than
+    /// provisioned on either axis — the "degraded before down" signal.
+    pub fn degraded(&self) -> bool {
+        self.windows
+            .first()
+            .is_some_and(|w| w.latency_burn > 1.0 || w.error_burn > 1.0)
+    }
+
+    /// Render as a JSON object for `GET /debug/slo`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"p99_objective_ms\":{},\"error_budget_pct\":{},\"degraded\":{},\"windows\":[",
+            self.p99_objective_ms,
+            crate::json::number(self.error_budget_pct),
+            self.degraded(),
+        );
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"window\":\"{}\",\"total\":{},\"slow\":{},\"errors\":{},\"latency_burn\":{},\"error_burn\":{}}}",
+                crate::json::escape(&w.window),
+                w.total,
+                w.slow,
+                w.errors,
+                crate::json::number(w.latency_burn),
+                crate::json::number(w.error_burn),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl SloTracker {
+    /// A tracker with the given objectives, with both windows empty.
+    pub fn new(config: SloConfig) -> SloTracker {
+        let len = SLO_WINDOWS.iter().map(|&(_, s)| s).max().unwrap_or(3600) as usize;
+        SloTracker {
+            config,
+            t0: Instant::now(),
+            slots: Mutex::new(vec![Slot::default(); len]),
+        }
+    }
+
+    /// The configured objectives.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Record one finished request.
+    pub fn record(&self, latency: Duration, error: bool) {
+        self.record_at(self.now_sec(), latency, error);
+    }
+
+    /// Current burn rates over every window.
+    pub fn report(&self) -> SloReport {
+        self.report_at(self.now_sec())
+    }
+
+    fn now_sec(&self) -> u64 {
+        self.t0.elapsed().as_secs()
+    }
+
+    fn record_at(&self, sec: u64, latency: Duration, error: bool) {
+        let slow = latency > self.config.p99_latency;
+        let mut slots = self.slots.lock().expect("slo lock");
+        let len = slots.len() as u64;
+        let slot = &mut slots[(sec % len) as usize];
+        if slot.sec != sec {
+            // The ring has lapped: this slot describes a second that
+            // fell out of every window. Reclaim it.
+            *slot = Slot {
+                sec,
+                ..Slot::default()
+            };
+        }
+        slot.total += 1;
+        slot.slow += u64::from(slow);
+        slot.errors += u64::from(error);
+    }
+
+    fn report_at(&self, now_sec: u64) -> SloReport {
+        let slots = self.slots.lock().expect("slo lock");
+        let windows = SLO_WINDOWS
+            .iter()
+            .map(|&(label, window_secs)| {
+                let oldest = now_sec.saturating_sub(window_secs.saturating_sub(1));
+                let (mut total, mut slow, mut errors) = (0u64, 0u64, 0u64);
+                for slot in slots.iter() {
+                    // `sec == 0` slots are either genuinely second 0 or
+                    // never written; both are safe to sum (empty slots
+                    // hold zeros).
+                    if slot.sec >= oldest && slot.sec <= now_sec {
+                        total += slot.total;
+                        slow += slot.slow;
+                        errors += slot.errors;
+                    }
+                }
+                let latency_burn = burn(slow, total, 0.01);
+                let error_burn = burn(errors, total, self.config.error_budget_pct / 100.0);
+                WindowBurn {
+                    window: label.to_string(),
+                    window_secs,
+                    total,
+                    slow,
+                    errors,
+                    latency_burn,
+                    error_burn,
+                }
+            })
+            .collect();
+        SloReport {
+            p99_objective_ms: self.config.p99_latency.as_millis() as u64,
+            error_budget_pct: self.config.error_budget_pct,
+            windows,
+        }
+    }
+}
+
+/// `(bad / total) / budget`, defined as 0 for an empty window and capped
+/// (rather than infinite) for a zero budget.
+fn burn(bad: u64, total: u64, budget: f64) -> f64 {
+    if total == 0 || bad == 0 {
+        return 0.0;
+    }
+    let fraction = bad as f64 / total as f64;
+    if budget <= 0.0 {
+        return BURN_CAP;
+    }
+    (fraction / budget).min(BURN_CAP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> SloTracker {
+        SloTracker::new(SloConfig {
+            p99_latency: Duration::from_millis(100),
+            error_budget_pct: 1.0,
+        })
+    }
+
+    #[test]
+    fn empty_tracker_is_healthy() {
+        let t = tracker();
+        let r = t.report();
+        assert!(!r.degraded());
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!(r.windows[0].window, "5m");
+        assert_eq!(r.windows[1].window, "1h");
+        assert!(r.windows.iter().all(|w| w.total == 0));
+        assert!(r.windows.iter().all(|w| w.latency_burn == 0.0));
+    }
+
+    #[test]
+    fn burn_rate_of_one_at_exactly_the_budget() {
+        let t = tracker();
+        // 100 requests, exactly 1 slow → latency burn 1.0 (not over).
+        for i in 0..100 {
+            let latency = if i == 0 {
+                Duration::from_millis(500)
+            } else {
+                Duration::from_millis(10)
+            };
+            t.record_at(10, latency, false);
+        }
+        let r = t.report_at(10);
+        assert!((r.windows[0].latency_burn - 1.0).abs() < 1e-9);
+        assert!(!r.degraded(), "exactly at budget is not degraded");
+        // One more slow request tips it over.
+        t.record_at(10, Duration::from_millis(500), false);
+        assert!(t.report_at(10).degraded());
+    }
+
+    #[test]
+    fn error_burn_uses_the_configured_budget() {
+        let t = SloTracker::new(SloConfig {
+            p99_latency: Duration::from_millis(100),
+            error_budget_pct: 10.0,
+        });
+        for i in 0..100 {
+            t.record_at(5, Duration::from_millis(1), i < 5);
+        }
+        let r = t.report_at(5);
+        // 5% errors against a 10% budget: burning at half speed.
+        assert!((r.windows[0].error_burn - 0.5).abs() < 1e-9);
+        assert!(!r.degraded());
+    }
+
+    #[test]
+    fn fast_window_forgets_slow_window_remembers() {
+        let t = tracker();
+        // A burst of errors at second 10…
+        for _ in 0..50 {
+            t.record_at(10, Duration::from_millis(1), true);
+        }
+        // …and healthy traffic at second 400 (> 5m later, < 1h later).
+        for _ in 0..50 {
+            t.record_at(400, Duration::from_millis(1), false);
+        }
+        let r = t.report_at(400);
+        assert_eq!(r.windows[0].total, 50, "5m window only sees the burst-free tail");
+        assert_eq!(r.windows[0].errors, 0);
+        assert_eq!(r.windows[1].total, 100, "1h window sees both");
+        assert_eq!(r.windows[1].errors, 50);
+        assert!(!r.degraded(), "fast window is clean again");
+        assert!(r.windows[1].error_burn > 1.0, "slow window still burning");
+    }
+
+    #[test]
+    fn ring_reclaims_lapped_slots() {
+        let t = tracker();
+        for _ in 0..10 {
+            t.record_at(7, Duration::from_millis(1), true);
+        }
+        // Same ring slot, one full lap later: old counts must not bleed.
+        let lapped = 7 + 3600;
+        t.record_at(lapped, Duration::from_millis(1), false);
+        let r = t.report_at(lapped);
+        assert_eq!(r.windows[1].total, 1);
+        assert_eq!(r.windows[1].errors, 0);
+    }
+
+    #[test]
+    fn zero_budget_caps_rather_than_overflows() {
+        let t = SloTracker::new(SloConfig {
+            p99_latency: Duration::from_millis(100),
+            error_budget_pct: 0.0,
+        });
+        t.record_at(1, Duration::from_millis(1), true);
+        let r = t.report_at(1);
+        assert!(r.windows[0].error_burn.is_finite());
+        assert!(r.degraded());
+    }
+
+    #[test]
+    fn report_renders_parseable_json() {
+        let t = tracker();
+        t.record_at(3, Duration::from_millis(500), true);
+        let json_text = t.report_at(3).to_json();
+        let v = crate::json::Json::parse(&json_text).expect("valid json");
+        assert_eq!(v.get("p99_objective_ms").unwrap().as_u64(), Some(100));
+        assert_eq!(v.get("degraded").unwrap().as_bool(), Some(true));
+        let windows = v.get("windows").unwrap().as_arr().unwrap();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].get("window").unwrap().as_str(), Some("5m"));
+        assert_eq!(windows[0].get("total").unwrap().as_u64(), Some(1));
+    }
+}

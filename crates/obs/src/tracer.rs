@@ -15,10 +15,12 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 
 use crate::eventlog::{EventLog, EventResult, SearchEvent};
+use crate::ledger::ResourceLedger;
+use crate::profiler::StackSource;
 use crate::ring::Ring;
 use crate::span::{CompletedTrace, TraceContext};
 
@@ -37,6 +39,13 @@ pub struct TracerConfig {
     pub event_log_path: Option<PathBuf>,
     /// Size bound for the active event-log file before rotation.
     pub event_log_max_bytes: u64,
+    /// Span-stack sampling rate for the engine's background profiler
+    /// (samples per second; 0 disables the profiler thread).
+    pub profile_hz: u32,
+    /// How deeply query threads read the thread-CPU clock for the
+    /// resource ledger. The default (`Auto`) calibrates against the
+    /// measured clock-call cost at engine construction.
+    pub cpu_probe: crate::ledger::CpuProbeDepth,
 }
 
 impl Default for TracerConfig {
@@ -48,6 +57,8 @@ impl Default for TracerConfig {
             slow_threshold: Duration::from_millis(250),
             event_log_path: None,
             event_log_max_bytes: 8 << 20,
+            profile_hz: crate::profiler::DEFAULT_PROFILE_HZ,
+            cpu_probe: crate::ledger::CpuProbeDepth::Auto,
         }
     }
 }
@@ -74,6 +85,8 @@ pub struct SearchOutcome {
     pub candidates_evaluated: usize,
     /// Top-k results with per-matcher strengths.
     pub results: Vec<EventResult>,
+    /// What the search cost (CPU, allocations) across its threads.
+    pub ledger: ResourceLedger,
 }
 
 /// Per-engine trace manager. Cheap to share (`Arc<Tracer>`); all methods
@@ -81,9 +94,16 @@ pub struct SearchOutcome {
 #[derive(Debug)]
 pub struct Tracer {
     config: TracerConfig,
+    /// Slowlog admission threshold in µs — atomic so `POST
+    /// /debug/slowlog` can adjust it at runtime.
+    slow_threshold_us: AtomicU64,
     seq: AtomicU64,
     ring: Ring<CompletedTrace>,
     slow: Ring<CompletedTrace>,
+    /// In-flight traces, sampled by the span-stack profiler. Weak so an
+    /// abandoned context (error path that never reaches `finish`) is
+    /// collected instead of sampled forever.
+    live: Mutex<Vec<Weak<TraceContext>>>,
     event_log: Option<EventLog>,
 }
 
@@ -105,6 +125,8 @@ impl Tracer {
             ring: Ring::new(config.ring_capacity),
             slow: Ring::new(config.slowlog_capacity),
             seq: AtomicU64::new(0),
+            live: Mutex::new(Vec::new()),
+            slow_threshold_us: AtomicU64::new(config.slow_threshold.as_micros() as u64),
             event_log,
             config,
         }
@@ -123,8 +145,10 @@ impl Tracer {
     /// Start a trace for one search. `client_id` is an optional
     /// caller-supplied id (e.g. the `X-Schemr-Trace-Id` header); invalid
     /// or absent ids fall back to a generated monotonic `t<seq>` id.
-    /// Returns `None` when tracing is disabled.
-    pub fn begin(&self, client_id: Option<&str>) -> Option<TraceContext> {
+    /// Returns `None` when tracing is disabled. The context is also
+    /// registered with the live-trace registry so the sampling profiler
+    /// sees it until [`Tracer::finish`] (or the context being dropped).
+    pub fn begin(&self, client_id: Option<&str>) -> Option<Arc<TraceContext>> {
         if !self.config.enabled {
             return None;
         }
@@ -132,14 +156,54 @@ impl Tracer {
             Some(id) => id.to_string(),
             None => format!("t{}", self.seq.fetch_add(1, Ordering::Relaxed)),
         };
-        Some(TraceContext::new(id))
+        let ctx = Arc::new(TraceContext::new(id));
+        let mut live = self.live.lock().expect("live traces lock");
+        live.retain(|w| w.strong_count() > 0);
+        live.push(Arc::downgrade(&ctx));
+        Some(ctx)
     }
 
-    /// Complete a trace: publish it to the recent ring, admit it to the
-    /// slowlog if over threshold, and append a [`SearchEvent`] to the
-    /// event log. Returns the completed trace.
-    pub fn finish(&self, ctx: TraceContext, outcome: SearchOutcome) -> Arc<CompletedTrace> {
-        let (trace_id, started_unix_ms, total_us, spans) = ctx.into_parts();
+    /// Number of in-flight traces (live registry size).
+    pub fn live_count(&self) -> usize {
+        self.live
+            .lock()
+            .expect("live traces lock")
+            .iter()
+            .filter(|w| w.strong_count() > 0)
+            .count()
+    }
+
+    /// The current slowlog admission threshold.
+    pub fn slow_threshold(&self) -> Duration {
+        Duration::from_micros(self.slow_threshold_us.load(Ordering::Relaxed))
+    }
+
+    /// Adjust the slowlog admission threshold at runtime (`POST
+    /// /debug/slowlog?threshold_ms=N`). Takes effect for the next
+    /// `finish`; already-admitted traces stay in the slowlog.
+    pub fn set_slow_threshold(&self, threshold: Duration) {
+        self.slow_threshold_us
+            .store(threshold.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Complete a trace: deregister it from the live registry, publish
+    /// it to the recent ring, admit it to the slowlog if over threshold,
+    /// and append a [`SearchEvent`] to the event log. Returns the
+    /// completed trace.
+    pub fn finish(&self, ctx: Arc<TraceContext>, outcome: SearchOutcome) -> Arc<CompletedTrace> {
+        {
+            let mut live = self.live.lock().expect("live traces lock");
+            live.retain(|w| {
+                w.upgrade()
+                    .is_some_and(|live_ctx| !Arc::ptr_eq(&live_ctx, &ctx))
+            });
+        }
+        let (trace_id, started_unix_ms, total_us, spans) = match Arc::try_unwrap(ctx) {
+            Ok(ctx) => ctx.into_parts(),
+            // The profiler (or another reader) briefly holds a clone:
+            // fall back to the cloning path.
+            Err(shared) => shared.parts(),
+        };
         let trace = Arc::new(CompletedTrace {
             trace_id,
             started_unix_ms,
@@ -148,10 +212,11 @@ impl Tracer {
             candidates_from_index: outcome.candidates_from_index,
             candidates_evaluated: outcome.candidates_evaluated,
             results: outcome.results,
+            ledger: outcome.ledger,
             spans,
         });
         self.ring.push(Arc::clone(&trace));
-        if total_us >= self.config.slow_threshold.as_micros() as u64 {
+        if total_us >= self.slow_threshold_us.load(Ordering::Relaxed) {
             self.slow.push(Arc::clone(&trace));
         }
         if let Some(log) = &self.event_log {
@@ -169,6 +234,9 @@ impl Tracer {
                     .collect(),
                 total_us: trace.total_us,
                 results: trace.results.clone(),
+                cpu_us: trace.ledger.cpu_us,
+                alloc_count: trace.ledger.alloc_count,
+                alloc_bytes: trace.ledger.alloc_bytes,
             };
             if let Err(err) = log.append(&event) {
                 eprintln!("schemr-trace: event log append failed: {err}");
@@ -200,6 +268,22 @@ impl Tracer {
     }
 }
 
+impl StackSource for Tracer {
+    /// Folded span stacks of every in-flight trace — the profiler's
+    /// sampling feed. One entry per open leaf span; traces with no open
+    /// span yet contribute nothing.
+    fn sample_stacks(&self) -> Vec<String> {
+        let live = self.live.lock().expect("live traces lock");
+        let mut stacks = Vec::new();
+        for weak in live.iter() {
+            if let Some(ctx) = weak.upgrade() {
+                stacks.extend(ctx.open_stacks());
+            }
+        }
+        stacks
+    }
+}
+
 /// Client-supplied trace ids must be short and header/JSON-safe:
 /// ASCII alphanumerics plus `- _ . :`, at most 128 bytes.
 fn valid_trace_id(s: &str) -> bool {
@@ -223,6 +307,11 @@ mod tests {
                 score: 0.9,
                 matcher_scores: vec![("name".into(), 0.9)],
             }],
+            ledger: ResourceLedger {
+                cpu_us: 321,
+                alloc_count: 12,
+                alloc_bytes: 2048,
+            },
         }
     }
 
@@ -305,6 +394,64 @@ mod tests {
         assert_eq!(events[0].phase_us.len(), 1);
         assert_eq!(events[0].phase_us[0].0, "matching");
         assert_eq!(events[0].results[0].id, "schema-1");
+        // The ledger travels into the durable record.
+        assert_eq!(events[0].cpu_us, 321);
+        assert_eq!(events[0].alloc_count, 12);
+        assert_eq!(events[0].alloc_bytes, 2048);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn live_registry_tracks_in_flight_traces() {
+        let tracer = Tracer::new(TracerConfig::default());
+        assert_eq!(tracer.live_count(), 0);
+        let ctx = tracer.begin(None).unwrap();
+        let root = ctx.root_span("search");
+        let _child = root.child("matching");
+        assert_eq!(tracer.live_count(), 1);
+        let stacks = tracer.sample_stacks();
+        assert_eq!(stacks, vec!["search;matching".to_string()]);
+        drop(_child);
+        drop(root);
+        tracer.finish(ctx, outcome("q"));
+        assert_eq!(tracer.live_count(), 0);
+        assert!(tracer.sample_stacks().is_empty());
+    }
+
+    #[test]
+    fn abandoned_contexts_fall_out_of_the_registry() {
+        let tracer = Tracer::new(TracerConfig::default());
+        {
+            let _ctx = tracer.begin(None).unwrap();
+            assert_eq!(tracer.live_count(), 1);
+        } // dropped without finish — e.g. an engine error path
+        assert_eq!(tracer.live_count(), 0);
+        assert!(tracer.sample_stacks().is_empty());
+    }
+
+    #[test]
+    fn slow_threshold_is_runtime_adjustable() {
+        let tracer = Tracer::new(TracerConfig::default());
+        assert_eq!(tracer.slow_threshold(), Duration::from_millis(250));
+        // Everything is slow at threshold 0.
+        tracer.set_slow_threshold(Duration::ZERO);
+        let ctx = tracer.begin(None).unwrap();
+        tracer.finish(ctx, outcome("now slow"));
+        assert_eq!(tracer.slow(10).len(), 1);
+        // Raise it back: fast searches stop being admitted.
+        tracer.set_slow_threshold(Duration::from_secs(5));
+        assert_eq!(tracer.slow_threshold(), Duration::from_secs(5));
+        let ctx = tracer.begin(None).unwrap();
+        tracer.finish(ctx, outcome("fast again"));
+        assert_eq!(tracer.slow(10).len(), 1, "still only the first trace");
+    }
+
+    #[test]
+    fn completed_trace_carries_the_ledger() {
+        let tracer = Tracer::new(TracerConfig::default());
+        let ctx = tracer.begin(None).unwrap();
+        let trace = tracer.finish(ctx, outcome("cost"));
+        assert_eq!(trace.ledger.cpu_us, 321);
+        assert!(trace.to_json().contains("\"cpu_us\":321"), "{}", trace.to_json());
     }
 }

@@ -41,6 +41,9 @@ fn event(trace_id: &str, query: &str) -> SearchEvent {
             ("tightness_scoring".to_string(), 12),
         ],
         total_us: 360,
+        cpu_us: 310,
+        alloc_count: 42,
+        alloc_bytes: 16_384,
         results: vec![EventResult {
             id: "s0".to_string(),
             score: 0.75,

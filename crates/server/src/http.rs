@@ -10,7 +10,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::io::{BufRead, Read, Write};
+use std::io::{BufRead, Write};
 
 /// Hard caps on request parsing. All byte limits exclude the CRLF line
 /// terminators.
@@ -434,6 +434,16 @@ impl Response {
         }
     }
 
+    /// 403 — the endpoint is restricted to loopback clients.
+    pub fn forbidden(msg: impl Into<String>) -> Self {
+        Response {
+            status: 403,
+            content_type: "text/plain",
+            body: msg.into(),
+            headers: Vec::new(),
+        }
+    }
+
     /// 408 — the client held the connection open without completing a
     /// request before the socket read timeout.
     pub fn request_timeout() -> Self {
@@ -508,6 +518,7 @@ impl Response {
         let reason = match self.status {
             200 => "OK",
             400 => "Bad Request",
+            403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",

@@ -20,7 +20,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use schemr::{parse_keywords, SchemrEngine, SearchRequest};
 use schemr_model::SchemaId;
-use schemr_obs::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS};
+use schemr_obs::{
+    Counter, Histogram, LedgerProbe, MetricsRegistry, SearchOutcome, SloConfig, SloTracker,
+    LATENCY_BUCKETS,
+};
 use schemr_viz::{radial_layout, to_graphml, tree_layout, GraphmlOptions, SvgOptions};
 
 use crate::http::{read_request, HttpLimits, Request, Response};
@@ -62,6 +65,9 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// The `Retry-After` value (seconds) on shed responses.
     pub retry_after_secs: u32,
+    /// Service-level objectives for the burn-rate tracker
+    /// (`GET /debug/slo`; folds into `/healthz` as `degraded`).
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +83,7 @@ impl Default for ServerConfig {
             max_queue: 128,
             drain_deadline: Duration::from_secs(5),
             retry_after_secs: 1,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -155,6 +162,7 @@ impl SchemrServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(HttpMetrics::register(engine.metrics_registry()));
+        let slo = Arc::new(SloTracker::new(config.slo));
         let (tx, rx): (Sender<Pending>, Receiver<Pending>) = bounded(config.max_queue.max(1));
         let (done_tx, worker_done) = mpsc::channel();
 
@@ -166,6 +174,7 @@ impl SchemrServer {
             let stop = stop.clone();
             let config = config.clone();
             let done_tx = done_tx.clone();
+            let slo = slo.clone();
             workers.push(std::thread::spawn(move || {
                 while let Ok(pending) = rx.recv() {
                     metrics.queue_dequeued.inc();
@@ -178,6 +187,7 @@ impl SchemrServer {
                         &metrics,
                         &config,
                         &stop,
+                        &slo,
                     );
                 }
                 let _ = done_tx.send(());
@@ -188,6 +198,7 @@ impl SchemrServer {
         let stop2 = stop.clone();
         let engine2 = engine.clone();
         let metrics2 = metrics.clone();
+        let slo2 = slo.clone();
         let retry_after = config.retry_after_secs;
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
@@ -201,7 +212,7 @@ impl SchemrServer {
                 }) {
                     Ok(()) => metrics2.queue_enqueued.inc(),
                     Err(TrySendError::Full(pending)) => {
-                        shed(pending.stream, retry_after, &engine2, &metrics2)
+                        shed(pending, retry_after, &engine2, &metrics2, &slo2)
                     }
                     Err(TrySendError::Disconnected(_)) => break,
                 }
@@ -282,13 +293,52 @@ impl Drop for SchemrServer {
 /// Reject a connection the queue has no room for: `503 + Retry-After`,
 /// written from the accept thread under a short write timeout so a slow
 /// peer cannot stall accepting.
-fn shed(mut stream: TcpStream, retry_after_secs: u32, engine: &SchemrEngine, m: &HttpMetrics) {
+fn shed(
+    pending: Pending,
+    retry_after_secs: u32,
+    engine: &SchemrEngine,
+    m: &HttpMetrics,
+    slo: &SloTracker,
+) {
     m.shed.inc();
+    // Shed connections spend time in admission too (between accept and
+    // the failed try_send); without this observation the queue-wait
+    // histogram only ever sees the requests that made it through, which
+    // understates waiting exactly when the queue is full.
+    let queue_wait = pending.enqueued.elapsed();
+    m.queue_wait.observe_duration(queue_wait);
+    trace_rejection(engine, "shed", Some(queue_wait));
     let started = Instant::now();
     let response = Response::overloaded(retry_after_secs);
-    record_request(engine.metrics_registry(), "shed", &response, started);
+    record_request(engine.metrics_registry(), "shed", &response, started, slo);
+    let mut stream = pending.stream;
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let _ = response.write_to(&mut stream);
+}
+
+/// Give a rejected request a trace of its own: a root span named after
+/// the rejection (`shed`, `timeout`) carrying the queue wait, finished
+/// straight into the trace ring and event log. Without this, rejected
+/// work is invisible exactly where one looks when clients report errors.
+fn trace_rejection(engine: &SchemrEngine, kind: &str, queue_wait: Option<Duration>) {
+    let Some(ctx) = engine.tracer().begin(None) else {
+        return;
+    };
+    let probe = LedgerProbe::start();
+    {
+        let root = ctx.root_span(kind);
+        if let Some(wait) = queue_wait {
+            root.annotate("queue_wait_us", wait.as_micros());
+        }
+    }
+    engine.tracer().finish(
+        ctx,
+        SearchOutcome {
+            query: format!("<{kind}>"),
+            ledger: probe.delta(),
+            ..Default::default()
+        },
+    );
 }
 
 /// What the between-requests wait ended with.
@@ -347,8 +397,12 @@ fn serve_connection(
     metrics: &HttpMetrics,
     config: &ServerConfig,
     stop: &AtomicBool,
+    slo: &SloTracker,
 ) {
     let _ = stream.set_write_timeout(config.write_timeout);
+    // The peer address gates operator-only endpoints (e.g. adjusting the
+    // slowlog threshold) to loopback clients.
+    let peer = stream.peer_addr().ok();
     let mut reader = BufReader::new(stream);
     let budget = config.keepalive_requests.max(1);
     let mut served = 0usize;
@@ -365,7 +419,6 @@ fn serve_connection(
         if reader.get_ref().set_read_timeout(config.read_timeout).is_err() {
             break;
         }
-        let draining = stop.load(Ordering::Relaxed);
         let started = Instant::now();
         let (label, response, client_keep_alive) =
             match read_request(&mut reader, &config.http_limits) {
@@ -376,12 +429,17 @@ fn serve_connection(
                     let wait = (served == 0).then_some(queue_wait);
                     (
                         route_label(&request.path),
-                        route(engine, &request, wait),
+                        route(engine, slo, &request, wait, peer),
                         keep,
                     )
                 }
                 Err(e) => {
                     let label = if e.is_timeout() { "timeout" } else { "malformed" };
+                    if e.is_timeout() {
+                        // A stalled request still waited for admission;
+                        // give it a trace like any served request gets.
+                        trace_rejection(engine, "timeout", (served == 0).then_some(queue_wait));
+                    }
                     match Response::for_error(&e) {
                         // Parse errors always close: the reader may be
                         // mid-garbage and request framing is lost.
@@ -394,8 +452,13 @@ fn serve_connection(
         if served > 1 {
             metrics.keepalive_reuse.inc();
         }
+        // Sampled after the (possibly blocking) request read: a drain
+        // that began while this request was in flight must demote the
+        // response to `Connection: close`, or the client would send
+        // another request into a server that is shutting down.
+        let draining = stop.load(Ordering::Relaxed);
         let keep_alive = client_keep_alive && served < budget && !draining;
-        record_request(engine.metrics_registry(), label, &response, started);
+        record_request(engine.metrics_registry(), label, &response, started, slo);
         if response.write_to_conn(reader.get_mut(), keep_alive).is_err() || !keep_alive {
             break;
         }
@@ -414,6 +477,8 @@ fn route_label(path: &str) -> &'static str {
         "/search" => "/search",
         "/debug/traces" => "/debug/traces",
         "/debug/slowlog" => "/debug/slowlog",
+        "/debug/profile" => "/debug/profile",
+        "/debug/slo" => "/debug/slo",
         _ if path.starts_with("/debug/traces/") => "/debug/traces/{id}",
         _ if path.starts_with("/schema/") => "/schema",
         _ => "other",
@@ -426,10 +491,12 @@ fn record_request(
     label: &str,
     response: &Response,
     started: Instant,
+    slo: &SloTracker,
 ) {
     let status = match response.status {
         200 => "200",
         400 => "400",
+        403 => "403",
         404 => "404",
         405 => "405",
         408 => "408",
@@ -437,6 +504,10 @@ fn record_request(
         503 => "503",
         _ => "other",
     };
+    let latency = started.elapsed();
+    // 5xx burns the error budget; client errors (4xx) don't — a scanner
+    // probing bad paths must not page the on-call.
+    slo.record(latency, response.status >= 500);
     registry
         .counter_with(
             "schemr_http_requests_total",
@@ -444,6 +515,14 @@ fn record_request(
             &[("route", label), ("status", status)],
         )
         .inc();
+    // The request's trace id (echoed in `X-Schemr-Trace-Id` for /search)
+    // doubles as the latency exemplar, linking a slow bucket on
+    // `/metrics` to its span tree under `/debug/traces/{id}`.
+    let trace_id = response
+        .headers
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case("x-schemr-trace-id"))
+        .map_or("", |(_, value)| value.as_str());
     registry
         .histogram_with(
             "schemr_http_request_seconds",
@@ -451,14 +530,21 @@ fn record_request(
             &[("route", label)],
             LATENCY_BUCKETS,
         )
-        .observe_duration(started.elapsed());
+        .observe_duration_exemplar(latency, trace_id);
 }
 
 /// Dispatch a request to a handler. `queue_wait` is the admission-queue
-/// wait of the connection's first request, for span annotation.
-fn route(engine: &SchemrEngine, request: &Request, queue_wait: Option<Duration>) -> Response {
+/// wait of the connection's first request, for span annotation. `peer`
+/// gates operator-only endpoints to loopback clients.
+fn route(
+    engine: &SchemrEngine,
+    slo: &SloTracker,
+    request: &Request,
+    queue_wait: Option<Duration>,
+    peer: Option<std::net::SocketAddr>,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => handle_healthz(engine),
+        ("GET", "/healthz") => handle_healthz(engine, slo),
         ("GET", "/metrics") => Response::ok(
             "text/plain; version=0.0.4",
             engine.metrics_registry().render_prometheus(),
@@ -467,6 +553,9 @@ fn route(engine: &SchemrEngine, request: &Request, queue_wait: Option<Duration>)
         ("GET" | "POST", "/search") => handle_search(engine, request, queue_wait),
         ("GET", "/debug/traces") => handle_traces(engine, request),
         ("GET", "/debug/slowlog") => handle_slowlog(engine, request),
+        ("POST", "/debug/slowlog") => handle_slowlog_threshold(engine, request, peer),
+        ("GET", "/debug/profile") => handle_profile(engine, request),
+        ("GET", "/debug/slo") => Response::ok("application/json", slo.report().to_json()),
         ("GET", _) if request.path.starts_with("/debug/traces/") => {
             handle_trace_by_id(engine, &request.path["/debug/traces/".len()..])
         }
@@ -475,20 +564,83 @@ fn route(engine: &SchemrEngine, request: &Request, queue_wait: Option<Duration>)
     }
 }
 
-fn handle_healthz(engine: &SchemrEngine) -> Response {
+fn handle_healthz(engine: &SchemrEngine, slo: &SloTracker) -> Response {
     let live_docs = engine.index_stats().live_docs;
-    let status = if live_docs == 0 { "unavailable" } else { "ok" };
+    // Three states: `unavailable` (nothing to serve, 503), `degraded`
+    // (serving, but burning SLO budget faster than provisioned — still
+    // 200 so orchestrators don't amplify an incident by killing capacity)
+    // and `ok`.
+    let degraded = slo.report().degraded();
+    let status = if live_docs == 0 {
+        "unavailable"
+    } else if degraded {
+        "degraded"
+    } else {
+        "ok"
+    };
     let body = format!(
-        "{{\"status\":\"{}\",\"revision\":{},\"indexed_docs\":{}}}",
+        "{{\"status\":\"{}\",\"revision\":{},\"indexed_docs\":{},\"slo_degraded\":{}}}",
         status,
         engine.repository().revision(),
-        live_docs
+        live_docs,
+        degraded
     );
     if live_docs == 0 {
         Response::unavailable("application/json", body)
     } else {
         Response::ok("application/json", body)
     }
+}
+
+/// `POST /debug/slowlog?threshold_ms=N`: adjust the slowlog admission
+/// threshold at runtime. Loopback-only — it changes what the server
+/// retains, so a remote client must not be able to flip it.
+fn handle_slowlog_threshold(
+    engine: &SchemrEngine,
+    request: &Request,
+    peer: Option<std::net::SocketAddr>,
+) -> Response {
+    if !peer.is_some_and(|p| p.ip().is_loopback()) {
+        return Response::forbidden("slowlog threshold changes are loopback-only");
+    }
+    let Some(raw) = request.param("threshold_ms") else {
+        return Response::bad_request("missing threshold_ms parameter");
+    };
+    let Ok(ms) = raw.parse::<u64>() else {
+        return Response::bad_request("threshold_ms must be a non-negative integer");
+    };
+    engine
+        .tracer()
+        .set_slow_threshold(Duration::from_millis(ms));
+    Response::ok(
+        "application/json",
+        format!("{{\"slow_threshold_ms\":{ms}}}"),
+    )
+}
+
+/// `GET /debug/profile?ms=N`: block for the window (default 500 ms,
+/// capped at 10 s) and return the span stacks sampled during it in
+/// folded-stack format — pipe straight into a flamegraph renderer.
+fn handle_profile(engine: &SchemrEngine, request: &Request) -> Response {
+    let Some(profiler) = engine.profiler() else {
+        return Response::not_found(
+            "profiler disabled (tracing off or profile_hz=0)".to_string(),
+        );
+    };
+    let ms = request
+        .param("ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(500)
+        .clamp(10, 10_000);
+    let window = profiler.profile_window(Duration::from_millis(ms));
+    let mut body = format!(
+        "# window_ms={ms} hz={} ticks={} total_weight={}\n",
+        profiler.hz(),
+        window.ticks,
+        window.total_weight()
+    );
+    body.push_str(&window.render_folded());
+    Response::ok("text/plain", body)
 }
 
 /// Parse a `limit` query param with a default and an upper bound.
@@ -577,6 +729,10 @@ fn handle_search(
             let mut http = Response::ok("text/xml", search_response_to_xml(&response));
             if let Some(id) = &response.trace_id {
                 http = http.with_header("X-Schemr-Trace-Id", id);
+            }
+            if let Some(ledger) = &response.ledger {
+                let wall_us = response.timings.total().as_micros() as u64;
+                http = http.with_header("X-Schemr-Cost", ledger.header_value(wall_us));
             }
             http
         }
@@ -1024,6 +1180,233 @@ mod tests {
         let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
         let (_, body) = get(server.addr(), "/search?q=id&limit=1");
         assert!(body.contains("count=\"1\""), "{body}");
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn cost_header_reports_the_query_ledger() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let raw = get_raw(server.addr(), "/search?q=patient+height", "");
+        assert!(raw.starts_with("HTTP/1.1 200"));
+        assert!(raw.contains("X-Schemr-Cost: wall_us="), "{raw}");
+        assert!(raw.contains(";cpu_us="), "{raw}");
+        assert!(raw.contains(";alloc="), "{raw}");
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn debug_slo_reports_burn_windows_and_healthz_carries_the_verdict() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let (status, _) = get(addr, "/search?q=patient");
+        assert_eq!(status, 200);
+        let (status, body) = get(addr, "/debug/slo");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"p99_objective_ms\""), "{body}");
+        assert!(body.contains("\"window\":\"5m\""), "{body}");
+        assert!(body.contains("\"window\":\"1h\""), "{body}");
+        assert!(body.contains("\"latency_burn\""), "{body}");
+        assert!(body.contains("\"error_burn\""), "{body}");
+        // A healthy server reports the SLO verdict on its health check.
+        let (status, health) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(health.contains("\"slo_degraded\":false"), "{health}");
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn sustained_5xx_burn_the_error_budget_and_flag_degraded() {
+        // An empty-index server answers /healthz with 503, which counts
+        // against the error budget like any other 5xx. Under a tight
+        // budget a handful of them pushes the fast window's burn rate
+        // past 1.0 and the health body flips to degraded.
+        let repo = Arc::new(Repository::new());
+        let eng = Arc::new(SchemrEngine::new(repo));
+        eng.reindex_full();
+        let server = SchemrServer::start(
+            eng,
+            ServerConfig {
+                slo: schemr_obs::SloConfig {
+                    error_budget_pct: 0.001,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        for _ in 0..5 {
+            assert_eq!(get(addr, "/healthz").0, 503);
+        }
+        let (_, health) = get(addr, "/healthz");
+        assert!(health.contains("\"slo_degraded\":true"), "{health}");
+        let (_, slo) = get(addr, "/debug/slo");
+        // Every request so far errored: burn is way past 1.0.
+        assert!(slo.contains("\"window\":\"5m\""), "{slo}");
+        assert!(!slo.contains("\"error_burn\":0.0,"), "{slo}");
+        // And a healthy server under plain 2xx traffic stays clean even
+        // on the same tight budget.
+        let healthy = SchemrServer::start(
+            engine(),
+            ServerConfig {
+                slo: schemr_obs::SloConfig {
+                    error_budget_pct: 0.001,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..10 {
+            assert_eq!(get(healthy.addr(), "/search?q=patient").0, 200);
+        }
+        let (status, body) = get(healthy.addr(), "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"slo_degraded\":false"), "{body}");
+        assert!(server.shutdown());
+        assert!(healthy.shutdown());
+    }
+
+    #[test]
+    fn debug_profile_returns_folded_stacks_under_load() {
+        let server = SchemrServer::start(
+            engine(),
+            ServerConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // Background load so the sampler has live spans to observe.
+        let stop = Arc::new(AtomicBool::new(false));
+        let loaders: Vec<_> = (0..2)
+            .map(|_| {
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = get(addr, "/search?q=patient+height+gender+diagnosis");
+                    }
+                })
+            })
+            .collect();
+        let (status, body) = get(addr, "/debug/profile?ms=400");
+        stop.store(true, Ordering::Relaxed);
+        for h in loaders {
+            h.join().unwrap();
+        }
+        assert_eq!(status, 200, "{body}");
+        let header = body.lines().next().unwrap_or("");
+        assert!(header.starts_with("# window_ms=400 hz="), "{body}");
+        assert!(header.contains("ticks="), "{body}");
+        // Under sustained load the window must catch named spans, and
+        // every sampled stack is rooted at the `search` span.
+        let stacks: Vec<&str> = body.lines().skip(1).collect();
+        assert!(!stacks.is_empty(), "no stacks sampled: {body}");
+        let mut named = 0u64;
+        let mut total = 0u64;
+        for line in &stacks {
+            let (stack, count) = line.rsplit_once(' ').expect("folded line");
+            let count: u64 = count.parse().expect("folded count");
+            total += count;
+            if stack.starts_with("search") {
+                named += count;
+            }
+        }
+        assert!(
+            named * 10 >= total * 9,
+            "expected >=90% of weight under `search`: {body}"
+        );
+        // Window bounds are clamped, not errors.
+        let (status, _) = get(addr, "/debug/profile?ms=1");
+        assert_eq!(status, 200);
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn debug_profile_404_when_profiler_disabled() {
+        use schemr::EngineConfig;
+        let repo = Arc::new(Repository::new());
+        import_str(&repo, "clinic", "clinic", "CREATE TABLE p (id INT)").unwrap();
+        let eng = Arc::new(SchemrEngine::with_config(
+            repo,
+            EngineConfig {
+                trace: schemr_obs::TracerConfig {
+                    profile_hz: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ));
+        eng.reindex_full();
+        let server = SchemrServer::start(eng, ServerConfig::default()).unwrap();
+        let (status, body) = get(server.addr(), "/debug/profile");
+        assert_eq!(status, 404);
+        assert!(body.contains("profiler disabled"), "{body}");
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn slowlog_threshold_is_adjustable_at_runtime_from_loopback() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        // Default threshold: an ordinary fast search is not slow.
+        let raw = get_raw(addr, "/search?q=patient", "X-Schemr-Trace-Id: fast-1\r\n");
+        assert!(raw.starts_with("HTTP/1.1 200"));
+        let (_, body) = get(addr, "/debug/slowlog");
+        assert!(!body.contains("fast-1"), "{body}");
+        // Drop the threshold to zero at runtime: now everything is slow.
+        let (status, body) = request(
+            addr,
+            "POST /debug/slowlog?threshold_ms=0 HTTP/1.1\r\nHost: t\r\n\
+             Connection: close\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"slow_threshold_ms\":0"), "{body}");
+        let raw = get_raw(addr, "/search?q=patient", "X-Schemr-Trace-Id: now-slow\r\n");
+        assert!(raw.starts_with("HTTP/1.1 200"));
+        let (_, body) = get(addr, "/debug/slowlog");
+        assert!(body.contains("now-slow"), "{body}");
+        // Garbage and missing parameters are 400s, not silent defaults.
+        let (status, _) = request(
+            addr,
+            "POST /debug/slowlog?threshold_ms=abc HTTP/1.1\r\nHost: t\r\n\
+             Connection: close\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 400);
+        let (status, _) = request(
+            addr,
+            "POST /debug/slowlog HTTP/1.1\r\nHost: t\r\n\
+             Connection: close\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 400);
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn metrics_render_exemplars_with_live_trace_ids() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let raw = get_raw(addr, "/search?q=patient+height", "X-Schemr-Trace-Id: ex-9\r\n");
+        assert!(raw.starts_with("HTTP/1.1 200"));
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        // Both the engine phase histograms and the HTTP latency histogram
+        // carry OpenMetrics exemplars pointing at the trace that produced
+        // the worst observation in the bucket's window.
+        assert!(metrics.contains("# {trace_id=\"ex-9\"}"), "{metrics}");
+        let phase_line = metrics
+            .lines()
+            .find(|l| l.starts_with("schemr_phase_seconds_bucket") && l.contains("# {trace_id="))
+            .unwrap_or_else(|| panic!("no phase exemplar: {metrics}"));
+        assert!(phase_line.contains("trace_id=\"ex-9\""), "{phase_line}");
+        let http_line = metrics
+            .lines()
+            .find(|l| {
+                l.starts_with("schemr_http_request_seconds_bucket") && l.contains("# {trace_id=")
+            })
+            .unwrap_or_else(|| panic!("no http exemplar: {metrics}"));
+        assert!(http_line.contains("trace_id=\"ex-9\""), "{http_line}");
         assert!(server.shutdown());
     }
 }

@@ -175,6 +175,7 @@ mod tests {
                 ],
             }),
             trace_id: None,
+            ledger: None,
         };
         let xml = search_response_to_xml(&response);
         assert!(XmlParser::parse_all(&xml).is_ok(), "{xml}");

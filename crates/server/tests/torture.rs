@@ -266,6 +266,71 @@ fn saturated_queue_sheds_with_503_and_retry_after() {
 }
 
 #[test]
+fn shed_connections_are_accounted_in_queue_wait_and_traced() {
+    // Regression: shed (503) connections used to vanish from the
+    // observability plane — no queue-wait observation, no trace, no
+    // event-log record. A shed request must now show up in the
+    // queue-wait histogram and leave a `<shed>` trace behind.
+    let server = SchemrServer::start(
+        engine(),
+        ServerConfig {
+            workers: 1,
+            max_queue: 1,
+            read_timeout: Some(Duration::from_secs(3)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Pin the only worker, fill the one queue slot, then overflow.
+    let mut pin = TcpStream::connect(addr).unwrap();
+    pin.write_all(b"GET /healthz HTTP/1.1\r\nHost: t").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let mut queued = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let mut extra = TcpStream::connect(addr).unwrap();
+    let (status, _, _) = read_response(&mut extra);
+    assert_eq!(status, 503);
+
+    // Release the worker and let the queued connection finish.
+    pin.write_all(b"\r\nConnection: close\r\n\r\n").unwrap();
+    read_response(&mut pin);
+    queued
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    read_response(&mut queued);
+
+    // The shed connection left a trace: a root span named `shed` with
+    // the time it spent waiting before rejection.
+    let (status, _, traces) = one_shot(addr, "/debug/traces");
+    assert_eq!(status, 200);
+    assert!(traces.contains("\"query\":\"<shed>\""), "{traces}");
+
+    // And it was counted in the queue-wait histogram: every observation
+    // is either a dequeued connection or a shed one.
+    let (_, _, metrics) = one_shot(addr, "/metrics");
+    let scrape = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no sample for {name}: {metrics}"))
+    };
+    let shed = scrape("schemr_http_shed_total");
+    let dequeued = scrape("schemr_http_queue_dequeued_total");
+    let observed = scrape("schemr_http_queue_wait_seconds_count");
+    assert_eq!(shed, 1, "{metrics}");
+    assert_eq!(
+        observed,
+        dequeued + shed,
+        "shed connections must observe queue wait: {metrics}"
+    );
+    assert!(server.shutdown());
+}
+
+#[test]
 fn drain_completes_in_flight_requests_and_refuses_new_connections() {
     let server = SchemrServer::start(
         engine(),

@@ -1,0 +1,216 @@
+//! Offline shim for `criterion`: the `Criterion` / group / `Bencher`
+//! API shape, measuring mean wall-clock time per iteration and printing
+//! one line per benchmark. No statistics, no HTML reports.
+//!
+//! When invoked with `--test` (what `cargo test` passes to bench
+//! targets), every benchmark body runs exactly once so the tier-1
+//! suite stays fast.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A named benchmark id; `from_parameter` mirrors criterion's helper
+/// for parameterized benches.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+pub struct Bencher {
+    quick: bool,
+    /// (iterations, total) recorded by the last `iter` call.
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time the routine: a warm-up, then enough iterations to fill a
+    /// short measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            black_box(routine());
+            self.measured = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up and per-iteration estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let target = Duration::from_millis(200).as_nanos();
+        let iters = (target / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+}
+
+fn run_one(label: &str, quick: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        quick,
+        measured: None,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((iters, total)) if !quick => {
+            let mean_ns = total.as_nanos() / u128::from(iters.max(1));
+            println!("bench: {label:<48} {mean_ns:>12} ns/iter ({iters} iters)");
+        }
+        Some(_) => println!("bench: {label:<48} ok (test mode)"),
+        None => println!("bench: {label:<48} (no measurement)"),
+    }
+}
+
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.0, self.quick, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            quick: self.quick,
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim sizes its measurement
+    /// window by time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.quick, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.quick, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_in_quick_mode() {
+        let mut b = Bencher {
+            quick: true,
+            measured: None,
+        };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert_eq!(b.measured.unwrap().0, 1);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_function("one", |b| b.iter(|| black_box(1 + 1)))
+            .bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+        group.finish();
+    }
+}

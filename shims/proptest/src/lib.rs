@@ -1,0 +1,654 @@
+//! Offline shim for `proptest`: the strategy combinators and the
+//! `proptest!` macro surface this workspace uses, implemented as plain
+//! deterministic random sampling.
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//!
+//! * **No shrinking.** A failing case panics with the normal assert
+//!   message; the sampling is deterministic per (test name, case
+//!   index), so failures reproduce exactly on re-run.
+//! * **Regex string strategies** support the subset the tests use:
+//!   character classes (ranges, literals, `^` negation, `\xNN`
+//!   escapes), `.`, and `{n}` / `{n,m}` quantifiers on each atom.
+//! * Default case count is 64 (real proptest: 256) to keep the tier-1
+//!   suite fast; `ProptestConfig::with_cases` overrides per block.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test deterministic RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed ^ 0xA076_1D64_78BD_642F)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over a test name: the per-test base seed.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Error type of a proptest body's implicit `Result` — uninhabited here
+/// because the shim's `prop_assert!` panics instead of returning `Err`;
+/// it exists so bodies can `return Ok(());` to skip a case early, as
+/// they can under real proptest.
+#[derive(Debug, Clone, Copy)]
+pub enum TestCaseError {}
+
+/// Block-level configuration, set via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. `sample` takes `&self` so strategies compose
+/// without `Clone` bounds.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128 - lo as u128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+}
+
+// ------------------------------------------------- regex-subset strings
+
+enum CharClass {
+    /// Flattened candidate set from `[...]` or a literal character.
+    OneOf(Vec<char>),
+    /// Negated class `[^...]`: printable ASCII (plus a dash of
+    /// non-ASCII) excluding these.
+    Not(Vec<char>),
+    /// `.`: any non-newline printable character.
+    Any,
+}
+
+struct Atom {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+/// A few multi-byte characters mixed into `.`/negated classes so
+/// robustness tests see non-ASCII input.
+const EXOTIC: [char; 6] = ['é', 'Ω', '中', 'λ', 'ß', '☂'];
+
+fn sample_char(class: &CharClass, rng: &mut TestRng) -> char {
+    match class {
+        CharClass::OneOf(set) => set[rng.below(set.len())],
+        CharClass::Any | CharClass::Not(_) => {
+            let excluded: &[char] = match class {
+                CharClass::Not(e) => e,
+                _ => &[],
+            };
+            for _ in 0..64 {
+                let c = if rng.below(16) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len())]
+                } else {
+                    char::from(32 + rng.below(95) as u8) // 0x20..=0x7E
+                };
+                if !excluded.contains(&c) {
+                    return c;
+                }
+            }
+            'x'
+        }
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (CharClass, bool) {
+    let negated = chars.peek() == Some(&'^');
+    if negated {
+        chars.next();
+    }
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(&c) = chars.peek() {
+        match c {
+            ']' => {
+                chars.next();
+                break;
+            }
+            '\\' => {
+                chars.next();
+                let esc = chars.next().unwrap_or('\\');
+                let lit = match esc {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    'x' => {
+                        let hi = chars.next().unwrap_or('0');
+                        let lo = chars.next().unwrap_or('0');
+                        let code = u32::from_str_radix(&format!("{hi}{lo}"), 16).unwrap_or(0);
+                        char::from_u32(code).unwrap_or('\0')
+                    }
+                    other => other,
+                };
+                set.push(lit);
+                prev = Some(lit);
+            }
+            '-' => {
+                chars.next();
+                // Range if we have a previous char and a next one that
+                // isn't the closing bracket; otherwise a literal dash.
+                match (prev, chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        chars.next();
+                        set.pop();
+                        let (lo, hi) = (lo as u32, hi as u32);
+                        for code in lo..=hi {
+                            if let Some(ch) = char::from_u32(code) {
+                                set.push(ch);
+                            }
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        set.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            other => {
+                chars.next();
+                set.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    if set.is_empty() {
+        set.push('a');
+    }
+    (
+        if negated {
+            CharClass::Not(set)
+        } else {
+            CharClass::OneOf(set)
+        },
+        negated,
+    )
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().unwrap_or(0);
+            let hi = hi.trim().parse().unwrap_or(lo);
+            (lo, hi.max(lo))
+        }
+        None => {
+            let n = spec.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '[' => parse_class(&mut chars).0,
+            '.' => CharClass::Any,
+            '\\' => {
+                let esc = chars.next().unwrap_or('\\');
+                CharClass::OneOf(vec![match esc {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    other => other,
+                }])
+            }
+            literal => CharClass::OneOf(vec![literal]),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let count = if atom.max > atom.min {
+                atom.min + rng.below(atom.max - atom.min + 1)
+            } else {
+                atom.min
+            };
+            for _ in 0..count {
+                out.push(sample_char(&atom.class, rng));
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------ collections
+
+/// Element-count specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            let mut out = HashSet::with_capacity(target);
+            // A small sample domain may not hold `target` distinct
+            // values; bounded retries keep this total.
+            for _ in 0..target.saturating_mul(8).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T>(Vec<T>);
+
+    /// Uniformly one of the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+}
+
+// ------------------------------------------------------------------ macros
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The `proptest!` block macro: each inner function runs
+/// `config.cases` deterministic cases, sampling its arguments from the
+/// strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __base = $crate::fnv1a(stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::new(
+                        __base ^ (u64::from(__case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    // The closure gives the body real proptest's
+                    // implicit `Result` return, so `return Ok(());`
+                    // skips a case. The error type is uninhabited, so
+                    // the `Err` arm is statically unreachable.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let ::core::result::Result::Err(__e) = __outcome {
+                        match __e {}
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(99)
+    }
+
+    #[test]
+    fn int_ranges_sample_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (5u64..10).sample(&mut r);
+            assert!((5..10).contains(&v));
+            let w = (0usize..=3).sample(&mut r);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes_strings() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,10}".sample(&mut r);
+            assert!(!s.is_empty() && s.len() <= 11, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let t = "[a-zA-Z0-9_ .-]{0,12}".sample(&mut r);
+            assert!(t.len() <= 12);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+
+            let not_nul = "[^\\x00]{0,20}".sample(&mut r);
+            assert!(!not_nul.contains('\0'));
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = collection::vec(0u32..100, 2..5).sample(&mut r);
+            assert!((2..5).contains(&v.len()));
+            let exact = collection::vec(0u32..100, 4).sample(&mut r);
+            assert_eq!(exact.len(), 4);
+            let set = collection::hash_set(0usize..50, 0..10).sample(&mut r);
+            assert!(set.len() < 10);
+        }
+    }
+
+    #[test]
+    fn map_select_and_tuples_compose() {
+        let mut r = rng();
+        let strat = (0u32..10, sample::select(vec!["a", "b"])).prop_map(|(n, s)| format!("{s}{n}"));
+        for _ in 0..50 {
+            let v = strat.sample(&mut r);
+            assert!(v.starts_with('a') || v.starts_with('b'));
+        }
+        assert_eq!(Just(7u8).sample(&mut r), 7);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = TestRng::new(123);
+        let mut b = TestRng::new(123);
+        let strat = collection::vec("[a-z]{1,8}", 1..6);
+        for _ in 0..20 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn the_macro_itself_runs(x in 0u64..100, mut v in collection::vec(0u8..10, 0..4)) {
+            v.push((x % 10) as u8);
+            prop_assert!(v.iter().all(|&b| b < 10));
+            prop_assert_eq!(v.is_empty(), false);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

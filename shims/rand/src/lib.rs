@@ -1,0 +1,231 @@
+//! Offline shim for `rand` 0.9: the `Rng`/`SeedableRng` traits and a
+//! deterministic `rngs::StdRng`, covering the `random_range` /
+//! `random_bool` surface the corpus generator and benches use.
+//!
+//! The generator is xoshiro256** seeded via splitmix64 — not the
+//! ChaCha12 of the real `StdRng`, but the repo only relies on
+//! *determinism for a given seed*, never on a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that `random_range` can sample from (the subset of rand's
+/// `SampleRange` the workspace needs).
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+    fn is_empty_range(&self) -> bool;
+}
+
+/// Raw 64-bit generator; split from [`Rng`] so the extension methods
+/// stay object-safe-free and blanket-implemented, as in real rand.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait Rng: RngCore {
+    /// Uniform sample from a range. Panics on an empty range, matching
+    /// rand's behaviour.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty_range(), "cannot sample empty range");
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix over any
+            // seed cannot produce it, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x1;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the shim's `StdRng` is already small and fast.
+    pub type SmallRng = StdRng;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Debiased multiply-shift would be overkill for test
+                // corpora; 64-bit modulo bias over test-sized spans is
+                // far below anything observable.
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            fn is_empty_range(&self) -> bool { self.start >= self.end }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+            fn is_empty_range(&self) -> bool { self.start() > self.end() }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+
+    fn is_empty_range(&self) -> bool {
+        // NaN bounds compare unordered, which correctly reads as empty.
+        !matches!(
+            self.start.partial_cmp(&self.end),
+            Some(core::cmp::Ordering::Less)
+        )
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        self.start() + unit * (self.end() - self.start())
+    }
+
+    fn is_empty_range(&self) -> bool {
+        // NaN bounds compare unordered, which correctly reads as empty.
+        !matches!(
+            self.start().partial_cmp(self.end()),
+            Some(core::cmp::Ordering::Less | core::cmp::Ordering::Equal)
+        )
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> f32 {
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+
+    fn is_empty_range(&self) -> bool {
+        // NaN bounds compare unordered, which correctly reads as empty.
+        !matches!(
+            self.start.partial_cmp(&self.end),
+            Some(core::cmp::Ordering::Less)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(3u32..=5);
+            assert!((3..=5).contains(&w));
+            let f = rng.random_range(0.0f64..2.5);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&frac), "frac={frac}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

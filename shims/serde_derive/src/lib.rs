@@ -1,0 +1,513 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` generating impls of the serde *shim's*
+//! `Value`-based traits.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * named-field structs,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde's default).
+//!
+//! Not supported (fails with a `compile_error!`): generic types and
+//! `#[serde(...)]` attributes. The parser is hand-rolled over
+//! `proc_macro` token trees — no `syn`/`quote` in an offline build.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attributes (doc comments arrive in this form too)
+    /// and rejects `#[serde(...)]`, which this shim cannot honour.
+    fn skip_attrs(&mut self) -> Result<(), String> {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            let inner = g.stream().to_string();
+                            if inner.starts_with("serde") {
+                                return Err(
+                                    "serde shim derive does not support #[serde(...)] attributes"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                        _ => return Err("malformed attribute".to_string()),
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    /// Skip a type up to a top-level `,` (exclusive), tracking `<`/`>`
+    /// nesting so generic arguments' commas don't split early.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Count the top-level comma-separated entries of a tuple-field group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(ref p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle_depth == 0 => {
+                if saw_token {
+                    count += 1;
+                }
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        cur.skip_attrs()?;
+        if cur.peek().is_none() {
+            return Ok(names);
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident("field name")?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field {name}, found {other:?}")),
+        }
+        cur.skip_type();
+        names.push(name);
+        // Consume the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == ',' {
+                cur.pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs()?;
+        if cur.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = cur.expect_ident("variant name")?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cur.pos += 1;
+                Fields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                cur.pos += 1;
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`), then the comma.
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == '=' {
+                cur.pos += 1;
+                while let Some(tok) = cur.peek() {
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    cur.pos += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == ',' {
+                cur.pos += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs()?;
+    cur.skip_visibility();
+    let kind = cur.expect_ident("`struct` or `enum`")?;
+    let name = cur.expect_ident("type name")?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type {name}"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+// ------------------------------------------------------------ generation
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::serialize_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::serde::Value::Object(::std::vec![{}])",
+                        entries.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            out.push_str(&format!(
+                "#[automatically_derived]\n\
+                 #[allow(clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(\
+                         ::std::string::String::from({vname:?}))"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from({vname:?}), \
+                         ::serde::Serialize::serialize_value(f0))])"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let sers: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Array(::std::vec![{sers}]))])",
+                            binds = binds.join(", "),
+                            sers = sers.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let entries: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::serialize_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Object(::std::vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            out.push_str(&format!(
+                "#[automatically_derived]\n\
+                 #[allow(clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}\n",
+                arms.join(",\n")
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(fields, {f:?})?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Object(fields) => \
+                             ::std::result::Result::Ok({name} {{ {} }}),\n\
+                         _ => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"expected object for {name}\"))),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(v)?))"
+            ),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}({})),\n\
+                         _ => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"expected {n}-element array for {name}\"))),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| {
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname})")
+                })
+                .collect();
+            let mut data_arms: Vec<String> = Vec::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => continue,
+                    Fields::Tuple(1) => format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize_value(inner)?))"
+                    ),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                            })
+                            .collect();
+                        format!(
+                            "{vname:?} => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{vname}({})),\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"bad array for {name}::{vname}\"))),\n\
+                             }}",
+                            inits.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let inits: Vec<String> = fnames
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__private::field(vfields, {f:?})?"))
+                            .collect();
+                        format!(
+                            "{vname:?} => match inner {{\n\
+                                 ::serde::Value::Object(vfields) => \
+                                     ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"expected object for {name}::{vname}\"))),\n\
+                             }}",
+                            inits.join(", ")
+                        )
+                    }
+                };
+                data_arms.push(arm);
+            }
+            let str_arm = format!(
+                "::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                     {}{}other => ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}",
+                unit_arms.join(",\n"),
+                if unit_arms.is_empty() { "" } else { ",\n" }
+            );
+            let obj_arm = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }},\n",
+                    data_arms.join(",\n")
+                )
+            };
+            format!(
+                "match v {{\n\
+                     {str_arm},\n\
+                     {obj_arm}\
+                     _ => ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"expected {name} variant\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
