@@ -157,7 +157,8 @@ fn time_query(bed: &Testbed, q: &GeneratedQuery) -> f64 {
 /// The traced side runs with `EngineConfig::default()`, which now means
 /// span tracing *plus* the per-query resource ledger (thread-CPU probes
 /// on every phase and worker) *plus* the sampling profiler at its
-/// default rate — the whole third observability tier, priced together.
+/// default rate *plus* the workload heavy-hitter sketch — every
+/// observability tier, priced together.
 /// Each query is timed on both engines back to back (alternating which
 /// side goes first), and the verdict is the median of the per-query
 /// traced/untraced ratios. Pairing adjacent timings cancels the slow
@@ -211,6 +212,21 @@ fn check_overhead(quick: bool) -> i32 {
         probe_resp.ledger.is_some(),
         "traced responses must carry a resource ledger"
     );
+    assert!(
+        traced.engine.tracer().workload().is_some(),
+        "default config must run the workload sketch so --check-overhead covers it"
+    );
+    assert!(
+        traced
+            .engine
+            .workload_snapshot(1)
+            .is_some_and(|s| s.total_queries > 0),
+        "the workload sketch must observe the timed search path"
+    );
+    assert!(
+        untraced.engine.tracer().workload().is_none(),
+        "the baseline must not maintain a workload sketch"
+    );
 
     // Warm both engines before timing anything.
     run_workload(&traced, &workload);
@@ -256,7 +272,9 @@ fn check_overhead(quick: bool) -> i32 {
     };
 
     println!("E1 --check-overhead: observability cost, per-query paired timings");
-    println!("  traced side: span tracing + resource ledger + profiler @ default hz");
+    println!(
+        "  traced side: span tracing + resource ledger + profiler @ default hz + workload sketch"
+    );
     println!("  corpus {size}, {queries} queries x {rounds} rounds, best-of-rounds per query");
 
     // A measurement block can only over-report: interference is additive
@@ -288,7 +306,9 @@ fn check_overhead(quick: bool) -> i32 {
         .map(|v| format!("{v:+.2}%"))
         .collect::<Vec<_>>()
         .join(" ");
-    println!("  FAIL: observability exceeds the {BUDGET_PCT}% budget in all {ATTEMPTS} attempts ({all})");
+    println!(
+        "  FAIL: observability exceeds the {BUDGET_PCT}% budget in all {ATTEMPTS} attempts ({all})"
+    );
     1
 }
 
@@ -711,7 +731,9 @@ fn read_http_response(stream: &mut TcpStream) -> std::io::Result<(u16, bool, usi
         })
     };
     let keep_alive = header("connection").is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
-    let len: usize = header("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let len: usize = header("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
     Ok((status, keep_alive, len))
@@ -871,7 +893,10 @@ fn run_serving(quick: bool, check: bool) -> i32 {
         let mut stream = TcpStream::connect(addr).expect("connect probe");
         let start = Instant::now();
         stream
-            .write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").as_bytes())
+            .write_all(
+                format!("GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+                    .as_bytes(),
+            )
             .expect("send probe");
         match read_http_response(&mut stream) {
             Ok((503, _, _)) => {
@@ -888,7 +913,8 @@ fn run_serving(quick: bool, check: bool) -> i32 {
 
     // Release the pinned workers and the queued filler, then drain.
     for mut pin in pins {
-        pin.write_all(b"\r\nConnection: close\r\n\r\n").expect("release pin");
+        pin.write_all(b"\r\nConnection: close\r\n\r\n")
+            .expect("release pin");
         let _ = read_http_response(&mut pin);
     }
     drop(filler);
@@ -897,14 +923,20 @@ fn run_serving(quick: bool, check: bool) -> i32 {
     let sat_drain_ms = sat_drain_start.elapsed().as_secs_f64() * 1e3;
 
     println!("E1 --serve: HTTP serving path, corpus {size}\n");
-    let mut table = Table::new(&["segment", "requests", "5xx/shed", "p50 (ms)", "p99 (ms)", "drain"]);
+    let mut table = Table::new(&[
+        "segment", "requests", "5xx/shed", "p50 (ms)", "p99 (ms)", "drain",
+    ]);
     table.row(&[
         "low load (keep-alive)".into(),
         low_requests.to_string(),
         format!("{low_5xx} 5xx"),
         format!("{low_p50:.3}"),
         format!("{low_p99:.3}"),
-        if low_clean_drain { format!("clean {low_drain_ms:.0} ms") } else { "EXCEEDED".into() },
+        if low_clean_drain {
+            format!("clean {low_drain_ms:.0} ms")
+        } else {
+            "EXCEEDED".into()
+        },
     ]);
     table.row(&[
         "saturation (shed path)".into(),
@@ -912,7 +944,11 @@ fn run_serving(quick: bool, check: bool) -> i32 {
         format!("{sheds} shed ({:.0}%)", shed_rate * 100.0),
         format!("{:.3}", quantile_ms(&shed_latencies, 0.50)),
         format!("{shed_p99:.3}"),
-        if sat_clean_drain { format!("clean {sat_drain_ms:.0} ms") } else { "EXCEEDED".into() },
+        if sat_clean_drain {
+            format!("clean {sat_drain_ms:.0} ms")
+        } else {
+            "EXCEEDED".into()
+        },
     ]);
     table.print();
     println!(

@@ -17,6 +17,7 @@
 //!                      [--slowlog-ms <n>] [--trace-ring <n>] [--profile-hz <n>]
 //!                      [--slo-p99-ms <n>] [--slo-error-pct <f>]
 //! schemr-cli profile   <host:port> [--ms <n>]
+//! schemr-cli doctor    <host:port>
 //! schemr-cli tracelog  tail   <event.log> [-n <limit>]
 //! schemr-cli tracelog  stats  <event.log>
 //! schemr-cli tracelog  replay <event.log> <repo.json>
@@ -129,6 +130,12 @@ commands:
   profile   <host:port> [--ms N]                       sample a running server's
                                                        span stacks for N ms and
                                                        print folded stacks
+  doctor    <host:port>                                one-shot health check: folds
+                                                       /healthz, SLO burn rates, the
+                                                       workload sketch and index/memory
+                                                       statistics into one verdict
+                                                       (exit 0 healthy, 1 degraded,
+                                                       2 unreachable)
   tracelog  tail   <event.log> [-n N]                  print the last N logged searches
   tracelog  stats  <event.log>                         aggregate timings across the log
   tracelog  replay <event.log> <repo.json>             re-run logged queries, diff results
@@ -156,6 +163,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<i32, CliError> {
         "stats" => cmd_stats(&rest, out),
         "serve" => cmd_serve(&rest, out),
         "profile" => cmd_profile(&rest, out),
+        "doctor" => cmd_doctor(&rest, out),
         "tracelog" => cmd_tracelog(&rest, out),
         other => Err(err(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -497,27 +505,17 @@ fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
     }
 }
 
-/// `profile <host:port> [--ms N]` — ask a running server to sample its
-/// live span stacks for a window and print the folded stacks, ready to
-/// pipe into a flamegraph renderer.
-fn cmd_profile(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
-    let addr = args.positional(0, "server address (host:port)")?.to_string();
-    let ms: u64 = match args.flag(&["ms"]) {
-        Some(v) => v
-            .parse()
-            .map_err(|_| err("ms must be an integer (milliseconds)"))?,
-        None => 500,
-    };
-    let mut stream = std::net::TcpStream::connect(&addr)
-        .map_err(|e| err(format!("connect {addr}: {e}")))?;
-    // The server blocks for the whole window before answering; allow it
-    // that plus generous headroom before giving up on the read.
+/// One `GET` against a running server: connect, send, read to EOF,
+/// return (status, body). `timeout_ms` bounds the read.
+fn http_get(addr: &str, target: &str, timeout_ms: u64) -> Result<(u16, String), CliError> {
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| err(format!("connect {addr}: {e}")))?;
     stream
-        .set_read_timeout(Some(std::time::Duration::from_millis(ms + 10_000)))
+        .set_read_timeout(Some(std::time::Duration::from_millis(timeout_ms)))
         .map_err(|e| err(format!("socket setup: {e}")))?;
     write!(
         stream,
-        "GET /debug/profile?ms={ms} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
     )
     .map_err(|e| err(format!("send request: {e}")))?;
     let mut raw = String::new();
@@ -529,6 +527,25 @@ fn cmd_profile(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+    Ok((status, body.to_string()))
+}
+
+/// `profile <host:port> [--ms N]` — ask a running server to sample its
+/// live span stacks for a window and print the folded stacks, ready to
+/// pipe into a flamegraph renderer.
+fn cmd_profile(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    let addr = args
+        .positional(0, "server address (host:port)")?
+        .to_string();
+    let ms: u64 = match args.flag(&["ms"]) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| err("ms must be an integer (milliseconds)"))?,
+        None => 500,
+    };
+    // The server blocks for the whole window before answering; allow it
+    // that plus generous headroom before giving up on the read.
+    let (status, body) = http_get(&addr, &format!("/debug/profile?ms={ms}"), ms + 10_000)?;
     if status != 200 {
         return Err(err(format!(
             "{addr} answered {status}: {}",
@@ -537,6 +554,180 @@ fn cmd_profile(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
     }
     write!(out, "{body}")?;
     Ok(0)
+}
+
+/// Render a byte count the way an operator reads it.
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// `doctor <host:port>` — one-shot operational check against a running
+/// server. Folds `/healthz`, `/debug/slo`, `/debug/workload`,
+/// `/debug/index` and `/debug/memory` into a single operator-readable
+/// verdict: exit 0 when healthy, 1 when serving but degraded, 2 when
+/// unreachable. The debug endpoints are loopback-gated, so run doctor on
+/// the host the server lives on.
+fn cmd_doctor(args: &Args, out: &mut impl Write) -> Result<i32, CliError> {
+    use schemr_obs::json::Json;
+    const TIMEOUT_MS: u64 = 5_000;
+    /// Tombstone fraction past which a vacuum is overdue.
+    const TOMBSTONE_WARN: f64 = 0.30;
+    /// Zero-result fraction that signals a corpus/workload mismatch…
+    const ZERO_RATE_WARN: f64 = 0.50;
+    /// …once the sample is big enough to mean something.
+    const ZERO_RATE_MIN_QUERIES: u64 = 20;
+
+    let addr = args
+        .positional(0, "server address (host:port)")?
+        .to_string();
+    let fetch = |target: &str| -> Result<(u16, Json), CliError> {
+        let (status, body) = http_get(&addr, target, TIMEOUT_MS)?;
+        let json = Json::parse(&body)
+            .map_err(|e| err(format!("{target} answered {status} with bad JSON: {e}")))?;
+        Ok((status, json))
+    };
+    let get_u64 = |j: &Json, key: &str| j.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let get_f64 = |j: &Json, key: &str| j.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+
+    let mut problems: Vec<String> = Vec::new();
+    writeln!(out, "schemr doctor @ {addr}")?;
+
+    // /healthz — liveness and the folded SLO signal.
+    let (_, health) = fetch("/healthz")?;
+    let state = health
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    writeln!(
+        out,
+        "  health     {state} (revision {}, {} doc(s) indexed)",
+        get_u64(&health, "revision"),
+        get_u64(&health, "indexed_docs"),
+    )?;
+    if state != "ok" {
+        problems.push(format!("health status is `{state}`"));
+    }
+
+    // /debug/slo — burn rates per rolling window.
+    let (slo_status, slo) = fetch("/debug/slo")?;
+    if slo_status == 200 {
+        let degraded = slo.get("degraded").and_then(Json::as_bool).unwrap_or(false);
+        let windows = slo.get("windows").and_then(Json::as_arr).unwrap_or(&[]);
+        let burns: Vec<String> = windows
+            .iter()
+            .map(|w| {
+                format!(
+                    "{} latency×{:.2} errors×{:.2}",
+                    w.get("window").and_then(Json::as_str).unwrap_or("?"),
+                    get_f64(w, "latency_burn"),
+                    get_f64(w, "error_burn"),
+                )
+            })
+            .collect();
+        writeln!(
+            out,
+            "  slo        p99 objective {} ms, error budget {}%: {}",
+            get_u64(&slo, "p99_objective_ms"),
+            get_f64(&slo, "error_budget_pct"),
+            if burns.is_empty() {
+                "no windows".to_string()
+            } else {
+                burns.join(", ")
+            },
+        )?;
+        if degraded {
+            problems.push("fast-window SLO burn rate above 1.0".to_string());
+        }
+    } else {
+        writeln!(out, "  slo        unavailable (http {slo_status})")?;
+    }
+
+    // /debug/workload — the heavy-hitter sketch. 404 means the workload
+    // plane is off (tracing disabled or sketch capacity 0): a
+    // configuration note, not a failure.
+    let (wl_status, wl_body) = http_get(&addr, "/debug/workload", TIMEOUT_MS)?;
+    if wl_status == 200 {
+        let wl =
+            Json::parse(&wl_body).map_err(|e| err(format!("/debug/workload: bad JSON: {e}")))?;
+        let total = get_u64(&wl, "total_queries");
+        let zero = get_u64(&wl, "zero_result_queries");
+        let rate = get_f64(&wl, "zero_result_rate");
+        let top = wl
+            .get("top_terms")
+            .and_then(Json::as_arr)
+            .and_then(|a| a.first())
+            .and_then(|h| h.get("key"))
+            .and_then(Json::as_str)
+            .map(|k| format!(", top term \"{k}\""))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "  workload   {total} query(ies), {zero} zero-result ({:.1}%), ~{:.0} distinct term(s){top}",
+            rate * 100.0,
+            get_f64(&wl, "distinct_terms_estimate"),
+        )?;
+        if total >= ZERO_RATE_MIN_QUERIES && rate > ZERO_RATE_WARN {
+            problems.push(format!(
+                "zero-result rate {:.0}% — the corpus is not answering the workload",
+                rate * 100.0
+            ));
+        }
+    } else {
+        writeln!(out, "  workload   analytics off (http {wl_status})")?;
+    }
+
+    // /debug/index — postings statistics; tombstone ratio is the vacuum
+    // pressure gauge.
+    let (_, index) = fetch("/debug/index?limit=1")?;
+    let tombstone = get_f64(&index, "tombstone_ratio");
+    writeln!(
+        out,
+        "  index      {} live doc(s), {} term(s), {} posting(s), tombstone ratio {:.1}%",
+        get_u64(&index, "live_docs"),
+        get_u64(&index, "distinct_terms"),
+        get_u64(&index, "postings"),
+        tombstone * 100.0,
+    )?;
+    if tombstone > TOMBSTONE_WARN {
+        problems.push(format!(
+            "index tombstone ratio {:.0}% — vacuum is overdue",
+            tombstone * 100.0
+        ));
+    }
+
+    // /debug/memory — deep resident bytes per structure.
+    let (_, mem) = fetch("/debug/memory")?;
+    let nested = |obj: &str, key: &str| {
+        mem.get(obj)
+            .and_then(|o| o.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    writeln!(
+        out,
+        "  memory     index {} deep, artifact cache {}, trace rings {}",
+        fmt_bytes(nested("index", "deep_bytes")),
+        fmt_bytes(nested("match_artifact_cache", "resident_bytes")),
+        fmt_bytes(nested("trace_ring", "bytes") + nested("slowlog_ring", "bytes")),
+    )?;
+
+    if problems.is_empty() {
+        writeln!(out, "verdict: healthy")?;
+        Ok(0)
+    } else {
+        for p in &problems {
+            writeln!(out, "  !! {p}")?;
+        }
+        writeln!(out, "verdict: degraded ({} finding(s))", problems.len())?;
+        Ok(1)
+    }
 }
 
 fn load_events(args: &Args, ix: usize) -> Result<(String, Vec<schemr_obs::SearchEvent>), CliError> {
@@ -681,7 +872,13 @@ mod tests {
     fn run_str(args: &[&str]) -> (i32, String) {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         let mut out = Vec::new();
-        let code = run(&args, &mut out).unwrap_or(2);
+        let code = match run(&args, &mut out) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("CLI ERR: {e}");
+                2
+            }
+        };
         (code, String::from_utf8(out).unwrap())
     }
 
@@ -993,6 +1190,83 @@ mod tests {
         assert!(run_err(&["serve", &repo, "--slo-error-pct", "x"]).contains("slo-error-pct"));
         assert!(run_err(&["profile"]).contains("server address"));
         assert!(run_err(&["profile", "127.0.0.1:1", "--ms", "x"]).contains("ms must be"));
+        assert!(run_err(&["doctor"]).contains("server address"));
+        assert!(run_err(&["doctor", "127.0.0.1:1"]).contains("connect"));
+    }
+
+    fn start_server(engine: Arc<SchemrEngine>) -> schemr_server::SchemrServer {
+        schemr_server::SchemrServer::start(
+            engine,
+            schemr_server::ServerConfig {
+                bind: "127.0.0.1:0".to_string(),
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn doctor_reports_a_healthy_server() {
+        let (dir, repo) = temp_repo();
+        std::fs::write(
+            dir.path.join("clinic.sql"),
+            "CREATE TABLE patient (height REAL, gender TEXT, diagnosis TEXT)",
+        )
+        .unwrap();
+        run_str(&["import", &repo, dir.path.to_str().unwrap()]);
+        let repo = Arc::new(persist::load(&repo).unwrap());
+        let engine = Arc::new(SchemrEngine::with_config(
+            repo,
+            schemr::EngineConfig {
+                trace: schemr_obs::TracerConfig {
+                    profile_hz: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ));
+        engine.reindex_full();
+        // Feed the workload sketch so doctor has analytics to report.
+        engine
+            .search(&SearchRequest::keywords(["patient", "height"]))
+            .unwrap();
+        let server = start_server(engine);
+        let addr = server.addr().to_string();
+
+        let (code, out) = run_str(&["doctor", &addr]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("verdict: healthy"), "{out}");
+        assert!(out.contains("health     ok"), "{out}");
+        assert!(out.contains("1 query(ies), 0 zero-result"), "{out}");
+        assert!(out.contains("tombstone ratio 0.0%"), "{out}");
+        assert!(out.contains("slo"), "{out}");
+        assert!(out.contains("memory     index"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn doctor_flags_an_empty_server_as_degraded() {
+        let engine = Arc::new(SchemrEngine::with_config(
+            Arc::new(Repository::new()),
+            schemr::EngineConfig {
+                trace: schemr_obs::TracerConfig {
+                    profile_hz: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ));
+        engine.reindex_full();
+        let server = start_server(engine);
+        let addr = server.addr().to_string();
+
+        let (code, out) = run_str(&["doctor", &addr]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("health     unavailable"), "{out}");
+        assert!(out.contains("verdict: degraded"), "{out}");
+        assert!(out.contains("health status is `unavailable`"), "{out}");
+        server.shutdown();
     }
 
     #[test]

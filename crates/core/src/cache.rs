@@ -149,8 +149,7 @@ impl<K: Eq + Hash + Clone, V: Clone, S: PartialEq> LruCore<K, V, S> {
         (evicted, evicted_weight)
     }
 
-    /// Resident entries; callers are all `#[cfg(test)]` accessors.
-    #[cfg(test)]
+    /// Resident entries.
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -232,11 +231,35 @@ impl CandidateCache {
         self.evictions.add(evicted);
     }
 
+    /// Resident occupancy under one lock hold: `(entries, capacity)`.
+    /// Weight is 1 per entry, so entries double as resident weight —
+    /// surfaced by `/debug/memory`.
+    pub(crate) fn usage(&self) -> CacheUsage {
+        let state = self.state.lock();
+        CacheUsage {
+            entries: state.len(),
+            resident_weight: state.weight,
+            budget: self.capacity,
+        }
+    }
+
     /// Resident entries (tests).
     #[cfg(test)]
     fn len(&self) -> usize {
         self.state.lock().len()
     }
+}
+
+/// A point-in-time occupancy snapshot of one stamped-LRU cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CacheUsage {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Total resident weight (entry count for the candidate cache,
+    /// heap bytes for the artifact cache).
+    pub resident_weight: usize,
+    /// The eviction budget the weight is held under.
+    pub budget: usize,
 }
 
 /// Stamp for a prepared-candidate entry: the schema's repository revision
@@ -346,6 +369,18 @@ impl MatchArtifactCache {
         self.bytes_inserted.add(bytes as u64);
         self.evictions.add(evicted);
         self.bytes_evicted.add(evicted_bytes as u64);
+    }
+
+    /// Resident occupancy under one lock hold: entries plus resident
+    /// artifact bytes against the byte budget — surfaced by
+    /// `/debug/memory`.
+    pub(crate) fn usage(&self) -> CacheUsage {
+        let state = self.state.lock();
+        CacheUsage {
+            entries: state.len(),
+            resident_weight: state.weight,
+            budget: self.budget_bytes,
+        }
     }
 
     /// Resident bytes (tests).
@@ -554,6 +589,25 @@ mod tests {
         c.put(SchemaId(1), stamp(2, 1), artifacts(60));
         assert_eq!(c.resident_bytes(), 60);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn usage_reports_resident_occupancy() {
+        let c = cache(4);
+        c.put(key("a"), rev(1), vec![hit(1)]);
+        c.put(key("b"), rev(1), vec![hit(2)]);
+        let usage = c.usage();
+        assert_eq!(usage.entries, 2);
+        assert_eq!(usage.resident_weight, 2, "weight 1 per candidate entry");
+        assert_eq!(usage.budget, 4);
+
+        let a = artifact_cache(1024);
+        a.put(SchemaId(1), stamp(1, 1), artifacts(100));
+        a.put(SchemaId(2), stamp(1, 1), artifacts(60));
+        let usage = a.usage();
+        assert_eq!(usage.entries, 2);
+        assert_eq!(usage.resident_weight, 160, "artifact weight is bytes");
+        assert_eq!(usage.budget, 1024);
     }
 
     #[test]

@@ -15,9 +15,9 @@ use schemr_index::{codec, Index, IndexDocument, IndexStats, SearchOptions};
 use schemr_match::{Ensemble, PreparedCandidate};
 use schemr_model::QueryGraph;
 use schemr_obs::{
-    CpuProbeDepth, EventResult, LedgerProbe, MetricsRegistry, Profiler, ResourceLedger,
-    SearchOutcome, SpanGuard,
-    SpanTimer, StackSource, Tracer, TracerConfig,
+    CpuProbeDepth, DeepSize, EventResult, LedgerProbe, MetricsRegistry, Profiler, ResourceLedger,
+    SearchEvent, SearchOutcome, SpanGuard, SpanTimer, StackSource, Tracer, TracerConfig,
+    WorkloadSnapshot,
 };
 use schemr_repo::{ChangeKind, Repository};
 
@@ -87,6 +87,40 @@ impl std::fmt::Display for SearchError {
 }
 
 impl std::error::Error for SearchError {}
+
+/// A point-in-time deep-memory report across the engine's resident data
+/// structures (`GET /debug/memory`). All byte figures are estimates
+/// computed from capacities and element sizes ([`DeepSize`]), not
+/// allocator measurements — they track growth and attribute it, they do
+/// not reconcile with RSS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Estimated heap bytes of the whole inverted index (term
+    /// dictionary, postings, document table, forward index).
+    pub index_deep_bytes: usize,
+    /// Estimated heap bytes of the postings lists alone.
+    pub index_postings_bytes: usize,
+    /// Resident Phase 1 candidate-cache entries.
+    pub candidate_cache_entries: usize,
+    /// Candidate-cache capacity (entries; 0 = disabled).
+    pub candidate_cache_budget: usize,
+    /// Resident Phase 2 match-artifact-cache entries.
+    pub artifact_cache_entries: usize,
+    /// Resident artifact bytes held by the match-artifact cache.
+    pub artifact_cache_resident_bytes: usize,
+    /// Artifact-cache byte budget (0 = disabled).
+    pub artifact_cache_budget_bytes: usize,
+    /// Completed traces retained in the recent ring.
+    pub trace_ring_len: usize,
+    /// Estimated heap bytes of the recent-trace ring.
+    pub trace_ring_bytes: usize,
+    /// Completed traces retained in the slowlog ring.
+    pub slow_ring_len: usize,
+    /// Estimated heap bytes of the slowlog ring.
+    pub slow_ring_bytes: usize,
+    /// Bytes written to the JSONL event log since open, when configured.
+    pub event_log_bytes: Option<u64>,
+}
 
 /// The Schemr search engine.
 pub struct SchemrEngine {
@@ -271,6 +305,52 @@ impl SchemrEngine {
         self.index.read().stats()
     }
 
+    /// Data-plane introspection of the live index: corpus aggregates
+    /// plus per-postings-list statistics for the `top_lists` heaviest
+    /// lists (`GET /debug/index`).
+    pub fn index_introspection(&self, top_lists: usize) -> schemr_index::IndexIntrospection {
+        self.index.read().introspect(top_lists)
+    }
+
+    /// Workload snapshot (heavy-hitter terms/shapes, zero-result panel,
+    /// distinct-term estimate) with the `top_n` heaviest entries per
+    /// panel. `None` when the workload plane is off (`GET
+    /// /debug/workload` returns 404 then).
+    pub fn workload_snapshot(&self, top_n: usize) -> Option<WorkloadSnapshot> {
+        self.tracer.workload().map(|w| w.snapshot(top_n))
+    }
+
+    /// Deep memory accounting across the engine's resident data
+    /// structures (`GET /debug/memory`): the index, both revision-keyed
+    /// caches, the trace rings, and the event log.
+    pub fn memory_report(&self) -> MemoryReport {
+        let (index_deep_bytes, postings_bytes) = {
+            let index = self.index.read();
+            (index.deep_size_of(), index.introspect(0).postings_bytes)
+        };
+        let candidate = self.candidate_cache.usage();
+        let artifact = self.artifact_cache.usage();
+        let (trace_ring_bytes, slow_ring_bytes) = self.tracer.ring_bytes();
+        let (trace_ring_len, slow_ring_len) = self.tracer.ring_lens();
+        MemoryReport {
+            index_deep_bytes,
+            index_postings_bytes: postings_bytes,
+            candidate_cache_entries: candidate.entries,
+            candidate_cache_budget: candidate.budget,
+            artifact_cache_entries: artifact.entries,
+            artifact_cache_resident_bytes: artifact.resident_weight,
+            artifact_cache_budget_bytes: artifact.budget,
+            trace_ring_len,
+            trace_ring_bytes,
+            slow_ring_len,
+            slow_ring_bytes,
+            event_log_bytes: self
+                .tracer
+                .event_log()
+                .map(schemr_obs::EventLog::written_bytes),
+        }
+    }
+
     /// Persist the index segment to disk (offline-indexer output).
     pub fn save_index(&self, path: impl AsRef<std::path::Path>) -> Result<(), codec::CodecError> {
         codec::save_to(&self.index.read(), path)
@@ -288,14 +368,16 @@ impl SchemrEngine {
     /// Phase 1 only: the coarse candidate list for a query graph. Exposed
     /// for the scalability and coordination experiments.
     pub fn extract_candidates(&self, graph: &QueryGraph) -> Vec<schemr_index::Hit> {
-        self.extract_candidates_traced(graph, None)
+        self.extract_candidates_traced(graph, None).0
     }
 
+    /// Phase 1 with tracing. Also returns the analyzed query terms so the
+    /// workload sketch can observe them without a second analyzer pass.
     fn extract_candidates_traced(
         &self,
         graph: &QueryGraph,
         span: Option<&SpanGuard<'_>>,
-    ) -> Vec<schemr_index::Hit> {
+    ) -> (Vec<schemr_index::Hit>, Vec<String>) {
         let options = SearchOptions {
             top_n: self.config.top_candidates,
             coordination: self.config.coordination,
@@ -308,7 +390,8 @@ impl SchemrEngine {
             .flat_map(|t| index.name_analyzer().analyze(t))
             .collect();
         if !self.candidate_cache.enabled() {
-            return index.search_terms_traced(&terms, &options, span);
+            let hits = index.search_terms_traced(&terms, &options, span);
+            return (hits, terms);
         }
         let key = CacheKey::new(terms.clone(), &options);
         // A revision observed *before* the lookup can only be older than
@@ -319,7 +402,7 @@ impl SchemrEngine {
                 s.annotate("candidate_cache", "hit");
                 s.annotate("hits", hits.len());
             }
-            return hits;
+            return (hits, terms);
         }
         // The versioned search reads the revision and the postings under
         // one lock hold, so the entry is stamped with exactly the state
@@ -330,7 +413,7 @@ impl SchemrEngine {
             s.annotate("candidate_cache", "miss");
         }
         self.candidate_cache.put(key, revision, hits.clone());
-        hits
+        (hits, terms)
     }
 
     /// Resolve the prepared match artifacts for `stored` through the
@@ -372,7 +455,49 @@ impl SchemrEngine {
         if deleted == 0 || (deleted as f64) < threshold * stats.total_docs as f64 {
             return false;
         }
+        let before_ratio = deleted as f64 / stats.total_docs as f64;
+        let started = Instant::now();
         index.vacuum();
+        let took = started.elapsed();
+        // Leave a maintenance record in the event log so offline analysis
+        // of a latency window can see the vacuum that ran inside it. The
+        // `<vacuum>` query marker keeps the record parseable by every
+        // reader of ordinary search lines.
+        if let Some(log) = self.tracer.event_log() {
+            let after = index.stats();
+            let after_ratio = if after.total_docs == 0 {
+                0.0
+            } else {
+                (after.total_docs - after.live_docs) as f64 / after.total_docs as f64
+            };
+            let event = SearchEvent {
+                trace_id: format!("vacuum-r{}", index.revision().mutations),
+                unix_ms: std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.as_millis() as u64),
+                query: "<vacuum>".to_string(),
+                candidates_from_index: 0,
+                candidates_evaluated: 0,
+                phase_us: vec![("vacuum".to_string(), took.as_micros() as u64)],
+                total_us: took.as_micros() as u64,
+                results: Vec::new(),
+                cpu_us: 0,
+                alloc_count: 0,
+                alloc_bytes: 0,
+                tags: vec![
+                    (
+                        "tombstone_ratio_before".to_string(),
+                        format!("{before_ratio:.4}"),
+                    ),
+                    (
+                        "tombstone_ratio_after".to_string(),
+                        format!("{after_ratio:.4}"),
+                    ),
+                    ("docs_reclaimed".to_string(), deleted.to_string()),
+                ],
+            };
+            let _ = log.append(&event);
+        }
         true
     }
 
@@ -419,7 +544,7 @@ impl SchemrEngine {
         let t0 = Instant::now();
         let p1 = root.as_ref().map(|r| r.child("candidate_extraction"));
         let p1_probe = want_trace.then(|| LedgerProbe::start_with_cpu(deep_cpu));
-        let hits = self.extract_candidates_traced(&graph, p1.as_ref());
+        let (hits, analyzed_terms) = self.extract_candidates_traced(&graph, p1.as_ref());
         if let (Some(s), Some(pr)) = (&p1, &p1_probe) {
             annotate_ledger(s, &pr.delta());
         }
@@ -647,6 +772,23 @@ impl SchemrEngine {
         }
         drop(p3);
         let scoring = t2.elapsed();
+
+        // Zero-result accounting: the counter feeds the zero-result rate
+        // on `/metrics`; the root-span annotation makes empty searches
+        // findable in `/debug/traces` without opening each span tree.
+        if results.is_empty() {
+            self.metrics.search_empty_total.inc();
+            if let Some(r) = &root {
+                r.annotate("results", 0usize);
+            }
+        }
+        // Workload sketch: heavy-hitter terms, normalized query shapes,
+        // and the zero-result shape panel. One short mutex hold on a
+        // handful of bounded counters; absent entirely when the plane is
+        // off.
+        if let Some(workload) = self.tracer.workload() {
+            workload.record_query(&analyzed_terms, results.is_empty());
+        }
 
         // Record the phase work into the registry on every search (not just
         // when the caller keeps the timings).

@@ -51,7 +51,7 @@ pub mod tightness;
 mod cache;
 mod query;
 
-pub use engine::{EngineConfig, SchemrEngine, SearchError};
+pub use engine::{EngineConfig, MemoryReport, SchemrEngine, SearchError};
 pub use metrics::EngineMetrics;
 pub use query::{parse_keywords, QueryParseError};
 pub use request::SearchRequest;

@@ -19,6 +19,7 @@ use schemr_obs::{Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS};
 /// |---|---|---|
 /// | `schemr_search_requests_total` | counter | searches started |
 /// | `schemr_search_errors_total` | counter | searches rejected (empty query) |
+/// | `schemr_search_empty_total` | counter | searches that returned zero results |
 /// | `schemr_candidates_evaluated_total` | counter | Phase 1 survivors matched in Phase 2 |
 /// | `schemr_match_threads_used_total` | counter | threads used by Phase 2, summed per search |
 /// | `schemr_phase_seconds{phase=…}` | histogram | per-phase wall time per search |
@@ -34,6 +35,10 @@ pub struct EngineMetrics {
     pub searches_total: Arc<Counter>,
     /// Searches rejected before Phase 1 (empty query).
     pub search_errors_total: Arc<Counter>,
+    /// Searches that completed but returned zero results. Divide by
+    /// `searches_total` for the zero-result rate — the workload plane's
+    /// headline relevance signal.
+    pub search_empty_total: Arc<Counter>,
     /// Candidates that reached the Phase 2 matcher ensemble.
     pub candidates_evaluated_total: Arc<Counter>,
     /// Threads used by Phase 2, summed over searches; divide by
@@ -96,6 +101,10 @@ impl EngineMetrics {
             search_errors_total: registry.counter(
                 "schemr_search_errors_total",
                 "Searches rejected before candidate extraction (empty query).",
+            ),
+            search_empty_total: registry.counter(
+                "schemr_search_empty_total",
+                "Searches that completed but returned zero results.",
             ),
             candidates_evaluated_total: registry.counter(
                 "schemr_candidates_evaluated_total",
@@ -193,6 +202,7 @@ mod tests {
         for expected in [
             "schemr_search_requests_total",
             "schemr_search_errors_total",
+            "schemr_search_empty_total",
             "schemr_candidates_evaluated_total",
             "schemr_match_threads_used_total",
             "schemr_phase_seconds",

@@ -1,0 +1,184 @@
+//! The workload/introspection plane end to end at the engine level:
+//! zero-result accounting, the workload sketch feed, vacuum maintenance
+//! records in the event log, and the deep-memory report.
+
+use std::sync::Arc;
+
+use schemr::{EngineConfig, SchemrEngine, SearchRequest};
+use schemr_obs::TracerConfig;
+use schemr_repo::{import, Repository};
+
+fn seeded_repo() -> Arc<Repository> {
+    let repo = Arc::new(Repository::new());
+    import::import_str(
+        &repo,
+        "clinic",
+        "a rural clinic",
+        "CREATE TABLE patient (height REAL, gender TEXT, diagnosis TEXT)",
+    )
+    .unwrap();
+    import::import_str(
+        &repo,
+        "store",
+        "web shop",
+        "CREATE TABLE orders (total DECIMAL, quantity INT, customer TEXT)",
+    )
+    .unwrap();
+    repo
+}
+
+fn traced_engine(repo: Arc<Repository>) -> SchemrEngine {
+    let engine = SchemrEngine::with_config(
+        repo,
+        EngineConfig {
+            trace: TracerConfig {
+                profile_hz: 0,
+                ..TracerConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    engine.reindex_full();
+    engine
+}
+
+#[test]
+fn zero_result_searches_are_counted_and_annotated() {
+    let engine = traced_engine(seeded_repo());
+
+    // A hitting query: no empty increment, no results=0 annotation.
+    let resp = engine
+        .search_detailed(&SearchRequest::keywords(["patient", "height"]))
+        .unwrap();
+    assert!(!resp.results.is_empty());
+    assert_eq!(engine.metrics().search_empty_total.get(), 0);
+
+    // A missing query: counter increments and the *root* span carries
+    // results=0 so empty searches are findable in the trace listing.
+    let resp = engine
+        .search_detailed(&SearchRequest::keywords(["zebra", "wingspan"]))
+        .unwrap();
+    assert!(resp.results.is_empty());
+    assert_eq!(engine.metrics().search_empty_total.get(), 1);
+    let trace_id = resp.trace_id.expect("tracing is on");
+    let trace = engine.tracer().get(&trace_id).expect("trace retained");
+    let root = &trace.spans[0];
+    assert_eq!(root.name, "search");
+    assert!(
+        root.attrs.iter().any(|(k, v)| k == "results" && v == "0"),
+        "root span annotates results=0: {:?}",
+        root.attrs
+    );
+}
+
+#[test]
+fn workload_sketch_observes_the_search_path() {
+    let engine = traced_engine(seeded_repo());
+    for _ in 0..3 {
+        engine
+            .search(&SearchRequest::keywords(["patient", "height"]))
+            .unwrap();
+    }
+    engine
+        .search(&SearchRequest::keywords(["zebra", "wingspan"]))
+        .unwrap();
+
+    let snap = engine.workload_snapshot(10).expect("workload plane is on");
+    assert_eq!(snap.total_queries, 4);
+    assert_eq!(snap.zero_result_queries, 1);
+    assert!(snap.distinct_terms_estimate >= 2.0);
+    // The analyzed terms — not the raw keywords — are what the sketch
+    // sees, and the repeated query dominates the term panel.
+    let top_term = &snap.top_terms[0];
+    assert_eq!(top_term.count, 3);
+    // The zero-result panel holds only the missing query's shape.
+    assert_eq!(snap.top_zero_shapes.len(), 1);
+    assert_eq!(snap.top_zero_shapes[0].count, 1);
+
+    // With tracing disabled there is no workload plane at all.
+    let dark = SchemrEngine::with_config(
+        seeded_repo(),
+        EngineConfig {
+            trace: TracerConfig::disabled(),
+            ..EngineConfig::default()
+        },
+    );
+    dark.reindex_full();
+    dark.search(&SearchRequest::keywords(["patient"])).unwrap();
+    assert!(dark.workload_snapshot(10).is_none());
+    assert!(dark.tracer().workload().is_none());
+}
+
+#[test]
+fn vacuum_writes_a_tagged_maintenance_record() {
+    let dir = std::env::temp_dir().join(format!("schemr-vacuum-log-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("events.jsonl");
+    let _ = std::fs::remove_file(&log_path);
+
+    let repo = seeded_repo();
+    let engine = SchemrEngine::with_config(
+        repo.clone(),
+        EngineConfig {
+            trace: TracerConfig {
+                profile_hz: 0,
+                event_log_path: Some(log_path.clone()),
+                ..TracerConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    engine.reindex_full();
+
+    // Tombstone one of the two documents, then vacuum at a threshold the
+    // 50% ratio clears.
+    let id = repo.snapshot()[0].metadata.id;
+    repo.remove(id).unwrap();
+    engine.reindex_incremental();
+    assert!(engine.maybe_vacuum(0.25), "vacuum should run");
+
+    let events = schemr_obs::read_events_at(&log_path).unwrap();
+    let vacuum = events
+        .iter()
+        .find(|e| e.query == "<vacuum>")
+        .expect("vacuum record present");
+    assert!(vacuum.trace_id.starts_with("vacuum-r"));
+    assert_eq!(vacuum.phase_us.len(), 1);
+    assert_eq!(vacuum.phase_us[0].0, "vacuum");
+    let tag = |k: &str| {
+        vacuum
+            .tags
+            .iter()
+            .find(|(key, _)| key == k)
+            .unwrap_or_else(|| panic!("missing tag {k}: {:?}", vacuum.tags))
+            .1
+            .clone()
+    };
+    assert_eq!(tag("tombstone_ratio_before"), "0.5000");
+    assert_eq!(tag("tombstone_ratio_after"), "0.0000");
+    assert_eq!(tag("docs_reclaimed"), "1");
+
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn memory_report_accounts_for_resident_structures() {
+    let engine = traced_engine(seeded_repo());
+    engine
+        .search(&SearchRequest::keywords(["patient", "height"]))
+        .unwrap();
+
+    let report = engine.memory_report();
+    assert!(report.index_deep_bytes > report.index_postings_bytes);
+    assert!(report.index_postings_bytes > 0);
+    // The search above populated the candidate cache and the artifact
+    // cache, and left one completed trace in the ring.
+    assert!(report.candidate_cache_entries >= 1);
+    assert_eq!(report.candidate_cache_budget, 512);
+    assert!(report.artifact_cache_entries >= 1);
+    assert!(report.artifact_cache_resident_bytes > 0);
+    assert!(report.artifact_cache_resident_bytes <= report.artifact_cache_budget_bytes);
+    assert_eq!(report.trace_ring_len, 1);
+    assert!(report.trace_ring_bytes > 0);
+    assert_eq!(report.event_log_bytes, None, "no event log configured");
+}

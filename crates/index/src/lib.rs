@@ -36,7 +36,7 @@ mod memory;
 
 pub use document::{IndexDocument, ELEMENT_POSITION_GAP};
 pub use field::Field;
-pub use memory::{Index, IndexRevision, IndexStats};
+pub use memory::{Index, IndexIntrospection, IndexRevision, IndexStats, PostingsListStats};
 pub use metrics::IndexMetrics;
 pub use search::{Hit, ProbeStats, SearchOptions};
 

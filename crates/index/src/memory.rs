@@ -5,14 +5,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use schemr_model::SchemaId;
-use schemr_obs::SpanGuard;
+use schemr_obs::{DeepSize, SpanGuard};
 use schemr_text::Analyzer;
 
 use crate::document::IndexDocument;
 use crate::field::Field;
 use crate::metrics::IndexMetrics;
 use crate::postings::PostingsList;
-use crate::search::{search_postings, Hit, SearchOptions};
+use crate::search::{idf_weight, impact, search_postings, Hit, SearchOptions};
 use crate::DocOrd;
 
 /// Per-document bookkeeping: external id, per-field token counts, liveness.
@@ -377,6 +377,160 @@ impl Index {
     }
 }
 
+impl Inner {
+    /// Estimated heap bytes of the whole in-memory index: the term
+    /// dictionary with its postings, the document table, the id map,
+    /// and the forward index. Map overheads are approximated the same
+    /// way the obs `DeepSize` container impls do.
+    fn deep_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let terms: usize = self
+            .terms
+            .iter()
+            .map(|((_, term), pl)| {
+                size_of::<(u8, String)>()
+                    + size_of::<PostingsList>()
+                    + 2 * size_of::<usize>()
+                    + term.capacity()
+                    + pl.deep_size_of_children()
+            })
+            .sum();
+        let docs = self.docs.capacity() * size_of::<DocEntry>();
+        let by_id = self.by_id.capacity() * (size_of::<SchemaId>() + size_of::<DocOrd>() + 1);
+        let doc_terms: usize = self.doc_terms.capacity() * size_of::<Vec<(u8, String)>>()
+            + self
+                .doc_terms
+                .iter()
+                .map(|keys| {
+                    keys.capacity() * size_of::<(u8, String)>()
+                        + keys.iter().map(|(_, t)| t.capacity()).sum::<usize>()
+                })
+                .sum::<usize>();
+        terms + docs + by_id + doc_terms
+    }
+}
+
+impl DeepSize for Index {
+    /// Takes the index's read lock briefly; concurrent searches (also
+    /// readers) are unaffected.
+    fn deep_size_of_children(&self) -> usize {
+        self.inner.read().deep_bytes()
+    }
+}
+
+impl Index {
+    /// Data-plane introspection: per-postings-list statistics for the
+    /// `top_lists` largest lists (by live document frequency) plus
+    /// corpus-level aggregates, computed on demand under one read lock
+    /// — concurrent searches share the lock and are not blocked.
+    ///
+    /// Each list's `max_impact` is the largest Phase 1 score any of its
+    /// live postings can contribute, computed with the scorer's own
+    /// `impact` arithmetic — the per-list upper bound WAND/MaxScore
+    /// pruning needs (ROADMAP item 4).
+    pub fn introspect(&self, top_lists: usize) -> IndexIntrospection {
+        let inner = self.inner.read();
+        let n_docs = inner.live_docs as f64;
+        let mut lists: Vec<PostingsListStats> = inner
+            .terms
+            .iter()
+            .map(|((field_ord, term), pl)| {
+                let field = Field::from_ordinal(*field_ord).unwrap_or(Field::Elements);
+                let live_df = pl.live_doc_freq();
+                let idf = idf_weight(live_df, n_docs);
+                let max_impact = pl
+                    .iter()
+                    .filter(|p| !inner.docs[p.doc as usize].deleted)
+                    .map(|p| {
+                        let field_len =
+                            inner.docs[p.doc as usize].field_lengths[field.ordinal() as usize];
+                        impact(field, p.term_freq(), idf, field_len)
+                    })
+                    .fold(0.0f64, f64::max);
+                PostingsListStats {
+                    field,
+                    term: term.clone(),
+                    doc_freq: pl.doc_freq(),
+                    live_doc_freq: live_df,
+                    tombstone_ratio: pl.tombstone_ratio(),
+                    approx_bytes: pl.deep_size_of(),
+                    max_impact,
+                }
+            })
+            .collect();
+        let postings_bytes: usize = lists.iter().map(|l| l.approx_bytes).sum();
+        lists.sort_by(|a, b| {
+            b.live_doc_freq
+                .cmp(&a.live_doc_freq)
+                .then_with(|| a.term.cmp(&b.term))
+                .then_with(|| a.field.ordinal().cmp(&b.field.ordinal()))
+        });
+        lists.truncate(top_lists);
+        let stats = IndexStats {
+            live_docs: inner.live_docs,
+            total_docs: inner.docs.len(),
+            distinct_terms: inner.terms.len(),
+            postings: inner.terms.values().map(PostingsList::doc_freq).sum(),
+            occurrences: inner
+                .terms
+                .values()
+                .map(PostingsList::total_term_freq)
+                .sum(),
+        };
+        let tombstone_ratio = if stats.total_docs == 0 {
+            0.0
+        } else {
+            (stats.total_docs - stats.live_docs) as f64 / stats.total_docs as f64
+        };
+        IndexIntrospection {
+            stats,
+            revision: inner.revision,
+            tombstone_ratio,
+            postings_bytes,
+            deep_bytes: inner.deep_bytes(),
+            top_lists: lists,
+        }
+    }
+}
+
+/// Per-postings-list statistics (`/debug/index`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostingsListStats {
+    /// The field the list belongs to.
+    pub field: Field,
+    /// The analyzed term.
+    pub term: String,
+    /// Postings including tombstoned documents.
+    pub doc_freq: usize,
+    /// Postings whose document is live (the scorer's df).
+    pub live_doc_freq: usize,
+    /// Fraction of postings awaiting vacuum.
+    pub tombstone_ratio: f64,
+    /// Estimated heap bytes held by the list.
+    pub approx_bytes: usize,
+    /// Largest Phase 1 score any live posting of this list can
+    /// contribute — the WAND/MaxScore upper bound.
+    pub max_impact: f64,
+}
+
+/// Corpus-level introspection (`/debug/index`): aggregates plus the
+/// heaviest postings lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexIntrospection {
+    /// The same aggregates [`Index::stats`] reports.
+    pub stats: IndexStats,
+    /// Mutation count at the time of the snapshot.
+    pub revision: u64,
+    /// Fraction of document slots that are tombstones.
+    pub tombstone_ratio: f64,
+    /// Estimated heap bytes across all postings lists.
+    pub postings_bytes: usize,
+    /// Estimated heap bytes of the whole in-memory index.
+    pub deep_bytes: usize,
+    /// The `top_lists` largest lists by live document frequency.
+    pub top_lists: Vec<PostingsListStats>,
+}
+
 /// Aggregate statistics about an index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IndexStats {
@@ -523,5 +677,98 @@ mod tests {
         index.add(&doc(1, "t", &["pat_ht"]));
         let hits = index.search(&["patient", "height"], &SearchOptions::default());
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn introspection_surfaces_per_list_and_corpus_stats() {
+        let index = Index::new();
+        index.add(&doc(1, "clinic", &["patient", "patient.height"]));
+        index.add(&doc(2, "hospital", &["patient", "ward"]));
+        index.add(&doc(3, "store", &["order"]));
+        let truncated = index.introspect(4);
+        assert_eq!(truncated.top_lists.len(), 4, "top_lists honors the cap");
+        let report = index.introspect(usize::MAX);
+        assert_eq!(report.stats, index.stats());
+        assert_eq!(report.tombstone_ratio, 0.0);
+        assert!(report.postings_bytes > 0);
+        assert!(report.deep_bytes > report.postings_bytes);
+        // Truncation keeps the heaviest lists and their stats intact.
+        assert_eq!(truncated.top_lists[..], report.top_lists[..4]);
+        assert_eq!(truncated.postings_bytes, report.postings_bytes);
+        // `patient` (elements field, df 2) is the heaviest list.
+        let heaviest = &report.top_lists[0];
+        assert_eq!(heaviest.term, "patient");
+        assert_eq!(heaviest.field, Field::Elements);
+        assert_eq!(heaviest.live_doc_freq, 2);
+        assert!(heaviest.max_impact > 0.0);
+        // Rarer terms carry higher idf, so their max impact beats an
+        // equally-frequent-per-doc common term in the same field.
+        let order = report
+            .top_lists
+            .iter()
+            .find(|l| l.term == "order" && l.field == Field::Elements)
+            .expect("df-1 elements list present");
+        assert!(order.max_impact > heaviest.max_impact);
+    }
+
+    #[test]
+    fn introspection_max_impact_bounds_observed_scores() {
+        // The published per-list max impact must upper-bound any actual
+        // Phase 1 contribution — the WAND/MaxScore contract.
+        let index = Index::new();
+        index.add(&doc(1, "clinic", &["patient", "patient.height"]));
+        index.add(&doc(2, "hospital", &["patient"]));
+        let report = index.introspect(usize::MAX);
+        let bound: f64 = report
+            .top_lists
+            .iter()
+            .filter(|l| l.term == "patient")
+            .map(|l| l.max_impact)
+            .sum();
+        let hits = index.search(&["patient"], &SearchOptions::default());
+        // Single-term query: no coordination penalty, no proximity bonus.
+        assert!(hits[0].score <= bound + 1e-9);
+    }
+
+    #[test]
+    fn introspection_tracks_tombstones_and_vacuum() {
+        let index = Index::new();
+        index.add(&doc(1, "v1", &["alpha", "shared"]));
+        index.add(&doc(2, "other", &["shared"]));
+        index.add(&doc(1, "v2", &["beta", "shared"]));
+        let before = index.introspect(usize::MAX);
+        assert!(before.tombstone_ratio > 0.0);
+        // The analyzer stems, so `shared` indexes as `share`.
+        let shared = before
+            .top_lists
+            .iter()
+            .find(|l| l.term == "share" && l.field == Field::Elements)
+            .unwrap();
+        assert_eq!(shared.doc_freq, 3);
+        assert_eq!(shared.live_doc_freq, 2);
+        assert!(shared.tombstone_ratio > 0.0);
+        // Tombstoned docs contribute nothing to max impact.
+        let alpha = before.top_lists.iter().find(|l| l.term == "alpha").unwrap();
+        assert_eq!(alpha.live_doc_freq, 0);
+        assert_eq!(alpha.max_impact, 0.0);
+        index.vacuum();
+        let after = index.introspect(usize::MAX);
+        assert_eq!(after.tombstone_ratio, 0.0);
+        assert!(after.top_lists.iter().all(|l| l.tombstone_ratio == 0.0));
+        assert!(after.top_lists.iter().all(|l| l.term != "alpha"));
+    }
+
+    #[test]
+    fn deep_size_covers_the_whole_structure() {
+        use schemr_obs::DeepSize;
+        let index = Index::new();
+        let empty = index.deep_size_of_children();
+        index.add(&doc(1, "clinic", &["patient", "patient.height"]));
+        index.add(&doc(2, "store", &["order", "order.total"]));
+        let populated = index.deep_size_of_children();
+        assert!(populated > empty);
+        // The forward index and term dictionary both hold term text, so
+        // the deep size exceeds postings bytes alone.
+        assert!(populated > index.introspect(0).postings_bytes);
     }
 }

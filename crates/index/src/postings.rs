@@ -1,5 +1,6 @@
 //! Postings lists: per-term document occurrences with positions.
 
+use schemr_obs::DeepSize;
 use serde::{Deserialize, Serialize};
 
 use crate::DocOrd;
@@ -132,6 +133,42 @@ impl PostingsList {
     pub fn total_term_freq(&self) -> u64 {
         self.postings.iter().map(|p| p.term_freq() as u64).sum()
     }
+
+    /// Tombstone ratio: the fraction of postings whose document awaits
+    /// vacuum. 0 for an empty list.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.postings.is_empty() {
+            return 0.0;
+        }
+        (self.postings.len() - self.live) as f64 / self.postings.len() as f64
+    }
+
+    /// Largest single-document term frequency across all postings —
+    /// an upper bound input for per-list impact scores.
+    pub fn max_term_freq(&self) -> u32 {
+        self.postings
+            .iter()
+            .map(Posting::term_freq)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate heap bytes held by this list: the postings vector
+    /// at capacity plus every position vector at capacity.
+    pub fn approx_bytes(&self) -> usize {
+        self.postings.capacity() * std::mem::size_of::<Posting>()
+            + self
+                .postings
+                .iter()
+                .map(|p| p.positions.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
+impl DeepSize for PostingsList {
+    fn deep_size_of_children(&self) -> usize {
+        self.approx_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +223,22 @@ mod tests {
         assert_eq!(pl.doc_freq(), 3, "postings themselves stay until vacuum");
         pl.set_live_doc_freq(1);
         assert_eq!(pl.live_doc_freq(), 1);
+    }
+
+    #[test]
+    fn introspection_helpers_report_the_list_shape() {
+        let mut pl = PostingsList::new();
+        pl.push_occurrence(0, 0);
+        pl.push_occurrence(0, 4);
+        pl.push_occurrence(0, 9);
+        pl.push_occurrence(2, 1);
+        assert_eq!(pl.max_term_freq(), 3);
+        assert_eq!(pl.tombstone_ratio(), 0.0);
+        pl.note_doc_tombstoned();
+        assert_eq!(pl.tombstone_ratio(), 0.5);
+        assert!(pl.approx_bytes() >= 2 * std::mem::size_of::<Posting>() + 4 * 4);
+        assert_eq!(PostingsList::new().tombstone_ratio(), 0.0);
+        assert_eq!(PostingsList::new().max_term_freq(), 0);
     }
 
     #[test]

@@ -141,6 +141,23 @@ thread_local! {
     static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
 }
 
+/// The scorer's inverse document frequency for a term with `live_df`
+/// live postings in a corpus of `n_docs` live documents.
+pub(crate) fn idf_weight(live_df: usize, n_docs: f64) -> f64 {
+    1.0 + (n_docs / (1.0 + live_df as f64)).ln()
+}
+
+/// One posting's Phase 1 score contribution for `field`:
+/// `boost · √tf · idf · 1/√field_len`. Shared between the scan loop and
+/// the introspection plane's per-list max-impact bound (the WAND
+/// precursor), so the published bound is computed with the scorer's own
+/// arithmetic and can never drift from it.
+pub(crate) fn impact(field: Field, term_freq: u32, idf: f64, field_len: u32) -> f64 {
+    let tf = (term_freq as f64).sqrt();
+    let norm = 1.0 / (field_len.max(1) as f64).sqrt();
+    field.boost() * tf * idf * norm
+}
+
 /// Is any position in `b` exactly one after a position in `a`? Both
 /// slices are sorted ascending; two-pointer scan, O(|a| + |b|).
 fn has_adjacent(a: &[u32], b: &[u32]) -> bool {
@@ -201,7 +218,7 @@ pub(crate) fn search_postings(
                 if df == 0 {
                     continue;
                 }
-                let idf = 1.0 + (n_docs / (1.0 + df as f64)).ln();
+                let idf = idf_weight(df, n_docs);
                 postings_scanned += pl.doc_freq() as u64;
                 for posting in pl.iter() {
                     let entry = &inner.docs[posting.doc as usize];
@@ -209,16 +226,14 @@ pub(crate) fn search_postings(
                         continue;
                     }
                     let ord = posting.doc as usize;
-                    let tf = (posting.term_freq() as f64).sqrt();
-                    let field_len = entry.field_lengths[field.ordinal() as usize].max(1) as f64;
-                    let norm = 1.0 / field_len.sqrt();
+                    let field_len = entry.field_lengths[field.ordinal() as usize];
                     if scratch.doc_stamp[ord] != q_stamp {
                         scratch.doc_stamp[ord] = q_stamp;
                         scratch.score[ord] = 0.0;
                         scratch.matched[ord] = 0;
                         scratch.touched.push(posting.doc);
                     }
-                    scratch.score[ord] += field.boost() * tf * idf * norm;
+                    scratch.score[ord] += impact(field, posting.term_freq(), idf, field_len);
                     if scratch.term_stamp[ord] != t_stamp {
                         scratch.term_stamp[ord] = t_stamp;
                         scratch.matched[ord] += 1;

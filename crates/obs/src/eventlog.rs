@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use crate::json::{self, Json};
+use crate::memsize::DeepSize;
 
 /// Event-log record schema version written as `"v"` in every line.
 pub const EVENT_SCHEMA_VERSION: u64 = 1;
@@ -35,6 +36,12 @@ pub struct EventResult {
     pub score: f64,
     /// `(matcher name, per-matcher strength)` in ensemble order.
     pub matcher_scores: Vec<(String, f64)>,
+}
+
+impl DeepSize for EventResult {
+    fn deep_size_of_children(&self) -> usize {
+        self.id.deep_size_of_children() + self.matcher_scores.deep_size_of_children()
+    }
 }
 
 impl EventResult {
@@ -104,6 +111,12 @@ pub struct SearchEvent {
     pub alloc_count: u64,
     /// Bytes requested from the allocator (ledger).
     pub alloc_bytes: u64,
+    /// Free-form `(key, value)` annotations. Empty for ordinary search
+    /// records; maintenance records (e.g. `query = "<vacuum>"`) carry
+    /// their before/after measurements here. Serialized only when
+    /// non-empty, so ordinary lines are unchanged and old readers that
+    /// ignore unknown fields keep parsing.
+    pub tags: Vec<(String, String)>,
 }
 
 impl SearchEvent {
@@ -137,7 +150,18 @@ impl SearchEvent {
             }
             out.push_str(&r.to_json());
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.tags.is_empty() {
+            out.push_str(",\"tags\":{");
+            for (i, (key, value)) in self.tags.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", json::escape(key), json::escape(value));
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
@@ -178,6 +202,16 @@ impl SearchEvent {
         let cpu_us = v.get("cpu_us").and_then(Json::as_u64).unwrap_or(0);
         let alloc_count = v.get("alloc_count").and_then(Json::as_u64).unwrap_or(0);
         let alloc_bytes = v.get("alloc_bytes").and_then(Json::as_u64).unwrap_or(0);
+        let tags = v
+            .get("tags")
+            .and_then(Json::as_obj)
+            .map(|fields| {
+                fields
+                    .iter()
+                    .filter_map(|(k, val)| Some((k.clone(), val.as_str()?.to_string())))
+                    .collect()
+            })
+            .unwrap_or_default();
         Some(SearchEvent {
             trace_id,
             unix_ms,
@@ -190,6 +224,7 @@ impl SearchEvent {
             cpu_us,
             alloc_count,
             alloc_bytes,
+            tags,
         })
     }
 }
@@ -240,6 +275,13 @@ impl EventLog {
     /// Path of the active log file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Bytes written to the active file so far — the figure
+    /// `/debug/memory` reports as the log's on-disk residency (rotated
+    /// files are bounded separately by `max_bytes` each).
+    pub fn written_bytes(&self) -> u64 {
+        self.inner.lock().expect("event log lock").written
     }
 
     /// Append one record as a single line. Returns any I/O error; the
@@ -353,6 +395,7 @@ mod tests {
             cpu_us: 650,
             alloc_count: 42,
             alloc_bytes: 16_384,
+            tags: Vec::new(),
         }
     }
 
@@ -368,8 +411,41 @@ mod tests {
     fn round_trips_records() {
         let event = sample(3);
         let line = event.to_json();
+        assert!(!line.contains("\"tags\""), "empty tags are not serialized");
         let parsed = SearchEvent::from_json_line(&line).expect("parses");
         assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn tagged_maintenance_records_round_trip() {
+        // The shape `maybe_vacuum` writes: a `<vacuum>` query with the
+        // before/after measurements as tags and no results.
+        let event = SearchEvent {
+            trace_id: "vacuum-3".into(),
+            unix_ms: 2_000,
+            query: "<vacuum>".into(),
+            candidates_from_index: 0,
+            candidates_evaluated: 0,
+            phase_us: vec![("vacuum".into(), 1_234)],
+            total_us: 1_234,
+            results: Vec::new(),
+            cpu_us: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
+            tags: vec![
+                ("tombstone_ratio_before".into(), "0.400".into()),
+                ("tombstone_ratio_after".into(), "0.000".into()),
+            ],
+        };
+        let line = event.to_json();
+        assert!(line.contains("\"tags\""), "{line}");
+        let parsed = SearchEvent::from_json_line(&line).expect("parses");
+        assert_eq!(parsed, event);
+        // Readers of pre-tags logs: a line without tags parses to empty.
+        assert!(SearchEvent::from_json_line(&sample(0).to_json())
+            .unwrap()
+            .tags
+            .is_empty());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod eventlog;
 pub mod histogram;
 pub mod json;
 pub mod ledger;
+pub mod memsize;
 pub mod profiler;
 pub mod registry;
 pub mod render;
@@ -60,12 +61,14 @@ pub mod slo;
 pub mod span;
 pub mod timer;
 pub mod tracer;
+pub mod workload;
 
 pub use alloc::CountingAlloc;
 pub use counter::Counter;
 pub use eventlog::{read_events_at, EventLog, EventResult, SearchEvent, EVENT_SCHEMA_VERSION};
 pub use histogram::{Exemplar, Histogram, HistogramSnapshot, LATENCY_BUCKETS};
 pub use ledger::{thread_clock_cost, thread_cpu_us, CpuProbeDepth, LedgerProbe, ResourceLedger};
+pub use memsize::DeepSize;
 pub use profiler::{ProfileSnapshot, Profiler, StackSource, DEFAULT_PROFILE_HZ};
 pub use registry::{LabelSet, MetricsRegistry};
 pub use ring::Ring;
@@ -73,3 +76,7 @@ pub use slo::{SloConfig, SloReport, SloTracker, WindowBurn};
 pub use span::{CompletedTrace, SpanGuard, SpanRecord, TraceContext};
 pub use timer::SpanTimer;
 pub use tracer::{SearchOutcome, Tracer, TracerConfig};
+pub use workload::{
+    query_shape, HeavyHitter, Kmv, SpaceSaving, WindowedSketch, WorkloadConfig, WorkloadSnapshot,
+    WorkloadStats,
+};

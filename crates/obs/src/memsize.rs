@@ -1,0 +1,145 @@
+//! Deep memory accounting: a small `DeepSize`-style trait.
+//!
+//! `/debug/memory` needs to answer "where do the bytes live" across
+//! structures that own arbitrary heap graphs — the inverted index, the
+//! candidate and match-artifact caches, the trace ring, the event log.
+//! [`DeepSize`] splits the question the way the `deepsize` crate does:
+//! a value's total footprint is its own `size_of` plus the heap bytes
+//! it owns ([`DeepSize::deep_size_of_children`]), so container impls
+//! compose without double-counting the inline portion of their
+//! elements.
+//!
+//! The numbers are *estimates*: map impls approximate allocator and
+//! table overhead rather than asking the allocator, and shared `Arc`s
+//! are counted at every holder (a resident-set view, not a unique-
+//! ownership view). That is the right trade for an introspection
+//! endpoint — stable, cheap, and within a few percent of reality.
+
+use std::collections::{BTreeMap, HashMap};
+use std::mem::size_of;
+use std::sync::Arc;
+
+/// Types that can report the heap bytes they own.
+pub trait DeepSize {
+    /// Heap bytes owned beyond the value's own `size_of` footprint.
+    fn deep_size_of_children(&self) -> usize;
+
+    /// Total estimated footprint: shallow size plus owned heap.
+    fn deep_size_of(&self) -> usize {
+        std::mem::size_of_val(self) + self.deep_size_of_children()
+    }
+}
+
+macro_rules! impl_flat {
+    ($($ty:ty),* $(,)?) => {
+        $(impl DeepSize for $ty {
+            fn deep_size_of_children(&self) -> usize { 0 }
+        })*
+    };
+}
+
+impl_flat!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+impl DeepSize for String {
+    fn deep_size_of_children(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: DeepSize> DeepSize for Vec<T> {
+    fn deep_size_of_children(&self) -> usize {
+        self.capacity() * size_of::<T>()
+            + self
+                .iter()
+                .map(DeepSize::deep_size_of_children)
+                .sum::<usize>()
+    }
+}
+
+impl<T: DeepSize> DeepSize for Option<T> {
+    fn deep_size_of_children(&self) -> usize {
+        self.as_ref().map_or(0, DeepSize::deep_size_of_children)
+    }
+}
+
+impl<T: DeepSize> DeepSize for Box<T> {
+    fn deep_size_of_children(&self) -> usize {
+        self.as_ref().deep_size_of()
+    }
+}
+
+impl<T: DeepSize> DeepSize for Arc<T> {
+    /// Counted in full at every holder: the resident-set view.
+    fn deep_size_of_children(&self) -> usize {
+        self.as_ref().deep_size_of()
+    }
+}
+
+impl<A: DeepSize, B: DeepSize> DeepSize for (A, B) {
+    fn deep_size_of_children(&self) -> usize {
+        self.0.deep_size_of_children() + self.1.deep_size_of_children()
+    }
+}
+
+impl<K: DeepSize, V: DeepSize> DeepSize for HashMap<K, V> {
+    /// Table slots at capacity plus one control byte per slot
+    /// (hashbrown's layout), plus per-entry owned heap.
+    fn deep_size_of_children(&self) -> usize {
+        self.capacity() * (size_of::<K>() + size_of::<V>() + 1)
+            + self
+                .iter()
+                .map(|(k, v)| k.deep_size_of_children() + v.deep_size_of_children())
+                .sum::<usize>()
+    }
+}
+
+impl<K: DeepSize, V: DeepSize> DeepSize for BTreeMap<K, V> {
+    /// B-tree nodes amortize to roughly the entry payload plus a small
+    /// per-entry pointer overhead at the default branching factor.
+    fn deep_size_of_children(&self) -> usize {
+        self.len() * (size_of::<K>() + size_of::<V>() + 2 * size_of::<usize>())
+            + self
+                .iter()
+                .map(|(k, v)| k.deep_size_of_children() + v.deep_size_of_children())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_count_their_capacity() {
+        let s = String::with_capacity(64);
+        assert_eq!(s.deep_size_of(), size_of::<String>() + 64);
+        assert_eq!(42u64.deep_size_of(), 8);
+    }
+
+    #[test]
+    fn vecs_count_spare_capacity_and_children() {
+        let mut v: Vec<String> = Vec::with_capacity(4);
+        v.push("abcd".to_string());
+        let expected = size_of::<Vec<String>>() + 4 * size_of::<String>() + v[0].capacity();
+        assert_eq!(v.deep_size_of(), expected);
+    }
+
+    #[test]
+    fn maps_scale_with_occupancy() {
+        let mut m: HashMap<String, Vec<u32>> = HashMap::new();
+        let empty = m.deep_size_of();
+        for i in 0..100 {
+            m.insert(format!("key-{i}"), vec![i; 8]);
+        }
+        assert!(m.deep_size_of() > empty + 100 * 8 * size_of::<u32>());
+        let mut b: BTreeMap<u64, String> = BTreeMap::new();
+        b.insert(1, "x".repeat(100));
+        assert!(b.deep_size_of() >= 100);
+    }
+
+    #[test]
+    fn arc_counts_the_shared_payload() {
+        let a = Arc::new("shared".to_string());
+        assert!(a.deep_size_of() >= size_of::<String>() + 6);
+    }
+}

@@ -163,7 +163,12 @@ fn sampler_loop(source: Arc<dyn StackSource>, shared: Arc<Shared>, period: Durat
             if shared.stop.load(Ordering::Relaxed) {
                 return;
             }
-            std::thread::sleep(SLICE.min(next.saturating_duration_since(Instant::now()).max(Duration::from_micros(100))));
+            std::thread::sleep(
+                SLICE.min(
+                    next.saturating_duration_since(Instant::now())
+                        .max(Duration::from_micros(100)),
+                ),
+            );
         }
         next += period;
         if shared.stop.load(Ordering::Relaxed) {

@@ -10,6 +10,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::memsize::DeepSize;
+
 /// Fixed-capacity concurrent ring of `Arc<T>` entries.
 #[derive(Debug)]
 pub struct Ring<T> {
@@ -79,6 +81,21 @@ impl<T> Ring<T> {
             }
         }
         None
+    }
+}
+
+impl<T: DeepSize> DeepSize for Ring<T> {
+    /// The slot table at capacity plus every retained entry's payload
+    /// (each behind an `Arc` with its two refcounts). Takes each slot's
+    /// read lock briefly; writers on other slots are unaffected.
+    fn deep_size_of_children(&self) -> usize {
+        let mut bytes = self.slots.capacity() * std::mem::size_of::<RwLock<Option<Arc<T>>>>();
+        for slot in &self.slots {
+            if let Some(entry) = slot.read().expect("ring slot").as_ref() {
+                bytes += 2 * std::mem::size_of::<usize>() + entry.as_ref().deep_size_of();
+            }
+        }
+        bytes
     }
 }
 

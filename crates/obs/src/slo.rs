@@ -305,7 +305,10 @@ mod tests {
             t.record_at(400, Duration::from_millis(1), false);
         }
         let r = t.report_at(400);
-        assert_eq!(r.windows[0].total, 50, "5m window only sees the burst-free tail");
+        assert_eq!(
+            r.windows[0].total, 50,
+            "5m window only sees the burst-free tail"
+        );
         assert_eq!(r.windows[0].errors, 0);
         assert_eq!(r.windows[1].total, 100, "1h window sees both");
         assert_eq!(r.windows[1].errors, 50);

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use crate::eventlog::EventResult;
 use crate::json;
 use crate::ledger::ResourceLedger;
+use crate::memsize::DeepSize;
 
 /// One recorded span: a named interval within a request, positioned
 /// relative to the request's start.
@@ -261,6 +262,21 @@ pub struct CompletedTrace {
     pub ledger: ResourceLedger,
     /// Flat span records; tree via `parent` indices.
     pub spans: Vec<SpanRecord>,
+}
+
+impl DeepSize for SpanRecord {
+    fn deep_size_of_children(&self) -> usize {
+        self.name.deep_size_of_children() + self.attrs.deep_size_of_children()
+    }
+}
+
+impl DeepSize for CompletedTrace {
+    fn deep_size_of_children(&self) -> usize {
+        self.trace_id.deep_size_of_children()
+            + self.query.deep_size_of_children()
+            + self.results.deep_size_of_children()
+            + self.spans.deep_size_of_children()
+    }
 }
 
 impl CompletedTrace {

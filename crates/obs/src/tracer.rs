@@ -23,6 +23,7 @@ use crate::ledger::ResourceLedger;
 use crate::profiler::StackSource;
 use crate::ring::Ring;
 use crate::span::{CompletedTrace, TraceContext};
+use crate::workload::{WorkloadConfig, WorkloadStats};
 
 /// Configuration for a [`Tracer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +47,15 @@ pub struct TracerConfig {
     /// resource ledger. The default (`Auto`) calibrates against the
     /// measured clock-call cost at engine construction.
     pub cpu_probe: crate::ledger::CpuProbeDepth,
+    /// Heavy-hitter workload analytics (`/debug/workload`): counters
+    /// per sketch. 0 disables the workload plane even when tracing is
+    /// on; it is always off when `enabled` is false, so the obs-off
+    /// bench baseline pays nothing for it.
+    pub workload_sketch: usize,
+    /// Sliding windows retained by each workload sketch.
+    pub workload_windows: usize,
+    /// Wall-clock length of one workload window.
+    pub workload_window: Duration,
 }
 
 impl Default for TracerConfig {
@@ -59,6 +69,9 @@ impl Default for TracerConfig {
             event_log_max_bytes: 8 << 20,
             profile_hz: crate::profiler::DEFAULT_PROFILE_HZ,
             cpu_probe: crate::ledger::CpuProbeDepth::Auto,
+            workload_sketch: WorkloadConfig::default().sketch_capacity,
+            workload_windows: WorkloadConfig::default().windows,
+            workload_window: WorkloadConfig::default().window_len,
         }
     }
 }
@@ -105,6 +118,10 @@ pub struct Tracer {
     /// collected instead of sampled forever.
     live: Mutex<Vec<Weak<TraceContext>>>,
     event_log: Option<EventLog>,
+    /// Workload analytics plane; present when tracing is enabled with a
+    /// non-zero sketch capacity. `Arc` so the server can snapshot it
+    /// without holding the engine.
+    workload: Option<Arc<WorkloadStats>>,
 }
 
 impl Tracer {
@@ -121,6 +138,14 @@ impl Tracer {
                 }
             }
         });
+        let workload = (config.enabled && config.workload_sketch > 0).then(|| {
+            Arc::new(WorkloadStats::new(WorkloadConfig {
+                sketch_capacity: config.workload_sketch,
+                windows: config.workload_windows,
+                window_len: config.workload_window,
+                ..WorkloadConfig::default()
+            }))
+        });
         Tracer {
             ring: Ring::new(config.ring_capacity),
             slow: Ring::new(config.slowlog_capacity),
@@ -128,6 +153,7 @@ impl Tracer {
             live: Mutex::new(Vec::new()),
             slow_threshold_us: AtomicU64::new(config.slow_threshold.as_micros() as u64),
             event_log,
+            workload,
             config,
         }
     }
@@ -237,6 +263,7 @@ impl Tracer {
                 cpu_us: trace.ledger.cpu_us,
                 alloc_count: trace.ledger.alloc_count,
                 alloc_bytes: trace.ledger.alloc_bytes,
+                tags: Vec::new(),
             };
             if let Err(err) = log.append(&event) {
                 eprintln!("schemr-trace: event log append failed: {err}");
@@ -265,6 +292,25 @@ impl Tracer {
     /// The event log, when configured and healthy.
     pub fn event_log(&self) -> Option<&EventLog> {
         self.event_log.as_ref()
+    }
+
+    /// The workload analytics plane, when tracing is enabled with a
+    /// non-zero `workload_sketch`. The engine feeds it one call per
+    /// search; `/debug/workload` snapshots it.
+    pub fn workload(&self) -> Option<&Arc<WorkloadStats>> {
+        self.workload.as_ref()
+    }
+
+    /// Approximate resident bytes of the trace and slowlog rings —
+    /// `/debug/memory`'s view of the in-memory trace plane.
+    pub fn ring_bytes(&self) -> (usize, usize) {
+        use crate::memsize::DeepSize;
+        (self.ring.deep_size_of(), self.slow.deep_size_of())
+    }
+
+    /// Retained entries in the (recent, slow) trace rings.
+    pub fn ring_lens(&self) -> (usize, usize) {
+        (self.ring.len(), self.slow.len())
     }
 }
 
@@ -447,11 +493,43 @@ mod tests {
     }
 
     #[test]
+    fn workload_plane_rides_the_tracing_gate() {
+        let on = Tracer::new(TracerConfig::default());
+        let workload = on.workload().expect("default config has a sketch");
+        workload.record_query(&["patient".to_string()], false);
+        assert_eq!(workload.total_queries(), 1);
+        // Disabled tracing ⇒ no workload plane: the obs-off bench
+        // baseline must not pay for it.
+        assert!(Tracer::new(TracerConfig::disabled()).workload().is_none());
+        // Tracing on but sketch capacity zeroed ⇒ also off.
+        let no_sketch = TracerConfig {
+            workload_sketch: 0,
+            ..TracerConfig::default()
+        };
+        assert!(Tracer::new(no_sketch).workload().is_none());
+    }
+
+    #[test]
+    fn ring_accounting_reports_retained_traces() {
+        let tracer = Tracer::new(TracerConfig::default());
+        let (recent0, _) = tracer.ring_bytes();
+        let ctx = tracer.begin(None).unwrap();
+        tracer.finish(ctx, outcome("memory"));
+        let (recent1, _) = tracer.ring_bytes();
+        assert!(recent1 > recent0, "a retained trace adds bytes");
+        assert_eq!(tracer.ring_lens().0, 1);
+    }
+
+    #[test]
     fn completed_trace_carries_the_ledger() {
         let tracer = Tracer::new(TracerConfig::default());
         let ctx = tracer.begin(None).unwrap();
         let trace = tracer.finish(ctx, outcome("cost"));
         assert_eq!(trace.ledger.cpu_us, 321);
-        assert!(trace.to_json().contains("\"cpu_us\":321"), "{}", trace.to_json());
+        assert!(
+            trace.to_json().contains("\"cpu_us\":321"),
+            "{}",
+            trace.to_json()
+        );
     }
 }

@@ -1,0 +1,673 @@
+//! Workload analytics: bounded-memory heavy-hitter sketches over the
+//! live query stream.
+//!
+//! The engine cannot afford to remember every query it serves, but an
+//! operator still needs to answer "which terms dominate the workload,
+//! which query shapes recur, and which queries return nothing". A
+//! [`SpaceSaving`] sketch (Metwally et al.'s SpaceSaving, the
+//! counter-eviction cousin of Misra–Gries) answers those questions in
+//! `O(k)` memory with a provable error bound:
+//!
+//! * at most `k` keys are tracked at any time (the eviction bound);
+//! * every tracked key's estimate **overcounts**: `true ≤ estimate`
+//!   and `estimate − true ≤ error ≤ total/k`;
+//! * an untracked key's true count is at most the smallest tracked
+//!   count, itself at most `total/k`.
+//!
+//! Sketches are merge-able: [`SpaceSaving::merge_from`] combines two
+//! sketches key-wise and re-truncates to capacity, preserving the
+//! overcount property (a kept key's merged estimate is the sum of
+//! per-sketch overcounts). Merging is deterministic and commutative —
+//! ties break on the key's lexicographic order, never on hash-map
+//! iteration order.
+//!
+//! [`WindowedSketch`] stacks sketches into a sliding window: the
+//! current window absorbs observations, older windows are retained
+//! read-only, and [`WindowedSketch::merged`] folds them into one view.
+//! Rotation drops the oldest window, so the merged view forgets
+//! traffic older than `windows × window_len` — the property that keeps
+//! "top terms" meaning *recent* top terms on a long-lived server.
+//!
+//! [`WorkloadStats`] is the engine-facing aggregate: three windowed
+//! sketches (query terms, normalized query shapes, zero-result query
+//! shapes), a [`Kmv`] distinct-term estimator, and totals. One mutex
+//! guards the sketches; the per-query critical section is a handful of
+//! hash-map probes, far below the <5% observability overhead budget.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::json;
+
+/// One tracked heavy hitter: an estimated count and its maximum
+/// overcount (`estimate − error ≤ true ≤ estimate`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyHitter {
+    /// The tracked key (a term, or a normalized query shape).
+    pub key: String,
+    /// Estimated occurrence count (never an undercount).
+    pub count: u64,
+    /// Maximum overestimation absorbed when this key claimed an
+    /// evicted counter; 0 means the count is exact.
+    pub error: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    count: u64,
+    error: u64,
+}
+
+/// A SpaceSaving heavy-hitter sketch over string keys.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: HashMap<String, Slot>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// A sketch tracking at most `capacity` keys (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpaceSaving {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            total: 0,
+        }
+    }
+
+    /// Maximum number of tracked keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of keys currently tracked (≤ capacity — the eviction
+    /// bound).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total weight observed (including evicted keys).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn observe(&mut self, key: &str) {
+        self.observe_n(key, 1);
+    }
+
+    /// Observe `n` occurrences of `key`. When the sketch is full and
+    /// `key` is untracked, the minimum counter is evicted and `key`
+    /// inherits its count as error — the SpaceSaving step.
+    pub fn observe_n(&mut self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total += n;
+        if let Some(slot) = self.entries.get_mut(key) {
+            slot.count += n;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries
+                .insert(key.to_string(), Slot { count: n, error: 0 });
+            return;
+        }
+        // Evict the minimum counter. Ties break on the largest key so
+        // the outcome is a pure function of the tracked set, not of
+        // hash-map iteration order.
+        let (min_key, min_count) = self
+            .entries
+            .iter()
+            .map(|(k, s)| (k, s.count))
+            .min_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(k, c)| (k.clone(), c))
+            .expect("sketch is full, so non-empty");
+        self.entries.remove(&min_key);
+        self.entries.insert(
+            key.to_string(),
+            Slot {
+                count: min_count + n,
+                error: min_count,
+            },
+        );
+    }
+
+    /// Estimated `(count, error)` for a tracked key; `None` means the
+    /// key's true count is at most the smallest tracked count.
+    pub fn estimate(&self, key: &str) -> Option<(u64, u64)> {
+        self.entries.get(key).map(|s| (s.count, s.error))
+    }
+
+    /// The top `n` keys by estimated count, descending; ties break on
+    /// lexicographic key order so output is deterministic.
+    pub fn top(&self, n: usize) -> Vec<HeavyHitter> {
+        let mut all: Vec<HeavyHitter> = self
+            .entries
+            .iter()
+            .map(|(k, s)| HeavyHitter {
+                key: k.clone(),
+                count: s.count,
+                error: s.error,
+            })
+            .collect();
+        all.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        all.truncate(n);
+        all
+    }
+
+    /// Merge another sketch into this one: counts and errors sum
+    /// key-wise, then the union is re-truncated to capacity keeping
+    /// the largest counts (ties on key order). Kept keys still
+    /// overcount, because a sum of per-sketch overcounts overcounts
+    /// the summed true frequency.
+    pub fn merge_from(&mut self, other: &SpaceSaving) {
+        self.total += other.total;
+        for (key, slot) in &other.entries {
+            match self.entries.get_mut(key) {
+                Some(mine) => {
+                    mine.count += slot.count;
+                    mine.error += slot.error;
+                }
+                None => {
+                    self.entries.insert(key.clone(), *slot);
+                }
+            }
+        }
+        if self.entries.len() > self.capacity {
+            let mut all: Vec<(String, Slot)> = self.entries.drain().collect();
+            all.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(&b.0)));
+            all.truncate(self.capacity);
+            self.entries.extend(all);
+        }
+    }
+}
+
+/// A sliding window of [`SpaceSaving`] sketches: the front window
+/// absorbs observations, older windows are read-only, rotation drops
+/// the oldest.
+#[derive(Debug, Clone)]
+pub struct WindowedSketch {
+    capacity: usize,
+    max_windows: usize,
+    /// Front = current window, back = oldest retained window.
+    windows: VecDeque<SpaceSaving>,
+    /// Total rotations ever — tells readers how stale the back is.
+    rotations: u64,
+}
+
+impl WindowedSketch {
+    /// A window stack of `max_windows` sketches (minimum 1), each with
+    /// `capacity` counters.
+    pub fn new(capacity: usize, max_windows: usize) -> Self {
+        let mut windows = VecDeque::new();
+        windows.push_front(SpaceSaving::new(capacity));
+        WindowedSketch {
+            capacity,
+            max_windows: max_windows.max(1),
+            windows,
+            rotations: 0,
+        }
+    }
+
+    /// Observe one occurrence in the current window.
+    pub fn observe(&mut self, key: &str) {
+        self.windows
+            .front_mut()
+            .expect("at least one window")
+            .observe(key);
+    }
+
+    /// Start a fresh current window, dropping the oldest once more
+    /// than `max_windows` are retained.
+    pub fn rotate(&mut self) {
+        self.windows.push_front(SpaceSaving::new(self.capacity));
+        while self.windows.len() > self.max_windows {
+            self.windows.pop_back();
+        }
+        self.rotations += 1;
+    }
+
+    /// Number of retained windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Total rotations since construction.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Total weight across all retained windows.
+    pub fn total(&self) -> u64 {
+        self.windows.iter().map(SpaceSaving::total).sum()
+    }
+
+    /// All retained windows folded into one sketch, oldest merged
+    /// first — a deterministic fold, so two readers always agree.
+    pub fn merged(&self) -> SpaceSaving {
+        let mut out = SpaceSaving::new(self.capacity);
+        for window in self.windows.iter().rev() {
+            out.merge_from(window);
+        }
+        out
+    }
+}
+
+/// A k-minimum-values distinct-count estimator: retain the `k`
+/// smallest 64-bit key hashes; with the k-th smallest at `m`, the
+/// estimate is `(k−1) · 2⁶⁴ / m`. Exact below `k` distinct keys,
+/// ~`1/√k` relative error above.
+#[derive(Debug, Clone)]
+pub struct Kmv {
+    k: usize,
+    hashes: BTreeSet<u64>,
+}
+
+impl Kmv {
+    /// An estimator retaining the `k` smallest hashes (minimum 16).
+    pub fn new(k: usize) -> Self {
+        Kmv {
+            k: k.max(16),
+            hashes: BTreeSet::new(),
+        }
+    }
+
+    /// Observe a key (idempotent per distinct key).
+    pub fn observe(&mut self, key: &str) {
+        let h = fnv1a64(key);
+        self.hashes.insert(h);
+        while self.hashes.len() > self.k {
+            let max = *self.hashes.iter().next_back().expect("non-empty");
+            self.hashes.remove(&max);
+        }
+    }
+
+    /// Estimated number of distinct keys observed.
+    pub fn estimate(&self) -> f64 {
+        if self.hashes.len() < self.k {
+            return self.hashes.len() as f64;
+        }
+        let kth = *self.hashes.iter().next_back().expect("k > 0") as f64;
+        if kth == 0.0 {
+            return self.hashes.len() as f64;
+        }
+        (self.k as f64 - 1.0) * (u64::MAX as f64) / kth
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, uniform enough for KMV.
+fn fnv1a64(key: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in key.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The normalized *shape* of a query: its analyzed terms sorted and
+/// deduplicated, joined by spaces. `"patient height"` and
+/// `"height patient height"` share one shape, so the shape sketch
+/// groups retries and reorderings of the same information need.
+pub fn query_shape(terms: &[String]) -> String {
+    let mut sorted: Vec<&str> = terms.iter().map(String::as_str).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.join(" ")
+}
+
+/// Configuration for [`WorkloadStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Counters per sketch (terms, shapes, zero-result shapes).
+    pub sketch_capacity: usize,
+    /// Retained windows per sketch.
+    pub windows: usize,
+    /// Wall-clock length of one window.
+    pub window_len: Duration,
+    /// Hashes retained by the distinct-term estimator.
+    pub distinct_k: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            sketch_capacity: 64,
+            windows: 4,
+            window_len: Duration::from_secs(60),
+            distinct_k: 256,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WorkloadState {
+    terms: WindowedSketch,
+    shapes: WindowedSketch,
+    zero_shapes: WindowedSketch,
+    distinct: Kmv,
+    window_started: Instant,
+}
+
+/// Engine-facing workload aggregate: per-query term/shape/zero-result
+/// sketches behind one mutex, plus lock-free totals.
+#[derive(Debug)]
+pub struct WorkloadStats {
+    config: WorkloadConfig,
+    state: Mutex<WorkloadState>,
+    total_queries: AtomicU64,
+    zero_result_queries: AtomicU64,
+}
+
+/// A point-in-time view of the workload plane, ready to render.
+#[derive(Debug, Clone)]
+pub struct WorkloadSnapshot {
+    /// Queries recorded since engine start.
+    pub total_queries: u64,
+    /// Queries that returned zero results since engine start.
+    pub zero_result_queries: u64,
+    /// Estimated distinct terms seen since engine start (KMV).
+    pub distinct_terms_estimate: f64,
+    /// Sketch counters per window.
+    pub sketch_capacity: usize,
+    /// Windows retained (including the active one).
+    pub windows_retained: usize,
+    /// Configured window length.
+    pub window_len: Duration,
+    /// Window rotations since engine start.
+    pub rotations: u64,
+    /// Top query terms across the retained windows.
+    pub top_terms: Vec<HeavyHitter>,
+    /// Top normalized query shapes across the retained windows.
+    pub top_shapes: Vec<HeavyHitter>,
+    /// Top zero-result query shapes across the retained windows.
+    pub top_zero_shapes: Vec<HeavyHitter>,
+}
+
+impl WorkloadStats {
+    /// A fresh workload aggregate.
+    pub fn new(config: WorkloadConfig) -> Self {
+        let state = WorkloadState {
+            terms: WindowedSketch::new(config.sketch_capacity, config.windows),
+            shapes: WindowedSketch::new(config.sketch_capacity, config.windows),
+            zero_shapes: WindowedSketch::new(config.sketch_capacity, config.windows),
+            distinct: Kmv::new(config.distinct_k),
+            window_started: Instant::now(),
+        };
+        WorkloadStats {
+            config,
+            state: Mutex::new(state),
+            total_queries: AtomicU64::new(0),
+            zero_result_queries: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Record one completed search: its analyzed terms and whether it
+    /// returned zero results. The critical section is a few hash-map
+    /// probes per term — negligible next to a search.
+    pub fn record_query(&self, terms: &[String], zero_results: bool) {
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
+        if zero_results {
+            self.zero_result_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        let shape = query_shape(terms);
+        let mut state = self.state.lock().expect("workload lock");
+        if state.window_started.elapsed() >= self.config.window_len {
+            state.terms.rotate();
+            state.shapes.rotate();
+            state.zero_shapes.rotate();
+            state.window_started = Instant::now();
+        }
+        for term in terms {
+            state.terms.observe(term);
+            state.distinct.observe(term);
+        }
+        if !shape.is_empty() {
+            state.shapes.observe(&shape);
+            if zero_results {
+                state.zero_shapes.observe(&shape);
+            }
+        }
+    }
+
+    /// Queries recorded since engine start.
+    pub fn total_queries(&self) -> u64 {
+        self.total_queries.load(Ordering::Relaxed)
+    }
+
+    /// Zero-result queries recorded since engine start.
+    pub fn zero_result_queries(&self) -> u64 {
+        self.zero_result_queries.load(Ordering::Relaxed)
+    }
+
+    /// Estimated distinct terms observed since engine start.
+    pub fn distinct_terms_estimate(&self) -> f64 {
+        self.state
+            .lock()
+            .expect("workload lock")
+            .distinct
+            .estimate()
+    }
+
+    /// Snapshot the plane: totals plus the top `top_n` entries of each
+    /// sketch, windows merged.
+    pub fn snapshot(&self, top_n: usize) -> WorkloadSnapshot {
+        let state = self.state.lock().expect("workload lock");
+        WorkloadSnapshot {
+            total_queries: self.total_queries.load(Ordering::Relaxed),
+            zero_result_queries: self.zero_result_queries.load(Ordering::Relaxed),
+            distinct_terms_estimate: state.distinct.estimate(),
+            sketch_capacity: self.config.sketch_capacity,
+            windows_retained: state.terms.window_count(),
+            window_len: self.config.window_len,
+            rotations: state.terms.rotations(),
+            top_terms: state.terms.merged().top(top_n),
+            top_shapes: state.shapes.merged().top(top_n),
+            top_zero_shapes: state.zero_shapes.merged().top(top_n),
+        }
+    }
+}
+
+impl WorkloadSnapshot {
+    /// Render as the `/debug/workload` JSON document.
+    pub fn to_json(&self) -> String {
+        fn hitters(list: &[HeavyHitter]) -> String {
+            let items: Vec<String> = list
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{{\"key\":\"{}\",\"count\":{},\"error\":{}}}",
+                        json::escape(&h.key),
+                        h.count,
+                        h.error
+                    )
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        }
+        let zero_rate = if self.total_queries > 0 {
+            self.zero_result_queries as f64 / self.total_queries as f64
+        } else {
+            0.0
+        };
+        format!(
+            concat!(
+                "{{\"total_queries\":{},\"zero_result_queries\":{},",
+                "\"zero_result_rate\":{},\"distinct_terms_estimate\":{},",
+                "\"sketch\":{{\"capacity\":{},\"windows_retained\":{},",
+                "\"window_seconds\":{},\"rotations\":{}}},",
+                "\"top_terms\":{},\"top_shapes\":{},\"top_zero_result_shapes\":{}}}"
+            ),
+            self.total_queries,
+            self.zero_result_queries,
+            json::number(zero_rate),
+            json::number(self.distinct_terms_estimate),
+            self.sketch_capacity,
+            self.windows_retained,
+            self.window_len.as_secs(),
+            self.rotations,
+            hitters(&self.top_terms),
+            hitters(&self.top_shapes),
+            hitters(&self.top_zero_shapes),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_exact_counts_below_capacity() {
+        let mut sketch = SpaceSaving::new(8);
+        for _ in 0..5 {
+            sketch.observe("patient");
+        }
+        sketch.observe_n("height", 3);
+        assert_eq!(sketch.estimate("patient"), Some((5, 0)));
+        assert_eq!(sketch.estimate("height"), Some((3, 0)));
+        assert_eq!(sketch.total(), 8);
+        let top = sketch.top(10);
+        assert_eq!(top[0].key, "patient");
+        assert_eq!(top[1].key, "height");
+    }
+
+    #[test]
+    fn eviction_never_exceeds_capacity_and_overcounts() {
+        let mut sketch = SpaceSaving::new(4);
+        let mut exact: HashMap<String, u64> = HashMap::new();
+        // 26 distinct keys through 4 counters: constant eviction.
+        for round in 0..50u64 {
+            for c in b'a'..=b'z' {
+                let key = ((c as char).to_string()).repeat(1 + (round % 2) as usize);
+                sketch.observe(&key);
+                *exact.entry(key).or_default() += 1;
+            }
+        }
+        assert!(sketch.len() <= 4);
+        let total = sketch.total();
+        for hitter in sketch.top(4) {
+            let true_count = exact[&hitter.key];
+            assert!(hitter.count >= true_count, "estimates never undercount");
+            assert!(
+                hitter.count - true_count <= total / 4,
+                "overcount within total/k"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_commutative() {
+        let mut a = SpaceSaving::new(4);
+        let mut b = SpaceSaving::new(4);
+        for (sketch, keys) in [
+            (&mut a, ["x", "y", "x", "z", "w", "v"].as_slice()),
+            (&mut b, ["y", "y", "u", "x", "t"].as_slice()),
+        ] {
+            for k in keys {
+                sketch.observe(k);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab.top(10), ba.top(10), "merge is commutative");
+        assert_eq!(ab.total(), a.total() + b.total());
+        let mut again = a.clone();
+        again.merge_from(&b);
+        assert_eq!(ab.top(10), again.top(10), "merge is deterministic");
+    }
+
+    #[test]
+    fn windows_rotate_and_forget() {
+        let mut w = WindowedSketch::new(8, 2);
+        w.observe("old");
+        w.rotate();
+        w.observe("mid");
+        assert_eq!(w.merged().estimate("old"), Some((1, 0)), "still retained");
+        w.rotate();
+        w.observe("new");
+        // Three windows created, two retained: "old" is forgotten.
+        assert_eq!(w.window_count(), 2);
+        assert_eq!(w.merged().estimate("old"), None);
+        assert_eq!(w.merged().estimate("mid"), Some((1, 0)));
+        assert_eq!(w.merged().estimate("new"), Some((1, 0)));
+        assert_eq!(w.rotations(), 2);
+    }
+
+    #[test]
+    fn kmv_is_exact_when_small_and_close_when_large() {
+        let mut kmv = Kmv::new(64);
+        for i in 0..40 {
+            kmv.observe(&format!("term-{i}"));
+        }
+        assert_eq!(kmv.estimate(), 40.0, "exact below k");
+        let mut big = Kmv::new(256);
+        let n = 10_000;
+        for i in 0..n {
+            big.observe(&format!("term-{i}"));
+            big.observe(&format!("term-{i}")); // duplicates don't count
+        }
+        let est = big.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.25, "KMV estimate {est} within 25% of {n}");
+    }
+
+    #[test]
+    fn query_shape_sorts_and_dedups() {
+        let terms = vec!["height".into(), "patient".into(), "height".into()];
+        assert_eq!(query_shape(&terms), "height patient");
+        assert_eq!(query_shape(&[]), "");
+    }
+
+    #[test]
+    fn workload_stats_record_and_snapshot() {
+        let stats = WorkloadStats::new(WorkloadConfig::default());
+        let terms = vec!["patient".to_string(), "height".to_string()];
+        stats.record_query(&terms, false);
+        stats.record_query(&terms, false);
+        stats.record_query(&["nonexistent".to_string()], true);
+        let snap = stats.snapshot(10);
+        assert_eq!(snap.total_queries, 3);
+        assert_eq!(snap.zero_result_queries, 1);
+        assert_eq!(snap.top_terms[0].count, 2);
+        assert_eq!(snap.top_shapes[0].key, "height patient");
+        assert_eq!(snap.top_zero_shapes[0].key, "nonexistent");
+        assert!(snap.distinct_terms_estimate >= 3.0);
+        let json = snap.to_json();
+        assert!(json.contains("\"total_queries\":3"), "{json}");
+        assert!(json.contains("\"top_zero_result_shapes\""), "{json}");
+        assert!(json.contains("\"zero_result_rate\""), "{json}");
+        // The document must be machine-consumable, not just grep-able:
+        // `doctor` parses it back.
+        let doc = crate::json::Json::parse(&json).expect("valid JSON");
+        let terms = doc.get("top_terms").and_then(|t| t.as_arr()).unwrap();
+        assert_eq!(terms[0].get("key").and_then(|k| k.as_str()), Some("height"));
+    }
+
+    #[test]
+    fn empty_terms_do_not_pollute_the_shape_sketch() {
+        let stats = WorkloadStats::new(WorkloadConfig::default());
+        stats.record_query(&[], true);
+        let snap = stats.snapshot(10);
+        assert_eq!(snap.total_queries, 1);
+        assert!(snap.top_shapes.is_empty());
+        assert!(snap.top_zero_shapes.is_empty());
+    }
+}

@@ -49,6 +49,7 @@ fn event(trace_id: &str, query: &str) -> SearchEvent {
             score: 0.75,
             matcher_scores: vec![("name".to_string(), 0.8), ("context".to_string(), 0.7)],
         }],
+        tags: Vec::new(),
     }
 }
 

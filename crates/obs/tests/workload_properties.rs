@@ -1,0 +1,155 @@
+//! Property-based tests for the heavy-hitter workload sketch: the
+//! eviction bound, the SpaceSaving frequency-error guarantee, window
+//! merge determinism, and a sketch-vs-exact oracle over generated
+//! workloads.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use schemr_obs::{SpaceSaving, WindowedSketch};
+
+/// A skewed synthetic stream: key `i` is drawn with weight ∝ 1/(i+1),
+/// so a handful of keys dominate — the workload shape the sketch is
+/// built for. Generated from proptest-driven choices so every case is
+/// a different stream.
+fn skewed_stream(picks: &[usize], universe: usize) -> Vec<String> {
+    // Map a uniform pick into a Zipf-ish rank: repeated halving sends
+    // most picks to low ranks.
+    picks
+        .iter()
+        .map(|&p| {
+            let mut rank = 0usize;
+            let mut span = universe.max(1);
+            let mut x = p % universe.max(1);
+            while span > 1 && x >= span / 2 {
+                rank += span / 2;
+                x -= span / 2;
+                span -= span / 2;
+                // Re-spread within the tail.
+                x = (x * 7 + 3) % span.max(1);
+            }
+            format!("term-{rank}")
+        })
+        .collect()
+}
+
+fn exact_counts(stream: &[String]) -> HashMap<&str, u64> {
+    let mut exact: HashMap<&str, u64> = HashMap::new();
+    for key in stream {
+        *exact.entry(key).or_default() += 1;
+    }
+    exact
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Eviction bound: the sketch never tracks more than `k` keys, no
+    /// matter the stream, and the total is always exact.
+    #[test]
+    fn eviction_bound_holds(
+        picks in proptest::collection::vec(0usize..10_000, 1..400),
+        k in 1usize..32,
+    ) {
+        let stream = skewed_stream(&picks, 200);
+        let mut sketch = SpaceSaving::new(k);
+        for key in &stream {
+            sketch.observe(key);
+        }
+        prop_assert!(sketch.len() <= k);
+        prop_assert_eq!(sketch.total(), stream.len() as u64);
+    }
+
+    /// Frequency-error invariant: every tracked key's estimate is an
+    /// overcount bounded by `total/k`, both through the reported error
+    /// field and against the true count.
+    #[test]
+    fn frequency_error_is_bounded(
+        picks in proptest::collection::vec(0usize..10_000, 1..400),
+        k in 2usize..24,
+    ) {
+        let stream = skewed_stream(&picks, 100);
+        let exact = exact_counts(&stream);
+        let mut sketch = SpaceSaving::new(k);
+        for key in &stream {
+            sketch.observe(key);
+        }
+        let bound = sketch.total() / k as u64;
+        for hitter in sketch.top(k) {
+            let true_count = exact[hitter.key.as_str()];
+            prop_assert!(hitter.count >= true_count, "never undercounts");
+            prop_assert!(hitter.count - true_count <= hitter.error, "error field covers the overcount");
+            prop_assert!(hitter.error <= bound, "error ≤ total/k");
+        }
+    }
+
+    /// Window-merge determinism: folding the same windows twice yields
+    /// identical output, and pairwise merge is commutative.
+    #[test]
+    fn window_merge_is_deterministic(
+        a_picks in proptest::collection::vec(0usize..10_000, 1..200),
+        b_picks in proptest::collection::vec(0usize..10_000, 1..200),
+        k in 2usize..16,
+    ) {
+        let mut windowed = WindowedSketch::new(k, 4);
+        for key in skewed_stream(&a_picks, 60) {
+            windowed.observe(&key);
+        }
+        windowed.rotate();
+        for key in skewed_stream(&b_picks, 60) {
+            windowed.observe(&key);
+        }
+        let first = windowed.merged();
+        let second = windowed.merged();
+        prop_assert_eq!(first.top(k), second.top(k), "same fold twice agrees");
+        prop_assert_eq!(first.total(), second.total());
+
+        let mut a = SpaceSaving::new(k);
+        for key in skewed_stream(&a_picks, 60) {
+            a.observe(&key);
+        }
+        let mut b = SpaceSaving::new(k);
+        for key in skewed_stream(&b_picks, 60) {
+            b.observe(&key);
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(ab.top(k), ba.top(k), "merge is commutative");
+    }
+
+    /// Sketch-vs-exact oracle: on a skewed workload with enough
+    /// capacity headroom, the sketch's reported top hitters bracket the
+    /// true counts, and every *unambiguously* heavy key (true count
+    /// strictly above total/k, where untracked keys cannot hide) is
+    /// reported.
+    #[test]
+    fn sketch_matches_exact_oracle_on_generated_workload(
+        picks in proptest::collection::vec(0usize..100_000, 200..600),
+    ) {
+        let k = 32usize;
+        let stream = skewed_stream(&picks, 500);
+        let exact = exact_counts(&stream);
+        let mut sketch = SpaceSaving::new(k);
+        for key in &stream {
+            sketch.observe(key);
+        }
+        let total = stream.len() as u64;
+        let threshold = total / k as u64;
+        let top_list = sketch.top(k);
+        let top: HashMap<&str, (u64, u64)> = top_list
+            .iter()
+            .map(|h| (h.key.as_str(), (h.count, h.error)))
+            .collect();
+        for (key, true_count) in &exact {
+            if *true_count > threshold {
+                let (est, _) = top
+                    .get(key)
+                    .unwrap_or_else(|| panic!("heavy key {key} ({true_count}/{total}) missing from top-{k}"));
+                prop_assert!(*est >= *true_count);
+                prop_assert!(est - true_count <= threshold);
+            }
+        }
+    }
+}

@@ -534,7 +534,8 @@ impl Response {
         for (name, value) in &self.headers {
             // The writer owns framing: a caller-supplied Content-Length
             // or Connection could contradict the computed ones below.
-            if name.eq_ignore_ascii_case("content-length") || name.eq_ignore_ascii_case("connection")
+            if name.eq_ignore_ascii_case("content-length")
+                || name.eq_ignore_ascii_case("connection")
             {
                 continue;
             }
@@ -712,15 +713,21 @@ mod tests {
     #[test]
     fn parse_errors_map_to_responses() {
         assert_eq!(
-            Response::for_error(&HttpError::RequestLineTooLong).unwrap().status,
+            Response::for_error(&HttpError::RequestLineTooLong)
+                .unwrap()
+                .status,
             400
         );
         assert_eq!(
-            Response::for_error(&HttpError::HeadersTooLarge("x")).unwrap().status,
+            Response::for_error(&HttpError::HeadersTooLarge("x"))
+                .unwrap()
+                .status,
             431
         );
         assert_eq!(
-            Response::for_error(&HttpError::Malformed("x")).unwrap().status,
+            Response::for_error(&HttpError::Malformed("x"))
+                .unwrap()
+                .status,
             400
         );
         let timeout: HttpError =

@@ -259,7 +259,9 @@ impl SchemrServer {
         let mut remaining = self.workers.len();
         while remaining > 0 {
             let now = Instant::now();
-            let Some(budget) = deadline.checked_duration_since(now).filter(|b| !b.is_zero())
+            let Some(budget) = deadline
+                .checked_duration_since(now)
+                .filter(|b| !b.is_zero())
             else {
                 break;
             };
@@ -369,10 +371,11 @@ fn wait_for_request(
             // drain still get served (with `Connection: close`).
             Ok(buf) if !buf.is_empty() => return Wake::Bytes,
             Ok(_) => return Wake::Close,
-            Err(e) if matches!(
-                e.kind(),
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-            ) =>
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
             {
                 if stop.load(Ordering::Relaxed) {
                     return Wake::Close;
@@ -416,7 +419,11 @@ fn serve_connection(
         // Bound how long one request read can hold this worker: without
         // the timeout a client that never finishes its request pins the
         // thread indefinitely.
-        if reader.get_ref().set_read_timeout(config.read_timeout).is_err() {
+        if reader
+            .get_ref()
+            .set_read_timeout(config.read_timeout)
+            .is_err()
+        {
             break;
         }
         let started = Instant::now();
@@ -434,7 +441,11 @@ fn serve_connection(
                     )
                 }
                 Err(e) => {
-                    let label = if e.is_timeout() { "timeout" } else { "malformed" };
+                    let label = if e.is_timeout() {
+                        "timeout"
+                    } else {
+                        "malformed"
+                    };
                     if e.is_timeout() {
                         // A stalled request still waited for admission;
                         // give it a trace like any served request gets.
@@ -459,7 +470,11 @@ fn serve_connection(
         let draining = stop.load(Ordering::Relaxed);
         let keep_alive = client_keep_alive && served < budget && !draining;
         record_request(engine.metrics_registry(), label, &response, started, slo);
-        if response.write_to_conn(reader.get_mut(), keep_alive).is_err() || !keep_alive {
+        if response
+            .write_to_conn(reader.get_mut(), keep_alive)
+            .is_err()
+            || !keep_alive
+        {
             break;
         }
     }
@@ -479,6 +494,9 @@ fn route_label(path: &str) -> &'static str {
         "/debug/slowlog" => "/debug/slowlog",
         "/debug/profile" => "/debug/profile",
         "/debug/slo" => "/debug/slo",
+        "/debug/workload" => "/debug/workload",
+        "/debug/index" => "/debug/index",
+        "/debug/memory" => "/debug/memory",
         _ if path.starts_with("/debug/traces/") => "/debug/traces/{id}",
         _ if path.starts_with("/schema/") => "/schema",
         _ => "other",
@@ -543,12 +561,16 @@ fn route(
     queue_wait: Option<Duration>,
     peer: Option<std::net::SocketAddr>,
 ) -> Response {
+    // The whole `/debug/*` surface is operator-only: span trees and the
+    // workload panels expose query text, and the memory/index reports
+    // expose corpus internals. Gate all of it to loopback clients the
+    // way POST /debug/slowlog always was.
+    if request.path.starts_with("/debug/") && !peer.is_some_and(|p| p.ip().is_loopback()) {
+        return Response::forbidden("debug endpoints are loopback-only");
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(engine, slo),
-        ("GET", "/metrics") => Response::ok(
-            "text/plain; version=0.0.4",
-            engine.metrics_registry().render_prometheus(),
-        ),
+        ("GET", "/metrics") => handle_metrics(engine),
         ("GET", "/stats") => handle_stats(engine),
         ("GET" | "POST", "/search") => handle_search(engine, request, queue_wait),
         ("GET", "/debug/traces") => handle_traces(engine, request),
@@ -556,12 +578,147 @@ fn route(
         ("POST", "/debug/slowlog") => handle_slowlog_threshold(engine, request, peer),
         ("GET", "/debug/profile") => handle_profile(engine, request),
         ("GET", "/debug/slo") => Response::ok("application/json", slo.report().to_json()),
+        ("GET", "/debug/workload") => handle_workload(engine, request),
+        ("GET", "/debug/index") => handle_index(engine, request),
+        ("GET", "/debug/memory") => handle_memory(engine),
         ("GET", _) if request.path.starts_with("/debug/traces/") => {
             handle_trace_by_id(engine, &request.path["/debug/traces/".len()..])
         }
         _ if request.path.starts_with("/schema/") => handle_schema(engine, request),
         _ => Response::not_found(format!("no route for {} {}", request.method, request.path)),
     }
+}
+
+/// `GET /metrics`: the registry's counter/histogram families plus
+/// hand-rendered gauges. The registry holds monotonic families only, so
+/// point-in-time values (resident bytes, distinct-term estimate) are
+/// appended here instead of being registered.
+fn handle_metrics(engine: &SchemrEngine) -> Response {
+    use std::fmt::Write as _;
+    let mut body = engine.metrics_registry().render_prometheus();
+    let mem = engine.memory_report();
+    {
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = write!(
+                body,
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            );
+        };
+        gauge(
+            "schemr_index_deep_bytes",
+            "Estimated heap bytes of the in-memory inverted index.",
+            mem.index_deep_bytes as u64,
+        );
+        gauge(
+            "schemr_candidate_cache_resident_entries",
+            "Entries resident in the Phase 1 candidate cache.",
+            mem.candidate_cache_entries as u64,
+        );
+        gauge(
+            "schemr_match_artifact_cache_resident_bytes",
+            "Artifact bytes resident in the Phase 2 match-artifact cache.",
+            mem.artifact_cache_resident_bytes as u64,
+        );
+        gauge(
+            "schemr_trace_ring_bytes",
+            "Estimated heap bytes retained by the recent-trace and slowlog rings.",
+            (mem.trace_ring_bytes + mem.slow_ring_bytes) as u64,
+        );
+    }
+    // `top_n = 0`: totals and the distinct estimate without ranking any
+    // heavy-hitter panel.
+    if let Some(snap) = engine.workload_snapshot(0) {
+        let _ = write!(
+            body,
+            "# HELP schemr_workload_distinct_terms_estimate KMV estimate of distinct analyzed query terms.\n\
+             # TYPE schemr_workload_distinct_terms_estimate gauge\n\
+             schemr_workload_distinct_terms_estimate {}\n",
+            snap.distinct_terms_estimate
+        );
+    }
+    Response::ok("text/plain; version=0.0.4", body)
+}
+
+/// `GET /debug/workload?limit=N`: heavy-hitter query terms, normalized
+/// query shapes, and the zero-result panel from the engine's workload
+/// sketch. 404 when the workload plane is off.
+fn handle_workload(engine: &SchemrEngine, request: &Request) -> Response {
+    let top_n = limit_param(request, 20, 200);
+    match engine.workload_snapshot(top_n) {
+        Some(snapshot) => Response::ok("application/json", snapshot.to_json()),
+        None => Response::not_found(
+            "workload analytics disabled (tracing off or workload_sketch=0)".to_string(),
+        ),
+    }
+}
+
+/// `GET /debug/index?limit=N`: corpus aggregates plus per-postings-list
+/// statistics for the heaviest lists, including each list's max-impact
+/// score (the WAND/MaxScore upper bound).
+fn handle_index(engine: &SchemrEngine, request: &Request) -> Response {
+    use std::fmt::Write as _;
+    let top_lists = limit_param(request, 20, 500);
+    let report = engine.index_introspection(top_lists);
+    let mut body = format!(
+        "{{\"live_docs\":{},\"total_docs\":{},\"distinct_terms\":{},\"postings\":{},\"occurrences\":{},\"revision\":{},\"tombstone_ratio\":{:.6},\"postings_bytes\":{},\"deep_bytes\":{},\"top_lists\":[",
+        report.stats.live_docs,
+        report.stats.total_docs,
+        report.stats.distinct_terms,
+        report.stats.postings,
+        report.stats.occurrences,
+        report.revision,
+        report.tombstone_ratio,
+        report.postings_bytes,
+        report.deep_bytes,
+    );
+    for (i, list) in report.top_lists.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"field\":\"{}\",\"term\":\"{}\",\"doc_freq\":{},\"live_doc_freq\":{},\"tombstone_ratio\":{:.6},\"approx_bytes\":{},\"max_impact\":{:.6}}}",
+            list.field.label(),
+            schemr_obs::json::escape(&list.term),
+            list.doc_freq,
+            list.live_doc_freq,
+            list.tombstone_ratio,
+            list.approx_bytes,
+            list.max_impact,
+        );
+    }
+    body.push_str("]}");
+    Response::ok("application/json", body)
+}
+
+/// `GET /debug/memory`: the engine's deep-memory report — estimated
+/// resident bytes of the index, both caches, and the trace rings.
+fn handle_memory(engine: &SchemrEngine) -> Response {
+    let m = engine.memory_report();
+    let event_log_bytes = m
+        .event_log_bytes
+        .map_or("null".to_string(), |b| b.to_string());
+    let body = format!(
+        "{{\"index\":{{\"deep_bytes\":{},\"postings_bytes\":{}}},\
+         \"candidate_cache\":{{\"entries\":{},\"budget_entries\":{}}},\
+         \"match_artifact_cache\":{{\"entries\":{},\"resident_bytes\":{},\"budget_bytes\":{}}},\
+         \"trace_ring\":{{\"traces\":{},\"bytes\":{}}},\
+         \"slowlog_ring\":{{\"traces\":{},\"bytes\":{}}},\
+         \"event_log_bytes\":{}}}",
+        m.index_deep_bytes,
+        m.index_postings_bytes,
+        m.candidate_cache_entries,
+        m.candidate_cache_budget,
+        m.artifact_cache_entries,
+        m.artifact_cache_resident_bytes,
+        m.artifact_cache_budget_bytes,
+        m.trace_ring_len,
+        m.trace_ring_bytes,
+        m.slow_ring_len,
+        m.slow_ring_bytes,
+        event_log_bytes,
+    );
+    Response::ok("application/json", body)
 }
 
 fn handle_healthz(engine: &SchemrEngine, slo: &SloTracker) -> Response {
@@ -623,9 +780,7 @@ fn handle_slowlog_threshold(
 /// folded-stack format — pipe straight into a flamegraph renderer.
 fn handle_profile(engine: &SchemrEngine, request: &Request) -> Response {
     let Some(profiler) = engine.profiler() else {
-        return Response::not_found(
-            "profiler disabled (tracing off or profile_hz=0)".to_string(),
-        );
+        return Response::not_found("profiler disabled (tracing off or profile_hz=0)".to_string());
     };
     let ms = request
         .param("ms")
@@ -1384,10 +1539,187 @@ mod tests {
     }
 
     #[test]
+    fn debug_workload_reports_heavy_hitters_and_zero_results() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        for _ in 0..3 {
+            assert_eq!(get(addr, "/search?q=patient+height").0, 200);
+        }
+        assert_eq!(get(addr, "/search?q=zebra+wingspan").0, 200);
+        let (status, body) = get(addr, "/debug/workload");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"total_queries\":4"), "{body}");
+        assert!(body.contains("\"zero_result_queries\":1"), "{body}");
+        assert!(body.contains("\"zero_result_rate\":0.25"), "{body}");
+        assert!(body.contains("\"distinct_terms_estimate\""), "{body}");
+        assert!(body.contains("\"top_terms\":["), "{body}");
+        assert!(body.contains("\"top_shapes\":["), "{body}");
+        assert!(body.contains("\"top_zero_result_shapes\":["), "{body}");
+        // The analyzed terms of the repeated query dominate the panel.
+        assert!(body.contains("\"count\":3"), "{body}");
+        // ?limit=0 empties the panels but keeps the totals.
+        let (status, trimmed) = get(addr, "/debug/workload?limit=0");
+        assert_eq!(status, 200);
+        assert!(trimmed.contains("\"top_terms\":[]"), "{trimmed}");
+        assert!(trimmed.contains("\"total_queries\":4"), "{trimmed}");
+        // The zero-result rate also lands on /metrics as a counter.
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("schemr_search_empty_total 1"), "{metrics}");
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn debug_workload_404_when_tracing_disabled() {
+        use schemr::EngineConfig;
+        let repo = Arc::new(Repository::new());
+        import_str(&repo, "clinic", "clinic", "CREATE TABLE p (id INT)").unwrap();
+        let eng = Arc::new(SchemrEngine::with_config(
+            repo,
+            EngineConfig {
+                trace: schemr_obs::TracerConfig::disabled(),
+                ..Default::default()
+            },
+        ));
+        eng.reindex_full();
+        let server = SchemrServer::start(eng, ServerConfig::default()).unwrap();
+        let (status, body) = get(server.addr(), "/debug/workload");
+        assert_eq!(status, 404);
+        assert!(body.contains("workload analytics disabled"), "{body}");
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn debug_index_reports_postings_statistics() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let (status, body) = get(addr, "/debug/index");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"live_docs\":2"), "{body}");
+        assert!(body.contains("\"tombstone_ratio\":0.000000"), "{body}");
+        assert!(body.contains("\"postings_bytes\":"), "{body}");
+        assert!(body.contains("\"deep_bytes\":"), "{body}");
+        assert!(body.contains("\"top_lists\":["), "{body}");
+        assert!(body.contains("\"field\":\"elements\""), "{body}");
+        assert!(body.contains("\"max_impact\":"), "{body}");
+        // The limit caps how many lists come back.
+        let (status, capped) = get(addr, "/debug/index?limit=1");
+        assert_eq!(status, 200);
+        assert_eq!(capped.matches("\"term\":").count(), 1, "{capped}");
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn debug_memory_reports_resident_structures() {
+        let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        assert_eq!(get(addr, "/search?q=patient+height").0, 200);
+        let (status, body) = get(addr, "/debug/memory");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"index\":{\"deep_bytes\":"), "{body}");
+        assert!(
+            body.contains("\"candidate_cache\":{\"entries\":1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"match_artifact_cache\":{\"entries\":"),
+            "{body}"
+        );
+        assert!(body.contains("\"trace_ring\":{\"traces\":1"), "{body}");
+        assert!(body.contains("\"slowlog_ring\":"), "{body}");
+        assert!(body.contains("\"event_log_bytes\":null"), "{body}");
+        // The same residency figures are exported as /metrics gauges.
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(
+            metrics.contains("# TYPE schemr_index_deep_bytes gauge"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("# TYPE schemr_candidate_cache_resident_entries gauge"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("schemr_candidate_cache_resident_entries 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("# TYPE schemr_match_artifact_cache_resident_bytes gauge"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("# TYPE schemr_trace_ring_bytes gauge"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("# TYPE schemr_workload_distinct_terms_estimate gauge"),
+            "{metrics}"
+        );
+        assert!(server.shutdown());
+    }
+
+    #[test]
+    fn debug_endpoints_are_loopback_gated() {
+        // The route dispatcher refuses any /debug path for a non-loopback
+        // peer — and for a missing peer address, which must fail closed.
+        let eng = engine();
+        let slo = SloTracker::new(SloConfig::default());
+        let remote: std::net::SocketAddr = "203.0.113.9:4411".parse().unwrap();
+        for path in [
+            "/debug/traces",
+            "/debug/traces/some-id",
+            "/debug/slowlog",
+            "/debug/profile",
+            "/debug/slo",
+            "/debug/workload",
+            "/debug/index",
+            "/debug/memory",
+        ] {
+            let req = Request {
+                method: "GET".to_string(),
+                path: path.to_string(),
+                query: Default::default(),
+                headers: Default::default(),
+                version: "HTTP/1.1".to_string(),
+                body: String::new(),
+            };
+            let denied = route(&eng, &slo, &req, None, Some(remote));
+            assert_eq!(denied.status, 403, "{path} must be gated");
+            let no_peer = route(&eng, &slo, &req, None, None);
+            assert_eq!(
+                no_peer.status, 403,
+                "{path} must fail closed without a peer"
+            );
+        }
+        // Loopback keeps working, and non-debug routes stay open to all.
+        let local: std::net::SocketAddr = "127.0.0.1:4411".parse().unwrap();
+        let req = Request {
+            method: "GET".to_string(),
+            path: "/debug/memory".to_string(),
+            query: Default::default(),
+            headers: Default::default(),
+            version: "HTTP/1.1".to_string(),
+            body: String::new(),
+        };
+        assert_eq!(route(&eng, &slo, &req, None, Some(local)).status, 200);
+        let open = Request {
+            method: "GET".to_string(),
+            path: "/healthz".to_string(),
+            query: Default::default(),
+            headers: Default::default(),
+            version: "HTTP/1.1".to_string(),
+            body: String::new(),
+        };
+        assert_eq!(route(&eng, &slo, &open, None, Some(remote)).status, 200);
+    }
+
+    #[test]
     fn metrics_render_exemplars_with_live_trace_ids() {
         let server = SchemrServer::start(engine(), ServerConfig::default()).unwrap();
         let addr = server.addr();
-        let raw = get_raw(addr, "/search?q=patient+height", "X-Schemr-Trace-Id: ex-9\r\n");
+        let raw = get_raw(
+            addr,
+            "/search?q=patient+height",
+            "X-Schemr-Trace-Id: ex-9\r\n",
+        );
         assert!(raw.starts_with("HTTP/1.1 200"));
         let (status, metrics) = get(addr, "/metrics");
         assert_eq!(status, 200);

@@ -61,7 +61,9 @@ fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
 fn one_shot(addr: std::net::SocketAddr, target: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream
-        .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .unwrap();
     read_response(&mut stream)
 }
@@ -125,7 +127,13 @@ fn oversized_headers_are_rejected_with_431() {
     // One oversized header line.
     let mut stream = TcpStream::connect(addr).unwrap();
     stream
-        .write_all(format!("GET /healthz HTTP/1.1\r\nX-Big: {}\r\n\r\n", "v".repeat(2048)).as_bytes())
+        .write_all(
+            format!(
+                "GET /healthz HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+                "v".repeat(2048)
+            )
+            .as_bytes(),
+        )
         .unwrap();
     let (status, head, _) = read_response(&mut stream);
     assert_eq!(status, 431, "{head}");

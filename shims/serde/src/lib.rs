@@ -354,8 +354,9 @@ pub mod __private {
     /// out, so absence means a schema mismatch.
     pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, DeError> {
         match fields.iter().find(|(k, _)| k == name) {
-            Some((_, v)) => T::deserialize_value(v)
-                .map_err(|e| DeError(format!("field {name:?}: {e}"))),
+            Some((_, v)) => {
+                T::deserialize_value(v).map_err(|e| DeError(format!("field {name:?}: {e}")))
+            }
             None => Err(DeError(format!("missing field {name:?}"))),
         }
     }
@@ -378,7 +379,10 @@ mod tests {
     #[test]
     fn scalar_round_trips() {
         assert_eq!(u64::deserialize_value(&7u64.serialize_value()).unwrap(), 7);
-        assert_eq!(i32::deserialize_value(&(-3i32).serialize_value()).unwrap(), -3);
+        assert_eq!(
+            i32::deserialize_value(&(-3i32).serialize_value()).unwrap(),
+            -3
+        );
         assert_eq!(
             String::deserialize_value(&"hi".to_string().serialize_value()).unwrap(),
             "hi"

@@ -326,9 +326,7 @@ impl<'a> Parser<'a> {
                                 );
                             }
                         }
-                        other => {
-                            return Err(Error(format!("invalid escape \\{}", other as char)))
-                        }
+                        other => return Err(Error(format!("invalid escape \\{}", other as char))),
                     }
                 }
                 Some(_) => return Err(Error("control character in string".to_string())),
