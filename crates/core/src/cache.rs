@@ -29,14 +29,18 @@ use schemr_model::SchemaId;
 use schemr_obs::Counter;
 
 /// The cache key: analyzed query terms plus a fingerprint of every
-/// [`SearchOptions`] field that affects the result. `proximity_weight` is
-/// folded in by bit pattern so the key stays `Eq + Hash` despite the f64.
+/// [`SearchOptions`] field. `proximity_weight` is folded in by bit
+/// pattern so the key stays `Eq + Hash` despite the f64. `prune` is
+/// included defensively even though pruned and exhaustive results are
+/// bitwise identical by contract — if a bound bug ever broke that
+/// contract, the cache must not paper over it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
     terms: Vec<String>,
     top_n: usize,
     coordination: bool,
     proximity_bits: u64,
+    prune: bool,
 }
 
 impl CacheKey {
@@ -46,6 +50,7 @@ impl CacheKey {
             top_n: options.top_n,
             coordination: options.coordination,
             proximity_bits: options.proximity_weight.to_bits(),
+            prune: options.prune,
         }
     }
 }

@@ -36,6 +36,11 @@ pub struct EngineConfig {
     pub coordination: bool,
     /// Proximity-bonus weight in Phase 1 (0 disables; ablated in E5).
     pub proximity_weight: f64,
+    /// WAND/MaxScore top-n pruning in Phase 1: skip postings that
+    /// provably cannot place a document in the top n. Results are bitwise
+    /// identical either way; `false` forces the exhaustive scan (used by
+    /// the pruning bench's baseline arm).
+    pub phase1_pruning: bool,
     /// Phase 3 parameters.
     pub tightness: TightnessConfig,
     /// Threads for Phase 2 matching (1 = sequential).
@@ -59,6 +64,7 @@ impl Default for EngineConfig {
             top_candidates: 50,
             coordination: true,
             proximity_weight: 0.25,
+            phase1_pruning: true,
             tightness: TightnessConfig::default(),
             match_threads: std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
@@ -382,6 +388,7 @@ impl SchemrEngine {
             top_n: self.config.top_candidates,
             coordination: self.config.coordination,
             proximity_weight: self.config.proximity_weight,
+            prune: self.config.phase1_pruning,
         };
         let index = self.index.read();
         let terms: Vec<String> = graph

@@ -99,9 +99,9 @@ pub fn encode(index: &Index) -> Bytes {
         }
     }
 
-    put_varint(&mut buf, inner.terms.len() as u64);
-    for ((field, term), pl) in &inner.terms {
-        buf.put_u8(*field);
+    put_varint(&mut buf, inner.term_count() as u64);
+    for (field, term, pl) in inner.iter_terms() {
+        buf.put_u8(field);
         put_varint(&mut buf, term.len() as u64);
         buf.put_slice(term.as_bytes());
         put_varint(&mut buf, pl.doc_freq() as u64);
@@ -160,7 +160,7 @@ pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
     }
 
     let term_count = get_varint(&mut buf)? as usize;
-    let mut terms: BTreeMap<(u8, String), PostingsList> = BTreeMap::new();
+    let mut terms: [BTreeMap<String, PostingsList>; 4] = Default::default();
     // Forward index and per-list live document frequencies, rebuilt from
     // the decoded postings against the document table's tombstone flags.
     let mut doc_terms: Vec<Vec<(u8, String)>> = vec![Vec::new(); docs.len()];
@@ -221,7 +221,13 @@ pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
             .count();
         let mut pl = PostingsList::from_postings(postings);
         pl.set_live_doc_freq(live);
-        terms.insert((field, term), pl);
+        // Tight impact bounds: a freshly loaded segment starts with no
+        // stale-high slack from pre-save churn.
+        pl.rebuild_bounds(
+            |d| docs[d as usize].field_lengths[field as usize],
+            |d| !docs[d as usize].deleted,
+        );
+        terms[field as usize].insert(term, pl);
     }
 
     let by_id = docs
@@ -318,7 +324,7 @@ mod tests {
         let decoded = decode(&encode(&sample_index())).unwrap();
         {
             let inner = decoded.inner.read();
-            let pl = inner.terms.get(&(0u8, "store".to_string())).unwrap();
+            let pl = inner.terms[0].get("store").unwrap();
             assert_eq!(pl.doc_freq(), 2);
             assert_eq!(pl.live_doc_freq(), 1);
         }

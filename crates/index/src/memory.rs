@@ -23,8 +23,12 @@ pub(crate) struct DocEntry {
     pub deleted: bool,
 }
 
-/// The index's mutable core. Term dictionary keys are `(field, term)`;
-/// `BTreeMap` keeps the codec output deterministic.
+/// The index's mutable core. The term dictionary is one `BTreeMap` per
+/// field, indexed by field ordinal: `String`-keyed maps support borrowed
+/// `&str` lookups, so the query hot path never clones a term just to probe
+/// the dictionary, and `BTreeMap` keeps the codec output deterministic
+/// (iterating the array then each map reproduces the old `(field, term)`
+/// key order exactly).
 ///
 /// `doc_terms` is a forward index: for every document slot, the distinct
 /// `(field, term)` keys it contributed postings to. It exists so a
@@ -40,7 +44,7 @@ pub(crate) struct DocEntry {
 /// cache's invalidation rule.
 #[derive(Debug, Default)]
 pub(crate) struct Inner {
-    pub terms: BTreeMap<(u8, String), PostingsList>,
+    pub terms: [BTreeMap<String, PostingsList>; 4],
     pub docs: Vec<DocEntry>,
     pub by_id: HashMap<SchemaId, DocOrd>,
     pub doc_terms: Vec<Vec<(u8, String)>>,
@@ -49,11 +53,31 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
+    /// One field's term dictionary — a borrowed lookup takes `&str`, no
+    /// allocation.
+    pub(crate) fn field_terms(&self, field: Field) -> &BTreeMap<String, PostingsList> {
+        &self.terms[field.ordinal() as usize]
+    }
+
+    /// All `(field ordinal, term, list)` entries in the deterministic
+    /// `(field, term)` order the codec serializes.
+    pub(crate) fn iter_terms(&self) -> impl Iterator<Item = (u8, &String, &PostingsList)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .flat_map(|(f, map)| map.iter().map(move |(t, pl)| (f as u8, t, pl)))
+    }
+
+    /// Distinct `(field, term)` dictionary entries across all fields.
+    pub(crate) fn term_count(&self) -> usize {
+        self.terms.iter().map(BTreeMap::len).sum()
+    }
+
     /// Decrement the live df of every postings list `ord` appears in.
     /// Called exactly once per tombstoned document.
     fn note_tombstoned(&mut self, ord: DocOrd) {
-        for key in &self.doc_terms[ord as usize] {
-            if let Some(pl) = self.terms.get_mut(key) {
+        for (field, term) in &self.doc_terms[ord as usize] {
+            if let Some(pl) = self.terms[*field as usize].get_mut(term.as_str()) {
                 pl.note_doc_tombstoned();
             }
         }
@@ -181,12 +205,12 @@ impl Index {
                     .into_iter()
                     .map(|t| (field.ordinal(), t.to_string())),
             );
+            let field_len = field_lengths[field.ordinal() as usize];
             for (term, pos) in terms {
-                inner
-                    .terms
-                    .entry((field.ordinal(), term))
+                inner.terms[field.ordinal() as usize]
+                    .entry(term)
                     .or_default()
-                    .push_occurrence(ord, pos);
+                    .push_occurrence(ord, pos, field_len);
             }
         }
         inner.docs.push(DocEntry {
@@ -295,6 +319,10 @@ impl Index {
             span.annotate("distinct_terms", stats.distinct_terms);
             span.annotate("postings_scanned", stats.postings_scanned);
             span.annotate("hits", hits.len());
+            if stats.pruned_lists > 0 || stats.pruned_postings > 0 {
+                span.annotate("pruned_lists", stats.pruned_lists);
+                span.annotate("pruned_postings", stats.pruned_postings);
+            }
         }
         (hits, revision)
     }
@@ -305,23 +333,23 @@ impl Index {
         IndexStats {
             live_docs: inner.live_docs,
             total_docs: inner.docs.len(),
-            distinct_terms: inner.terms.len(),
-            postings: inner.terms.values().map(PostingsList::doc_freq).sum(),
+            distinct_terms: inner.term_count(),
+            postings: inner.iter_terms().map(|(_, _, pl)| pl.doc_freq()).sum(),
             occurrences: inner
-                .terms
-                .values()
-                .map(PostingsList::total_term_freq)
+                .iter_terms()
+                .map(|(_, _, pl)| pl.total_term_freq())
                 .sum(),
         }
     }
 
     /// Document frequency of an (already analyzed) term in a field.
-    /// Exposed for tests and the ablation benches.
+    /// Exposed for tests and the ablation benches. Borrowed lookup — no
+    /// per-call allocation.
     pub fn doc_freq(&self, field: Field, term: &str) -> usize {
         self.inner
             .read()
-            .terms
-            .get(&(field.ordinal(), term.to_string()))
+            .field_terms(field)
+            .get(term)
             .map_or(0, PostingsList::doc_freq)
     }
 
@@ -342,25 +370,29 @@ impl Index {
                 new_docs.push(entry.clone());
             }
         }
-        let mut new_terms: BTreeMap<(u8, String), PostingsList> = BTreeMap::new();
+        let mut new_terms: [BTreeMap<String, PostingsList>; 4] = Default::default();
         // Forward index rebuilt alongside: every posting that survives the
         // remap is by construction live, so `push_occurrence`'s live-df
-        // accounting is already correct for the compacted lists.
+        // accounting — and its tight impact-bound accounting — is already
+        // correct for the compacted lists.
         let mut new_doc_terms: Vec<Vec<(u8, String)>> = vec![Vec::new(); new_docs.len()];
-        for (key, pl) in &inner.terms {
-            let mut out = PostingsList::new();
-            for posting in pl.iter() {
-                if let Some(new_ord) = remap[posting.doc as usize] {
-                    if out.last_doc() != Some(new_ord) {
-                        new_doc_terms[new_ord as usize].push(key.clone());
-                    }
-                    for &pos in &posting.positions {
-                        out.push_occurrence(new_ord, pos);
+        for (field_ord, map) in inner.terms.iter().enumerate() {
+            for (term, pl) in map {
+                let mut out = PostingsList::new();
+                for posting in pl.iter() {
+                    if let Some(new_ord) = remap[posting.doc as usize] {
+                        if out.last_doc() != Some(new_ord) {
+                            new_doc_terms[new_ord as usize].push((field_ord as u8, term.clone()));
+                        }
+                        let field_len = new_docs[new_ord as usize].field_lengths[field_ord];
+                        for &pos in &posting.positions {
+                            out.push_occurrence(new_ord, pos, field_len);
+                        }
                     }
                 }
-            }
-            if out.doc_freq() > 0 {
-                new_terms.insert(key.clone(), out);
+                if out.doc_freq() > 0 {
+                    new_terms[field_ord].insert(term.clone(), out);
+                }
             }
         }
         inner.by_id = new_docs
@@ -385,10 +417,9 @@ impl Inner {
     fn deep_bytes(&self) -> usize {
         use std::mem::size_of;
         let terms: usize = self
-            .terms
-            .iter()
-            .map(|((_, term), pl)| {
-                size_of::<(u8, String)>()
+            .iter_terms()
+            .map(|(_, term, pl)| {
+                size_of::<String>()
                     + size_of::<PostingsList>()
                     + 2 * size_of::<usize>()
                     + term.capacity()
@@ -432,10 +463,9 @@ impl Index {
         let inner = self.inner.read();
         let n_docs = inner.live_docs as f64;
         let mut lists: Vec<PostingsListStats> = inner
-            .terms
-            .iter()
-            .map(|((field_ord, term), pl)| {
-                let field = Field::from_ordinal(*field_ord).unwrap_or(Field::Elements);
+            .iter_terms()
+            .map(|(field_ord, term, pl)| {
+                let field = Field::from_ordinal(field_ord).unwrap_or(Field::Elements);
                 let live_df = pl.live_doc_freq();
                 let idf = idf_weight(live_df, n_docs);
                 let max_impact = pl
@@ -455,6 +485,7 @@ impl Index {
                     tombstone_ratio: pl.tombstone_ratio(),
                     approx_bytes: pl.deep_size_of(),
                     max_impact,
+                    stored_bound: pl.max_impact_bound(field.boost(), idf),
                 }
             })
             .collect();
@@ -469,12 +500,11 @@ impl Index {
         let stats = IndexStats {
             live_docs: inner.live_docs,
             total_docs: inner.docs.len(),
-            distinct_terms: inner.terms.len(),
-            postings: inner.terms.values().map(PostingsList::doc_freq).sum(),
+            distinct_terms: inner.term_count(),
+            postings: inner.iter_terms().map(|(_, _, pl)| pl.doc_freq()).sum(),
             occurrences: inner
-                .terms
-                .values()
-                .map(PostingsList::total_term_freq)
+                .iter_terms()
+                .map(|(_, _, pl)| pl.total_term_freq())
                 .sum(),
         };
         let tombstone_ratio = if stats.total_docs == 0 {
@@ -509,8 +539,13 @@ pub struct PostingsListStats {
     /// Estimated heap bytes held by the list.
     pub approx_bytes: usize,
     /// Largest Phase 1 score any live posting of this list can
-    /// contribute — the WAND/MaxScore upper bound.
+    /// contribute, recomputed tight for this snapshot — the ideal
+    /// WAND/MaxScore upper bound.
     pub max_impact: f64,
+    /// The bound the live pruner actually uses: maintained incrementally
+    /// on writes, left stale-high by tombstones, rebuilt tight by vacuum
+    /// and the codec load path. Invariant: `stored_bound ≥ max_impact`.
+    pub stored_bound: f64,
 }
 
 /// Corpus-level introspection (`/debug/index`): aggregates plus the
@@ -712,6 +747,36 @@ mod tests {
     }
 
     #[test]
+    fn stored_bound_dominates_tight_max_impact() {
+        // The incrementally-maintained bound the pruner consults must
+        // dominate the introspection plane's tight recomputation — under
+        // fresh builds, churn, vacuum, and codec-style rebuilds alike.
+        let index = Index::new();
+        index.add(&doc(1, "clinic", &["patient", "patient.height", "share"]));
+        index.add(&doc(2, "hospital", &["patient", "ward", "share"]));
+        index.add(&doc(1, "v2", &["beta", "share"])); // replace → tombstone
+        index.remove(SchemaId(2));
+        for (label, report) in [
+            ("churned", index.introspect(usize::MAX)),
+            ("vacuumed", {
+                index.vacuum();
+                index.introspect(usize::MAX)
+            }),
+        ] {
+            for l in &report.top_lists {
+                assert!(
+                    l.stored_bound >= l.max_impact - 1e-12,
+                    "{label}: stored bound {} must dominate tight max {} for {:?}/{}",
+                    l.stored_bound,
+                    l.max_impact,
+                    l.field,
+                    l.term
+                );
+            }
+        }
+    }
+
+    #[test]
     fn introspection_max_impact_bounds_observed_scores() {
         // The published per-list max impact must upper-bound any actual
         // Phase 1 contribution — the WAND/MaxScore contract.
@@ -747,10 +812,13 @@ mod tests {
         assert_eq!(shared.doc_freq, 3);
         assert_eq!(shared.live_doc_freq, 2);
         assert!(shared.tombstone_ratio > 0.0);
-        // Tombstoned docs contribute nothing to max impact.
+        // Tombstoned docs contribute nothing to max impact, but the
+        // incrementally-maintained bound stays stale-high (still a valid
+        // upper bound — the pruner skips df-0 lists before consulting it).
         let alpha = before.top_lists.iter().find(|l| l.term == "alpha").unwrap();
         assert_eq!(alpha.live_doc_freq, 0);
         assert_eq!(alpha.max_impact, 0.0);
+        assert!(alpha.stored_bound > 0.0);
         index.vacuum();
         let after = index.introspect(usize::MAX);
         assert_eq!(after.tombstone_ratio, 0.0);

@@ -22,6 +22,11 @@ pub struct IndexMetrics {
     pub candidates_returned: Arc<Counter>,
     /// Vacuum compactions performed (tombstone reclamation).
     pub vacuums: Arc<Counter>,
+    /// Query (term, field) lists the WAND/MaxScore pruner skipped without
+    /// visiting a single posting.
+    pub lists_pruned: Arc<Counter>,
+    /// Posting entries the pruner proved unable to rank and never visited.
+    pub postings_pruned: Arc<Counter>,
 }
 
 impl Default for IndexMetrics {
@@ -33,6 +38,8 @@ impl Default for IndexMetrics {
             postings_scanned: Arc::new(Counter::new()),
             candidates_returned: Arc::new(Counter::new()),
             vacuums: Arc::new(Counter::new()),
+            lists_pruned: Arc::new(Counter::new()),
+            postings_pruned: Arc::new(Counter::new()),
         }
     }
 }
@@ -57,6 +64,14 @@ impl IndexMetrics {
                 "schemr_index_vacuums_total",
                 "Vacuum compactions that reclaimed tombstoned documents.",
             ),
+            lists_pruned: registry.counter(
+                "schemr_index_lists_pruned_total",
+                "Query postings lists skipped entirely by WAND/MaxScore pruning.",
+            ),
+            postings_pruned: registry.counter(
+                "schemr_index_postings_pruned_total",
+                "Posting entries skipped by WAND/MaxScore pruning.",
+            ),
         }
     }
 }
@@ -79,6 +94,8 @@ mod tests {
         assert!(text.contains("schemr_index_candidates_returned_total 1"));
         assert!(text.contains("schemr_index_postings_scanned_total 0"));
         assert!(text.contains("schemr_index_vacuums_total 0"));
+        assert!(text.contains("schemr_index_lists_pruned_total 0"));
+        assert!(text.contains("schemr_index_postings_pruned_total 0"));
     }
 
     #[test]

@@ -1,5 +1,37 @@
 //! Disjunctive TF/IDF scoring with the coordination factor — Phase 1 of the
-//! paper's search algorithm (Candidate Extraction).
+//! paper's search algorithm (Candidate Extraction) — plus WAND/MaxScore
+//! top-n pruning over the maintained per-list and per-block impact bounds.
+//!
+//! ## How pruning works
+//!
+//! Every query (term, field) list carries an upper bound on the impact any
+//! single posting can contribute: `boost · idf · max(√tf/√field_len)`, with
+//! the `√tf/√field_len` ceiling maintained incrementally by the index (see
+//! [`crate::postings::PostingsList`]). Lists are processed in descending
+//! bound order. After each list, the scorer selects the top-n *lower*
+//! bounds among touched documents (partial score × matched/total when
+//! coordination is on — monotonically nondecreasing, hence a valid lower
+//! bound on each document's final score) as the floor θ. From then on:
+//!
+//! - a document whose partial score plus the summed bounds of all
+//!   remaining lists plus the maximum attainable proximity credit is below
+//!   θ is dropped from the candidate set;
+//! - a posting block whose block bound plus the remaining-list bounds plus
+//!   the proximity ceiling is below θ cannot admit *new* documents, so the
+//!   scorer only probes surviving candidates inside it (binary search) —
+//!   or skips it outright when no candidate falls in its range.
+//!
+//! Two scoring subtleties make the bound derivation non-trivial: the
+//! coordination factor multiplies afterwards (≤ 1, so ignoring it keeps
+//! upper bounds valid), but the **proximity bonus adds afterwards**, so
+//! every upper bound must include the query's maximum attainable proximity
+//! credit — `proximity_weight · Σ field boosts` over adjacent distinct
+//! query-term pairs whose lists both exist with live postings.
+//!
+//! Pruned and exhaustive modes share the bound-sorted list order, so a
+//! returned document accumulates the exact same f64 additions in the exact
+//! same order in both — results are bitwise identical, which the
+//! `pruning_oracle` integration suite asserts.
 
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -10,6 +42,16 @@ use schemr_model::SchemaId;
 use crate::field::Field;
 use crate::memory::Inner;
 use crate::metrics::IndexMetrics;
+use crate::postings::PostingsList;
+
+/// Multiplied into every stored upper bound before comparison: the bound's
+/// arithmetic differs from the scorer's by a handful of f64 ops (≈1e-16
+/// relative), so 1e-9 of slack leaves six orders of margin while staying
+/// far too small to admit real extra work.
+const BOUND_SLACK: f64 = 1.0 + 1e-9;
+/// The pruning floor is deflated by the same margin before use, so every
+/// bound-vs-floor comparison is doubly safe against rounding.
+const FLOOR_SLACK: f64 = 1.0 - 1e-9;
 
 /// Options controlling candidate extraction.
 #[derive(Debug, Clone)]
@@ -25,6 +67,11 @@ pub struct SearchOptions {
     /// adjacent positions in a field (the tokens of one compound element
     /// name like `patient_height`) earn this extra credit. 0 disables.
     pub proximity_weight: f64,
+    /// Enable WAND/MaxScore top-n pruning: skip postings (whole lists and
+    /// whole blocks) that provably cannot place a document in the top n.
+    /// Results are bitwise identical either way; `false` forces the
+    /// exhaustive scan (the pruning bench's baseline).
+    pub prune: bool,
 }
 
 impl Default for SearchOptions {
@@ -33,6 +80,7 @@ impl Default for SearchOptions {
             top_n: 50,
             coordination: true,
             proximity_weight: 0.25,
+            prune: true,
         }
     }
 }
@@ -56,6 +104,10 @@ pub struct ProbeStats {
     pub distinct_terms: usize,
     /// Postings entries scanned across all term/field lookups.
     pub postings_scanned: u64,
+    /// Query lists the pruner skipped entirely (no posting visited).
+    pub pruned_lists: usize,
+    /// Posting entries the pruner proved irrelevant and never visited.
+    pub pruned_postings: u64,
 }
 
 /// Min-heap entry for top-n selection (reverse ordering on score). Carries
@@ -63,14 +115,15 @@ pub struct ProbeStats {
 /// lookup over the full scored set.
 struct HeapEntry {
     score: f64,
-    ord: u32,
     id: SchemaId,
     matched: u32,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score && self.ord == other.ord
+        // Derived from `cmp` so Eq and Ord can never disagree — the
+        // `BinaryHeap` consistency contract.
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for HeapEntry {}
@@ -84,11 +137,11 @@ impl Ord for HeapEntry {
         // Reverse on score so the max-heap's root is the *worst* hit; ties
         // break on the external id (larger id is worse), matching the
         // final result ordering so truncation is always a prefix of the
-        // full ranking.
+        // full ranking. Scores are never NaN, so `total_cmp` agrees with
+        // IEEE comparison while keeping the ordering total.
         other
             .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.score)
             .then(self.id.cmp(&other.id))
     }
 }
@@ -101,39 +154,48 @@ impl Ord for HeapEntry {
 /// query), not O(corpus). `doc_stamp[ord] == query stamp` means the slot's
 /// `score`/`matched` values belong to the current query; `term_stamp`
 /// guards the matched-count increment so each distinct term counts a
-/// document at most once across fields. Stamps are `u64` and never reset,
-/// so they cannot collide within a process lifetime.
+/// document at most once across fields; `pruned[ord] == query stamp` marks
+/// a document the pruner proved unable to rank. Stamps are `u64` and never
+/// reset, so they cannot collide within a process lifetime.
 #[derive(Default)]
 struct Scratch {
     score: Vec<f64>,
     matched: Vec<u32>,
     doc_stamp: Vec<u64>,
     term_stamp: Vec<u64>,
+    pruned: Vec<u64>,
     /// Ordinals touched by the current query, in first-touch order —
     /// drives top-n selection without scanning the whole corpus.
     touched: Vec<u32>,
+    /// Per-distinct-term stamps for the current query, pre-assigned
+    /// because the bound-sorted walk interleaves terms' field lists.
+    term_ids: Vec<u64>,
+    /// Floor-selection buffer (per-document lower bounds).
+    lower: Vec<f64>,
+    /// Surviving candidate ordinals, sorted ascending — the documents a
+    /// suppressed block still has to probe for.
+    cands: Vec<u32>,
     stamp: u64,
 }
 
 impl Scratch {
-    /// Start a new query over `n_docs` document slots; returns the query
-    /// stamp.
-    fn begin(&mut self, n_docs: usize) -> u64 {
+    /// Start a new query over `n_docs` document slots with `n_terms`
+    /// distinct terms; returns the query stamp.
+    fn begin(&mut self, n_docs: usize, n_terms: usize) -> u64 {
         if self.score.len() < n_docs {
             self.score.resize(n_docs, 0.0);
             self.matched.resize(n_docs, 0);
             self.doc_stamp.resize(n_docs, 0);
             self.term_stamp.resize(n_docs, 0);
+            self.pruned.resize(n_docs, 0);
         }
         self.touched.clear();
         self.stamp += 1;
-        self.stamp
-    }
-
-    /// A fresh stamp for the next distinct query term.
-    fn next_term(&mut self) -> u64 {
-        self.stamp += 1;
-        self.stamp
+        let q = self.stamp;
+        self.term_ids.clear();
+        self.term_ids.extend((1..=n_terms as u64).map(|i| q + i));
+        self.stamp += n_terms as u64;
+        q
     }
 }
 
@@ -173,13 +235,104 @@ fn has_adjacent(a: &[u32], b: &[u32]) -> bool {
     false
 }
 
+/// One (term, field) postings list the query touches, with its slacked
+/// impact upper bound.
+struct QueryList<'a> {
+    term_idx: usize,
+    field: Field,
+    pl: &'a PostingsList,
+    idf: f64,
+    bound: f64,
+}
+
+/// Recompute the pruning floor θ at a list boundary: the top-n-th largest
+/// per-document *lower* bound among surviving touched documents, deflated
+/// by [`FLOOR_SLACK`]. Also re-derives the surviving candidate set —
+/// documents whose upper bound cannot reach θ are marked pruned for this
+/// query. The upper bound is `(score + headroom)` (headroom = remaining
+/// list bounds + proximity ceiling), and with coordination on it is
+/// additionally scaled by the best coordination factor the document can
+/// still attain: `min(total, matched + distinct_remaining) / total`.
+/// Without that scaling the floor (which IS coordinated) sits a factor of
+/// up to `total_terms` below every uncoordinated upper bound and pruning
+/// never fires on multi-term queries. Returns `NEG_INFINITY` (pruning
+/// inert) while fewer than top-n documents survive, which keeps
+/// tiny-corpus behavior exhaustive.
+fn refresh_floor(
+    scratch: &mut Scratch,
+    q_stamp: u64,
+    options: &SearchOptions,
+    total_terms: usize,
+    headroom: f64,
+    distinct_remaining: usize,
+) -> f64 {
+    let Scratch {
+        score,
+        matched,
+        pruned,
+        touched,
+        lower,
+        cands,
+        ..
+    } = scratch;
+    lower.clear();
+    for &ord in touched.iter() {
+        let o = ord as usize;
+        if pruned[o] == q_stamp {
+            continue;
+        }
+        // Monotone lower bound on the final score: the partial sum only
+        // grows, matched/total only grows, and proximity only adds.
+        let lb = if options.coordination {
+            score[o] * (matched[o] as f64 / total_terms as f64)
+        } else {
+            score[o]
+        };
+        lower.push(lb);
+    }
+    if lower.len() < options.top_n {
+        return f64::NEG_INFINITY;
+    }
+    let k = options.top_n - 1;
+    let (_, kth, _) = lower.select_nth_unstable_by(k, |a, b| b.total_cmp(a));
+    let floor = *kth * FLOOR_SLACK;
+    cands.clear();
+    for &ord in touched.iter() {
+        let o = ord as usize;
+        if pruned[o] == q_stamp {
+            continue;
+        }
+        // Best attainable final score. For documents whose tracked score
+        // is exact-so-far this dominates their true final (score and
+        // matched only grow by what the remaining lists hold); documents
+        // that entered understated via a suppressed block were already
+        // proven unable to reach the (monotone) floor when first
+        // suppressed, so pruning them here is sound regardless.
+        let upper = if options.coordination {
+            let best_matched = (matched[o] as usize + distinct_remaining).min(total_terms);
+            (score[o] + headroom) * (best_matched as f64 / total_terms as f64)
+        } else {
+            score[o] + headroom
+        };
+        if upper < floor {
+            pruned[o] = q_stamp;
+        } else {
+            cands.push(ord);
+        }
+    }
+    cands.sort_unstable();
+    floor
+}
+
 /// Score every document against the analyzed query terms and return the top
 /// `options.top_n` by score.
 ///
 /// Per the paper: each term scores independently (pure disjunction — "the
 /// candidate extraction algorithm need not match all search terms"), the
 /// per-term scores are summed, and the coordination factor is multiplied
-/// in afterwards.
+/// in afterwards. With `options.prune` the scan skips lists and blocks
+/// that provably cannot place a document in the top n; the returned hits
+/// are bitwise identical to the exhaustive scan's.
 pub(crate) fn search_postings(
     inner: &Inner,
     terms: &[String],
@@ -198,65 +351,337 @@ pub(crate) fn search_postings(
     // Accumulated locally and published once — the scan loop stays free
     // of atomic traffic.
     let mut postings_scanned = 0u64;
+    let mut pruned_postings = 0u64;
+    let mut pruned_lists = 0usize;
 
     let n_docs = inner.live_docs as f64;
     let total_terms = distinct.len();
 
+    // Gather the query's (term, field) lists with their impact bounds.
+    // Borrowed dictionary lookups: no term is cloned to probe the maps.
+    let mut lists: Vec<QueryList<'_>> = Vec::new();
+    for (term_idx, term) in distinct.iter().enumerate() {
+        for field in Field::ALL {
+            let Some(pl) = inner.field_terms(field).get(term.as_str()) else {
+                continue;
+            };
+            // Live document frequency, maintained incrementally by the
+            // writers — no tombstone rescan per query.
+            let df = pl.live_doc_freq();
+            if df == 0 {
+                continue;
+            }
+            let idf = idf_weight(df, n_docs);
+            lists.push(QueryList {
+                term_idx,
+                field,
+                pl,
+                idf,
+                bound: pl.max_impact_bound(field.boost(), idf) * BOUND_SLACK,
+            });
+        }
+    }
+    // Process lists term-major — every field list of a term adjacent —
+    // with terms ordered by their strongest `boost · idf` descending
+    // (ties broken by term, then field within a term; all deterministic).
+    //
+    // Term-major is a correctness requirement: the matched-term counter
+    // uses one stamp per document, which only stays exact while a term's
+    // lists are processed consecutively (an intervening term's list would
+    // reset the stamp and double-count the first term, inflating the
+    // coordination factor past 1).
+    //
+    // Priority order is what makes pruning effective: rare, high-impact
+    // terms build the top-n floor early so long common-term lists are
+    // prunable by the time they come up. `boost · idf` tracks the bound's
+    // magnitude but depends only on live content (live df, live doc
+    // count), never on physical index state, so per-document accumulation
+    // sequences — and therefore result bit patterns — are identical
+    // between the pruned and exhaustive modes and across churned,
+    // vacuumed, and freshly loaded copies of the same corpus, which
+    // ordering by the stale-high stored bounds could not guarantee.
+    let mut term_prio = vec![0.0f64; total_terms];
+    for l in &lists {
+        let p = l.field.boost() * l.idf;
+        if p > term_prio[l.term_idx] {
+            term_prio[l.term_idx] = p;
+        }
+    }
+    lists.sort_by(|a, b| {
+        term_prio[b.term_idx]
+            .total_cmp(&term_prio[a.term_idx])
+            .then_with(|| distinct[a.term_idx].cmp(distinct[b.term_idx]))
+            .then_with(|| a.field.ordinal().cmp(&b.field.ordinal()))
+    });
+    // suffix[i]: upper bound on what lists i.. can still add to any one
+    // document's score.
+    let mut suffix = vec![0.0f64; lists.len() + 1];
+    for i in (0..lists.len()).rev() {
+        suffix[i] = suffix[i + 1] + lists[i].bound;
+    }
+    // distinct_from[i]: how many distinct query terms still have a list at
+    // position i or later. A document first touched at list i appears in
+    // no earlier list, and every term it matches has at least one live
+    // list, so its final matched count — and with coordination on, its
+    // coordination factor — is capped by this value. Scaling admission
+    // bounds by it is what lets pruning fire on multi-term coordinated
+    // queries at all: the floor is a *coordinated* score, so comparing it
+    // against uncoordinated impact sums would leave a factor-of-
+    // `total_terms` gap no bound could ever close.
+    let mut distinct_from = vec![0usize; lists.len() + 1];
+    {
+        let mut seen = vec![false; total_terms];
+        let mut count = 0usize;
+        for i in (0..lists.len()).rev() {
+            if !seen[lists[i].term_idx] {
+                seen[lists[i].term_idx] = true;
+                count += 1;
+            }
+            distinct_from[i] = count;
+        }
+    }
+    // Maximum attainable proximity credit for any single document: one
+    // adjacency bonus per adjacent distinct query-term pair per field
+    // where both lists exist with live postings. The proximity bonus adds
+    // *after* the impact sum, so it must ride along in every upper bound
+    // or pruning would silently reorder results.
+    let mut prox_bound = 0.0f64;
+    if options.proximity_weight > 0.0 {
+        for pair in terms.windows(2) {
+            if pair[0] == pair[1] {
+                continue;
+            }
+            for field in Field::ALL {
+                let fterms = inner.field_terms(field);
+                let alive = |t: &String| {
+                    fterms
+                        .get(t.as_str())
+                        .is_some_and(|p| p.live_doc_freq() > 0)
+                };
+                if alive(&pair[0]) && alive(&pair[1]) {
+                    prox_bound += options.proximity_weight * field.boost();
+                }
+            }
+        }
+        prox_bound *= BOUND_SLACK;
+    }
+
     let mut hits = SCRATCH.with(|cell| {
         let mut scratch = cell.borrow_mut();
-        let q_stamp = scratch.begin(inner.docs.len());
+        let q_stamp = scratch.begin(inner.docs.len(), total_terms);
 
-        for term in &distinct {
-            let t_stamp = scratch.next_term();
-            for field in Field::ALL {
-                let Some(pl) = inner.terms.get(&(field.ordinal(), (*term).clone())) else {
-                    continue;
-                };
-                // Live document frequency, maintained incrementally by the
-                // writers — no tombstone rescan per query.
-                let df = pl.live_doc_freq();
-                if df == 0 {
-                    continue;
-                }
-                let idf = idf_weight(df, n_docs);
-                postings_scanned += pl.doc_freq() as u64;
-                for posting in pl.iter() {
+        // θ (deflated): NEG_INFINITY means "no floor yet — scan
+        // exhaustively", which is also the permanent state when pruning
+        // is off.
+        let mut floor = f64::NEG_INFINITY;
+        for (li, l) in lists.iter().enumerate() {
+            if options.prune && li > 0 {
+                floor = refresh_floor(
+                    &mut scratch,
+                    q_stamp,
+                    options,
+                    total_terms,
+                    suffix[li] + prox_bound,
+                    distinct_from[li],
+                );
+            }
+            let t_stamp = scratch.term_ids[l.term_idx];
+            let Scratch {
+                score,
+                matched,
+                doc_stamp,
+                term_stamp,
+                touched,
+                cands,
+                ..
+            } = &mut *scratch;
+            let field_ord = l.field.ordinal() as usize;
+            let mut visited = 0u64;
+            if floor == f64::NEG_INFINITY {
+                visited += l.pl.doc_freq() as u64;
+                for posting in l.pl.iter() {
                     let entry = &inner.docs[posting.doc as usize];
                     if entry.deleted {
                         continue;
                     }
-                    let ord = posting.doc as usize;
-                    let field_len = entry.field_lengths[field.ordinal() as usize];
-                    if scratch.doc_stamp[ord] != q_stamp {
-                        scratch.doc_stamp[ord] = q_stamp;
-                        scratch.score[ord] = 0.0;
-                        scratch.matched[ord] = 0;
-                        scratch.touched.push(posting.doc);
+                    let o = posting.doc as usize;
+                    if doc_stamp[o] != q_stamp {
+                        doc_stamp[o] = q_stamp;
+                        score[o] = 0.0;
+                        matched[o] = 0;
+                        touched.push(posting.doc);
                     }
-                    scratch.score[ord] += impact(field, posting.term_freq(), idf, field_len);
-                    if scratch.term_stamp[ord] != t_stamp {
-                        scratch.term_stamp[ord] = t_stamp;
-                        scratch.matched[ord] += 1;
+                    score[o] += impact(
+                        l.field,
+                        posting.term_freq(),
+                        l.idf,
+                        entry.field_lengths[field_ord],
+                    );
+                    if term_stamp[o] != t_stamp {
+                        term_stamp[o] = t_stamp;
+                        matched[o] += 1;
                     }
                 }
+            } else {
+                let boost = l.field.boost();
+                // Best coordination factor any document *first seen here*
+                // can reach: it matches at most the distinct terms with a
+                // list at or after this position.
+                let admit_scale = if options.coordination {
+                    distinct_from[li] as f64 / total_terms as f64
+                } else {
+                    1.0
+                };
+                // If even the whole-list bound cannot reach the floor, no
+                // block of it can admit new documents.
+                let list_admits = (l.bound + suffix[li + 1] + prox_bound) * admit_scale >= floor;
+                let mut ci = 0usize;
+                for b in 0..l.pl.block_count() {
+                    let blk = l.pl.block(b);
+                    let first = blk[0].doc;
+                    let last = blk[blk.len() - 1].doc;
+                    while ci < cands.len() && cands[ci] < first {
+                        ci += 1;
+                    }
+                    let admits = list_admits
+                        && (l.pl.block_impact_bound(b, boost, l.idf) * BOUND_SLACK
+                            + suffix[li + 1]
+                            + prox_bound)
+                            * admit_scale
+                            >= floor;
+                    if admits {
+                        // The block might hold a document able to reach
+                        // the top n: scan it in full.
+                        visited += blk.len() as u64;
+                        for posting in blk {
+                            let entry = &inner.docs[posting.doc as usize];
+                            if entry.deleted {
+                                continue;
+                            }
+                            let o = posting.doc as usize;
+                            if doc_stamp[o] != q_stamp {
+                                doc_stamp[o] = q_stamp;
+                                score[o] = 0.0;
+                                matched[o] = 0;
+                                touched.push(posting.doc);
+                            }
+                            score[o] += impact(
+                                l.field,
+                                posting.term_freq(),
+                                l.idf,
+                                entry.field_lengths[field_ord],
+                            );
+                            if term_stamp[o] != t_stamp {
+                                term_stamp[o] = t_stamp;
+                                matched[o] += 1;
+                            }
+                        }
+                    } else {
+                        // The block cannot admit new documents — only
+                        // surviving candidates need their scores kept
+                        // exact, and they are probed by binary search.
+                        let mut probes = 0u64;
+                        while ci < cands.len() && cands[ci] <= last {
+                            if let Ok(pos) = blk.binary_search_by_key(&cands[ci], |p| p.doc) {
+                                let p = &blk[pos];
+                                let o = p.doc as usize;
+                                debug_assert_eq!(doc_stamp[o], q_stamp);
+                                score[o] += impact(
+                                    l.field,
+                                    p.term_freq(),
+                                    l.idf,
+                                    inner.docs[o].field_lengths[field_ord],
+                                );
+                                if term_stamp[o] != t_stamp {
+                                    term_stamp[o] = t_stamp;
+                                    matched[o] += 1;
+                                }
+                            }
+                            probes += 1;
+                            ci += 1;
+                        }
+                        visited += probes;
+                        pruned_postings += (blk.len() as u64).saturating_sub(probes);
+                    }
+                }
+                if visited == 0 {
+                    pruned_lists += 1;
+                }
             }
+            postings_scanned += visited;
         }
 
         // Proximity bonus: consecutive query terms adjacent in a field —
         // the signature of an intact compound name.
         if options.proximity_weight > 0.0 {
+            // With an active floor the pair walk is the last remaining
+            // score source, so any document that cannot reach the floor
+            // even with the full proximity ceiling is pruned now, and
+            // the walk degenerates to probing the surviving candidates —
+            // the full-list lockstep scan is otherwise the dominant cost
+            // pruning cannot touch. Every surviving document still
+            // receives its credits in the same (pair, field) order as
+            // the exhaustive walk, so its additions — and its final bit
+            // pattern — are unchanged.
+            if options.prune {
+                // No term lists remain: each document's coordination
+                // factor is final, so `distinct_remaining` is 0 and only
+                // the proximity ceiling is left as headroom.
+                floor = refresh_floor(&mut scratch, q_stamp, options, total_terms, prox_bound, 0);
+            }
+            let probe = floor != f64::NEG_INFINITY;
+            let Scratch {
+                score,
+                doc_stamp,
+                cands,
+                ..
+            } = &mut *scratch;
             for pair in terms.windows(2) {
                 let (a, b) = (&pair[0], &pair[1]);
                 if a == b {
                     continue;
                 }
                 for field in Field::ALL {
-                    let (Some(pa), Some(pb)) = (
-                        inner.terms.get(&(field.ordinal(), a.clone())),
-                        inner.terms.get(&(field.ordinal(), b.clone())),
-                    ) else {
+                    let fterms = inner.field_terms(field);
+                    let (Some(pa), Some(pb)) = (fterms.get(a.as_str()), fterms.get(b.as_str()))
+                    else {
                         continue;
                     };
+                    // All-tombstoned lists cannot yield a live adjacency;
+                    // walking them would only burn scan work under churn.
+                    if pa.live_doc_freq() == 0 || pb.live_doc_freq() == 0 {
+                        continue;
+                    }
+                    // Probing beats the lockstep walk only while the
+                    // candidate set is smaller than the lists; both paths
+                    // credit each document identically, so this is purely
+                    // a cost choice.
+                    if probe && 2 * cands.len() < pa.doc_freq() + pb.doc_freq() {
+                        // Binary-search each surviving candidate in both
+                        // lists; each probe pair is counted as scan work,
+                        // the postings the lockstep walk would have
+                        // visited are counted as pruned.
+                        let mut probes = 0u64;
+                        for &d in cands.iter() {
+                            probes += 2;
+                            let (Some(post_a), Some(post_b)) = (pa.get(d), pb.get(d)) else {
+                                continue;
+                            };
+                            if inner.docs[d as usize].deleted {
+                                continue;
+                            }
+                            if has_adjacent(&post_a.positions, &post_b.positions) {
+                                let ord = d as usize;
+                                if doc_stamp[ord] == q_stamp {
+                                    score[ord] += options.proximity_weight * field.boost();
+                                }
+                            }
+                        }
+                        postings_scanned += probes;
+                        pruned_postings +=
+                            ((pa.doc_freq() + pb.doc_freq()) as u64).saturating_sub(probes);
+                        continue;
+                    }
                     // Walk the (sorted) postings in lockstep, counting
                     // every posting the walk visits — this traversal is
                     // real scan work and shows up in `postings_scanned`.
@@ -276,8 +701,8 @@ pub(crate) fn search_postings(
                         }
                         if has_adjacent(&post_a.positions, &post_b.positions) {
                             let ord = post_b.doc as usize;
-                            if scratch.doc_stamp[ord] == q_stamp {
-                                scratch.score[ord] += options.proximity_weight * field.boost();
+                            if doc_stamp[ord] == q_stamp {
+                                score[ord] += options.proximity_weight * field.boost();
                             }
                         }
                     }
@@ -292,6 +717,9 @@ pub(crate) fn search_postings(
                 .min(scratch.touched.len() + 1),
         );
         for &ord in &scratch.touched {
+            if scratch.pruned[ord as usize] == q_stamp {
+                continue;
+            }
             let matched = scratch.matched[ord as usize];
             let coord = if options.coordination {
                 matched as f64 / total_terms as f64
@@ -300,7 +728,6 @@ pub(crate) fn search_postings(
             };
             heap.push(HeapEntry {
                 score: scratch.score[ord as usize] * coord,
-                ord,
                 id: inner.docs[ord as usize].id,
                 matched,
             });
@@ -317,19 +744,18 @@ pub(crate) fn search_postings(
             })
             .collect::<Vec<Hit>>()
     });
-    hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(Ordering::Equal)
-            .then(a.id.cmp(&b.id))
-    });
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
     metrics.postings_scanned.add(postings_scanned);
     metrics.candidates_returned.add(hits.len() as u64);
+    metrics.lists_pruned.add(pruned_lists as u64);
+    metrics.postings_pruned.add(pruned_postings);
     (
         hits,
         ProbeStats {
             distinct_terms: total_terms,
             postings_scanned,
+            pruned_lists,
+            pruned_postings,
         },
     )
 }
@@ -561,6 +987,8 @@ mod tests {
         // (Elements, height) = 1 posting; the proximity lockstep walk over
         // the (patient, height) pair visits the single height posting.
         // 2 + 1 + 1 = 4 — the metric matches the work actually done.
+        // (Fewer documents than top_n touched, so pruning stays inert and
+        // the counts are the exhaustive ones.)
         assert_eq!(
             reg.counter_value("schemr_index_postings_scanned_total", &[]),
             Some(4)
@@ -594,5 +1022,97 @@ mod tests {
         ]);
         let hits = index.search(&["patient"], &SearchOptions::default());
         assert_eq!(hits[0].id, SchemaId(1));
+    }
+
+    #[test]
+    fn heap_entry_eq_agrees_with_cmp() {
+        let a = HeapEntry {
+            score: 1.0,
+            id: SchemaId(1),
+            matched: 1,
+        };
+        let b = HeapEntry {
+            score: 1.0,
+            id: SchemaId(2),
+            matched: 1,
+        };
+        let c = HeapEntry {
+            score: 1.0,
+            id: SchemaId(1),
+            matched: 9,
+        };
+        assert_ne!(a.cmp(&b), Ordering::Equal);
+        assert!(
+            a != b,
+            "Eq must agree with Ord: different ids compare unequal"
+        );
+        assert!(a == c, "Eq must agree with Ord: same (score, id) is equal");
+    }
+
+    #[test]
+    fn pruning_skips_hopeless_lists_and_is_bitwise_identical() {
+        let reg = schemr_obs::MetricsRegistry::new();
+        let index = Index::new().with_metrics(crate::metrics::IndexMetrics::registered(&reg));
+        // One document holds the rare term; two hundred hold only the
+        // common term. With top_n = 1 the rare hit alone sets a floor the
+        // common-only documents can never reach.
+        index.add(&doc(0, &["rare"]));
+        for i in 1..=200 {
+            index.add(&doc(i, &["common"]));
+        }
+        let opts = SearchOptions {
+            top_n: 1,
+            ..Default::default()
+        };
+        let pruned = index.search(&["rare", "common"], &opts);
+        assert!(
+            reg.counter_value("schemr_index_lists_pruned_total", &[])
+                .unwrap()
+                >= 1,
+            "the common list should be skipped entirely"
+        );
+        assert!(
+            reg.counter_value("schemr_index_postings_pruned_total", &[])
+                .unwrap()
+                >= 200,
+            "all common postings should go unvisited"
+        );
+        let exhaustive = index.search(
+            &["rare", "common"],
+            &SearchOptions {
+                prune: false,
+                ..opts
+            },
+        );
+        assert_eq!(pruned.len(), exhaustive.len());
+        for (p, e) in pruned.iter().zip(&exhaustive) {
+            assert_eq!(p.id, e.id);
+            assert_eq!(p.score.to_bits(), e.score.to_bits(), "bitwise identity");
+            assert_eq!(p.matched_terms, e.matched_terms);
+        }
+        assert_eq!(pruned[0].id, SchemaId(0));
+    }
+
+    #[test]
+    fn dead_pair_lists_skip_the_proximity_walk() {
+        // Every document holding the compound pair is tombstoned; the
+        // proximity walk must not traverse their dead postings.
+        let reg = schemr_obs::MetricsRegistry::new();
+        let index = Index::new().with_metrics(crate::metrics::IndexMetrics::registered(&reg));
+        for i in 0..50 {
+            index.add(&doc(i, &["patient_height"]));
+        }
+        for i in 0..50 {
+            index.remove(SchemaId(i));
+        }
+        index.add(&doc(100, &["unrelated"]));
+        let hits = index.search(&["patient", "height"], &SearchOptions::default());
+        assert!(hits.is_empty());
+        // Scoring skips the df-0 lists before touching postings, and the
+        // proximity walk now skips the dead (patient, height) pair too.
+        assert_eq!(
+            reg.counter_value("schemr_index_postings_scanned_total", &[]),
+            Some(0)
+        );
     }
 }

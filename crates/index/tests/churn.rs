@@ -213,6 +213,70 @@ fn codec_round_trip_preserves_live_df_under_churn() {
 }
 
 #[test]
+fn churning_out_a_term_pair_costs_the_proximity_walk_nothing() {
+    // Regression: the proximity lockstep walk used to traverse postings
+    // lists even when every document in them was tombstoned — a churn
+    // workload that deleted a popular compound pair kept paying full
+    // scan cost for adjacency checks that could never produce a live
+    // credit. Dead (live_df = 0) lists must now be skipped outright.
+    let index = Index::new();
+    for i in 0..40u64 {
+        index.add(&IndexDocument {
+            id: SchemaId(i),
+            title: String::new(),
+            summary: String::new(),
+            elements: vec!["patient".into(), "height".into()],
+            docs: vec![],
+        });
+    }
+    // One unrelated live document keeps the index non-empty so the
+    // search path runs end to end.
+    index.add(&IndexDocument {
+        id: SchemaId(1_000),
+        title: String::new(),
+        summary: String::new(),
+        elements: vec!["doctor".into()],
+        docs: vec![],
+    });
+    for i in 0..40u64 {
+        assert!(index.remove(SchemaId(i)));
+    }
+
+    let options = SearchOptions {
+        proximity_weight: 0.25,
+        ..Default::default()
+    };
+    // Both query terms are all-tombstoned: scoring skips the dead lists
+    // and the proximity walk must skip the dead (patient, height) pair,
+    // so the whole query does zero posting-scan work.
+    let before = index.metrics().postings_scanned.get();
+    assert!(index.search(&["patient", "height"], &options).is_empty());
+    assert_eq!(
+        index.metrics().postings_scanned.get(),
+        before,
+        "dead pair lists must cost no scan work"
+    );
+
+    // Mixing in a live term: only the live list's single posting is
+    // scanned; the dead pair still contributes nothing.
+    let before = index.metrics().postings_scanned.get();
+    let hits = index.search(&["patient", "height", "doctor"], &options);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].id, SchemaId(1_000));
+    assert_eq!(
+        index.metrics().postings_scanned.get() - before,
+        1,
+        "only the live doctor posting should be visited"
+    );
+
+    // Vacuum reclaims the tombstones; behaviour is unchanged after.
+    index.vacuum();
+    let before = index.metrics().postings_scanned.get();
+    assert!(index.search(&["patient", "height"], &options).is_empty());
+    assert_eq!(index.metrics().postings_scanned.get(), before);
+}
+
+#[test]
 fn revision_moves_on_every_mutation_and_is_instance_scoped() {
     let index = Index::new();
     let r0 = index.revision();

@@ -128,6 +128,56 @@ proptest! {
         }
     }
 
+    /// The pruner's stored per-list bounds plus the proximity ceiling
+    /// dominate every realized document score — the soundness invariant
+    /// WAND/MaxScore pruning rests on. Checked against the *stored*
+    /// bounds (stale-high after tombstones), with proximity enabled and
+    /// coordination off (coordination multiplies by ≤ 1, so it only
+    /// shrinks realized scores; proximity *adds* after the impact sum,
+    /// so the ceiling must cover it explicitly).
+    #[test]
+    fn stored_bounds_dominate_realized_scores(
+        docs in arb_documents(),
+        query in arb_query(),
+        stride in 2usize..5,
+    ) {
+        let index = Index::new();
+        index.add_all(&docs);
+        // Tombstone a slice so stored bounds go stale-high.
+        for d in docs.iter().step_by(stride) {
+            index.remove(d.id);
+        }
+        let terms: Vec<String> = query.clone();
+        let distinct: std::collections::HashSet<&str> =
+            query.iter().map(String::as_str).collect();
+        let intro = index.introspect(usize::MAX);
+        let impact_ceiling: f64 = intro
+            .top_lists
+            .iter()
+            .filter(|l| distinct.contains(l.term.as_str()))
+            .map(|l| l.stored_bound)
+            .sum();
+        let proximity_weight = 0.25;
+        let adj_pairs = terms.windows(2).filter(|w| w[0] != w[1]).count() as f64;
+        let boost_sum: f64 = schemr_index::Field::ALL.iter().map(|f| f.boost()).sum();
+        let ceiling =
+            (impact_ceiling + adj_pairs * proximity_weight * boost_sum) * (1.0 + 1e-9);
+        let options = SearchOptions {
+            top_n: usize::MAX,
+            coordination: false,
+            proximity_weight,
+            prune: false,
+        };
+        for hit in index.search_terms(&terms, &options) {
+            prop_assert!(
+                hit.score <= ceiling,
+                "realized score {} exceeds pruning ceiling {}",
+                hit.score,
+                ceiling
+            );
+        }
+    }
+
     /// Matched-term counts never exceed the number of distinct query
     /// terms, and scores are positive.
     #[test]
@@ -140,6 +190,56 @@ proptest! {
             prop_assert!(hit.matched_terms >= 1);
             prop_assert!(hit.matched_terms <= distinct.len());
             prop_assert!(hit.score > 0.0);
+        }
+    }
+}
+
+/// Regression: processing postings lists in a flat priority order let a
+/// *different* term's list land between two field lists of the same term,
+/// resetting the per-document matched-term stamp and double-counting the
+/// first term. With coordination on, that pushed the coordination factor
+/// past 1 (matched 3 of 2 distinct terms here) — inflating scores and, in
+/// pruned mode, invalidating the `coordination ≤ 1` assumption the
+/// admission bounds rest on. List order must keep each term's field lists
+/// adjacent.
+#[test]
+fn interleaved_field_lists_never_double_count_a_term() {
+    let index = Index::new();
+    // "alpha" appears in doc 0's title (df 1 → high idf, boost 2.0) and
+    // in 21 documents' elements (low idf, boost 1.5); "beta" only in doc
+    // 0's elements (df 1 → high idf, boost 1.5). A flat boost·idf sort
+    // orders the lists alpha-title, beta-elements, alpha-elements —
+    // exactly the interleaving that broke the stamp.
+    index.add(&IndexDocument {
+        id: SchemaId(0),
+        title: "alpha".into(),
+        summary: String::new(),
+        elements: vec!["alpha".into(), "beta".into()],
+        docs: vec![],
+    });
+    for i in 1..=20u64 {
+        index.add(&IndexDocument {
+            id: SchemaId(i),
+            title: String::new(),
+            summary: String::new(),
+            elements: vec!["alpha".into()],
+            docs: vec![],
+        });
+    }
+    for prune in [false, true] {
+        let options = SearchOptions {
+            prune,
+            ..Default::default()
+        };
+        let hits = index.search(&["alpha", "beta"], &options);
+        let top = &hits[0];
+        assert_eq!(top.id, SchemaId(0), "prune={prune}");
+        assert_eq!(
+            top.matched_terms, 2,
+            "prune={prune}: doc 0 matches exactly the two distinct terms"
+        );
+        for h in &hits {
+            assert!(h.matched_terms <= 2, "prune={prune}: {:?}", h);
         }
     }
 }
