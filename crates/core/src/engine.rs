@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use schemr_index::{codec, Index, IndexDocument, IndexStats, SearchOptions};
-use schemr_match::{Ensemble, PreparedCandidate};
+use schemr_match::{BoundedRun, Ensemble, PreparedCandidate};
 use schemr_model::QueryGraph;
 use schemr_obs::{
     CpuProbeDepth, DeepSize, EventResult, LedgerProbe, MetricsRegistry, Profiler, ResourceLedger,
@@ -25,7 +25,7 @@ use crate::cache::{ArtifactStamp, CacheKey, CandidateCache, MatchArtifactCache};
 use crate::metrics::EngineMetrics;
 use crate::request::SearchRequest;
 use crate::result::{MatcherTiming, PhaseTimings, SearchResponse, SearchResult, SearchTrace};
-use crate::tightness::{tightness_of_fit, TightnessConfig};
+use crate::tightness::{tightness_of_fit, TightnessConfig, TightnessScore};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +41,15 @@ pub struct EngineConfig {
     /// identical either way; `false` forces the exhaustive scan (used by
     /// the pruning bench's baseline arm).
     pub phase1_pruning: bool,
+    /// Ensemble early exit in Phase 2: once the top-k result floor is
+    /// established, skip a candidate's remaining matchers when its
+    /// per-matcher upper bounds prove it cannot enter the top k — the
+    /// Phase 1 θ-floor discipline at the ensemble level. The returned
+    /// top k is bitwise identical either way; `false` forces every
+    /// matcher to run on every candidate (the e2 bench's baseline arm).
+    /// Only active on the prepared path under mean tightness
+    /// aggregation (a summed score is unbounded by any per-cell bound).
+    pub phase2_early_exit: bool,
     /// Phase 3 parameters.
     pub tightness: TightnessConfig,
     /// Threads for Phase 2 matching (1 = sequential).
@@ -65,6 +74,7 @@ impl Default for EngineConfig {
             coordination: true,
             proximity_weight: 0.25,
             phase1_pruning: true,
+            phase2_early_exit: true,
             tightness: TightnessConfig::default(),
             match_threads: std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
@@ -400,7 +410,7 @@ impl SchemrEngine {
             let hits = index.search_terms_traced(&terms, &options, span);
             return (hits, terms);
         }
-        let key = CacheKey::new(terms.clone(), &options);
+        let key = CacheKey::new(terms.clone(), &options, self.config.phase2_early_exit);
         // A revision observed *before* the lookup can only be older than
         // the entry's true state, which makes a stale hit impossible and
         // at worst turns a usable entry into a miss.
@@ -585,6 +595,25 @@ impl SchemrEngine {
             .artifact_cache
             .enabled()
             .then(|| ensemble.prepare_query(&terms, &graph));
+        // Ensemble early exit: tightness-of-fit runs inside the
+        // per-candidate loop so each final score can feed the running
+        // top-k floor, and candidates whose matcher bounds fall below
+        // the floor skip their remaining matchers. Sound only under
+        // mean aggregation (a summed score exceeds any per-cell bound)
+        // and on the prepared path (the bounds read prepared
+        // artifacts); inactive, θ stays 0 and every candidate is
+        // scored in full — bitwise the same either way.
+        let k = request.limit.unwrap_or(self.config.default_limit);
+        let floor = (self.config.phase2_early_exit
+            && self.config.tightness.mean_aggregation
+            && equery.is_some()
+            && k > 0)
+            .then(|| TopKFloor::new(k));
+        let min_element_score = self.config.tightness.min_element_score;
+        // Candidates pruned before every matcher ran, and the matcher
+        // invocations those prunes skipped.
+        let mut candidates_pruned = 0u64;
+        let mut matchers_skipped = 0u64;
         // Per-matcher wall time, accumulated across candidates (and,
         // under parallel matching, summed over threads).
         let mut matcher_wall: Vec<Duration> = vec![Duration::ZERO; ensemble.len()];
@@ -595,31 +624,47 @@ impl SchemrEngine {
         // merged into the request ledger after the scope joins.
         let mut worker_ledgers: Vec<ResourceLedger> = Vec::new();
         let threads_used: usize;
-        let matrices: Vec<schemr_match::SimilarityMatrix> = if self.config.match_threads > 1
+        // Wall time spent in tightness-of-fit calls inside the Phase 2
+        // loop. Tightness executes there (the early-exit floor needs
+        // final scores as they stream in) but is *accounted* to Phase 3,
+        // so the matching/scoring split keeps its meaning — Phase 2 =
+        // matchers, Phase 3 = tightness + assembly — across engine
+        // versions. Under parallel matching this is summed over workers.
+        let mut tightness_wall = Duration::ZERO;
+        // Per-candidate final scores; `None` marks a candidate the
+        // early exit pruned (provably outside the top k, so it carries
+        // no result row).
+        let scores: Vec<Option<TightnessScore>> = if self.config.match_threads > 1
             && candidates.len() > 1
         {
             let threads = self.config.match_threads.min(candidates.len());
             threads_used = threads;
             let chunk = candidates.len().div_ceil(threads);
-            let mut out: Vec<Option<schemr_match::SimilarityMatrix>> = vec![None; candidates.len()];
+            let mut out: Vec<Option<TightnessScore>> = vec![None; candidates.len()];
             let mut chunk_walls: Vec<Vec<Duration>> =
                 vec![vec![Duration::ZERO; ensemble.len()]; candidates.len().div_ceil(chunk)];
             let mut chunk_ledgers: Vec<ResourceLedger> =
                 vec![ResourceLedger::default(); candidates.len().div_ceil(chunk)];
+            // Per-chunk (pruned candidates, skipped matcher calls,
+            // in-loop tightness wall).
+            let mut chunk_prunes: Vec<(u64, u64, Duration)> =
+                vec![(0, 0, Duration::ZERO); candidates.len().div_ceil(chunk)];
             // Span plumbing that crosses into the scoped threads: the
             // context reference and the matching span's index are both
             // Copy, so each worker opens its own `match_chunk` child.
             let tctx = ctx.as_ref();
             let p2_idx = p2.as_ref().map(|s| s.index());
             let equery = equery.as_ref();
+            let floor = floor.as_ref();
             let engine = self;
             crossbeam::thread::scope(|scope| {
-                for ((((slots, strength_slots), cands), wall), ledger_slot) in out
+                for (((((slots, strength_slots), cands), wall), ledger_slot), prune_slot) in out
                     .chunks_mut(chunk)
                     .zip(strengths.chunks_mut(chunk))
                     .zip(candidates.chunks(chunk))
                     .zip(chunk_walls.iter_mut())
                     .zip(chunk_ledgers.iter_mut())
+                    .zip(chunk_prunes.iter_mut())
                 {
                     let terms = &terms;
                     let graph = &graph;
@@ -647,22 +692,50 @@ impl SchemrEngine {
                                     } else {
                                         cache_misses += 1;
                                     }
-                                    ensemble.run_prepared(
+                                    let theta = floor.map_or(0.0, |f| f.theta(min_element_score));
+                                    ensemble.run_prepared_bounded(
                                         eq,
                                         terms,
                                         graph,
                                         &artifacts,
                                         &stored.schema,
                                         want_trace,
+                                        theta,
                                     )
                                 }
-                                None => ensemble.run(terms, graph, &stored.schema, want_trace),
+                                None => BoundedRun::Scored(ensemble.run(
+                                    terms,
+                                    graph,
+                                    &stored.schema,
+                                    want_trace,
+                                )),
                             };
-                            for (acc, d) in wall.iter_mut().zip(run.timings) {
-                                *acc += d;
+                            match run {
+                                BoundedRun::Scored(run) => {
+                                    for (acc, d) in wall.iter_mut().zip(run.timings) {
+                                        *acc += d;
+                                    }
+                                    *strength_slot = run.strengths;
+                                    let tstart = Instant::now();
+                                    let t = tightness_of_fit(
+                                        &stored.schema,
+                                        &run.matrix,
+                                        &engine.config.tightness,
+                                    );
+                                    prune_slot.2 += tstart.elapsed();
+                                    if let Some(f) = floor {
+                                        f.observe(t.score);
+                                    }
+                                    *slot = Some(t);
+                                }
+                                BoundedRun::Pruned { timings, skipped } => {
+                                    for (acc, d) in wall.iter_mut().zip(timings) {
+                                        *acc += d;
+                                    }
+                                    prune_slot.0 += 1;
+                                    prune_slot.1 += skipped as u64;
+                                }
                             }
-                            *strength_slot = run.strengths;
-                            *slot = Some(run.matrix);
                         }
                         if let (Some(cs), Some(_)) = (&chunk_span, equery) {
                             // One batch per chunk: "hit" only when every
@@ -685,15 +758,18 @@ impl SchemrEngine {
                     *acc += d;
                 }
             }
+            for (pruned, skipped, tight) in chunk_prunes {
+                candidates_pruned += pruned;
+                matchers_skipped += skipped;
+                tightness_wall += tight;
+            }
             worker_ledgers = chunk_ledgers;
-            out.into_iter()
-                .map(|m| m.expect("all chunks filled"))
-                .collect()
+            out
         } else {
             threads_used = 1;
             let mut cache_hits = 0u64;
             let mut cache_misses = 0u64;
-            let mut mats = Vec::with_capacity(candidates.len());
+            let mut out: Vec<Option<TightnessScore>> = Vec::with_capacity(candidates.len());
             for (i, (_, stored)) in candidates.iter().enumerate() {
                 let run = match &equery {
                     Some(eq) => {
@@ -704,28 +780,51 @@ impl SchemrEngine {
                         } else {
                             cache_misses += 1;
                         }
-                        ensemble.run_prepared(
+                        let theta = floor.as_ref().map_or(0.0, |f| f.theta(min_element_score));
+                        ensemble.run_prepared_bounded(
                             eq,
                             &terms,
                             &graph,
                             &artifacts,
                             &stored.schema,
                             want_trace,
+                            theta,
                         )
                     }
-                    None => ensemble.run(&terms, &graph, &stored.schema, want_trace),
+                    None => {
+                        BoundedRun::Scored(ensemble.run(&terms, &graph, &stored.schema, want_trace))
+                    }
                 };
-                for (acc, d) in matcher_wall.iter_mut().zip(run.timings) {
-                    *acc += d;
+                match run {
+                    BoundedRun::Scored(run) => {
+                        for (acc, d) in matcher_wall.iter_mut().zip(run.timings) {
+                            *acc += d;
+                        }
+                        strengths[i] = run.strengths;
+                        let tstart = Instant::now();
+                        let t =
+                            tightness_of_fit(&stored.schema, &run.matrix, &self.config.tightness);
+                        tightness_wall += tstart.elapsed();
+                        if let Some(f) = &floor {
+                            f.observe(t.score);
+                        }
+                        out.push(Some(t));
+                    }
+                    BoundedRun::Pruned { timings, skipped } => {
+                        for (acc, d) in matcher_wall.iter_mut().zip(timings) {
+                            *acc += d;
+                        }
+                        candidates_pruned += 1;
+                        matchers_skipped += skipped as u64;
+                        out.push(None);
+                    }
                 }
-                strengths[i] = run.strengths;
-                mats.push(run.matrix);
             }
             if let (Some(s), Some(_)) = (&p2, &equery) {
                 // The sequential pass is one candidate batch.
                 cs_annotate_batch(s, cache_hits, cache_misses);
             }
-            mats
+            out
         };
         // Materialize each matcher's accumulated wall as a closed child
         // of the matching span.
@@ -733,14 +832,24 @@ impl SchemrEngine {
             for (name, wall) in matcher_names.iter().zip(&matcher_wall) {
                 s.add_closed_child(&format!("matcher:{name}"), *wall);
             }
+            if floor.is_some() {
+                s.annotate("candidates_pruned", candidates_pruned);
+                s.annotate("matchers_skipped", matchers_skipped);
+            }
         }
         if let (Some(s), Some(pr)) = (&p2, &p2_probe) {
             annotate_ledger(s, &pr.delta());
         }
         drop(p2);
-        let matching = t1.elapsed();
+        // The loop's wall minus its hosted tightness time: saturating,
+        // because the summed-over-workers tightness wall can exceed the
+        // loop's elapsed wall under parallel matching.
+        let matching = t1.elapsed().saturating_sub(tightness_wall);
 
-        // Phase 3: tightness-of-fit and final ranking.
+        // Phase 3: final ranking. Tightness-of-fit itself ran inside the
+        // Phase 2 loop (the early-exit floor needs final scores as they
+        // stream in); its wall was accumulated there and is added back to
+        // this phase, which otherwise assembles, sorts, and truncates.
         let t2 = Instant::now();
         let p3 = root.as_ref().map(|r| r.child("tightness_scoring"));
         let p3_probe = want_trace.then(|| LedgerProbe::start_with_cpu(deep_cpu));
@@ -754,10 +863,9 @@ impl SchemrEngine {
         };
         let mut results: Vec<SearchResult> = candidates
             .into_iter()
-            .zip(matrices)
-            .map(|((hit, stored), matrix)| {
-                let t = tightness_of_fit(&stored.schema, &matrix, &self.config.tightness);
-                SearchResult {
+            .zip(scores)
+            .filter_map(|((hit, stored), tight)| {
+                tight.map(|t| SearchResult {
                     id: stored.metadata.id,
                     title: stored.metadata.title,
                     summary: stored.metadata.summary,
@@ -766,7 +874,7 @@ impl SchemrEngine {
                     matched_terms: hit.matched_terms,
                     stats: schemr_model::SchemaStats::of(&stored.schema),
                     matches: t.matched,
-                }
+                })
             })
             .collect();
         results.sort_by(rank_order);
@@ -778,7 +886,7 @@ impl SchemrEngine {
             }
         }
         drop(p3);
-        let scoring = t2.elapsed();
+        let scoring = t2.elapsed() + tightness_wall;
 
         // Zero-result accounting: the counter feeds the zero-result rate
         // on `/metrics`; the root-span annotation makes empty searches
@@ -803,6 +911,8 @@ impl SchemrEngine {
         m.candidates_evaluated_total
             .add(candidates_evaluated as u64);
         m.match_threads_used_total.add(threads_used as u64);
+        m.match_candidates_pruned_total.add(candidates_pruned);
+        m.match_matchers_skipped_total.add(matchers_skipped);
         // Offer each observation as its bucket's exemplar: a p99 spike on
         // `/metrics` then links straight to `/debug/traces/{id}`. With
         // tracing off the id is empty and the histogram records plainly.
@@ -894,6 +1004,80 @@ impl SchemrEngine {
             trace_id,
             ledger: want_trace.then_some(ledger),
         })
+    }
+}
+
+/// The running top-k floor shared by Phase 2 workers when the ensemble
+/// early exit is active.
+///
+/// Holds the k best *final* (tightness) scores seen so far in a min-heap
+/// and publishes the k-th best as a lock-free snapshot once the heap is
+/// full. The pruning floor θ handed to
+/// [`Ensemble::run_prepared_bounded`] is `max(kth_best,
+/// min_element_score)` — a candidate whose combined-matrix bound is
+/// below `min_element_score` matches nothing and scores exactly 0, so it
+/// cannot displace any of k already-positive results. Until the heap is
+/// full θ stays 0 and nothing is pruned: with fewer than k scored
+/// candidates, even a zero-scoring candidate appears in the final list,
+/// so every candidate must be scored exactly.
+///
+/// Soundness does not depend on thread interleavings: the snapshot is
+/// monotonically non-decreasing (scores are only ever added), so a
+/// candidate pruned against a stale (lower) floor was prunable against
+/// the final floor too, and the pruning comparison is strict so a
+/// would-be tie with the k-th result (decided by coarse score and id)
+/// is never pruned.
+struct TopKFloor {
+    k: usize,
+    /// Min-heap over score bit patterns. Final scores are finite and
+    /// non-negative, where `f64::to_bits` is monotone in the value.
+    heap: Mutex<std::collections::BinaryHeap<std::cmp::Reverse<u64>>>,
+    /// Bits of the k-th best score once `k` candidates are scored; 0
+    /// (i.e. 0.0) before that.
+    floor_bits: AtomicU64,
+}
+
+impl TopKFloor {
+    fn new(k: usize) -> Self {
+        TopKFloor {
+            k,
+            heap: Mutex::new(std::collections::BinaryHeap::with_capacity(k + 1)),
+            floor_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// The pruning floor θ for the next candidate: 0.0 (prune nothing)
+    /// until k candidates have scored and the k-th best is positive.
+    fn theta(&self, min_element_score: f64) -> f64 {
+        let f = f64::from_bits(self.floor_bits.load(Ordering::Relaxed));
+        if f > 0.0 {
+            f.max(min_element_score)
+        } else {
+            0.0
+        }
+    }
+
+    /// Fold one scored candidate's final score into the floor.
+    fn observe(&self, score: f64) {
+        // NaN and negative zero cannot occur (the tightness aggregation
+        // sanitizes), but both would corrupt the bit-pattern ordering,
+        // so scrub them to 0 rather than trust the invariant.
+        let bits = if score > 0.0 { score.to_bits() } else { 0 };
+        let mut heap = self.heap.lock();
+        if heap.len() < self.k {
+            heap.push(std::cmp::Reverse(bits));
+        } else if heap
+            .peek()
+            .is_some_and(|&std::cmp::Reverse(min)| bits > min)
+        {
+            heap.pop();
+            heap.push(std::cmp::Reverse(bits));
+        }
+        if heap.len() == self.k {
+            if let Some(&std::cmp::Reverse(min)) = heap.peek() {
+                self.floor_bits.store(min, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -1552,6 +1736,112 @@ mod tests {
             .attrs
             .iter()
             .any(|(k, v)| k == "artifact_cache" && v == "hit"));
+    }
+
+    /// A corpus engineered so the ensemble early exit must fire: a few
+    /// schemas match the query exactly (they fill the top-k floor at
+    /// ~1.0), while many others reach Phase 2 only through their summary
+    /// text — their element names are long alien words whose name-matcher
+    /// bound sits far below the floor.
+    fn prunable_repo() -> Arc<Repository> {
+        use schemr_model::{DataType, SchemaBuilder};
+        let repo = Arc::new(Repository::new());
+        for name in ["one", "two", "three"] {
+            let schema = SchemaBuilder::new(format!("registry {name}"))
+                .entity("patient", |e| e.attr("patient", DataType::Text))
+                .build_unchecked();
+            repo.insert(format!("patient registry {name}"), String::new(), schema)
+                .unwrap();
+        }
+        for i in 0..12 {
+            let schema = SchemaBuilder::new(format!("archive {i}"))
+                .entity(format!("zzyxqvvplorqbahhnnzw{i:02}"), |e| {
+                    e.attr(format!("qqwwrrttyyuunnooppllkkjj{i:02}"), DataType::Text)
+                })
+                .build_unchecked();
+            repo.insert(
+                format!("archive {i}"),
+                "patient data archive".to_string(),
+                schema,
+            )
+            .unwrap();
+        }
+        repo
+    }
+
+    #[test]
+    fn ensemble_early_exit_prunes_hopeless_candidates_and_preserves_the_top_k() {
+        let repo = prunable_repo();
+        let exit = SchemrEngine::with_config(
+            repo.clone(),
+            EngineConfig {
+                match_threads: 1,
+                ..Default::default()
+            },
+        );
+        let full = SchemrEngine::with_config(
+            repo,
+            EngineConfig {
+                match_threads: 1,
+                phase2_early_exit: false,
+                ..Default::default()
+            },
+        );
+        exit.reindex_full();
+        full.reindex_full();
+        let request = SearchRequest::keywords(["patient"]).with_limit(2);
+        let a = exit.search(&request).unwrap();
+        let b = full.search(&request).unwrap();
+        assert_eq!(a.len(), b.len(), "early exit changed the result count");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id, "early exit changed the ranking");
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.coarse_score.to_bits(), y.coarse_score.to_bits());
+        }
+        let pruned = exit.metrics().match_candidates_pruned_total.get();
+        let skipped = exit.metrics().match_matchers_skipped_total.get();
+        assert!(pruned > 0, "no candidate was pruned");
+        assert!(
+            skipped >= pruned,
+            "a pruned candidate skips at least its first matcher: {skipped} < {pruned}"
+        );
+        assert_eq!(full.metrics().match_candidates_pruned_total.get(), 0);
+        assert_eq!(full.metrics().match_matchers_skipped_total.get(), 0);
+    }
+
+    #[test]
+    fn parallel_early_exit_matches_the_exhaustive_engine() {
+        let repo = prunable_repo();
+        let exit = SchemrEngine::with_config(
+            repo.clone(),
+            EngineConfig {
+                match_threads: 4,
+                ..Default::default()
+            },
+        );
+        let full = SchemrEngine::with_config(
+            repo,
+            EngineConfig {
+                match_threads: 4,
+                phase2_early_exit: false,
+                ..Default::default()
+            },
+        );
+        exit.reindex_full();
+        full.reindex_full();
+        // The floor fills in nondeterministic order across workers, so
+        // how *much* is pruned varies run to run — the returned top k
+        // must not.
+        for limit in [1, 2, 5] {
+            let request = SearchRequest::keywords(["patient", "archive"]).with_limit(limit);
+            let a = exit.search(&request).unwrap();
+            let b = full.search(&request).unwrap();
+            assert_eq!(a.len(), b.len(), "limit {limit}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "limit {limit}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "limit {limit}");
+            }
+        }
     }
 
     #[test]

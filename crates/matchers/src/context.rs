@@ -236,6 +236,46 @@ impl Matcher for ContextMatcher {
         }
         m
     }
+
+    /// Matcher-level bound: each cell is a Dice coefficient, so it cannot
+    /// exceed `2·min/(|a|+|b|)` for its (term context, neighborhood) set
+    /// sizes — maximized over all pairs. Keyword-only queries bound to
+    /// exactly 0.0 (the matrix is all-zero by construction); missing
+    /// artifacts fall back to the trivial `1.0`.
+    fn score_upper_bound(
+        &self,
+        prepared_query: &PreparedQuery,
+        terms: &[QueryTerm],
+        prepared: &PreparedSchema,
+        candidate: &Schema,
+    ) -> f64 {
+        if Self::no_fragment_terms(terms) {
+            return 0.0;
+        }
+        let (Some(term_contexts), Some(neighborhoods)) =
+            (&prepared_query.term_contexts, &prepared.neighborhoods)
+        else {
+            return 1.0;
+        };
+        if term_contexts.len() != terms.len() || neighborhoods.len() != candidate.len() {
+            return 1.0;
+        }
+        let mut best = 0.0f64;
+        for ctx in term_contexts.iter().flatten() {
+            for nb in neighborhoods {
+                if nb.is_empty() {
+                    continue; // dice against an empty neighborhood is 0
+                }
+                let min = ctx.len().min(nb.len());
+                let bound = 2.0 * min as f64 / (ctx.len() + nb.len()) as f64;
+                best = best.max(bound);
+                if best >= 1.0 {
+                    return best;
+                }
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +397,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn matcher_bound_dominates_matrix_max_and_zeroes_keyword_queries() {
+        let (q, terms) = fragment_query();
+        let candidate = SchemaBuilder::new("cand")
+            .entity("person", |e| {
+                e.attr("height", DataType::Real)
+                    .attr("gender", DataType::Text)
+            })
+            .build_unchecked();
+        let matcher = ContextMatcher::new();
+        let pq = matcher.prepare_query(&terms, &q);
+        let ps = matcher.prepare(&candidate);
+        let bound = matcher.score_upper_bound(&pq, &terms, &ps, &candidate);
+        let max = matcher
+            .score_prepared(&pq, &terms, &q, &ps, &candidate)
+            .max_value();
+        assert!(max <= bound, "matrix max {max} exceeds bound {bound}");
+        // Keyword-only queries bound to exactly zero, artifacts or not.
+        let mut kq = QueryGraph::new();
+        kq.add_keyword("patient");
+        let kterms = kq.terms();
+        let kpq = matcher.prepare_query(&kterms, &kq);
+        assert_eq!(
+            matcher.score_upper_bound(&kpq, &kterms, &ps, &candidate),
+            0.0
+        );
+        // Missing artifacts (with fragment terms) degrade to 1.0.
+        let trivial = matcher.score_upper_bound(
+            &crate::prepare::PreparedQuery::default(),
+            &terms,
+            &crate::prepare::PreparedSchema::default(),
+            &candidate,
+        );
+        assert_eq!(trivial, 1.0);
     }
 
     #[test]

@@ -34,6 +34,33 @@ pub struct EnsembleRun {
     pub strengths: Vec<f64>,
 }
 
+/// The output of a bounded ensemble pass
+/// ([`Ensemble::run_prepared_bounded`]): either a full scored run, or
+/// proof that the candidate's combined matrix cannot contain a cell
+/// reaching the caller's floor, with the remaining matchers skipped.
+pub enum BoundedRun {
+    /// All matchers ran; identical to [`Ensemble::run_prepared`] output.
+    Scored(EnsembleRun),
+    /// The candidate was proven unable to reach the floor. No combined
+    /// matrix exists; every cell it would contain is `< theta`, so the
+    /// tightness score would have no matched elements.
+    Pruned {
+        /// Per-matcher wall time in registration order — skipped
+        /// matchers report [`Duration::ZERO`], so the engine's
+        /// per-matcher wall aggregation stays meaningful.
+        timings: Vec<Duration>,
+        /// How many trailing matchers were never evaluated.
+        skipped: usize,
+    },
+}
+
+/// Relative slack applied to upper bounds before comparing against the
+/// floor: per-cell bounds dominate exactly, but the averaging inside the
+/// name matcher and the weighted combination accumulate a few ulps of
+/// IEEE rounding. 1e-9 is ~10⁶ × that accumulation and far below any
+/// score gap that matters for pruning effectiveness.
+const BOUND_SLACK: f64 = 1e-9;
+
 impl Ensemble {
     /// An empty ensemble. Add matchers with [`Ensemble::push`].
     pub fn empty() -> Self {
@@ -220,6 +247,117 @@ impl Ensemble {
             timings,
             strengths,
         }
+    }
+
+    /// Like [`Ensemble::run_prepared`], but with ensemble-level early
+    /// exit against `theta`, the caller's current score floor (the
+    /// engine's running top-k admission threshold, already clamped to at
+    /// least the tightness scorer's `min_element_score`).
+    ///
+    /// Matchers are evaluated in registration order. Before each, the
+    /// best possible combined-matrix cell is bounded by the max of (a)
+    /// the actual matrix maxima of matchers already scored and (b) the
+    /// cheap [`Matcher::score_upper_bound`] of matchers not yet scored —
+    /// the weighted combination is a convex blend of participating
+    /// values, so no combined cell can exceed that max. When the bound
+    /// (plus rounding slack) drops below `theta`, no element of this
+    /// candidate can reach `theta`, the tightness score is exactly zero,
+    /// and the remaining matchers are skipped.
+    ///
+    /// With `theta <= 0` the pass is exactly [`Ensemble::run_prepared`];
+    /// survivors always score every matcher in registration order, so
+    /// their output is bitwise-identical to the unbounded pass.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_prepared_bounded(
+        &self,
+        equery: &EnsembleQuery,
+        terms: &[QueryTerm],
+        query: &QueryGraph,
+        pcand: &PreparedCandidate,
+        candidate: &Schema,
+        with_strengths: bool,
+        theta: f64,
+    ) -> BoundedRun {
+        if theta.is_nan()
+            || theta <= 0.0
+            || self.matchers.is_empty()
+            || equery.per_matcher.len() != self.matchers.len()
+            || pcand.per_matcher.len() != self.matchers.len()
+        {
+            return BoundedRun::Scored(self.run_prepared(
+                equery,
+                terms,
+                query,
+                pcand,
+                candidate,
+                with_strengths,
+            ));
+        }
+        let n = self.matchers.len();
+        // Per-matcher cheap bounds, zero for weightless matchers (they
+        // never participate in a combined cell).
+        let bounds: Vec<f64> = self
+            .matchers
+            .iter()
+            .zip(equery.per_matcher.iter().zip(pcand.per_matcher.iter()))
+            .map(|((m, w), (pq, ps))| {
+                if *w > 0.0 {
+                    m.score_upper_bound(pq, terms, ps, candidate)
+                        .clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // suffix_max[i] = max bound over matchers i.. (0.0 past the end).
+        let mut suffix_max = vec![0.0f64; n + 1];
+        for i in (0..n).rev() {
+            suffix_max[i] = suffix_max[i + 1].max(bounds[i]);
+        }
+        let mut timings = vec![Duration::ZERO; n];
+        let mut scored: Vec<(SimilarityMatrix, f64, bool)> = Vec::with_capacity(n);
+        let mut done_max = 0.0f64;
+        for (i, ((m, w), (pq, ps))) in self
+            .matchers
+            .iter()
+            .zip(equery.per_matcher.iter().zip(pcand.per_matcher.iter()))
+            .enumerate()
+        {
+            let cell_cap = done_max.max(suffix_max[i]);
+            if cell_cap + cell_cap * BOUND_SLACK < theta {
+                return BoundedRun::Pruned {
+                    timings,
+                    skipped: n - i,
+                };
+            }
+            let start = Instant::now();
+            let matrix = m.score_prepared(pq, terms, query, ps, candidate);
+            timings[i] = start.elapsed();
+            if *w > 0.0 {
+                done_max = done_max.max(matrix.max_value());
+            }
+            scored.push((matrix, *w, m.abstains()));
+        }
+        // All matchers ran, but the actual maxima may still prove the
+        // candidate floor-bound — skip the combine + downstream scoring.
+        if done_max + done_max * BOUND_SLACK < theta {
+            return BoundedRun::Pruned {
+                timings,
+                skipped: 0,
+            };
+        }
+        let strengths = if with_strengths {
+            scored.iter().map(|(m, _, _)| m.mean_row_max()).collect()
+        } else {
+            Vec::new()
+        };
+        let refs: Vec<(&SimilarityMatrix, f64, bool)> =
+            scored.iter().map(|(m, w, a)| (m, *w, *a)).collect();
+        BoundedRun::Scored(EnsembleRun {
+            matrix: SimilarityMatrix::combine_with_abstention(&refs),
+            timings,
+            strengths,
+        })
     }
 
     /// Run every matcher and return the individual matrices (the learner's
@@ -436,5 +574,175 @@ mod tests {
         let e = Ensemble::empty();
         let m = e.combined(&terms, &q, &candidate);
         assert_eq!(m.element_scores().iter().sum::<f64>(), 0.0);
+    }
+
+    fn four_matcher_ensemble() -> Ensemble {
+        let mut e = Ensemble::standard();
+        e.push(Box::new(TokenMatcher::new()), 0.5);
+        e.push(Box::new(EditDistanceMatcher::new()), 0.25);
+        e
+    }
+
+    #[test]
+    fn bounded_run_with_zero_theta_is_bitwise_equal_to_run_prepared() {
+        let (q, terms, candidate) = query_and_candidate();
+        let e = four_matcher_ensemble();
+        let equery = e.prepare_query(&terms, &q);
+        let pcand = e.prepare(&candidate);
+        let plain = e.run_prepared(&equery, &terms, &q, &pcand, &candidate, true);
+        let BoundedRun::Scored(bounded) =
+            e.run_prepared_bounded(&equery, &terms, &q, &pcand, &candidate, true, 0.0)
+        else {
+            panic!("theta 0 must never prune");
+        };
+        for r in 0..plain.matrix.rows() {
+            for c in 0..plain.matrix.cols() {
+                assert_eq!(
+                    bounded.matrix.get(r, c).to_bits(),
+                    plain.matrix.get(r, c).to_bits(),
+                    "cell ({r},{c})"
+                );
+            }
+        }
+        for (b, p) in bounded.strengths.iter().zip(plain.strengths.iter()) {
+            assert_eq!(b.to_bits(), p.to_bits());
+        }
+        assert_eq!(bounded.timings.len(), e.len());
+    }
+
+    #[test]
+    fn bounded_run_survivors_match_run_prepared_for_any_theta() {
+        let (q, terms, candidate) = query_and_candidate();
+        let e = four_matcher_ensemble();
+        let equery = e.prepare_query(&terms, &q);
+        let pcand = e.prepare(&candidate);
+        let plain = e.run_prepared(&equery, &terms, &q, &pcand, &candidate, false);
+        let plain_max = plain.matrix.max_value();
+        for theta in [0.1, 0.45, 0.7, 0.9, 0.999, 2.0] {
+            match e.run_prepared_bounded(&equery, &terms, &q, &pcand, &candidate, false, theta) {
+                BoundedRun::Scored(run) => {
+                    for r in 0..plain.matrix.rows() {
+                        for c in 0..plain.matrix.cols() {
+                            assert_eq!(
+                                run.matrix.get(r, c).to_bits(),
+                                plain.matrix.get(r, c).to_bits(),
+                                "theta {theta}, cell ({r},{c})"
+                            );
+                        }
+                    }
+                }
+                BoundedRun::Pruned { timings, skipped } => {
+                    // Pruning is only sound when no cell reaches theta.
+                    assert!(
+                        plain_max < theta,
+                        "theta {theta} pruned but max cell is {plain_max}"
+                    );
+                    assert_eq!(timings.len(), e.len());
+                    assert!(skipped <= e.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_run_prunes_hopeless_candidates_before_scoring() {
+        let (q, terms, _) = query_and_candidate();
+        // A candidate with long, alien names: every name-matcher size
+        // bound is far below the floor, and the context bound collapses
+        // because the neighborhoods share no plausible size advantage.
+        let candidate = SchemaBuilder::new("junk")
+            .entity("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx", |e| {
+                e.attr("yyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyy", DataType::Text)
+            })
+            .build_unchecked();
+        let e = Ensemble::standard();
+        let equery = e.prepare_query(&terms, &q);
+        let pcand = e.prepare(&candidate);
+        let run = e.run_prepared_bounded(&equery, &terms, &q, &pcand, &candidate, false, 0.95);
+        match run {
+            BoundedRun::Pruned { skipped, .. } => {
+                assert!(skipped >= 1, "expected at least one matcher skipped");
+            }
+            BoundedRun::Scored(run) => {
+                panic!("junk candidate scored: max {}", run.matrix.max_value());
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_run_falls_back_on_artifact_shape_mismatch() {
+        let (q, terms, candidate) = query_and_candidate();
+        let e = Ensemble::standard();
+        let naive = e.run(&terms, &q, &candidate, false);
+        let stale_query = crate::prepare::EnsembleQuery::default();
+        let stale_cand = crate::prepare::PreparedCandidate::default();
+        // Even with a high theta, mismatched artifacts must score fully.
+        let BoundedRun::Scored(out) = e.run_prepared_bounded(
+            &stale_query,
+            &terms,
+            &q,
+            &stale_cand,
+            &candidate,
+            false,
+            0.99,
+        ) else {
+            panic!("shape mismatch must fall back to a full scored run");
+        };
+        for r in 0..naive.matrix.rows() {
+            for c in 0..naive.matrix.cols() {
+                assert_eq!(
+                    out.matrix.get(r, c).to_bits(),
+                    naive.matrix.get(r, c).to_bits()
+                );
+            }
+        }
+    }
+
+    /// Across a small corpus of candidates and a sweep of floors, the
+    /// bounded pass must never prune a candidate whose true combined
+    /// matrix has a cell ≥ theta — the soundness invariant the engine's
+    /// bitwise top-k oracle rests on.
+    #[test]
+    fn bounded_run_never_prunes_a_candidate_that_could_reach_theta() {
+        let (q, terms, _) = query_and_candidate();
+        let candidates = [
+            ("exact", vec![("patient", vec!["height", "gender"])]),
+            ("close", vec![("patients", vec!["heights", "sex"])]),
+            ("partial", vec![("person", vec!["height", "age"])]),
+            ("far", vec![("invoice", vec!["total", "currency"])]),
+            (
+                "alien",
+                vec![("zzzzzzzzzzzzzzzz", vec!["qqqqqqqqqqqqqqqq"])],
+            ),
+        ];
+        let e = four_matcher_ensemble();
+        let equery = e.prepare_query(&terms, &q);
+        for (name, entities) in &candidates {
+            let mut b = SchemaBuilder::new(*name);
+            for (ent, attrs) in entities {
+                b = b.entity(*ent, |mut eb| {
+                    for a in attrs {
+                        eb = eb.attr(*a, DataType::Text);
+                    }
+                    eb
+                });
+            }
+            let candidate = b.build_unchecked();
+            let pcand = e.prepare(&candidate);
+            let truth = e
+                .run_prepared(&equery, &terms, &q, &pcand, &candidate, false)
+                .matrix
+                .max_value();
+            for theta in [0.2, 0.45, 0.6, 0.8, 0.95] {
+                if let BoundedRun::Pruned { .. } =
+                    e.run_prepared_bounded(&equery, &terms, &q, &pcand, &candidate, false, theta)
+                {
+                    assert!(
+                        truth < theta,
+                        "candidate {name} pruned at theta {theta} but max cell {truth}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -42,7 +42,7 @@ pub mod typematch;
 
 pub use context::ContextMatcher;
 pub use edit::EditDistanceMatcher;
-pub use ensemble::{Ensemble, EnsembleRun};
+pub use ensemble::{BoundedRun, Ensemble, EnsembleRun};
 pub use flooding::FloodingMatcher;
 pub use matrix::SimilarityMatrix;
 pub use name::NameMatcher;
@@ -108,5 +108,28 @@ pub trait Matcher: Send + Sync {
     ) -> SimilarityMatrix {
         let _ = (prepared_query, prepared);
         self.score(terms, query, candidate)
+    }
+
+    /// A cheap upper bound on the maximum cell this matcher's
+    /// [`Matcher::score_prepared`] matrix can contain for this
+    /// (query, candidate) pair — from artifact set *sizes* alone, no
+    /// intersections. The ensemble's early-exit pass compares the bound
+    /// against the engine's running top-k floor to skip matchers that
+    /// cannot lift a candidate into the top-k.
+    ///
+    /// Implementations must dominate every matrix cell (`score_prepared`
+    /// max ≤ bound); over-estimating only costs speed, under-estimating
+    /// breaks the bitwise top-k oracle. The default is the trivially safe
+    /// `1.0`, which disables early exit for this matcher — third-party
+    /// matchers keep working unchanged.
+    fn score_upper_bound(
+        &self,
+        prepared_query: &PreparedQuery,
+        terms: &[QueryTerm],
+        prepared: &PreparedSchema,
+        candidate: &Schema,
+    ) -> f64 {
+        let _ = (prepared_query, terms, prepared, candidate);
+        1.0
     }
 }

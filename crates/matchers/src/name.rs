@@ -264,6 +264,42 @@ impl Matcher for NameMatcher {
         }
         m
     }
+
+    /// Matcher-level bound: every matrix cell is an average of per-word
+    /// bests, so no cell exceeds the largest
+    /// [`NameMatcher::word_pair_upper_bound`] over all (term word,
+    /// element word) pairs — O(1) per pair, set sizes only. Falls back to
+    /// the trivial `1.0` when either artifact side is missing (bounds
+    /// must stay cheap; they never build artifacts).
+    fn score_upper_bound(
+        &self,
+        prepared_query: &PreparedQuery,
+        terms: &[QueryTerm],
+        prepared: &PreparedSchema,
+        candidate: &Schema,
+    ) -> f64 {
+        let (Some(term_grams), Some(el_grams)) = (&prepared_query.term_grams, &prepared.name_grams)
+        else {
+            return 1.0;
+        };
+        if term_grams.len() != terms.len() || el_grams.len() != candidate.len() {
+            return 1.0;
+        }
+        let mut best = 0.0f64;
+        for tg in term_grams {
+            for eg in el_grams {
+                for x in tg {
+                    for y in eg {
+                        best = best.max(self.word_pair_upper_bound(x, y));
+                        if best >= 1.0 {
+                            return best;
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +450,35 @@ mod tests {
                 assert_eq!(prepared.get(r, c).to_bits(), naive.get(r, c).to_bits());
             }
         }
+    }
+
+    #[test]
+    fn matcher_bound_dominates_matrix_max() {
+        let schema = SchemaBuilder::new("s")
+            .entity("patient", |e| {
+                e.attr("height", DataType::Real)
+                    .attr("patient_height_cm", DataType::Real)
+            })
+            .entity("doctor", |e| e.attr("specialty", DataType::Text))
+            .build_unchecked();
+        let matcher = NameMatcher::new();
+        let q = QueryGraph::new();
+        let ts = terms(&["pat_ht", "height", "xyzzy"]);
+        let pq = matcher.prepare_query(&ts, &q);
+        let ps = matcher.prepare(&schema);
+        let bound = matcher.score_upper_bound(&pq, &ts, &ps, &schema);
+        let max = matcher
+            .score_prepared(&pq, &ts, &q, &ps, &schema)
+            .max_value();
+        assert!(max <= bound, "matrix max {max} exceeds bound {bound}");
+        // Missing artifacts degrade to the trivially safe bound.
+        let trivial = matcher.score_upper_bound(
+            &crate::prepare::PreparedQuery::default(),
+            &ts,
+            &crate::prepare::PreparedSchema::default(),
+            &schema,
+        );
+        assert_eq!(trivial, 1.0);
     }
 
     #[test]

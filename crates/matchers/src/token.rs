@@ -154,6 +154,48 @@ impl Matcher for TokenMatcher {
         }
         m
     }
+
+    /// Matcher-level bound: Jaccard with `inter = min(|a|, |b|)` is
+    /// `min/max`, the largest value any cell can reach for its pair of
+    /// token-set sizes — maximized over all pairs. Missing artifacts fall
+    /// back to the trivial `1.0`.
+    fn score_upper_bound(
+        &self,
+        prepared_query: &PreparedQuery,
+        terms: &[QueryTerm],
+        prepared: &PreparedSchema,
+        candidate: &Schema,
+    ) -> f64 {
+        let (Some(term_tokens), Some(element_tokens)) =
+            (&prepared_query.term_tokens, &prepared.tokens)
+        else {
+            return 1.0;
+        };
+        if term_tokens.len() != terms.len() || element_tokens.len() != candidate.len() {
+            return 1.0;
+        }
+        let mut best = 0.0f64;
+        for tt in term_tokens {
+            if tt.is_empty() {
+                continue;
+            }
+            for el in element_tokens {
+                if el.is_empty() {
+                    continue;
+                }
+                let min = tt.len().min(el.len());
+                // Same ops as the cell with the largest possible
+                // intersection, so the domination is exact under IEEE
+                // rounding.
+                let bound = min as f64 / (tt.len() + el.len() - min) as f64;
+                best = best.max(bound);
+                if best >= 1.0 {
+                    return best;
+                }
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +226,36 @@ mod tests {
         let m = TokenMatcher::new();
         // {patient, height} vs {patient, gender}: 1 / 3.
         assert!((m.similarity("patient_height", "patient_gender") - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matcher_bound_dominates_matrix_max() {
+        use schemr_model::{DataType, QueryGraph, SchemaBuilder};
+        let mut q = QueryGraph::new();
+        q.add_keyword("patient height");
+        q.add_keyword("visit date");
+        let terms = q.terms();
+        let candidate = SchemaBuilder::new("cand")
+            .entity("patient", |e| {
+                e.attr("patient_height", DataType::Real)
+                    .attr("gender", DataType::Text)
+            })
+            .build_unchecked();
+        let matcher = TokenMatcher::new();
+        let pq = matcher.prepare_query(&terms, &q);
+        let ps = matcher.prepare(&candidate);
+        let bound = matcher.score_upper_bound(&pq, &terms, &ps, &candidate);
+        let max = matcher
+            .score_prepared(&pq, &terms, &q, &ps, &candidate)
+            .max_value();
+        assert!(max <= bound, "matrix max {max} exceeds bound {bound}");
+        let trivial = matcher.score_upper_bound(
+            &crate::prepare::PreparedQuery::default(),
+            &terms,
+            &crate::prepare::PreparedSchema::default(),
+            &candidate,
+        );
+        assert_eq!(trivial, 1.0);
     }
 
     #[test]

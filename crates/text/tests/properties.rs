@@ -1,6 +1,7 @@
 //! Property-based tests for the text-analysis substrate.
 
 use proptest::prelude::*;
+use schemr_text::gramset::GramSet;
 use schemr_text::ngram::{all_ngrams, dice, jaccard, ngrams, overlap};
 use schemr_text::normalize::fold_case;
 use schemr_text::stem::stem;
@@ -101,5 +102,45 @@ proptest! {
             prop_assert!(!term.is_empty());
             prop_assert_eq!(term.clone(), term.to_lowercase());
         }
+    }
+
+    /// `GramSet::intersection_size` (whichever kernel the build/CPU
+    /// selects — scalar merge, galloping, or AVX2) matches the
+    /// `HashSet<String>` ground truth over arbitrary unicode words.
+    #[test]
+    fn gramset_intersection_matches_string_set_ground_truth(
+        x in ".{0,24}",
+        y in ".{0,24}",
+    ) {
+        let (gx, gy) = (GramSet::all_grams(&x), GramSet::all_grams(&y));
+        let (sx, sy) = (all_ngrams(&x), all_ngrams(&y));
+        let truth = sx.intersection(&sy).count();
+        prop_assert_eq!(gx.intersection_size(&gy), truth);
+        prop_assert_eq!(gy.intersection_size(&gx), truth);
+        prop_assert_eq!(gx.len(), sx.len());
+        prop_assert_eq!(gy.len(), sy.len());
+        prop_assert_eq!(gx.dice(&gy).to_bits(), dice(&sx, &sy).to_bits());
+        prop_assert_eq!(gx.jaccard(&gy).to_bits(), jaccard(&sx, &sy).to_bits());
+        prop_assert_eq!(gx.overlap(&gy).to_bits(), overlap(&sx, &sy).to_bits());
+    }
+
+    /// Asymmetric set sizes route through the galloping kernel; the
+    /// string-set ground truth must still hold. A short word vs the gram
+    /// set of many words gives |large| ≥ 16·|small|.
+    #[test]
+    fn gramset_gallop_path_matches_ground_truth(
+        x in "[a-z]{1,2}",
+        words in proptest::collection::vec("[a-z]{1,10}", 8..16),
+    ) {
+        let mut merged = std::collections::HashSet::new();
+        for w in &words {
+            merged.extend(all_ngrams(w));
+        }
+        let large = GramSet::of_terms(merged.iter().map(String::as_str));
+        let small = GramSet::of_terms(all_ngrams(&x).iter().map(String::as_str));
+        let sx = all_ngrams(&x);
+        let truth = sx.intersection(&merged).count();
+        prop_assert_eq!(small.intersection_size(&large), truth);
+        prop_assert_eq!(large.intersection_size(&small), truth);
     }
 }
