@@ -455,9 +455,9 @@ fn run_churn(quick: bool) {
         counter("schemr_candidate_cache_evictions_total"),
         counter("schemr_candidate_cache_invalidations_total"),
     );
-    let (postings_scanned, vacuums) = (
+    let (postings_scanned, merges) = (
         counter("schemr_index_postings_scanned_total"),
-        counter("schemr_index_vacuums_total"),
+        counter("schemr_index_merges_total"),
     );
 
     let uncached_med = median(&mut uncached_ms);
@@ -473,12 +473,12 @@ fn run_churn(quick: bool) {
         "\ncache: {hits} hits, {misses} misses, {evictions} evictions, {invalidations} invalidations"
     );
     println!(
-        "index: {postings_scanned} postings scanned, {vacuums} vacuums (scheduler: {})",
-        scheduler.vacuum_count()
+        "index: {postings_scanned} postings scanned, {merges} merges (scheduler: {})",
+        scheduler.merge_count()
     );
 
     let json = format!(
-        "{{\n  \"experiment\": \"e1_churn\",\n  \"corpus\": {size},\n  \"live_docs\": {},\n  \"total_docs\": {},\n  \"queries\": {n_queries},\n  \"rounds\": {rounds},\n  \"p1_tombstoned_no_cache_ms\": {uncached_med:.4},\n  \"p1_cache_cold_ms\": {cold_ms:.4},\n  \"p1_cache_warm_ms\": {warm_med:.4},\n  \"p1_interleaved_ms\": {interleaved_med:.4},\n  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}, \"invalidations\": {invalidations}}},\n  \"index\": {{\"postings_scanned\": {postings_scanned}, \"vacuums\": {vacuums}}}\n}}\n",
+        "{{\n  \"experiment\": \"e1_churn\",\n  \"corpus\": {size},\n  \"live_docs\": {},\n  \"total_docs\": {},\n  \"queries\": {n_queries},\n  \"rounds\": {rounds},\n  \"p1_tombstoned_no_cache_ms\": {uncached_med:.4},\n  \"p1_cache_cold_ms\": {cold_ms:.4},\n  \"p1_cache_warm_ms\": {warm_med:.4},\n  \"p1_interleaved_ms\": {interleaved_med:.4},\n  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}, \"invalidations\": {invalidations}}},\n  \"index\": {{\"postings_scanned\": {postings_scanned}, \"merges\": {merges}}}\n}}\n",
         stats.live_docs, stats.total_docs
     );
     let out_path = std::path::Path::new("results").join("e1_churn.json");
@@ -490,7 +490,7 @@ fn run_churn(quick: bool) {
         "\nExpected shape: warm-cache Phase 1 is far below the no-cache scan; the\n\
          no-cache scan itself no longer pays a per-query tombstone rescan (live\n\
          df is maintained incrementally); interleaved churn stays near the\n\
-         steady-state cost because the scheduler vacuums past the threshold."
+         steady-state cost because the scheduler merges past the threshold."
     );
 }
 

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
-use schemr_index::{codec, Index, IndexDocument, IndexStats, SearchOptions};
+use schemr_index::{codec, Index, IndexDocument, IndexRevision, IndexStats, SearchOptions};
 use schemr_match::{BoundedRun, Ensemble, PreparedCandidate};
 use schemr_model::QueryGraph;
 use schemr_obs::{
@@ -270,14 +270,22 @@ impl SchemrEngine {
         let _span = SpanTimer::start(self.metrics.reindex_seconds.clone());
         let revision = self.repo.revision();
         let fresh = Index::new().with_metrics(self.metrics.index.clone());
-        for stored in self.repo.snapshot() {
-            fresh.add(&IndexDocument::from_schema(
-                stored.metadata.id,
-                &stored.metadata.title,
-                &stored.metadata.summary,
-                &stored.schema,
-            ));
-        }
+        // Batch the whole corpus through one writer lock and a single
+        // snapshot publish instead of re-publishing per document.
+        let docs: Vec<IndexDocument> = self
+            .repo
+            .snapshot()
+            .iter()
+            .map(|stored| {
+                IndexDocument::from_schema(
+                    stored.metadata.id,
+                    &stored.metadata.title,
+                    &stored.metadata.summary,
+                    &stored.schema,
+                )
+            })
+            .collect();
+        fresh.add_all(&docs);
         *self.index.write() = fresh;
         *self.last_indexed_revision.lock() = revision;
     }
@@ -319,6 +327,12 @@ impl SchemrEngine {
     /// Statistics of the live index.
     pub fn index_stats(&self) -> IndexStats {
         self.index.read().stats()
+    }
+
+    /// Revision of the live index (instance id + mutation count). Moves
+    /// only on logical mutations — background merges leave it in place.
+    pub fn index_revision(&self) -> IndexRevision {
+        self.index.read().revision()
     }
 
     /// Data-plane introspection of the live index: corpus aggregates
@@ -458,11 +472,15 @@ impl SchemrEngine {
         (artifacts, false)
     }
 
-    /// Vacuum the index when the tombstone ratio reaches `threshold`
-    /// (0 < threshold ≤ 1). Returns whether a vacuum ran. The scheduler
-    /// calls this every tick so put/delete churn cannot degrade Phase 1
-    /// indefinitely.
-    pub fn maybe_vacuum(&self, threshold: f64) -> bool {
+    /// Merge the index's tombstoned segments when the tombstone ratio
+    /// reaches `threshold` (0 < threshold ≤ 1). Returns whether a merge
+    /// committed. The scheduler calls this every tick so put/delete churn
+    /// cannot degrade Phase 1 indefinitely.
+    ///
+    /// Unlike the old stop-the-world vacuum, the compaction runs entirely
+    /// off-lock — searches keep reading their published snapshots
+    /// throughout, and the new layout lands with a single pointer swap.
+    pub fn maybe_merge(&self, threshold: f64) -> bool {
         if threshold <= 0.0 {
             return false;
         }
@@ -474,12 +492,17 @@ impl SchemrEngine {
         }
         let before_ratio = deleted as f64 / stats.total_docs as f64;
         let started = Instant::now();
-        index.vacuum();
+        let Some(outcome) = index.merge(threshold) else {
+            // A concurrent forced vacuum beat the merge to the segments;
+            // nothing was lost and nothing needs recording.
+            return false;
+        };
         let took = started.elapsed();
         // Leave a maintenance record in the event log so offline analysis
-        // of a latency window can see the vacuum that ran inside it. The
-        // `<vacuum>` query marker keeps the record parseable by every
-        // reader of ordinary search lines.
+        // of a latency window can see the merge that ran inside it. The
+        // `<merge>` query marker keeps the record parseable by every
+        // reader of ordinary search lines (it replaces the seed's
+        // `<vacuum>` marker — same shape, new maintenance verb).
         if let Some(log) = self.tracer.event_log() {
             let after = index.stats();
             let after_ratio = if after.total_docs == 0 {
@@ -488,14 +511,14 @@ impl SchemrEngine {
                 (after.total_docs - after.live_docs) as f64 / after.total_docs as f64
             };
             let event = SearchEvent {
-                trace_id: format!("vacuum-r{}", index.revision().mutations),
+                trace_id: format!("merge-r{}", index.revision().mutations),
                 unix_ms: std::time::SystemTime::now()
                     .duration_since(std::time::UNIX_EPOCH)
                     .map_or(0, |d| d.as_millis() as u64),
-                query: "<vacuum>".to_string(),
+                query: "<merge>".to_string(),
                 candidates_from_index: 0,
                 candidates_evaluated: 0,
-                phase_us: vec![("vacuum".to_string(), took.as_micros() as u64)],
+                phase_us: vec![("merge".to_string(), took.as_micros() as u64)],
                 total_us: took.as_micros() as u64,
                 results: Vec::new(),
                 cpu_us: 0,
@@ -510,7 +533,18 @@ impl SchemrEngine {
                         "tombstone_ratio_after".to_string(),
                         format!("{after_ratio:.4}"),
                     ),
-                    ("docs_reclaimed".to_string(), deleted.to_string()),
+                    (
+                        "docs_reclaimed".to_string(),
+                        outcome.docs_reclaimed.to_string(),
+                    ),
+                    (
+                        "segments_before".to_string(),
+                        outcome.segments_before.to_string(),
+                    ),
+                    (
+                        "segments_after".to_string(),
+                        outcome.segments_after.to_string(),
+                    ),
                 ],
             };
             let _ = log.append(&event);

@@ -56,5 +56,5 @@ pub use metrics::EngineMetrics;
 pub use query::{parse_keywords, QueryParseError};
 pub use request::SearchRequest;
 pub use result::{MatcherTiming, PhaseTimings, SearchResponse, SearchResult, SearchTrace};
-pub use scheduler::{IndexScheduler, DEFAULT_VACUUM_THRESHOLD};
+pub use scheduler::{IndexScheduler, DEFAULT_MERGE_THRESHOLD};
 pub use tightness::{MatchedElement, TightnessConfig, TightnessScore};

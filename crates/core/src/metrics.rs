@@ -231,6 +231,7 @@ mod tests {
             "schemr_index_postings_scanned_total",
             "schemr_index_candidates_returned_total",
             "schemr_index_vacuums_total",
+            "schemr_index_merges_total",
             "schemr_candidate_cache_hits_total",
             "schemr_candidate_cache_misses_total",
             "schemr_candidate_cache_evictions_total",

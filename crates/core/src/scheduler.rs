@@ -13,48 +13,51 @@ use std::time::Duration;
 
 use crate::engine::SchemrEngine;
 
-/// Deleted-to-total document ratio at which a tick vacuums the index.
-pub const DEFAULT_VACUUM_THRESHOLD: f64 = 0.3;
+/// Deleted-to-total document ratio at which a tick merges the index's
+/// tombstoned segments.
+pub const DEFAULT_MERGE_THRESHOLD: f64 = 0.3;
 
 /// Drives incremental re-indexing.
 pub struct IndexScheduler {
     engine: Arc<SchemrEngine>,
     ticks: AtomicU64,
     applied: AtomicU64,
-    vacuums: AtomicU64,
-    vacuum_threshold: f64,
+    merges: AtomicU64,
+    merge_threshold: f64,
 }
 
 impl IndexScheduler {
-    /// A scheduler over an engine, vacuuming at
-    /// [`DEFAULT_VACUUM_THRESHOLD`].
+    /// A scheduler over an engine, merging tombstoned segments at
+    /// [`DEFAULT_MERGE_THRESHOLD`].
     pub fn new(engine: Arc<SchemrEngine>) -> Self {
         IndexScheduler {
             engine,
             ticks: AtomicU64::new(0),
             applied: AtomicU64::new(0),
-            vacuums: AtomicU64::new(0),
-            vacuum_threshold: DEFAULT_VACUUM_THRESHOLD,
+            merges: AtomicU64::new(0),
+            merge_threshold: DEFAULT_MERGE_THRESHOLD,
         }
     }
 
-    /// Override the tombstone ratio that triggers a vacuum. `0` disables
-    /// scheduled vacuuming entirely.
-    pub fn with_vacuum_threshold(mut self, threshold: f64) -> Self {
-        self.vacuum_threshold = threshold;
+    /// Override the tombstone ratio that triggers a background merge.
+    /// `0` disables scheduled merging entirely.
+    pub fn with_merge_threshold(mut self, threshold: f64) -> Self {
+        self.merge_threshold = threshold;
         self
     }
 
-    /// One scheduling tick: apply pending repository changes, then vacuum
-    /// if deletions have accumulated past the threshold — without this,
-    /// put/delete churn grows tombstones (and Phase 1 scan work) without
-    /// bound. Returns the number of changes applied.
+    /// One scheduling tick: apply pending repository changes, then merge
+    /// tombstoned segments if deletions have accumulated past the
+    /// threshold — without this, put/delete churn grows tombstones (and
+    /// Phase 1 scan work) without bound. The merge compacts off-lock, so
+    /// concurrent searches never stall behind a tick. Returns the number
+    /// of changes applied.
     pub fn tick(&self) -> usize {
         let applied = self.engine.reindex_incremental();
         self.ticks.fetch_add(1, Ordering::Relaxed);
         self.applied.fetch_add(applied as u64, Ordering::Relaxed);
-        if self.engine.maybe_vacuum(self.vacuum_threshold) {
-            self.vacuums.fetch_add(1, Ordering::Relaxed);
+        if self.engine.maybe_merge(self.merge_threshold) {
+            self.merges.fetch_add(1, Ordering::Relaxed);
         }
         applied
     }
@@ -69,9 +72,9 @@ impl IndexScheduler {
         self.applied.load(Ordering::Relaxed)
     }
 
-    /// Vacuums triggered by ticks so far.
-    pub fn vacuum_count(&self) -> u64 {
-        self.vacuums.load(Ordering::Relaxed)
+    /// Background merges triggered by ticks so far.
+    pub fn merge_count(&self) -> u64 {
+        self.merges.load(Ordering::Relaxed)
     }
 
     /// Run ticks on a background thread every `interval` until the
@@ -168,7 +171,7 @@ mod tests {
     }
 
     #[test]
-    fn ticks_vacuum_once_tombstones_cross_the_threshold() {
+    fn ticks_merge_once_tombstones_cross_the_threshold() {
         let repo = Arc::new(Repository::new());
         let mut ids = Vec::new();
         for i in 0..5 {
@@ -184,32 +187,39 @@ mod tests {
         }
         let engine = Arc::new(SchemrEngine::new(repo.clone()));
         engine.reindex_full();
-        let scheduler = IndexScheduler::new(engine.clone()).with_vacuum_threshold(0.5);
-        // One deletion: 1/5 tombstoned, below threshold — no vacuum.
+        let scheduler = IndexScheduler::new(engine.clone()).with_merge_threshold(0.5);
+        // One deletion: 1/5 tombstoned, below threshold — no merge.
         repo.remove(ids[0]).unwrap();
         scheduler.tick();
-        assert_eq!(scheduler.vacuum_count(), 0);
+        assert_eq!(scheduler.merge_count(), 0);
         assert_eq!(engine.index_stats().total_docs, 5);
-        // Two more: 3/5 tombstoned, over threshold — vacuum compacts.
+        // Two more: 3/5 tombstoned, over threshold — the merge compacts.
+        let revision_before = engine.index_revision();
         repo.remove(ids[1]).unwrap();
         repo.remove(ids[2]).unwrap();
         scheduler.tick();
-        assert_eq!(scheduler.vacuum_count(), 1);
+        assert_eq!(scheduler.merge_count(), 1);
         assert_eq!(engine.index_stats().total_docs, 2);
         assert_eq!(engine.index_stats().live_docs, 2);
         assert_eq!(
             engine
                 .metrics_registry()
-                .counter_value("schemr_index_vacuums_total", &[]),
+                .counter_value("schemr_index_merges_total", &[]),
             Some(1)
         );
-        // Steady state: nothing left to reclaim, no further vacuums.
+        // The merge itself is invisible to revision-keyed caches: only the
+        // two removes moved the mutation count.
+        assert_eq!(
+            engine.index_revision().mutations,
+            revision_before.mutations + 2
+        );
+        // Steady state: nothing left to reclaim, no further merges.
         scheduler.tick();
-        assert_eq!(scheduler.vacuum_count(), 1);
+        assert_eq!(scheduler.merge_count(), 1);
     }
 
     #[test]
-    fn zero_threshold_disables_scheduled_vacuum() {
+    fn zero_threshold_disables_scheduled_merge() {
         let engine = engine();
         let id = import_str(
             engine.repository(),
@@ -218,11 +228,11 @@ mod tests {
             "CREATE TABLE gone (x INT, y INT, z INT, w INT)",
         )
         .unwrap();
-        let scheduler = IndexScheduler::new(engine.clone()).with_vacuum_threshold(0.0);
+        let scheduler = IndexScheduler::new(engine.clone()).with_merge_threshold(0.0);
         scheduler.tick();
         engine.repository().remove(id).unwrap();
         scheduler.tick();
-        assert_eq!(scheduler.vacuum_count(), 0);
+        assert_eq!(scheduler.merge_count(), 0);
         // seed + gone slots remain; the tombstone was not reclaimed.
         assert_eq!(engine.index_stats().total_docs, 2);
         assert_eq!(engine.index_stats().live_docs, 1);

@@ -110,8 +110,8 @@ fn workload_sketch_observes_the_search_path() {
 }
 
 #[test]
-fn vacuum_writes_a_tagged_maintenance_record() {
-    let dir = std::env::temp_dir().join(format!("schemr-vacuum-log-{}", std::process::id()));
+fn merge_writes_a_tagged_maintenance_record() {
+    let dir = std::env::temp_dir().join(format!("schemr-merge-log-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let log_path = dir.join("events.jsonl");
     let _ = std::fs::remove_file(&log_path);
@@ -130,33 +130,35 @@ fn vacuum_writes_a_tagged_maintenance_record() {
     );
     engine.reindex_full();
 
-    // Tombstone one of the two documents, then vacuum at a threshold the
+    // Tombstone one of the two documents, then merge at a threshold the
     // 50% ratio clears.
     let id = repo.snapshot()[0].metadata.id;
     repo.remove(id).unwrap();
     engine.reindex_incremental();
-    assert!(engine.maybe_vacuum(0.25), "vacuum should run");
+    assert!(engine.maybe_merge(0.25), "merge should run");
 
     let events = schemr_obs::read_events_at(&log_path).unwrap();
-    let vacuum = events
+    let merge = events
         .iter()
-        .find(|e| e.query == "<vacuum>")
-        .expect("vacuum record present");
-    assert!(vacuum.trace_id.starts_with("vacuum-r"));
-    assert_eq!(vacuum.phase_us.len(), 1);
-    assert_eq!(vacuum.phase_us[0].0, "vacuum");
+        .find(|e| e.query == "<merge>")
+        .expect("merge record present");
+    assert!(merge.trace_id.starts_with("merge-r"));
+    assert_eq!(merge.phase_us.len(), 1);
+    assert_eq!(merge.phase_us[0].0, "merge");
     let tag = |k: &str| {
-        vacuum
+        merge
             .tags
             .iter()
             .find(|(key, _)| key == k)
-            .unwrap_or_else(|| panic!("missing tag {k}: {:?}", vacuum.tags))
+            .unwrap_or_else(|| panic!("missing tag {k}: {:?}", merge.tags))
             .1
             .clone()
     };
     assert_eq!(tag("tombstone_ratio_before"), "0.5000");
     assert_eq!(tag("tombstone_ratio_after"), "0.0000");
     assert_eq!(tag("docs_reclaimed"), "1");
+    assert_eq!(tag("segments_before"), "1");
+    assert_eq!(tag("segments_after"), "1");
 
     let _ = std::fs::remove_file(&log_path);
 }

@@ -4,8 +4,16 @@
 //! search service loads what it produced; this codec is that boundary. The
 //! format is a single segment: a document table followed by the term
 //! dictionary with varint-delta-compressed positional postings.
+//!
+//! Encoding *flattens* a multi-segment snapshot: documents are written in
+//! segment order with segment-local ordinals translated to global ones,
+//! each term's portions are concatenated in the same order (global
+//! ordinals stay strictly ascending by construction), and overlay
+//! tombstones are baked into the document table's deleted flags. Decoding
+//! always produces a single sealed segment — the layout is a physical
+//! detail the format deliberately does not preserve, and search results
+//! are bitwise identical either way.
 
-use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -13,8 +21,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use schemr_model::SchemaId;
 
 use crate::field::Field;
-use crate::memory::{DocEntry, Index, Inner};
+use crate::memory::Index;
 use crate::postings::{Posting, PostingsList};
+use crate::segment::{DocEntry, SegmentData};
 
 const MAGIC: &[u8; 8] = b"SCHMRIDX";
 const VERSION: u32 = 1;
@@ -83,44 +92,62 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     }
 }
 
-/// Serialize the index to a byte buffer.
+/// Serialize the index to a byte buffer. Reads the published snapshot —
+/// concurrent searches and writers are unaffected.
 pub fn encode(index: &Index) -> Bytes {
-    let inner = index.inner.read();
+    let snap = index.snapshot();
+    let offsets = snap.ord_offsets();
     let mut buf = BytesMut::with_capacity(4096);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
 
-    put_varint(&mut buf, inner.docs.len() as u64);
-    for d in &inner.docs {
-        put_varint(&mut buf, d.id.0);
-        buf.put_u8(u8::from(d.deleted));
-        for len in d.field_lengths {
-            put_varint(&mut buf, u64::from(len));
+    put_varint(&mut buf, snap.total_docs as u64);
+    for seg in &snap.segments {
+        for (ord, d) in seg.data.docs.iter().enumerate() {
+            put_varint(&mut buf, d.id.0);
+            // Overlay tombstones become baked flags on disk.
+            buf.put_u8(u8::from(seg.is_deleted(ord as u32)));
+            for len in d.field_lengths {
+                put_varint(&mut buf, u64::from(len));
+            }
         }
     }
 
-    put_varint(&mut buf, inner.term_count() as u64);
-    for (field, term, pl) in inner.iter_terms() {
-        buf.put_u8(field);
-        put_varint(&mut buf, term.len() as u64);
-        buf.put_slice(term.as_bytes());
-        put_varint(&mut buf, pl.doc_freq() as u64);
-        let mut prev_doc = 0u32;
-        for posting in pl.iter() {
-            put_varint(&mut buf, u64::from(posting.doc - prev_doc));
-            prev_doc = posting.doc;
-            put_varint(&mut buf, posting.positions.len() as u64);
-            let mut prev_pos = 0u32;
-            for &pos in &posting.positions {
-                put_varint(&mut buf, u64::from(pos - prev_pos));
-                prev_pos = pos;
+    let term_count: usize = (0..Field::COUNT)
+        .map(|field_ord| snap.merged_terms(field_ord).len())
+        .sum();
+    put_varint(&mut buf, term_count as u64);
+    for field_ord in 0..Field::COUNT {
+        for (term, portions) in snap.merged_terms(field_ord) {
+            buf.put_u8(field_ord as u8);
+            put_varint(&mut buf, term.len() as u64);
+            buf.put_slice(term.as_bytes());
+            let doc_freq: usize = portions.iter().map(|&(_, pl)| pl.doc_freq()).sum();
+            put_varint(&mut buf, doc_freq as u64);
+            let mut prev_doc = 0u32;
+            // Portions arrive in segment order, so translated global
+            // ordinals are strictly ascending across the concatenation.
+            for (si, pl) in portions {
+                let base = offsets[si];
+                for posting in pl.iter() {
+                    let doc = base + posting.doc;
+                    put_varint(&mut buf, u64::from(doc - prev_doc));
+                    prev_doc = doc;
+                    put_varint(&mut buf, posting.positions.len() as u64);
+                    let mut prev_pos = 0u32;
+                    for &pos in &posting.positions {
+                        put_varint(&mut buf, u64::from(pos - prev_pos));
+                        prev_pos = pos;
+                    }
+                }
             }
         }
     }
     buf.freeze()
 }
 
-/// Deserialize an index from bytes produced by [`encode`].
+/// Deserialize an index from bytes produced by [`encode`]. The result
+/// holds the whole corpus in one sealed segment at epoch 0.
 pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
     let mut buf = Bytes::copy_from_slice(data);
     if buf.remaining() < MAGIC.len() + 4 {
@@ -145,7 +172,7 @@ pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
             return Err(CodecError::Corrupt("truncated doc table"));
         }
         let deleted = buf.get_u8() != 0;
-        let mut field_lengths = [0u32; 4];
+        let mut field_lengths = [0u32; Field::COUNT];
         for slot in &mut field_lengths {
             *slot = get_varint(&mut buf)? as u32;
         }
@@ -160,7 +187,7 @@ pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
     }
 
     let term_count = get_varint(&mut buf)? as usize;
-    let mut terms: [BTreeMap<String, PostingsList>; 4] = Default::default();
+    let mut seg = SegmentData::default();
     // Forward index and per-list live document frequencies, rebuilt from
     // the decoded postings against the document table's tombstone flags.
     let mut doc_terms: Vec<Vec<(u8, String)>> = vec![Vec::new(); docs.len()];
@@ -227,25 +254,19 @@ pub fn decode(data: &[u8]) -> Result<Index, CodecError> {
             |d| docs[d as usize].field_lengths[field as usize],
             |d| !docs[d as usize].deleted,
         );
-        terms[field as usize].insert(term, pl);
+        seg.terms[field as usize].insert(term, pl);
     }
 
-    let by_id = docs
+    seg.by_id = docs
         .iter()
         .enumerate()
         .filter(|(_, d)| !d.deleted)
         .map(|(i, d)| (d.id, i as u32))
         .collect();
-    let index = Index::new();
-    *index.inner.write() = Inner {
-        terms,
-        docs,
-        by_id,
-        doc_terms,
-        live_docs,
-        revision: 0,
-    };
-    Ok(index)
+    seg.docs = docs;
+    seg.doc_terms = doc_terms;
+    seg.live_docs = live_docs;
+    Ok(Index::from_sealed(seg))
 }
 
 /// Write the index to a file.
@@ -318,16 +339,51 @@ mod tests {
     }
 
     #[test]
+    fn segmented_index_round_trips_through_the_flat_format() {
+        // A multi-segment index with overlay tombstones encodes to the
+        // same search behaviour as its monolithic twin.
+        let segmented = Index::new().with_seal_threshold(2);
+        let monolith = Index::new();
+        for i in 0..9u64 {
+            let d = IndexDocument {
+                id: SchemaId(i),
+                title: format!("schema{i}"),
+                summary: String::new(),
+                elements: vec!["patient".into(), "patient.height".into()],
+                docs: vec![],
+            };
+            segmented.add(&d);
+            monolith.add(&d);
+        }
+        segmented.remove(SchemaId(3));
+        monolith.remove(SchemaId(3));
+        assert!(segmented.segment_count() > 1);
+        let decoded = decode(&encode(&segmented)).unwrap();
+        assert_eq!(decoded.segment_count(), 1, "decode flattens the layout");
+        assert_eq!(decoded.stats(), segmented.stats());
+        let q = ["patient", "height"];
+        let a = decoded.search(&q, &SearchOptions::default());
+        let b = monolith.search(&q, &SearchOptions::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "bitwise identity");
+        }
+    }
+
+    #[test]
     fn decode_restores_live_df_and_forward_index() {
         // sample_index() leaves one tombstoned version of schema 9, so the
         // (Title, "store") list holds two postings but only one live doc.
         let decoded = decode(&encode(&sample_index())).unwrap();
-        {
-            let inner = decoded.inner.read();
-            let pl = inner.terms[0].get("store").unwrap();
-            assert_eq!(pl.doc_freq(), 2);
-            assert_eq!(pl.live_doc_freq(), 1);
-        }
+        let store = decoded
+            .introspect(usize::MAX)
+            .top_lists
+            .into_iter()
+            .find(|l| l.field == Field::Title && l.term == "store")
+            .expect("(Title, store) list present");
+        assert_eq!(store.doc_freq, 2);
+        assert_eq!(store.live_doc_freq, 1);
         // The forward index must be usable: removing the live schema 9
         // drives its lists' live df to zero, hiding it from search.
         assert!(decoded.remove(SchemaId(9)));

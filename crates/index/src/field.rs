@@ -21,8 +21,15 @@ pub enum Field {
 }
 
 impl Field {
+    /// Number of fields. Every per-field array in the index (term
+    /// dictionaries, `DocEntry::field_lengths`, codec tables) derives its
+    /// width from this constant, so adding a fifth field is a one-line
+    /// change here instead of a hunt for naked `4`s.
+    pub const COUNT: usize = 4;
+
     /// All fields, in codec order.
-    pub const ALL: [Field; 4] = [Field::Title, Field::Summary, Field::Elements, Field::Docs];
+    pub const ALL: [Field; Field::COUNT] =
+        [Field::Title, Field::Summary, Field::Elements, Field::Docs];
 
     /// The field's score boost in the TF/IDF scorer.
     pub fn boost(self) -> f64 {
@@ -59,6 +66,12 @@ impl Field {
         }
     }
 }
+
+/// `Field::COUNT` and `Field::ALL` can never desync: the array's length
+/// is checked against the constant at compile time, and `ordinal()` is
+/// exhaustively matched over the enum, so a new variant fails to compile
+/// until every width agrees.
+const _: () = assert!(Field::ALL.len() == Field::COUNT);
 
 impl std::fmt::Display for Field {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

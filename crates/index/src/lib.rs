@@ -33,10 +33,14 @@ pub mod postings;
 pub mod search;
 
 mod memory;
+mod segment;
+mod snapshot;
 
 pub use document::{IndexDocument, ELEMENT_POSITION_GAP};
 pub use field::Field;
-pub use memory::{Index, IndexIntrospection, IndexRevision, IndexStats, PostingsListStats};
+pub use memory::{
+    Index, IndexIntrospection, IndexRevision, IndexStats, MergeOutcome, PostingsListStats,
+};
 pub use metrics::IndexMetrics;
 pub use search::{Hit, ProbeStats, SearchOptions};
 

@@ -1,9 +1,38 @@
-//! The thread-safe inverted index.
+//! The thread-safe inverted index: sealed immutable segments + a small
+//! mutable head, searched entirely over an atomically published snapshot.
+//!
+//! ## Write path
+//!
+//! A single writer state (head segment, sealed segments, overlay
+//! tombstones) lives behind a `Mutex`. Every logical mutation — add,
+//! tombstone, forced vacuum — mutates it and then *publishes*: builds a
+//! fresh immutable [`IndexSnapshot`] (sealed `Arc`s are reused; the head
+//! is cloned, bounded by the seal threshold) and swaps it into place.
+//! When the head reaches the seal threshold it is frozen into a sealed
+//! segment in O(1).
+//!
+//! ## Read path
+//!
+//! Searches clone the published `Arc` once and never touch a lock again:
+//! a background merge, a vacuum, or a churning writer can all run
+//! concurrently without blocking a single query. Queries in flight keep
+//! their old snapshot alive through the `Arc`.
+//!
+//! ## Merge
+//!
+//! [`Index::merge`] replaces the old stop-the-world vacuum on the
+//! maintenance path: it captures the tombstoned segments under the writer
+//! lock, compacts them **off-lock**, then re-acquires the lock only to
+//! re-apply tombstones that raced the compaction and swap the segment
+//! list. Merges do not bump the epoch — they are bitwise invisible to
+//! search — so revision-keyed caches stay warm across them. The forced
+//! [`Index::vacuum`] still exists, compacts everything, and *does* count
+//! as a mutation.
 
-use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use schemr_model::SchemaId;
 use schemr_obs::{DeepSize, SpanGuard};
 use schemr_text::Analyzer;
@@ -13,101 +42,150 @@ use crate::field::Field;
 use crate::metrics::IndexMetrics;
 use crate::postings::PostingsList;
 use crate::search::{idf_weight, impact, search_postings, Hit, SearchOptions};
+use crate::segment::{
+    compact, empty_overlay, late_tombstones, DocEntry, SealedSegment, Segment, SegmentData,
+};
+use crate::snapshot::IndexSnapshot;
 use crate::DocOrd;
 
-/// Per-document bookkeeping: external id, per-field token counts, liveness.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct DocEntry {
-    pub id: SchemaId,
-    pub field_lengths: [u32; 4],
-    pub deleted: bool,
-}
+/// Documents the mutable head accumulates before it is sealed into an
+/// immutable segment. Bounds the head-clone cost of a publish; small
+/// enough that per-mutation publishing stays cheap, large enough that a
+/// typical corpus spans only a handful of segments.
+const DEFAULT_SEAL_THRESHOLD: usize = 1024;
 
-/// The index's mutable core. The term dictionary is one `BTreeMap` per
-/// field, indexed by field ordinal: `String`-keyed maps support borrowed
-/// `&str` lookups, so the query hot path never clones a term just to probe
-/// the dictionary, and `BTreeMap` keeps the codec output deterministic
-/// (iterating the array then each map reproduces the old `(field, term)`
-/// key order exactly).
-///
-/// `doc_terms` is a forward index: for every document slot, the distinct
-/// `(field, term)` keys it contributed postings to. It exists so a
-/// tombstone can decrement the live document frequency of exactly the
-/// postings lists that mention the document — O(terms of the doc) instead
-/// of a dictionary-wide scan — and it is rebuilt by `vacuum()` and the
-/// codec load path.
-///
-/// `revision` counts mutations (adds, tombstones, vacuums). It is read and
-/// written strictly under this struct's lock, so a search result paired
-/// with the revision observed by the *same* lock hold is exactly the
-/// output the index would produce for that revision — the candidate
-/// cache's invalidation rule.
-#[derive(Debug, Default)]
-pub(crate) struct Inner {
-    pub terms: [BTreeMap<String, PostingsList>; 4],
-    pub docs: Vec<DocEntry>,
-    pub by_id: HashMap<SchemaId, DocOrd>,
-    pub doc_terms: Vec<Vec<(u8, String)>>,
-    pub live_docs: usize,
-    pub revision: u64,
-}
-
-impl Inner {
-    /// One field's term dictionary — a borrowed lookup takes `&str`, no
-    /// allocation.
-    pub(crate) fn field_terms(&self, field: Field) -> &BTreeMap<String, PostingsList> {
-        &self.terms[field.ordinal() as usize]
-    }
-
-    /// All `(field ordinal, term, list)` entries in the deterministic
-    /// `(field, term)` order the codec serializes.
-    pub(crate) fn iter_terms(&self) -> impl Iterator<Item = (u8, &String, &PostingsList)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .flat_map(|(f, map)| map.iter().map(move |(t, pl)| (f as u8, t, pl)))
-    }
-
-    /// Distinct `(field, term)` dictionary entries across all fields.
-    pub(crate) fn term_count(&self) -> usize {
-        self.terms.iter().map(BTreeMap::len).sum()
-    }
-
-    /// Decrement the live df of every postings list `ord` appears in.
-    /// Called exactly once per tombstoned document.
-    fn note_tombstoned(&mut self, ord: DocOrd) {
-        for (field, term) in &self.doc_terms[ord as usize] {
-            if let Some(pl) = self.terms[*field as usize].get_mut(term.as_str()) {
-                pl.note_doc_tombstoned();
-            }
-        }
-    }
-}
+/// Sealed-segment count past which a maintenance merge compacts even
+/// without tombstone pressure, bounding per-query segment fan-out.
+const MAX_SEGMENTS: usize = 8;
 
 /// Identifies one exact state of one index instance: which in-memory index
 /// (`instance` is unique per [`Index`] constructed in this process) at
 /// which mutation count. Equal revisions imply identical search results,
 /// which is what makes this the key of the engine's candidate cache.
+/// Background merges change the physical layout without changing results,
+/// so they deliberately do **not** move the revision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct IndexRevision {
     /// Process-unique id of the index instance.
     pub instance: u64,
-    /// Mutations (adds, tombstones, vacuums) applied so far.
+    /// Logical mutations (adds, tombstones, forced vacuums) applied so far.
     pub mutations: u64,
 }
 
 /// Source of process-unique index instance ids.
 static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
+/// What a background merge accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Tombstoned document slots reclaimed.
+    pub docs_reclaimed: usize,
+    /// Segments (sealed + head) before the merge.
+    pub segments_before: usize,
+    /// Segments (sealed + head) after the merge.
+    pub segments_after: usize,
+}
+
+/// The writer's private state: the mutable head plus the sealed segments
+/// with their master overlays. Guarded by the `Index`'s writer mutex;
+/// readers never touch it.
+struct Writer {
+    head: SegmentData,
+    sealed: Vec<SealedSegment>,
+    epoch: u64,
+}
+
+impl Writer {
+    /// Tombstone the live copy of `id`, wherever it lives. At most one
+    /// live copy exists (replacement tombstones the old version at add
+    /// time), so dead copies in other segments are simply skipped.
+    fn tombstone_existing(&mut self, id: SchemaId) -> bool {
+        if let Some(&ord) = self.head.by_id.get(&id) {
+            if !self.head.docs[ord as usize].deleted {
+                self.head.docs[ord as usize].deleted = true;
+                self.head.live_docs -= 1;
+                self.head.note_tombstoned(ord);
+                return true;
+            }
+            // The head holds the newest copy; if it is dead, the id is
+            // gone everywhere.
+            return false;
+        }
+        for seg in self.sealed.iter_mut() {
+            if let Some(&ord) = seg.data.by_id.get(&id) {
+                if !seg.is_dead(ord) {
+                    seg.tombstone(ord);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Append an analyzed document to the head (replacing any live copy
+    /// of the same id) and count the mutation.
+    fn put(&mut self, a: AnalyzedDoc) {
+        self.tombstone_existing(a.id);
+        let ord = self.head.docs.len() as DocOrd;
+        for (field_ord, occurrences) in a.occurrences.into_iter().enumerate() {
+            let field_len = a.field_lengths[field_ord];
+            for (term, pos) in occurrences {
+                self.head.terms[field_ord]
+                    .entry(term)
+                    .or_default()
+                    .push_occurrence(ord, pos, field_len);
+            }
+        }
+        self.head.docs.push(DocEntry {
+            id: a.id,
+            field_lengths: a.field_lengths,
+            deleted: false,
+        });
+        self.head.doc_terms.push(a.keys);
+        self.head.by_id.insert(a.id, ord);
+        self.head.live_docs += 1;
+        self.epoch += 1;
+    }
+
+    /// Freeze the head into a sealed segment (O(1) — a move) and start a
+    /// fresh one. Head-internal tombstones ride along as baked flags.
+    fn seal(&mut self) {
+        let data = std::mem::take(&mut self.head);
+        self.sealed.push(SealedSegment::new(Arc::new(data)));
+    }
+
+    fn total_docs(&self) -> usize {
+        self.sealed.iter().map(|s| s.total_count()).sum::<usize>() + self.head.docs.len()
+    }
+
+    fn live_docs(&self) -> usize {
+        self.sealed.iter().map(|s| s.live_count()).sum::<usize>() + self.head.live_docs
+    }
+}
+
+/// One document analyzed into per-field positioned terms, ready to apply
+/// under the writer lock. Analysis (the expensive part) runs before the
+/// lock is taken.
+struct AnalyzedDoc {
+    id: SchemaId,
+    field_lengths: [u32; Field::COUNT],
+    /// Distinct `(field, term)` forward-index keys.
+    keys: Vec<(u8, String)>,
+    /// Positioned occurrences per field ordinal.
+    occurrences: [Vec<(String, u32)>; Field::COUNT],
+}
+
 /// A thread-safe inverted index over flattened schema documents.
 ///
-/// Writers and readers synchronize through an internal `RwLock`; searches
-/// proceed concurrently. Re-adding a document with an id already present
+/// Writers serialize on an internal mutex; searches run lock-free over the
+/// published snapshot. Re-adding a document with an id already present
 /// replaces it (tombstone + append), which is how the scheduled re-indexer
 /// applies repository changes.
 pub struct Index {
-    pub(crate) inner: RwLock<Inner>,
+    published: RwLock<Arc<IndexSnapshot>>,
+    writer: Mutex<Writer>,
     instance: u64,
+    seal_threshold: usize,
     names: Analyzer,
     prose: Analyzer,
     metrics: IndexMetrics,
@@ -122,35 +200,65 @@ impl Default for Index {
 impl Index {
     /// An empty index with the standard analyzers.
     pub fn new() -> Self {
-        Index {
-            inner: RwLock::new(Inner::default()),
-            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
-            names: Analyzer::for_names(),
-            prose: Analyzer::for_documents(),
-            metrics: IndexMetrics::default(),
-        }
+        Self::with_analyzers(Analyzer::for_names(), Analyzer::for_documents())
     }
 
     /// An empty index with custom analyzers (ablation experiments use
     /// [`Analyzer::plain`] here).
     pub fn with_analyzers(names: Analyzer, prose: Analyzer) -> Self {
         Index {
-            inner: RwLock::new(Inner::default()),
+            published: RwLock::new(Arc::new(IndexSnapshot::default())),
+            writer: Mutex::new(Writer {
+                head: SegmentData::default(),
+                sealed: Vec::new(),
+                epoch: 0,
+            }),
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            seal_threshold: DEFAULT_SEAL_THRESHOLD,
             names,
             prose,
             metrics: IndexMetrics::default(),
         }
     }
 
+    /// Override the head seal threshold (builder-style). `usize::MAX`
+    /// keeps everything in one segment forever — the monolithic mode the
+    /// segmented-vs-monolithic oracles compare against; small values
+    /// force multi-segment layouts in tests.
+    pub fn with_seal_threshold(mut self, threshold: usize) -> Self {
+        self.seal_threshold = threshold.max(1);
+        self
+    }
+
+    /// The current published snapshot — one `Arc` clone, no lock held
+    /// afterwards.
+    pub(crate) fn snapshot(&self) -> Arc<IndexSnapshot> {
+        self.published.read().clone()
+    }
+
+    /// Build an index whose entire corpus is one pre-built sealed segment
+    /// (the codec load path).
+    pub(crate) fn from_sealed(data: SegmentData) -> Self {
+        let index = Index::new();
+        {
+            let mut w = index.writer.lock();
+            if !data.docs.is_empty() {
+                w.sealed.push(SealedSegment::new(Arc::new(data)));
+            }
+            index.publish(&mut w);
+        }
+        index
+    }
+
     /// The index's current revision: `(instance, mutation count)`. Two
     /// equal revisions guarantee identical search results, so callers can
-    /// key caches on it; any add, tombstone, or vacuum changes it, and a
-    /// freshly built or loaded index gets a new `instance`.
+    /// key caches on it; any add, tombstone, or forced vacuum changes it,
+    /// and a freshly built or loaded index gets a new `instance`.
+    /// Background merges keep it — their results are bitwise identical.
     pub fn revision(&self) -> IndexRevision {
         IndexRevision {
             instance: self.instance,
-            mutations: self.inner.read().revision,
+            mutations: self.published.read().epoch,
         }
     }
 
@@ -178,19 +286,17 @@ impl Index {
         &self.names
     }
 
-    /// Add (or replace) a document.
-    pub fn add(&self, doc: &IndexDocument) {
-        let mut inner = self.inner.write();
-        if let Some(&old) = inner.by_id.get(&doc.id) {
-            if !inner.docs[old as usize].deleted {
-                inner.docs[old as usize].deleted = true;
-                inner.live_docs -= 1;
-                inner.note_tombstoned(old);
-            }
-        }
-        let ord = inner.docs.len() as DocOrd;
-        let mut field_lengths = [0u32; 4];
+    /// Number of segments in the published snapshot (sealed + head).
+    pub fn segment_count(&self) -> usize {
+        self.published.read().segments.len()
+    }
+
+    /// Analyze a document into the per-field positioned terms and
+    /// forward-index keys `Writer::put` applies.
+    fn analyze(&self, doc: &IndexDocument) -> AnalyzedDoc {
+        let mut field_lengths = [0u32; Field::COUNT];
         let mut keys: Vec<(u8, String)> = Vec::new();
+        let mut occurrences: [Vec<(String, u32)>; Field::COUNT] = Default::default();
         for field in Field::ALL {
             let terms = doc.field_terms_positioned(field, &self.names, &self.prose);
             field_lengths[field.ordinal() as usize] = terms.len() as u32;
@@ -205,50 +311,92 @@ impl Index {
                     .into_iter()
                     .map(|t| (field.ordinal(), t.to_string())),
             );
-            let field_len = field_lengths[field.ordinal() as usize];
-            for (term, pos) in terms {
-                inner.terms[field.ordinal() as usize]
-                    .entry(term)
-                    .or_default()
-                    .push_occurrence(ord, pos, field_len);
-            }
+            occurrences[field.ordinal() as usize] = terms;
         }
-        inner.docs.push(DocEntry {
+        AnalyzedDoc {
             id: doc.id,
             field_lengths,
-            deleted: false,
-        });
-        inner.doc_terms.push(keys);
-        inner.by_id.insert(doc.id, ord);
-        inner.live_docs += 1;
-        inner.revision += 1;
+            keys,
+            occurrences,
+        }
     }
 
-    /// Add many documents.
-    pub fn add_all<'a>(&self, docs: impl IntoIterator<Item = &'a IndexDocument>) {
-        for d in docs {
-            self.add(d);
+    /// Build and swap in a fresh snapshot from the writer's state. Sealed
+    /// segments are republished as `Arc` clones (overlays cached while
+    /// unchanged); only the head is deep-cloned, bounded by the seal
+    /// threshold.
+    fn publish(&self, w: &mut Writer) {
+        let mut segments = Vec::with_capacity(w.sealed.len() + 1);
+        for sealed in &mut w.sealed {
+            segments.push(Segment {
+                data: sealed.data.clone(),
+                live: sealed.overlay(),
+            });
         }
+        if !w.head.docs.is_empty() {
+            segments.push(Segment {
+                data: Arc::new(w.head.clone()),
+                live: empty_overlay(),
+            });
+        }
+        let live_docs = segments.iter().map(Segment::live_docs).sum();
+        let total_docs = segments.iter().map(|s| s.data.docs.len()).sum();
+        let fresh = Arc::new(IndexSnapshot {
+            segments,
+            epoch: w.epoch,
+            live_docs,
+            total_docs,
+        });
+        // Swap the pointer under the lock but tear the old snapshot down
+        // *after* releasing it: when this publish retires the last refs
+        // to merged-away segments, dropping them inside the write hold
+        // would stall every arriving search behind a multi-ms teardown
+        // (readers queue once a writer holds the lock).
+        let stale = std::mem::replace(&mut *self.published.write(), fresh);
+        drop(stale);
+    }
+
+    /// Add (or replace) a document.
+    pub fn add(&self, doc: &IndexDocument) {
+        let analyzed = self.analyze(doc);
+        let mut w = self.writer.lock();
+        w.put(analyzed);
+        if w.head.docs.len() >= self.seal_threshold {
+            w.seal();
+        }
+        self.publish(&mut w);
+    }
+
+    /// Add many documents under one writer lock with one publish at the
+    /// end — the bulk build path (full reindex, codec-scale loads).
+    pub fn add_all<'a>(&self, docs: impl IntoIterator<Item = &'a IndexDocument>) {
+        let analyzed: Vec<AnalyzedDoc> = docs.into_iter().map(|d| self.analyze(d)).collect();
+        let mut w = self.writer.lock();
+        for a in analyzed {
+            w.put(a);
+            if w.head.docs.len() >= self.seal_threshold {
+                w.seal();
+            }
+        }
+        self.publish(&mut w);
     }
 
     /// Tombstone a document by schema id. Returns whether it was present.
+    /// A failed remove is not a mutation and does not move the revision.
     pub fn remove(&self, id: SchemaId) -> bool {
-        let mut inner = self.inner.write();
-        match inner.by_id.get(&id).copied() {
-            Some(ord) if !inner.docs[ord as usize].deleted => {
-                inner.docs[ord as usize].deleted = true;
-                inner.live_docs -= 1;
-                inner.note_tombstoned(ord);
-                inner.revision += 1;
-                true
-            }
-            _ => false,
+        let mut w = self.writer.lock();
+        if w.tombstone_existing(id) {
+            w.epoch += 1;
+            self.publish(&mut w);
+            true
+        } else {
+            false
         }
     }
 
     /// Number of live (non-deleted) documents.
     pub fn len(&self) -> usize {
-        self.inner.read().live_docs
+        self.published.read().live_docs
     }
 
     /// True when no live documents exist.
@@ -258,11 +406,13 @@ impl Index {
 
     /// Is `id` currently indexed (live)?
     pub fn contains(&self, id: SchemaId) -> bool {
-        let inner = self.inner.read();
-        inner
-            .by_id
-            .get(&id)
-            .is_some_and(|&ord| !inner.docs[ord as usize].deleted)
+        let snap = self.snapshot();
+        snap.segments.iter().any(|seg| {
+            seg.data
+                .by_id
+                .get(&id)
+                .is_some_and(|&ord| !seg.is_deleted(ord))
+        })
     }
 
     /// Search with raw query strings (each analyzed through the name
@@ -299,22 +449,22 @@ impl Index {
     }
 
     /// [`Index::search_terms_traced`], also returning the [`IndexRevision`]
-    /// the results were computed against. Revision and results are read
-    /// under one lock hold, so the pair is consistent even while writers
-    /// mutate concurrently — this is the safe way to populate a
-    /// revision-keyed cache.
+    /// the results were computed against. The snapshot carries its epoch,
+    /// so the pair is consistent by construction even while writers,
+    /// sealers, and mergers run concurrently — no lock is held during the
+    /// scan. This is the safe way to populate a revision-keyed cache.
     pub fn search_terms_versioned(
         &self,
         terms: &[String],
         options: &SearchOptions,
         span: Option<&SpanGuard<'_>>,
     ) -> (Vec<Hit>, IndexRevision) {
-        let inner = self.inner.read();
+        let snap = self.snapshot();
         let revision = IndexRevision {
             instance: self.instance,
-            mutations: inner.revision,
+            mutations: snap.epoch,
         };
-        let (hits, stats) = search_postings(&inner, terms, options, &self.metrics);
+        let (hits, stats) = search_postings(&snap, terms, options, &self.metrics);
         if let Some(span) = span {
             span.annotate("distinct_terms", stats.distinct_terms);
             span.annotate("postings_scanned", stats.postings_scanned);
@@ -329,166 +479,212 @@ impl Index {
 
     /// Index statistics.
     pub fn stats(&self) -> IndexStats {
-        let inner = self.inner.read();
-        IndexStats {
-            live_docs: inner.live_docs,
-            total_docs: inner.docs.len(),
-            distinct_terms: inner.term_count(),
-            postings: inner.iter_terms().map(|(_, _, pl)| pl.doc_freq()).sum(),
-            occurrences: inner
-                .iter_terms()
-                .map(|(_, _, pl)| pl.total_term_freq())
-                .sum(),
-        }
+        self.snapshot().stats()
     }
 
-    /// Document frequency of an (already analyzed) term in a field.
-    /// Exposed for tests and the ablation benches. Borrowed lookup — no
-    /// per-call allocation.
+    /// Document frequency of an (already analyzed) term in a field,
+    /// summed across segments and including tombstoned postings (they
+    /// stay until a merge or vacuum reclaims them). Exposed for tests and
+    /// the ablation benches. Borrowed lookup — no per-call allocation.
     pub fn doc_freq(&self, field: Field, term: &str) -> usize {
-        self.inner
-            .read()
-            .field_terms(field)
-            .get(term)
-            .map_or(0, PostingsList::doc_freq)
+        self.snapshot()
+            .segments
+            .iter()
+            .filter_map(|seg| seg.data.field_terms(field).get(term))
+            .map(PostingsList::doc_freq)
+            .sum()
     }
 
-    /// Drop all tombstoned documents and rebuild contiguous ordinals.
-    ///
-    /// The scheduled indexer calls this after large update batches; search
-    /// correctness never depends on it (tombstones are filtered at query
-    /// time), only memory usage does.
+    /// Drop all tombstoned documents everywhere and rebuild contiguous
+    /// ordinals in one sealed segment — the forced, synchronous
+    /// compaction. Counts as a mutation (the revision moves). The
+    /// maintenance path uses [`Index::merge`] instead, which compacts
+    /// off-lock and leaves the revision alone.
     pub fn vacuum(&self) {
-        let mut inner = self.inner.write();
-        let mut remap: Vec<Option<DocOrd>> = Vec::with_capacity(inner.docs.len());
-        let mut new_docs = Vec::with_capacity(inner.live_docs);
-        for entry in &inner.docs {
-            if entry.deleted {
-                remap.push(None);
-            } else {
-                remap.push(Some(new_docs.len() as DocOrd));
-                new_docs.push(entry.clone());
+        let mut w = self.writer.lock();
+        let mut parts: Vec<(Arc<SegmentData>, Vec<u64>)> = w
+            .sealed
+            .iter()
+            .map(|s| (s.data.clone(), s.dead_bits().to_vec()))
+            .collect();
+        if !w.head.docs.is_empty() {
+            parts.push((Arc::new(std::mem::take(&mut w.head)), Vec::new()));
+        }
+        let compacted = compact(&parts);
+        w.sealed.clear();
+        w.head = SegmentData::default();
+        if !compacted.docs.is_empty() {
+            w.sealed.push(SealedSegment::new(Arc::new(compacted)));
+        }
+        w.epoch += 1;
+        self.metrics.vacuums.inc();
+        self.publish(&mut w);
+    }
+
+    /// Background merge: compact tombstoned segments off-lock and publish
+    /// the new layout with a single pointer swap. Returns what was done,
+    /// or `None` when the tombstone ratio is below `threshold` (and the
+    /// segment count is within bounds), or when a concurrent vacuum
+    /// replaced the captured segments mid-merge (the merge simply aborts;
+    /// nothing was lost).
+    ///
+    /// The writer lock is held only to capture victims and to commit —
+    /// the compaction itself runs with no lock at all, and searches never
+    /// block on any phase. Tombstones that land on a victim during the
+    /// off-lock compaction are re-applied to the merged segment before it
+    /// is published. Merges do not move the revision: results are bitwise
+    /// identical before and after, so revision-keyed caches stay warm.
+    pub fn merge(&self, threshold: f64) -> Option<MergeOutcome> {
+        // Phase A — capture victims under the writer lock.
+        let (victims, segments_before) = {
+            let mut w = self.writer.lock();
+            if w.head.docs.len() > w.head.live_docs {
+                // Head tombstones can only be reclaimed from a sealed
+                // segment; sealing is O(1).
+                w.seal();
+            }
+            let total = w.total_docs();
+            let live = w.live_docs();
+            let dead = total - live;
+            let over_threshold =
+                threshold > 0.0 && total > 0 && dead as f64 >= threshold * total as f64;
+            let crowded = w.sealed.len() > MAX_SEGMENTS;
+            if !over_threshold && !crowded {
+                return None;
+            }
+            let victims: Vec<(usize, Arc<SegmentData>, Vec<u64>)> = w
+                .sealed
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| crowded || s.live_count() < s.total_count())
+                .map(|(slot, s)| (slot, s.data.clone(), s.dead_bits().to_vec()))
+                .collect();
+            if victims.is_empty() {
+                return None;
+            }
+            let before = w.sealed.len() + usize::from(!w.head.docs.is_empty());
+            (victims, before)
+        };
+
+        // Phase B — compact with no lock held. Searches and writers both
+        // proceed freely; the captured Arcs keep the victim data alive.
+        let parts: Vec<(Arc<SegmentData>, Vec<u64>)> = victims
+            .iter()
+            .map(|(_, data, bits)| (data.clone(), bits.clone()))
+            .collect();
+        let compacted = compact(&parts);
+
+        // Phase C — commit under the writer lock.
+        let mut w = self.writer.lock();
+        for (slot, data, _) in &victims {
+            let still_there = w
+                .sealed
+                .get(*slot)
+                .is_some_and(|s| Arc::ptr_eq(&s.data, data));
+            if !still_there {
+                // A concurrent vacuum rebuilt the segment list; this
+                // merge's inputs are stale. Abort — the vacuum already
+                // reclaimed everything.
+                return None;
             }
         }
-        let mut new_terms: [BTreeMap<String, PostingsList>; 4] = Default::default();
-        // Forward index rebuilt alongside: every posting that survives the
-        // remap is by construction live, so `push_occurrence`'s live-df
-        // accounting — and its tight impact-bound accounting — is already
-        // correct for the compacted lists.
-        let mut new_doc_terms: Vec<Vec<(u8, String)>> = vec![Vec::new(); new_docs.len()];
-        for (field_ord, map) in inner.terms.iter().enumerate() {
-            for (term, pl) in map {
-                let mut out = PostingsList::new();
-                for posting in pl.iter() {
-                    if let Some(new_ord) = remap[posting.doc as usize] {
-                        if out.last_doc() != Some(new_ord) {
-                            new_doc_terms[new_ord as usize].push((field_ord as u8, term.clone()));
-                        }
-                        let field_len = new_docs[new_ord as usize].field_lengths[field_ord];
-                        for &pos in &posting.positions {
-                            out.push_occurrence(new_ord, pos, field_len);
-                        }
+        let docs_before: usize = victims.iter().map(|(_, d, _)| d.docs.len()).sum();
+        let mut merged = SealedSegment::new(Arc::new(compacted));
+        // Re-apply tombstones that raced the off-lock compaction.
+        for (slot, data, captured_bits) in &victims {
+            for ord in late_tombstones(captured_bits, w.sealed[*slot].dead_bits()) {
+                let id = data.docs[ord as usize].id;
+                if let Some(&new_ord) = merged.data.by_id.get(&id) {
+                    if !merged.is_dead(new_ord) {
+                        merged.tombstone(new_ord);
                     }
                 }
-                if out.doc_freq() > 0 {
-                    new_terms[field_ord].insert(term.clone(), out);
-                }
             }
         }
-        inner.by_id = new_docs
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (d.id, i as DocOrd))
-            .collect();
-        inner.live_docs = new_docs.len();
-        inner.docs = new_docs;
-        inner.terms = new_terms;
-        inner.doc_terms = new_doc_terms;
-        inner.revision += 1;
-        self.metrics.vacuums.inc();
-    }
-}
-
-impl Inner {
-    /// Estimated heap bytes of the whole in-memory index: the term
-    /// dictionary with its postings, the document table, the id map,
-    /// and the forward index. Map overheads are approximated the same
-    /// way the obs `DeepSize` container impls do.
-    fn deep_bytes(&self) -> usize {
-        use std::mem::size_of;
-        let terms: usize = self
-            .iter_terms()
-            .map(|(_, term, pl)| {
-                size_of::<String>()
-                    + size_of::<PostingsList>()
-                    + 2 * size_of::<usize>()
-                    + term.capacity()
-                    + pl.deep_size_of_children()
-            })
-            .sum();
-        let docs = self.docs.capacity() * size_of::<DocEntry>();
-        let by_id = self.by_id.capacity() * (size_of::<SchemaId>() + size_of::<DocOrd>() + 1);
-        let doc_terms: usize = self.doc_terms.capacity() * size_of::<Vec<(u8, String)>>()
-            + self
-                .doc_terms
-                .iter()
-                .map(|keys| {
-                    keys.capacity() * size_of::<(u8, String)>()
-                        + keys.iter().map(|(_, t)| t.capacity()).sum::<usize>()
-                })
-                .sum::<usize>();
-        terms + docs + by_id + doc_terms
+        let victim_slots: Vec<usize> = victims.iter().map(|(slot, _, _)| *slot).collect();
+        let mut slot_iter = 0usize;
+        w.sealed.retain(|_| {
+            let keep = !victim_slots.contains(&slot_iter);
+            slot_iter += 1;
+            keep
+        });
+        let docs_reclaimed = docs_before - merged.total_count();
+        if merged.total_count() > 0 {
+            w.sealed.push(merged);
+        }
+        self.metrics.merges.inc();
+        self.publish(&mut w);
+        Some(MergeOutcome {
+            docs_reclaimed,
+            segments_before,
+            segments_after: w.sealed.len() + usize::from(!w.head.docs.is_empty()),
+        })
     }
 }
 
 impl DeepSize for Index {
-    /// Takes the index's read lock briefly; concurrent searches (also
-    /// readers) are unaffected.
+    /// Reads the published snapshot — concurrent searches are unaffected.
     fn deep_size_of_children(&self) -> usize {
-        self.inner.read().deep_bytes()
+        self.snapshot().deep_bytes()
     }
 }
 
 impl Index {
     /// Data-plane introspection: per-postings-list statistics for the
     /// `top_lists` largest lists (by live document frequency) plus
-    /// corpus-level aggregates, computed on demand under one read lock
-    /// — concurrent searches share the lock and are not blocked.
+    /// corpus-level aggregates, computed on demand over the published
+    /// snapshot — concurrent searches are never blocked. Lists split
+    /// across segments are aggregated into one logical entry, so the
+    /// report is layout-independent.
     ///
     /// Each list's `max_impact` is the largest Phase 1 score any of its
     /// live postings can contribute, computed with the scorer's own
     /// `impact` arithmetic — the per-list upper bound WAND/MaxScore
-    /// pruning needs (ROADMAP item 4).
+    /// pruning uses.
     pub fn introspect(&self, top_lists: usize) -> IndexIntrospection {
-        let inner = self.inner.read();
-        let n_docs = inner.live_docs as f64;
-        let mut lists: Vec<PostingsListStats> = inner
-            .iter_terms()
-            .map(|(field_ord, term, pl)| {
-                let field = Field::from_ordinal(field_ord).unwrap_or(Field::Elements);
-                let live_df = pl.live_doc_freq();
-                let idf = idf_weight(live_df, n_docs);
-                let max_impact = pl
+        let snap = self.snapshot();
+        let n_docs = snap.live_docs as f64;
+        let mut lists: Vec<PostingsListStats> = Vec::new();
+        for field_ord in 0..Field::COUNT {
+            let field = Field::from_ordinal(field_ord as u8).unwrap_or(Field::Elements);
+            for (term, portions) in snap.merged_terms(field_ord) {
+                let live_df: usize = portions
                     .iter()
-                    .filter(|p| !inner.docs[p.doc as usize].deleted)
-                    .map(|p| {
-                        let field_len =
-                            inner.docs[p.doc as usize].field_lengths[field.ordinal() as usize];
-                        impact(field, p.term_freq(), idf, field_len)
+                    .map(|&(si, pl)| snap.segments[si].live_df(field_ord, term, pl))
+                    .sum();
+                let doc_freq: usize = portions.iter().map(|&(_, pl)| pl.doc_freq()).sum();
+                let idf = idf_weight(live_df, n_docs);
+                let max_impact = portions
+                    .iter()
+                    .flat_map(|&(si, pl)| {
+                        let seg = &snap.segments[si];
+                        pl.iter().filter(|p| !seg.is_deleted(p.doc)).map(move |p| {
+                            let field_len = seg.data.docs[p.doc as usize].field_lengths[field_ord];
+                            impact(field, p.term_freq(), idf, field_len)
+                        })
                     })
                     .fold(0.0f64, f64::max);
-                PostingsListStats {
+                let stored_bound = portions
+                    .iter()
+                    .map(|&(_, pl)| pl.max_impact_bound(field.boost(), idf))
+                    .fold(0.0f64, f64::max);
+                let tombstone_ratio = if doc_freq == 0 {
+                    0.0
+                } else {
+                    (doc_freq - live_df) as f64 / doc_freq as f64
+                };
+                lists.push(PostingsListStats {
                     field,
-                    term: term.clone(),
-                    doc_freq: pl.doc_freq(),
+                    term: term.to_string(),
+                    doc_freq,
                     live_doc_freq: live_df,
-                    tombstone_ratio: pl.tombstone_ratio(),
-                    approx_bytes: pl.deep_size_of(),
+                    tombstone_ratio,
+                    approx_bytes: portions.iter().map(|&(_, pl)| pl.deep_size_of()).sum(),
                     max_impact,
-                    stored_bound: pl.max_impact_bound(field.boost(), idf),
-                }
-            })
-            .collect();
+                    stored_bound,
+                });
+            }
+        }
         let postings_bytes: usize = lists.iter().map(|l| l.approx_bytes).sum();
         lists.sort_by(|a, b| {
             b.live_doc_freq
@@ -497,16 +693,7 @@ impl Index {
                 .then_with(|| a.field.ordinal().cmp(&b.field.ordinal()))
         });
         lists.truncate(top_lists);
-        let stats = IndexStats {
-            live_docs: inner.live_docs,
-            total_docs: inner.docs.len(),
-            distinct_terms: inner.term_count(),
-            postings: inner.iter_terms().map(|(_, _, pl)| pl.doc_freq()).sum(),
-            occurrences: inner
-                .iter_terms()
-                .map(|(_, _, pl)| pl.total_term_freq())
-                .sum(),
-        };
+        let stats = snap.stats();
         let tombstone_ratio = if stats.total_docs == 0 {
             0.0
         } else {
@@ -514,10 +701,11 @@ impl Index {
         };
         IndexIntrospection {
             stats,
-            revision: inner.revision,
+            revision: snap.epoch,
             tombstone_ratio,
+            segments: snap.segments.len(),
             postings_bytes,
-            deep_bytes: inner.deep_bytes(),
+            deep_bytes: snap.deep_bytes(),
             top_lists: lists,
         }
     }
@@ -530,11 +718,11 @@ pub struct PostingsListStats {
     pub field: Field,
     /// The analyzed term.
     pub term: String,
-    /// Postings including tombstoned documents.
+    /// Postings including tombstoned documents, across all segments.
     pub doc_freq: usize,
     /// Postings whose document is live (the scorer's df).
     pub live_doc_freq: usize,
-    /// Fraction of postings awaiting vacuum.
+    /// Fraction of postings awaiting merge reclamation.
     pub tombstone_ratio: f64,
     /// Estimated heap bytes held by the list.
     pub approx_bytes: usize,
@@ -543,7 +731,7 @@ pub struct PostingsListStats {
     /// WAND/MaxScore upper bound.
     pub max_impact: f64,
     /// The bound the live pruner actually uses: maintained incrementally
-    /// on writes, left stale-high by tombstones, rebuilt tight by vacuum
+    /// on writes, left stale-high by tombstones, rebuilt tight by merges
     /// and the codec load path. Invariant: `stored_bound ≥ max_impact`.
     pub stored_bound: f64,
 }
@@ -558,6 +746,8 @@ pub struct IndexIntrospection {
     pub revision: u64,
     /// Fraction of document slots that are tombstones.
     pub tombstone_ratio: f64,
+    /// Segments in the published snapshot (sealed + head).
+    pub segments: usize,
     /// Estimated heap bytes across all postings lists.
     pub postings_bytes: usize,
     /// Estimated heap bytes of the whole in-memory index.
@@ -573,7 +763,8 @@ pub struct IndexStats {
     pub live_docs: usize,
     /// Total document slots including tombstones.
     pub total_docs: usize,
-    /// Distinct `(field, term)` dictionary entries.
+    /// Distinct `(field, term)` dictionary entries (merged across
+    /// segments).
     pub distinct_terms: usize,
     /// Total postings (document entries across all terms).
     pub postings: usize,
@@ -838,5 +1029,83 @@ mod tests {
         // The forward index and term dictionary both hold term text, so
         // the deep size exceeds postings bytes alone.
         assert!(populated > index.introspect(0).postings_bytes);
+    }
+
+    #[test]
+    fn sealing_splits_the_corpus_without_changing_results() {
+        let segmented = Index::new().with_seal_threshold(2);
+        let monolith = Index::new().with_seal_threshold(usize::MAX);
+        for i in 0..7 {
+            let d = doc(i, "t", &["patient", "height"]);
+            segmented.add(&d);
+            monolith.add(&d);
+        }
+        assert!(segmented.segment_count() > 1, "threshold 2 must seal");
+        assert_eq!(monolith.segment_count(), 1);
+        assert_eq!(segmented.stats(), monolith.stats());
+        let q = ["patient", "height"];
+        let a = segmented.search(&q, &SearchOptions::default());
+        let b = monolith.search(&q, &SearchOptions::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "bitwise identity");
+            assert_eq!(x.matched_terms, y.matched_terms);
+        }
+    }
+
+    #[test]
+    fn merge_reclaims_tombstones_without_moving_the_revision() {
+        let index = Index::new().with_seal_threshold(4);
+        for i in 0..10 {
+            index.add(&doc(i, "t", &["patient"]));
+        }
+        for i in 0..5 {
+            assert!(index.remove(SchemaId(i)));
+        }
+        let before = index.revision();
+        let hits_before = index.search(&["patient"], &SearchOptions::default());
+        let outcome = index.merge(0.3).expect("half the corpus is tombstoned");
+        assert!(outcome.docs_reclaimed >= 5);
+        assert_eq!(index.revision(), before, "merge is not a logical mutation");
+        let st = index.stats();
+        assert_eq!(st.live_docs, 5);
+        assert_eq!(st.total_docs, 5, "all tombstones reclaimed");
+        let hits_after = index.search(&["patient"], &SearchOptions::default());
+        assert_eq!(hits_before.len(), hits_after.len());
+        for (x, y) in hits_before.iter().zip(&hits_after) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "merge is bitwise invisible"
+            );
+        }
+        // Below-threshold state: nothing left to do.
+        assert!(index.merge(0.3).is_none());
+    }
+
+    #[test]
+    fn merge_compacts_crowded_segment_lists() {
+        let index = Index::new().with_seal_threshold(1);
+        for i in 0..20 {
+            index.add(&doc(i, "t", &["patient"]));
+        }
+        assert!(index.segment_count() > MAX_SEGMENTS);
+        let outcome = index.merge(0.5).expect("crowding alone triggers a merge");
+        assert_eq!(outcome.docs_reclaimed, 0, "no tombstones to drop");
+        assert!(index.segment_count() <= 2);
+        assert_eq!(index.stats().live_docs, 20);
+    }
+
+    #[test]
+    fn vacuum_still_moves_the_revision() {
+        let index = Index::new();
+        index.add(&doc(1, "t", &["patient"]));
+        index.remove(SchemaId(1));
+        let before = index.revision();
+        index.vacuum();
+        assert_ne!(index.revision(), before, "forced vacuum is a mutation");
+        assert_eq!(index.stats().total_docs, 0);
     }
 }

@@ -22,6 +22,9 @@ pub struct IndexMetrics {
     pub candidates_returned: Arc<Counter>,
     /// Vacuum compactions performed (tombstone reclamation).
     pub vacuums: Arc<Counter>,
+    /// Background segment merges committed (off-lock tombstone
+    /// reclamation and segment-count compaction).
+    pub merges: Arc<Counter>,
     /// Query (term, field) lists the WAND/MaxScore pruner skipped without
     /// visiting a single posting.
     pub lists_pruned: Arc<Counter>,
@@ -38,6 +41,7 @@ impl Default for IndexMetrics {
             postings_scanned: Arc::new(Counter::new()),
             candidates_returned: Arc::new(Counter::new()),
             vacuums: Arc::new(Counter::new()),
+            merges: Arc::new(Counter::new()),
             lists_pruned: Arc::new(Counter::new()),
             postings_pruned: Arc::new(Counter::new()),
         }
@@ -62,7 +66,11 @@ impl IndexMetrics {
             ),
             vacuums: registry.counter(
                 "schemr_index_vacuums_total",
-                "Vacuum compactions that reclaimed tombstoned documents.",
+                "Forced vacuum compactions that reclaimed tombstoned documents.",
+            ),
+            merges: registry.counter(
+                "schemr_index_merges_total",
+                "Background segment merges committed without blocking searches.",
             ),
             lists_pruned: registry.counter(
                 "schemr_index_lists_pruned_total",
@@ -94,6 +102,7 @@ mod tests {
         assert!(text.contains("schemr_index_candidates_returned_total 1"));
         assert!(text.contains("schemr_index_postings_scanned_total 0"));
         assert!(text.contains("schemr_index_vacuums_total 0"));
+        assert!(text.contains("schemr_index_merges_total 0"));
         assert!(text.contains("schemr_index_lists_pruned_total 0"));
         assert!(text.contains("schemr_index_postings_pruned_total 0"));
     }

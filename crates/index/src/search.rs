@@ -2,6 +2,27 @@
 //! paper's search algorithm (Candidate Extraction) — plus WAND/MaxScore
 //! top-n pruning over the maintained per-list and per-block impact bounds.
 //!
+//! ## Segmented scanning
+//!
+//! The scorer runs over an immutable [`IndexSnapshot`] — no lock is held
+//! anywhere in this module. Segments are scanned sequentially; inside each
+//! segment the query's list portions are processed in the *global*
+//! deterministic order (strongest `boost · idf` term first), and idf is
+//! computed from corpus-wide live document frequencies. A document lives
+//! in exactly one segment, so it accumulates the exact same f64 additions
+//! in the exact same order as a monolithic index over the same corpus —
+//! results are **bitwise identical** across any segment layout, the
+//! invariant the segmented-vs-monolithic oracle asserts.
+//!
+//! The top-n floor θ is shared across segments: the running top-n heap is
+//! carried from segment to segment and its scores (exact, final) extend
+//! the floor selection, so a later segment starts pruning at full
+//! strength instead of warming a fresh floor from nothing. Per-segment
+//! bounds (suffix sums, distinct-term caps, proximity ceilings) are
+//! computed over the segment's own portions — tighter than any global
+//! bound, and valid because a document can only gain from lists in its
+//! own segment.
+//!
 //! ## How pruning works
 //!
 //! Every query (term, field) list carries an upper bound on the impact any
@@ -9,9 +30,10 @@
 //! the `√tf/√field_len` ceiling maintained incrementally by the index (see
 //! [`crate::postings::PostingsList`]). Lists are processed in descending
 //! bound order. After each list, the scorer selects the top-n *lower*
-//! bounds among touched documents (partial score × matched/total when
-//! coordination is on — monotonically nondecreasing, hence a valid lower
-//! bound on each document's final score) as the floor θ. From then on:
+//! bounds among touched documents and carried hits (partial score ×
+//! matched/total when coordination is on — monotonically nondecreasing,
+//! hence a valid lower bound on each document's final score) as the floor
+//! θ. From then on:
 //!
 //! - a document whose partial score plus the summed bounds of all
 //!   remaining lists plus the maximum attainable proximity credit is below
@@ -26,7 +48,8 @@
 //! upper bounds valid), but the **proximity bonus adds afterwards**, so
 //! every upper bound must include the query's maximum attainable proximity
 //! credit — `proximity_weight · Σ field boosts` over adjacent distinct
-//! query-term pairs whose lists both exist with live postings.
+//! query-term pairs whose lists both exist with live postings in the
+//! segment at hand.
 //!
 //! Pruned and exhaustive modes share the bound-sorted list order, so a
 //! returned document accumulates the exact same f64 additions in the exact
@@ -40,9 +63,10 @@ use std::collections::BinaryHeap;
 use schemr_model::SchemaId;
 
 use crate::field::Field;
-use crate::memory::Inner;
 use crate::metrics::IndexMetrics;
 use crate::postings::PostingsList;
+use crate::segment::Segment;
+use crate::snapshot::IndexSnapshot;
 
 /// Multiplied into every stored upper bound before comparison: the bound's
 /// arithmetic differs from the scorer's by a handful of f64 ops (≈1e-16
@@ -104,7 +128,8 @@ pub struct ProbeStats {
     pub distinct_terms: usize,
     /// Postings entries scanned across all term/field lookups.
     pub postings_scanned: u64,
-    /// Query lists the pruner skipped entirely (no posting visited).
+    /// Query list portions the pruner skipped entirely (no posting
+    /// visited).
     pub pruned_lists: usize,
     /// Posting entries the pruner proved irrelevant and never visited.
     pub pruned_postings: u64,
@@ -138,7 +163,9 @@ impl Ord for HeapEntry {
         // break on the external id (larger id is worse), matching the
         // final result ordering so truncation is always a prefix of the
         // full ranking. Scores are never NaN, so `total_cmp` agrees with
-        // IEEE comparison while keeping the ordering total.
+        // IEEE comparison while keeping the ordering total. The (score,
+        // id) order is layout-independent, so carrying the heap across
+        // segments selects the same top n as one corpus-wide pass.
         other
             .score
             .total_cmp(&self.score)
@@ -146,7 +173,9 @@ impl Ord for HeapEntry {
     }
 }
 
-/// Per-thread scratch buffers for the scoring loop, reused across queries.
+/// Per-thread scratch buffers for the scoring loop, reused across queries
+/// (and across the segments of one query — `begin` is called once per
+/// segment, so accumulators are segment-ordinal-indexed).
 ///
 /// Accumulators are dense, ordinal-indexed arrays instead of hash maps:
 /// every access is a direct index, and "clearing" between queries is an
@@ -164,10 +193,11 @@ struct Scratch {
     doc_stamp: Vec<u64>,
     term_stamp: Vec<u64>,
     pruned: Vec<u64>,
-    /// Ordinals touched by the current query, in first-touch order —
-    /// drives top-n selection without scanning the whole corpus.
+    /// Ordinals touched by the current (query, segment) pass, in
+    /// first-touch order — drives top-n selection without scanning the
+    /// whole segment.
     touched: Vec<u32>,
-    /// Per-distinct-term stamps for the current query, pre-assigned
+    /// Per-distinct-term stamps for the current pass, pre-assigned
     /// because the bound-sorted walk interleaves terms' field lists.
     term_ids: Vec<u64>,
     /// Floor-selection buffer (per-document lower bounds).
@@ -179,8 +209,8 @@ struct Scratch {
 }
 
 impl Scratch {
-    /// Start a new query over `n_docs` document slots with `n_terms`
-    /// distinct terms; returns the query stamp.
+    /// Start a new pass over `n_docs` document slots with `n_terms`
+    /// distinct terms; returns the pass stamp.
     fn begin(&mut self, n_docs: usize, n_terms: usize) -> u64 {
         if self.score.len() < n_docs {
             self.score.resize(n_docs, 0.0);
@@ -204,7 +234,9 @@ thread_local! {
 }
 
 /// The scorer's inverse document frequency for a term with `live_df`
-/// live postings in a corpus of `n_docs` live documents.
+/// live postings in a corpus of `n_docs` live documents. Both inputs are
+/// corpus-wide (summed across segments), so idf — and every score — is a
+/// function of live content only, never of segment layout.
 pub(crate) fn idf_weight(live_df: usize, n_docs: f64) -> f64 {
     1.0 + (n_docs / (1.0 + live_df as f64)).ln()
 }
@@ -235,24 +267,34 @@ fn has_adjacent(a: &[u32], b: &[u32]) -> bool {
     false
 }
 
-/// One (term, field) postings list the query touches, with its slacked
-/// impact upper bound.
+/// One (term, field) query list with its global idf and the per-segment
+/// portions that hold live postings for it.
 struct QueryList<'a> {
     term_idx: usize,
     field: Field,
-    pl: &'a PostingsList,
     idf: f64,
+    /// `(segment index, portion)` for every segment where the list has
+    /// live postings, in segment order.
+    portions: Vec<(usize, &'a PostingsList)>,
+}
+
+/// One portion of a query list inside the segment currently being
+/// scanned, with its slacked per-segment impact upper bound.
+struct SegList<'a, 'b> {
+    list: &'b QueryList<'a>,
+    pl: &'a PostingsList,
     bound: f64,
 }
 
 /// Recompute the pruning floor θ at a list boundary: the top-n-th largest
-/// per-document *lower* bound among surviving touched documents, deflated
-/// by [`FLOOR_SLACK`]. Also re-derives the surviving candidate set —
-/// documents whose upper bound cannot reach θ are marked pruned for this
-/// query. The upper bound is `(score + headroom)` (headroom = remaining
-/// list bounds + proximity ceiling), and with coordination on it is
-/// additionally scaled by the best coordination factor the document can
-/// still attain: `min(total, matched + distinct_remaining) / total`.
+/// per-document *lower* bound among surviving touched documents plus the
+/// (exact, final) scores already in the carried cross-segment heap,
+/// deflated by [`FLOOR_SLACK`]. Also re-derives the surviving candidate
+/// set — documents whose upper bound cannot reach θ are marked pruned for
+/// this pass. The upper bound is `(score + headroom)` (headroom =
+/// remaining list bounds + proximity ceiling), and with coordination on
+/// it is additionally scaled by the best coordination factor the document
+/// can still attain: `min(total, matched + distinct_remaining) / total`.
 /// Without that scaling the floor (which IS coordinated) sits a factor of
 /// up to `total_terms` below every uncoordinated upper bound and pruning
 /// never fires on multi-term queries. Returns `NEG_INFINITY` (pruning
@@ -265,6 +307,7 @@ fn refresh_floor(
     total_terms: usize,
     headroom: f64,
     distinct_remaining: usize,
+    carried: &BinaryHeap<HeapEntry>,
 ) -> f64 {
     let Scratch {
         score,
@@ -276,6 +319,10 @@ fn refresh_floor(
         ..
     } = scratch;
     lower.clear();
+    // Hits carried from earlier segments are final scores — the strongest
+    // possible lower bounds, and what lets a later segment prune from its
+    // very first list.
+    lower.extend(carried.iter().map(|e| e.score));
     for &ord in touched.iter() {
         let o = ord as usize;
         if pruned[o] == q_stamp {
@@ -332,14 +379,15 @@ fn refresh_floor(
 /// per-term scores are summed, and the coordination factor is multiplied
 /// in afterwards. With `options.prune` the scan skips lists and blocks
 /// that provably cannot place a document in the top n; the returned hits
-/// are bitwise identical to the exhaustive scan's.
+/// are bitwise identical to the exhaustive scan's — and to a monolithic
+/// index's, whatever the segment layout.
 pub(crate) fn search_postings(
-    inner: &Inner,
+    snap: &IndexSnapshot,
     terms: &[String],
     options: &SearchOptions,
     metrics: &IndexMetrics,
 ) -> (Vec<Hit>, ProbeStats) {
-    if terms.is_empty() || inner.live_docs == 0 || options.top_n == 0 {
+    if terms.is_empty() || snap.live_docs == 0 || options.top_n == 0 {
         return (Vec::new(), ProbeStats::default());
     }
     // Distinct terms: a query repeating a word is one semantic term both
@@ -354,30 +402,42 @@ pub(crate) fn search_postings(
     let mut pruned_postings = 0u64;
     let mut pruned_lists = 0usize;
 
-    let n_docs = inner.live_docs as f64;
+    let n_docs = snap.live_docs as f64;
     let total_terms = distinct.len();
 
-    // Gather the query's (term, field) lists with their impact bounds.
+    // Gather the query's (term, field) lists with their live portions.
     // Borrowed dictionary lookups: no term is cloned to probe the maps.
+    // df is corpus-wide (summed across segments) so idf is content-
+    // determined; a portion whose segment-live df is zero holds only
+    // tombstoned postings and is dropped here, exactly as a monolith
+    // drops a df-0 list.
     let mut lists: Vec<QueryList<'_>> = Vec::new();
     for (term_idx, term) in distinct.iter().enumerate() {
         for field in Field::ALL {
-            let Some(pl) = inner.field_terms(field).get(term.as_str()) else {
-                continue;
-            };
-            // Live document frequency, maintained incrementally by the
-            // writers — no tombstone rescan per query.
-            let df = pl.live_doc_freq();
+            let field_ord = field.ordinal() as usize;
+            let mut portions: Vec<(usize, &PostingsList)> = Vec::new();
+            let mut df = 0usize;
+            for (si, seg) in snap.segments.iter().enumerate() {
+                let Some(pl) = seg.data.field_terms(field).get(term.as_str()) else {
+                    continue;
+                };
+                // Live document frequency, maintained incrementally by
+                // the writers — no tombstone rescan per query.
+                let live = seg.live_df(field_ord, term, pl);
+                if live == 0 {
+                    continue;
+                }
+                df += live;
+                portions.push((si, pl));
+            }
             if df == 0 {
                 continue;
             }
-            let idf = idf_weight(df, n_docs);
             lists.push(QueryList {
                 term_idx,
                 field,
-                pl,
-                idf,
-                bound: pl.max_impact_bound(field.boost(), idf) * BOUND_SLACK,
+                idf: idf_weight(df, n_docs),
+                portions,
             });
         }
     }
@@ -398,8 +458,9 @@ pub(crate) fn search_postings(
     // count), never on physical index state, so per-document accumulation
     // sequences — and therefore result bit patterns — are identical
     // between the pruned and exhaustive modes and across churned,
-    // vacuumed, and freshly loaded copies of the same corpus, which
-    // ordering by the stale-high stored bounds could not guarantee.
+    // sealed, merged, vacuumed, and freshly loaded copies of the same
+    // corpus, which ordering by the stale-high stored bounds could not
+    // guarantee.
     let mut term_prio = vec![0.0f64; total_terms];
     for l in &lists {
         let p = l.field.boost() * l.idf;
@@ -413,330 +474,56 @@ pub(crate) fn search_postings(
             .then_with(|| distinct[a.term_idx].cmp(distinct[b.term_idx]))
             .then_with(|| a.field.ordinal().cmp(&b.field.ordinal()))
     });
-    // suffix[i]: upper bound on what lists i.. can still add to any one
-    // document's score.
-    let mut suffix = vec![0.0f64; lists.len() + 1];
-    for i in (0..lists.len()).rev() {
-        suffix[i] = suffix[i + 1] + lists[i].bound;
-    }
-    // distinct_from[i]: how many distinct query terms still have a list at
-    // position i or later. A document first touched at list i appears in
-    // no earlier list, and every term it matches has at least one live
-    // list, so its final matched count — and with coordination on, its
-    // coordination factor — is capped by this value. Scaling admission
-    // bounds by it is what lets pruning fire on multi-term coordinated
-    // queries at all: the floor is a *coordinated* score, so comparing it
-    // against uncoordinated impact sums would leave a factor-of-
-    // `total_terms` gap no bound could ever close.
-    let mut distinct_from = vec![0usize; lists.len() + 1];
-    {
-        let mut seen = vec![false; total_terms];
-        let mut count = 0usize;
-        for i in (0..lists.len()).rev() {
-            if !seen[lists[i].term_idx] {
-                seen[lists[i].term_idx] = true;
-                count += 1;
-            }
-            distinct_from[i] = count;
-        }
-    }
-    // Maximum attainable proximity credit for any single document: one
-    // adjacency bonus per adjacent distinct query-term pair per field
-    // where both lists exist with live postings. The proximity bonus adds
-    // *after* the impact sum, so it must ride along in every upper bound
-    // or pruning would silently reorder results.
-    let mut prox_bound = 0.0f64;
-    if options.proximity_weight > 0.0 {
-        for pair in terms.windows(2) {
-            if pair[0] == pair[1] {
-                continue;
-            }
-            for field in Field::ALL {
-                let fterms = inner.field_terms(field);
-                let alive = |t: &String| {
-                    fterms
-                        .get(t.as_str())
-                        .is_some_and(|p| p.live_doc_freq() > 0)
-                };
-                if alive(&pair[0]) && alive(&pair[1]) {
-                    prox_bound += options.proximity_weight * field.boost();
-                }
-            }
-        }
-        prox_bound *= BOUND_SLACK;
-    }
 
     let mut hits = SCRATCH.with(|cell| {
         let mut scratch = cell.borrow_mut();
-        let q_stamp = scratch.begin(inner.docs.len(), total_terms);
-
-        // θ (deflated): NEG_INFINITY means "no floor yet — scan
-        // exhaustively", which is also the permanent state when pruning
-        // is off.
-        let mut floor = f64::NEG_INFINITY;
-        for (li, l) in lists.iter().enumerate() {
-            if options.prune && li > 0 {
-                floor = refresh_floor(
-                    &mut scratch,
-                    q_stamp,
-                    options,
-                    total_terms,
-                    suffix[li] + prox_bound,
-                    distinct_from[li],
-                );
-            }
-            let t_stamp = scratch.term_ids[l.term_idx];
-            let Scratch {
-                score,
-                matched,
-                doc_stamp,
-                term_stamp,
-                touched,
-                cands,
-                ..
-            } = &mut *scratch;
-            let field_ord = l.field.ordinal() as usize;
-            let mut visited = 0u64;
-            if floor == f64::NEG_INFINITY {
-                visited += l.pl.doc_freq() as u64;
-                for posting in l.pl.iter() {
-                    let entry = &inner.docs[posting.doc as usize];
-                    if entry.deleted {
-                        continue;
-                    }
-                    let o = posting.doc as usize;
-                    if doc_stamp[o] != q_stamp {
-                        doc_stamp[o] = q_stamp;
-                        score[o] = 0.0;
-                        matched[o] = 0;
-                        touched.push(posting.doc);
-                    }
-                    score[o] += impact(
-                        l.field,
-                        posting.term_freq(),
-                        l.idf,
-                        entry.field_lengths[field_ord],
-                    );
-                    if term_stamp[o] != t_stamp {
-                        term_stamp[o] = t_stamp;
-                        matched[o] += 1;
-                    }
-                }
-            } else {
-                let boost = l.field.boost();
-                // Best coordination factor any document *first seen here*
-                // can reach: it matches at most the distinct terms with a
-                // list at or after this position.
-                let admit_scale = if options.coordination {
-                    distinct_from[li] as f64 / total_terms as f64
-                } else {
-                    1.0
-                };
-                // If even the whole-list bound cannot reach the floor, no
-                // block of it can admit new documents.
-                let list_admits = (l.bound + suffix[li + 1] + prox_bound) * admit_scale >= floor;
-                let mut ci = 0usize;
-                for b in 0..l.pl.block_count() {
-                    let blk = l.pl.block(b);
-                    let first = blk[0].doc;
-                    let last = blk[blk.len() - 1].doc;
-                    while ci < cands.len() && cands[ci] < first {
-                        ci += 1;
-                    }
-                    let admits = list_admits
-                        && (l.pl.block_impact_bound(b, boost, l.idf) * BOUND_SLACK
-                            + suffix[li + 1]
-                            + prox_bound)
-                            * admit_scale
-                            >= floor;
-                    if admits {
-                        // The block might hold a document able to reach
-                        // the top n: scan it in full.
-                        visited += blk.len() as u64;
-                        for posting in blk {
-                            let entry = &inner.docs[posting.doc as usize];
-                            if entry.deleted {
-                                continue;
-                            }
-                            let o = posting.doc as usize;
-                            if doc_stamp[o] != q_stamp {
-                                doc_stamp[o] = q_stamp;
-                                score[o] = 0.0;
-                                matched[o] = 0;
-                                touched.push(posting.doc);
-                            }
-                            score[o] += impact(
-                                l.field,
-                                posting.term_freq(),
-                                l.idf,
-                                entry.field_lengths[field_ord],
-                            );
-                            if term_stamp[o] != t_stamp {
-                                term_stamp[o] = t_stamp;
-                                matched[o] += 1;
-                            }
-                        }
-                    } else {
-                        // The block cannot admit new documents — only
-                        // surviving candidates need their scores kept
-                        // exact, and they are probed by binary search.
-                        let mut probes = 0u64;
-                        while ci < cands.len() && cands[ci] <= last {
-                            if let Ok(pos) = blk.binary_search_by_key(&cands[ci], |p| p.doc) {
-                                let p = &blk[pos];
-                                let o = p.doc as usize;
-                                debug_assert_eq!(doc_stamp[o], q_stamp);
-                                score[o] += impact(
-                                    l.field,
-                                    p.term_freq(),
-                                    l.idf,
-                                    inner.docs[o].field_lengths[field_ord],
-                                );
-                                if term_stamp[o] != t_stamp {
-                                    term_stamp[o] = t_stamp;
-                                    matched[o] += 1;
-                                }
-                            }
-                            probes += 1;
-                            ci += 1;
-                        }
-                        visited += probes;
-                        pruned_postings += (blk.len() as u64).saturating_sub(probes);
-                    }
-                }
-                if visited == 0 {
-                    pruned_lists += 1;
-                }
-            }
-            postings_scanned += visited;
-        }
-
-        // Proximity bonus: consecutive query terms adjacent in a field —
-        // the signature of an intact compound name.
-        if options.proximity_weight > 0.0 {
-            // With an active floor the pair walk is the last remaining
-            // score source, so any document that cannot reach the floor
-            // even with the full proximity ceiling is pruned now, and
-            // the walk degenerates to probing the surviving candidates —
-            // the full-list lockstep scan is otherwise the dominant cost
-            // pruning cannot touch. Every surviving document still
-            // receives its credits in the same (pair, field) order as
-            // the exhaustive walk, so its additions — and its final bit
-            // pattern — are unchanged.
-            if options.prune {
-                // No term lists remain: each document's coordination
-                // factor is final, so `distinct_remaining` is 0 and only
-                // the proximity ceiling is left as headroom.
-                floor = refresh_floor(&mut scratch, q_stamp, options, total_terms, prox_bound, 0);
-            }
-            let probe = floor != f64::NEG_INFINITY;
-            let Scratch {
-                score,
-                doc_stamp,
-                cands,
-                ..
-            } = &mut *scratch;
-            for pair in terms.windows(2) {
-                let (a, b) = (&pair[0], &pair[1]);
-                if a == b {
-                    continue;
-                }
-                for field in Field::ALL {
-                    let fterms = inner.field_terms(field);
-                    let (Some(pa), Some(pb)) = (fterms.get(a.as_str()), fterms.get(b.as_str()))
-                    else {
-                        continue;
-                    };
-                    // All-tombstoned lists cannot yield a live adjacency;
-                    // walking them would only burn scan work under churn.
-                    if pa.live_doc_freq() == 0 || pb.live_doc_freq() == 0 {
-                        continue;
-                    }
-                    // Probing beats the lockstep walk only while the
-                    // candidate set is smaller than the lists; both paths
-                    // credit each document identically, so this is purely
-                    // a cost choice.
-                    if probe && 2 * cands.len() < pa.doc_freq() + pb.doc_freq() {
-                        // Binary-search each surviving candidate in both
-                        // lists; each probe pair is counted as scan work,
-                        // the postings the lockstep walk would have
-                        // visited are counted as pruned.
-                        let mut probes = 0u64;
-                        for &d in cands.iter() {
-                            probes += 2;
-                            let (Some(post_a), Some(post_b)) = (pa.get(d), pb.get(d)) else {
-                                continue;
-                            };
-                            if inner.docs[d as usize].deleted {
-                                continue;
-                            }
-                            if has_adjacent(&post_a.positions, &post_b.positions) {
-                                let ord = d as usize;
-                                if doc_stamp[ord] == q_stamp {
-                                    score[ord] += options.proximity_weight * field.boost();
-                                }
-                            }
-                        }
-                        postings_scanned += probes;
-                        pruned_postings +=
-                            ((pa.doc_freq() + pb.doc_freq()) as u64).saturating_sub(probes);
-                        continue;
-                    }
-                    // Walk the (sorted) postings in lockstep, counting
-                    // every posting the walk visits — this traversal is
-                    // real scan work and shows up in `postings_scanned`.
-                    let mut ia = pa.iter().peekable();
-                    for post_b in pb.iter() {
-                        postings_scanned += 1;
-                        while ia.peek().is_some_and(|p| p.doc < post_b.doc) {
-                            ia.next();
-                            postings_scanned += 1;
-                        }
-                        let Some(post_a) = ia.peek() else { break };
-                        if post_a.doc != post_b.doc {
-                            continue;
-                        }
-                        if inner.docs[post_b.doc as usize].deleted {
-                            continue;
-                        }
-                        if has_adjacent(&post_a.positions, &post_b.positions) {
-                            let ord = post_b.doc as usize;
-                            if doc_stamp[ord] == q_stamp {
-                                score[ord] += options.proximity_weight * field.boost();
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(
+        // The cross-segment top-n heap: hits survive from one segment to
+        // the next, so the floor a later segment starts from is the real
+        // global floor, not a per-segment restart.
+        let mut carried: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(
             options
                 .top_n
                 .saturating_add(1)
-                .min(scratch.touched.len() + 1),
+                .min(snap.total_docs.saturating_add(1)),
         );
-        for &ord in &scratch.touched {
-            if scratch.pruned[ord as usize] == q_stamp {
+
+        for (si, seg) in snap.segments.iter().enumerate() {
+            if seg.live_docs() == 0 {
                 continue;
             }
-            let matched = scratch.matched[ord as usize];
-            let coord = if options.coordination {
-                matched as f64 / total_terms as f64
-            } else {
-                1.0
-            };
-            heap.push(HeapEntry {
-                score: scratch.score[ord as usize] * coord,
-                id: inner.docs[ord as usize].id,
-                matched,
-            });
-            if heap.len() > options.top_n {
-                heap.pop();
+            // This segment's portions, in the global list order.
+            let seg_lists: Vec<SegList<'_, '_>> = lists
+                .iter()
+                .filter_map(|l| {
+                    l.portions
+                        .iter()
+                        .find(|&&(s, _)| s == si)
+                        .map(|&(_, pl)| SegList {
+                            list: l,
+                            pl,
+                            bound: l.pl_bound(pl),
+                        })
+                })
+                .collect();
+            if seg_lists.is_empty() {
+                continue;
             }
+            scan_segment(
+                seg,
+                &seg_lists,
+                terms,
+                options,
+                total_terms,
+                &mut scratch,
+                &mut carried,
+                &mut postings_scanned,
+                &mut pruned_postings,
+                &mut pruned_lists,
+            );
         }
 
-        heap.into_iter()
+        carried
+            .into_iter()
             .map(|e| Hit {
                 id: e.id,
                 score: e.score,
@@ -758,6 +545,368 @@ pub(crate) fn search_postings(
             pruned_postings,
         },
     )
+}
+
+impl QueryList<'_> {
+    /// The slacked impact upper bound of one of this list's portions.
+    fn pl_bound(&self, pl: &PostingsList) -> f64 {
+        pl.max_impact_bound(self.field.boost(), self.idf) * BOUND_SLACK
+    }
+}
+
+/// Scan one segment: score its portions in global list order, apply the
+/// proximity walk, and fold survivors into the carried cross-segment
+/// top-n heap.
+#[allow(clippy::too_many_arguments)]
+fn scan_segment(
+    seg: &Segment,
+    seg_lists: &[SegList<'_, '_>],
+    terms: &[String],
+    options: &SearchOptions,
+    total_terms: usize,
+    scratch: &mut Scratch,
+    carried: &mut BinaryHeap<HeapEntry>,
+    postings_scanned: &mut u64,
+    pruned_postings: &mut u64,
+    pruned_lists: &mut usize,
+) {
+    let docs = &seg.data.docs;
+    let overlay = &*seg.live;
+    let overlay_dirty = overlay.dead_docs > 0;
+
+    // suffix[i]: upper bound on what this segment's portions i.. can
+    // still add to any one document's score. Per-segment — a document
+    // can only gain from lists in its own segment, so this is tighter
+    // than any global sum while staying a valid bound.
+    let mut suffix = vec![0.0f64; seg_lists.len() + 1];
+    for i in (0..seg_lists.len()).rev() {
+        suffix[i] = suffix[i + 1] + seg_lists[i].bound;
+    }
+    // distinct_from[i]: how many distinct query terms still have a
+    // portion in this segment at position i or later. A document first
+    // touched at portion i appears in no earlier portion, and every term
+    // it matches has at least one live portion here, so its final matched
+    // count — and with coordination on, its coordination factor — is
+    // capped by this value. Scaling admission bounds by it is what lets
+    // pruning fire on multi-term coordinated queries at all: the floor is
+    // a *coordinated* score, so comparing it against uncoordinated impact
+    // sums would leave a factor-of-`total_terms` gap no bound could ever
+    // close.
+    let mut distinct_from = vec![0usize; seg_lists.len() + 1];
+    {
+        let mut seen = vec![false; total_terms];
+        let mut count = 0usize;
+        for i in (0..seg_lists.len()).rev() {
+            if !seen[seg_lists[i].list.term_idx] {
+                seen[seg_lists[i].list.term_idx] = true;
+                count += 1;
+            }
+            distinct_from[i] = count;
+        }
+    }
+    // Maximum attainable proximity credit for any single document in this
+    // segment: one adjacency bonus per adjacent distinct query-term pair
+    // per field where both lists have live postings *here*. The proximity
+    // bonus adds *after* the impact sum, so it must ride along in every
+    // upper bound or pruning would silently reorder results.
+    let pair_alive = |field: Field, t: &String| {
+        seg.data
+            .field_terms(field)
+            .get(t.as_str())
+            .is_some_and(|p| seg.live_df(field.ordinal() as usize, t, p) > 0)
+    };
+    let mut prox_bound = 0.0f64;
+    if options.proximity_weight > 0.0 {
+        for pair in terms.windows(2) {
+            if pair[0] == pair[1] {
+                continue;
+            }
+            for field in Field::ALL {
+                if pair_alive(field, &pair[0]) && pair_alive(field, &pair[1]) {
+                    prox_bound += options.proximity_weight * field.boost();
+                }
+            }
+        }
+        prox_bound *= BOUND_SLACK;
+    }
+
+    let q_stamp = scratch.begin(docs.len(), total_terms);
+
+    // θ (deflated): NEG_INFINITY means "no floor yet — scan
+    // exhaustively", which is also the permanent state when pruning is
+    // off. With carried hits from earlier segments the floor activates
+    // before this segment's very first portion.
+    let mut floor = f64::NEG_INFINITY;
+    for (li, sl) in seg_lists.iter().enumerate() {
+        if options.prune && (li > 0 || !carried.is_empty()) {
+            floor = refresh_floor(
+                scratch,
+                q_stamp,
+                options,
+                total_terms,
+                suffix[li] + prox_bound,
+                distinct_from[li],
+                carried,
+            );
+        }
+        let l = sl.list;
+        let t_stamp = scratch.term_ids[l.term_idx];
+        let Scratch {
+            score,
+            matched,
+            doc_stamp,
+            term_stamp,
+            touched,
+            cands,
+            ..
+        } = &mut *scratch;
+        let field_ord = l.field.ordinal() as usize;
+        let mut visited = 0u64;
+        if floor == f64::NEG_INFINITY {
+            visited += sl.pl.doc_freq() as u64;
+            for posting in sl.pl.iter() {
+                let entry = &docs[posting.doc as usize];
+                if entry.deleted || (overlay_dirty && overlay.is_dead(posting.doc)) {
+                    continue;
+                }
+                let o = posting.doc as usize;
+                if doc_stamp[o] != q_stamp {
+                    doc_stamp[o] = q_stamp;
+                    score[o] = 0.0;
+                    matched[o] = 0;
+                    touched.push(posting.doc);
+                }
+                score[o] += impact(
+                    l.field,
+                    posting.term_freq(),
+                    l.idf,
+                    entry.field_lengths[field_ord],
+                );
+                if term_stamp[o] != t_stamp {
+                    term_stamp[o] = t_stamp;
+                    matched[o] += 1;
+                }
+            }
+        } else {
+            let boost = l.field.boost();
+            // Best coordination factor any document *first seen here*
+            // can reach: it matches at most the distinct terms with a
+            // portion at or after this position.
+            let admit_scale = if options.coordination {
+                distinct_from[li] as f64 / total_terms as f64
+            } else {
+                1.0
+            };
+            // If even the whole-portion bound cannot reach the floor, no
+            // block of it can admit new documents.
+            let list_admits = (sl.bound + suffix[li + 1] + prox_bound) * admit_scale >= floor;
+            let mut ci = 0usize;
+            for b in 0..sl.pl.block_count() {
+                let blk = sl.pl.block(b);
+                let first = blk[0].doc;
+                let last = blk[blk.len() - 1].doc;
+                while ci < cands.len() && cands[ci] < first {
+                    ci += 1;
+                }
+                let admits = list_admits
+                    && (sl.pl.block_impact_bound(b, boost, l.idf) * BOUND_SLACK
+                        + suffix[li + 1]
+                        + prox_bound)
+                        * admit_scale
+                        >= floor;
+                if admits {
+                    // The block might hold a document able to reach the
+                    // top n: scan it in full.
+                    visited += blk.len() as u64;
+                    for posting in blk {
+                        let entry = &docs[posting.doc as usize];
+                        if entry.deleted || (overlay_dirty && overlay.is_dead(posting.doc)) {
+                            continue;
+                        }
+                        let o = posting.doc as usize;
+                        if doc_stamp[o] != q_stamp {
+                            doc_stamp[o] = q_stamp;
+                            score[o] = 0.0;
+                            matched[o] = 0;
+                            touched.push(posting.doc);
+                        }
+                        score[o] += impact(
+                            l.field,
+                            posting.term_freq(),
+                            l.idf,
+                            entry.field_lengths[field_ord],
+                        );
+                        if term_stamp[o] != t_stamp {
+                            term_stamp[o] = t_stamp;
+                            matched[o] += 1;
+                        }
+                    }
+                } else {
+                    // The block cannot admit new documents — only
+                    // surviving candidates need their scores kept exact,
+                    // and they are probed by binary search.
+                    let mut probes = 0u64;
+                    while ci < cands.len() && cands[ci] <= last {
+                        if let Ok(pos) = blk.binary_search_by_key(&cands[ci], |p| p.doc) {
+                            let p = &blk[pos];
+                            let o = p.doc as usize;
+                            debug_assert_eq!(doc_stamp[o], q_stamp);
+                            score[o] += impact(
+                                l.field,
+                                p.term_freq(),
+                                l.idf,
+                                docs[o].field_lengths[field_ord],
+                            );
+                            if term_stamp[o] != t_stamp {
+                                term_stamp[o] = t_stamp;
+                                matched[o] += 1;
+                            }
+                        }
+                        probes += 1;
+                        ci += 1;
+                    }
+                    visited += probes;
+                    *pruned_postings += (blk.len() as u64).saturating_sub(probes);
+                }
+            }
+            if visited == 0 {
+                *pruned_lists += 1;
+            }
+        }
+        *postings_scanned += visited;
+    }
+
+    // Proximity bonus: consecutive query terms adjacent in a field — the
+    // signature of an intact compound name.
+    if options.proximity_weight > 0.0 {
+        // With an active floor the pair walk is the last remaining score
+        // source, so any document that cannot reach the floor even with
+        // the full proximity ceiling is pruned now, and the walk
+        // degenerates to probing the surviving candidates — the
+        // full-list lockstep scan is otherwise the dominant cost pruning
+        // cannot touch. Every surviving document still receives its
+        // credits in the same (pair, field) order as the exhaustive
+        // walk, so its additions — and its final bit pattern — are
+        // unchanged.
+        if options.prune {
+            // No term lists remain: each document's coordination factor
+            // is final, so `distinct_remaining` is 0 and only the
+            // proximity ceiling is left as headroom.
+            floor = refresh_floor(
+                scratch,
+                q_stamp,
+                options,
+                total_terms,
+                prox_bound,
+                0,
+                carried,
+            );
+        }
+        let probe = floor != f64::NEG_INFINITY;
+        let Scratch {
+            score,
+            doc_stamp,
+            cands,
+            ..
+        } = &mut *scratch;
+        for pair in terms.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a == b {
+                continue;
+            }
+            for field in Field::ALL {
+                let fterms = seg.data.field_terms(field);
+                let (Some(pa), Some(pb)) = (fterms.get(a.as_str()), fterms.get(b.as_str())) else {
+                    continue;
+                };
+                // All-tombstoned portions cannot yield a live adjacency;
+                // walking them would only burn scan work under churn.
+                let field_ord = field.ordinal() as usize;
+                if seg.live_df(field_ord, a, pa) == 0 || seg.live_df(field_ord, b, pb) == 0 {
+                    continue;
+                }
+                // Probing beats the lockstep walk only while the
+                // candidate set is smaller than the lists; both paths
+                // credit each document identically, so this is purely a
+                // cost choice.
+                if probe && 2 * cands.len() < pa.doc_freq() + pb.doc_freq() {
+                    // Binary-search each surviving candidate in both
+                    // lists; each probe pair is counted as scan work, the
+                    // postings the lockstep walk would have visited are
+                    // counted as pruned.
+                    let mut probes = 0u64;
+                    for &d in cands.iter() {
+                        probes += 2;
+                        let (Some(post_a), Some(post_b)) = (pa.get(d), pb.get(d)) else {
+                            continue;
+                        };
+                        if docs[d as usize].deleted || (overlay_dirty && overlay.is_dead(d)) {
+                            continue;
+                        }
+                        if has_adjacent(&post_a.positions, &post_b.positions) {
+                            let ord = d as usize;
+                            if doc_stamp[ord] == q_stamp {
+                                score[ord] += options.proximity_weight * field.boost();
+                            }
+                        }
+                    }
+                    *postings_scanned += probes;
+                    *pruned_postings +=
+                        ((pa.doc_freq() + pb.doc_freq()) as u64).saturating_sub(probes);
+                    continue;
+                }
+                // Walk the (sorted) postings in lockstep, counting every
+                // posting the walk visits — this traversal is real scan
+                // work and shows up in `postings_scanned`.
+                let mut ia = pa.iter().peekable();
+                for post_b in pb.iter() {
+                    *postings_scanned += 1;
+                    while ia.peek().is_some_and(|p| p.doc < post_b.doc) {
+                        ia.next();
+                        *postings_scanned += 1;
+                    }
+                    let Some(post_a) = ia.peek() else { break };
+                    if post_a.doc != post_b.doc {
+                        continue;
+                    }
+                    if docs[post_b.doc as usize].deleted
+                        || (overlay_dirty && overlay.is_dead(post_b.doc))
+                    {
+                        continue;
+                    }
+                    if has_adjacent(&post_a.positions, &post_b.positions) {
+                        let ord = post_b.doc as usize;
+                        if doc_stamp[ord] == q_stamp {
+                            score[ord] += options.proximity_weight * field.boost();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Fold this segment's survivors into the carried top-n heap. The
+    // (score, id) heap order is layout-independent, so incremental
+    // folding selects exactly the set a single corpus-wide pass would.
+    for &ord in &scratch.touched {
+        if scratch.pruned[ord as usize] == q_stamp {
+            continue;
+        }
+        let matched = scratch.matched[ord as usize];
+        let coord = if options.coordination {
+            matched as f64 / total_terms as f64
+        } else {
+            1.0
+        };
+        carried.push(HeapEntry {
+            score: scratch.score[ord as usize] * coord,
+            id: docs[ord as usize].id,
+            matched,
+        });
+        if carried.len() > options.top_n {
+            carried.pop();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1077,6 +1226,38 @@ mod tests {
                 >= 200,
             "all common postings should go unvisited"
         );
+        let exhaustive = index.search(
+            &["rare", "common"],
+            &SearchOptions {
+                prune: false,
+                ..opts
+            },
+        );
+        assert_eq!(pruned.len(), exhaustive.len());
+        for (p, e) in pruned.iter().zip(&exhaustive) {
+            assert_eq!(p.id, e.id);
+            assert_eq!(p.score.to_bits(), e.score.to_bits(), "bitwise identity");
+            assert_eq!(p.matched_terms, e.matched_terms);
+        }
+        assert_eq!(pruned[0].id, SchemaId(0));
+    }
+
+    #[test]
+    fn pruning_stays_bitwise_identical_across_segments() {
+        // Same corpus shape as above, but sealed into many segments: the
+        // carried floor must activate in later segments without ever
+        // changing a returned bit.
+        let index = Index::new().with_seal_threshold(32);
+        index.add(&doc(0, &["rare"]));
+        for i in 1..=200 {
+            index.add(&doc(i, &["common"]));
+        }
+        assert!(index.segment_count() > 1);
+        let opts = SearchOptions {
+            top_n: 1,
+            ..Default::default()
+        };
+        let pruned = index.search(&["rare", "common"], &opts);
         let exhaustive = index.search(
             &["rare", "common"],
             &SearchOptions {

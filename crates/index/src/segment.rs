@@ -1,0 +1,440 @@
+//! Index segments: the immutable unit of the Lucene-style index layout.
+//!
+//! A [`SegmentData`] is one self-contained slice of the corpus — a term
+//! dictionary per field, a document table with per-field lengths, the
+//! forward index (`doc_terms`), and an id map. The *mutable head* the
+//! writer appends into is a `SegmentData` too; sealing wraps it in an
+//! `Arc` and freezes it forever. Documents tombstoned **after** a segment
+//! seals are recorded in a copy-on-write [`LiveOverlay`] next to the
+//! frozen data, so a tombstone costs O(overlay), never a segment rebuild.
+//!
+//! A [`Segment`] pairs one frozen `SegmentData` with the overlay that was
+//! current when its snapshot was published: the pair is immutable, so a
+//! search holding it can never observe a torn state.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use schemr_model::SchemaId;
+use schemr_obs::DeepSize;
+
+use crate::field::Field;
+use crate::postings::PostingsList;
+use crate::DocOrd;
+
+/// Per-document bookkeeping: external id, per-field token counts, liveness.
+///
+/// `deleted` here is the *baked* flag — tombstones applied while the
+/// document's segment was still the mutable head. Post-seal tombstones
+/// live in the segment's [`LiveOverlay`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DocEntry {
+    pub id: SchemaId,
+    pub field_lengths: [u32; Field::COUNT],
+    pub deleted: bool,
+}
+
+/// One segment's frozen (or, for the head, still-growing) contents. The
+/// term dictionary is one `BTreeMap` per field, indexed by field ordinal:
+/// `String`-keyed maps support borrowed `&str` lookups, so the query hot
+/// path never clones a term just to probe the dictionary, and `BTreeMap`
+/// keeps codec output deterministic.
+///
+/// `doc_terms` is a forward index: for every document slot, the distinct
+/// `(field, term)` keys it contributed postings to. It exists so a
+/// tombstone can decrement the live document frequency of exactly the
+/// postings lists that mention the document — O(terms of the doc) instead
+/// of a dictionary-wide scan.
+///
+/// `live_docs` counts documents that are live *by the baked flags*; the
+/// overlay's `dead_docs` is subtracted on top for the true live count.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SegmentData {
+    pub terms: [BTreeMap<String, PostingsList>; Field::COUNT],
+    pub docs: Vec<DocEntry>,
+    pub by_id: HashMap<SchemaId, DocOrd>,
+    pub doc_terms: Vec<Vec<(u8, String)>>,
+    pub live_docs: usize,
+}
+
+impl SegmentData {
+    /// One field's term dictionary — a borrowed lookup takes `&str`, no
+    /// allocation.
+    pub(crate) fn field_terms(&self, field: Field) -> &BTreeMap<String, PostingsList> {
+        &self.terms[field.ordinal() as usize]
+    }
+
+    /// Decrement the live df of every postings list `ord` appears in.
+    /// Head-only: called exactly once per tombstoned document while the
+    /// segment is still mutable.
+    pub(crate) fn note_tombstoned(&mut self, ord: DocOrd) {
+        for (field, term) in &self.doc_terms[ord as usize] {
+            if let Some(pl) = self.terms[*field as usize].get_mut(term.as_str()) {
+                pl.note_doc_tombstoned();
+            }
+        }
+    }
+
+    /// Estimated heap bytes of this segment: the term dictionary with its
+    /// postings, the document table, the id map, and the forward index.
+    /// Map overheads are approximated the same way the obs `DeepSize`
+    /// container impls do.
+    pub(crate) fn deep_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let terms: usize = self
+            .terms
+            .iter()
+            .flat_map(|map| map.iter())
+            .map(|(term, pl)| {
+                size_of::<String>()
+                    + size_of::<PostingsList>()
+                    + 2 * size_of::<usize>()
+                    + term.capacity()
+                    + pl.deep_size_of_children()
+            })
+            .sum();
+        let docs = self.docs.capacity() * size_of::<DocEntry>();
+        let by_id = self.by_id.capacity() * (size_of::<SchemaId>() + size_of::<DocOrd>() + 1);
+        let doc_terms: usize = self.doc_terms.capacity() * size_of::<Vec<(u8, String)>>()
+            + self
+                .doc_terms
+                .iter()
+                .map(|keys| {
+                    keys.capacity() * size_of::<(u8, String)>()
+                        + keys.iter().map(|(_, t)| t.capacity()).sum::<usize>()
+                })
+                .sum::<usize>();
+        terms + docs + by_id + doc_terms
+    }
+}
+
+/// Tombstones applied to a segment *after* it sealed, published
+/// copy-on-write alongside the frozen data. `dead_df` mirrors the head's
+/// incremental live-df maintenance: per field, how many of each term's
+/// postings point at overlay-dead documents, so the scorer's live df is
+/// `list live df − overlay dead df` without a postings rescan.
+#[derive(Debug, Default)]
+pub(crate) struct LiveOverlay {
+    bits: Vec<u64>,
+    dead_df: [HashMap<String, u32>; Field::COUNT],
+    pub(crate) dead_docs: usize,
+}
+
+impl LiveOverlay {
+    /// Is `ord` tombstoned by this overlay?
+    #[inline]
+    pub(crate) fn is_dead(&self, ord: DocOrd) -> bool {
+        self.bits
+            .get(ord as usize / 64)
+            .is_some_and(|w| w & (1u64 << (ord as usize % 64)) != 0)
+    }
+
+    /// How many of the `(field, term)` list's postings this overlay kills.
+    #[inline]
+    pub(crate) fn dead_df(&self, field_ord: usize, term: &str) -> usize {
+        if self.dead_docs == 0 {
+            return 0;
+        }
+        self.dead_df[field_ord].get(term).copied().unwrap_or(0) as usize
+    }
+}
+
+/// The process-wide empty overlay, shared by every head segment and every
+/// freshly merged segment — publishing never allocates for the common
+/// "no post-seal tombstones" case.
+pub(crate) fn empty_overlay() -> Arc<LiveOverlay> {
+    static EMPTY: std::sync::OnceLock<Arc<LiveOverlay>> = std::sync::OnceLock::new();
+    EMPTY
+        .get_or_init(|| Arc::new(LiveOverlay::default()))
+        .clone()
+}
+
+/// One immutable segment as a snapshot sees it: frozen data plus the
+/// overlay current at publish time.
+#[derive(Debug, Clone)]
+pub(crate) struct Segment {
+    pub data: Arc<SegmentData>,
+    pub live: Arc<LiveOverlay>,
+}
+
+impl Segment {
+    /// Is the document at `ord` deleted, by baked flag or overlay?
+    #[inline]
+    pub(crate) fn is_deleted(&self, ord: DocOrd) -> bool {
+        self.data.docs[ord as usize].deleted || (self.live.dead_docs > 0 && self.live.is_dead(ord))
+    }
+
+    /// The scorer's live document frequency for one of this segment's
+    /// postings lists.
+    #[inline]
+    pub(crate) fn live_df(&self, field_ord: usize, term: &str, pl: &PostingsList) -> usize {
+        pl.live_doc_freq() - self.live.dead_df(field_ord, term)
+    }
+
+    /// Live documents in this segment (baked live minus overlay dead).
+    pub(crate) fn live_docs(&self) -> usize {
+        self.data.live_docs - self.live.dead_docs
+    }
+}
+
+/// The writer's view of a sealed segment: the frozen data plus the
+/// *mutable master* overlay state. `overlay()` clones it into an immutable
+/// `Arc` on demand (cached until the next tombstone), which is what makes
+/// publishing O(changed overlays), not O(corpus).
+#[derive(Debug)]
+pub(crate) struct SealedSegment {
+    pub data: Arc<SegmentData>,
+    bits: Vec<u64>,
+    dead_df: [HashMap<String, u32>; Field::COUNT],
+    pub dead_docs: usize,
+    cached: Option<Arc<LiveOverlay>>,
+}
+
+impl SealedSegment {
+    pub(crate) fn new(data: Arc<SegmentData>) -> Self {
+        SealedSegment {
+            data,
+            bits: Vec::new(),
+            dead_df: Default::default(),
+            dead_docs: 0,
+            cached: None,
+        }
+    }
+
+    /// Is `ord` dead (baked flag or overlay bit)?
+    pub(crate) fn is_dead(&self, ord: DocOrd) -> bool {
+        self.data.docs[ord as usize].deleted
+            || self
+                .bits
+                .get(ord as usize / 64)
+                .is_some_and(|w| w & (1u64 << (ord as usize % 64)) != 0)
+    }
+
+    /// Tombstone a (currently live) document: set the overlay bit and
+    /// decrement the dead-df bookkeeping for every list it appears in.
+    pub(crate) fn tombstone(&mut self, ord: DocOrd) {
+        debug_assert!(!self.is_dead(ord));
+        let word = ord as usize / 64;
+        if self.bits.len() <= word {
+            self.bits.resize(word + 1, 0);
+        }
+        self.bits[word] |= 1u64 << (ord as usize % 64);
+        self.dead_docs += 1;
+        for (field, term) in &self.data.doc_terms[ord as usize] {
+            *self.dead_df[*field as usize]
+                .entry(term.clone())
+                .or_insert(0) += 1;
+        }
+        self.cached = None;
+    }
+
+    /// The overlay bitset words (for merge diffing).
+    pub(crate) fn dead_bits(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Live documents (baked live minus overlay dead).
+    pub(crate) fn live_count(&self) -> usize {
+        self.data.live_docs - self.dead_docs
+    }
+
+    /// Total document slots including tombstones.
+    pub(crate) fn total_count(&self) -> usize {
+        self.data.docs.len()
+    }
+
+    /// The immutable overlay to publish, cached across publishes while no
+    /// new tombstone lands on this segment.
+    pub(crate) fn overlay(&mut self) -> Arc<LiveOverlay> {
+        if let Some(o) = &self.cached {
+            return o.clone();
+        }
+        let o = if self.dead_docs == 0 {
+            empty_overlay()
+        } else {
+            Arc::new(LiveOverlay {
+                bits: self.bits.clone(),
+                dead_df: self.dead_df.clone(),
+                dead_docs: self.dead_docs,
+            })
+        };
+        self.cached = Some(o.clone());
+        o
+    }
+}
+
+/// Is bit `ord` set in `bits`?
+fn bit(bits: &[u64], ord: usize) -> bool {
+    bits.get(ord / 64)
+        .is_some_and(|w| w & (1u64 << (ord % 64)) != 0)
+}
+
+/// Compact a list of segments (with their dead bitsets) into one fresh,
+/// fully-live `SegmentData` with tight impact bounds.
+///
+/// Documents keep their relative order (parts in order, ordinals ascending
+/// within each part), so every surviving document accumulates the exact
+/// same f64 additions in the exact same order afterwards — compaction is
+/// bitwise invisible to search, the invariant the segmented-vs-monolithic
+/// oracle asserts across merges.
+pub(crate) fn compact(parts: &[(Arc<SegmentData>, Vec<u64>)]) -> SegmentData {
+    let mut out = SegmentData::default();
+    let mut remaps: Vec<Vec<Option<DocOrd>>> = Vec::with_capacity(parts.len());
+    for (data, dead) in parts {
+        let mut remap = Vec::with_capacity(data.docs.len());
+        for (ord, entry) in data.docs.iter().enumerate() {
+            if entry.deleted || bit(dead, ord) {
+                remap.push(None);
+            } else {
+                remap.push(Some(out.docs.len() as DocOrd));
+                out.docs.push(DocEntry {
+                    id: entry.id,
+                    field_lengths: entry.field_lengths,
+                    deleted: false,
+                });
+                // A live document keeps every one of its postings, so its
+                // forward-index keys carry over unchanged.
+                out.doc_terms.push(data.doc_terms[ord].clone());
+            }
+        }
+        remaps.push(remap);
+    }
+    for field_ord in 0..Field::COUNT {
+        // Merge the parts' dictionaries in term order; within one output
+        // list, parts contribute in input order, so remapped ordinals are
+        // strictly ascending and `push_occurrence` rebuilds tight bounds.
+        let mut merged: BTreeMap<&str, Vec<(usize, &PostingsList)>> = BTreeMap::new();
+        for (pi, (data, _)) in parts.iter().enumerate() {
+            for (term, pl) in &data.terms[field_ord] {
+                merged.entry(term.as_str()).or_default().push((pi, pl));
+            }
+        }
+        for (term, lists) in merged {
+            let mut outpl = PostingsList::new();
+            for (pi, pl) in lists {
+                for posting in pl.iter() {
+                    if let Some(new_ord) = remaps[pi][posting.doc as usize] {
+                        let field_len = out.docs[new_ord as usize].field_lengths[field_ord];
+                        for &pos in &posting.positions {
+                            outpl.push_occurrence(new_ord, pos, field_len);
+                        }
+                    }
+                }
+            }
+            if outpl.doc_freq() > 0 {
+                out.terms[field_ord].insert(term.to_string(), outpl);
+            }
+        }
+    }
+    out.by_id = out
+        .docs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.id, i as DocOrd))
+        .collect();
+    out.live_docs = out.docs.len();
+    out
+}
+
+/// Ordinals that are dead in `now` but were not in `then` — the
+/// tombstones that raced a background merge and must be re-applied to the
+/// compacted segment before it is published.
+pub(crate) fn late_tombstones(then: &[u64], now: &[u64]) -> Vec<DocOrd> {
+    let mut out = Vec::new();
+    for (w, &now_word) in now.iter().enumerate() {
+        let then_word = then.get(w).copied().unwrap_or(0);
+        let mut fresh = now_word & !then_word;
+        while fresh != 0 {
+            let b = fresh.trailing_zeros();
+            out.push((w * 64) as DocOrd + b);
+            fresh &= fresh - 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_with(ids: &[u64]) -> SegmentData {
+        let mut d = SegmentData::default();
+        for &id in ids {
+            let ord = d.docs.len() as DocOrd;
+            d.docs.push(DocEntry {
+                id: SchemaId(id),
+                field_lengths: [1, 0, 0, 0],
+                deleted: false,
+            });
+            d.doc_terms.push(vec![(0, "t".to_string())]);
+            d.terms[0]
+                .entry("t".to_string())
+                .or_default()
+                .push_occurrence(ord, 0, 1);
+            d.by_id.insert(SchemaId(id), ord);
+            d.live_docs += 1;
+        }
+        d
+    }
+
+    #[test]
+    fn overlay_tombstone_updates_dead_df_and_bits() {
+        let mut seg = SealedSegment::new(Arc::new(data_with(&[1, 2, 3])));
+        assert!(!seg.is_dead(1));
+        seg.tombstone(1);
+        assert!(seg.is_dead(1));
+        assert_eq!(seg.live_count(), 2);
+        let o = seg.overlay();
+        assert!(o.is_dead(1));
+        assert!(!o.is_dead(0));
+        assert_eq!(o.dead_df(0, "t"), 1);
+        assert_eq!(o.dead_df(0, "missing"), 0);
+    }
+
+    #[test]
+    fn overlay_arc_is_cached_until_the_next_tombstone() {
+        let mut seg = SealedSegment::new(Arc::new(data_with(&[1, 2])));
+        let a = seg.overlay();
+        let b = seg.overlay();
+        assert!(Arc::ptr_eq(&a, &b));
+        seg.tombstone(0);
+        let c = seg.overlay();
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn compact_drops_dead_docs_and_remaps_ordinals() {
+        let data = Arc::new(data_with(&[10, 20, 30]));
+        let mut dead = vec![0u64];
+        dead[0] |= 1 << 1; // kill ordinal 1 (id 20)
+        let out = compact(&[(data, dead)]);
+        assert_eq!(out.docs.len(), 2);
+        assert_eq!(out.live_docs, 2);
+        assert_eq!(out.docs[0].id, SchemaId(10));
+        assert_eq!(out.docs[1].id, SchemaId(30));
+        let pl = out.terms[0].get("t").unwrap();
+        assert_eq!(pl.doc_freq(), 2);
+        assert_eq!(pl.live_doc_freq(), 2);
+        assert_eq!(out.by_id[&SchemaId(30)], 1);
+    }
+
+    #[test]
+    fn compact_concatenates_parts_in_order() {
+        let a = Arc::new(data_with(&[1, 2]));
+        let b = Arc::new(data_with(&[3]));
+        let out = compact(&[(a, Vec::new()), (b, Vec::new())]);
+        let ids: Vec<u64> = out.docs.iter().map(|d| d.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        let pl = out.terms[0].get("t").unwrap();
+        assert_eq!(pl.doc_freq(), 3);
+    }
+
+    #[test]
+    fn late_tombstone_diff_finds_new_bits_only() {
+        let then = vec![0b0101u64];
+        let now = vec![0b1101u64, 1 << 3];
+        assert_eq!(late_tombstones(&then, &now), vec![3, 64 + 3]);
+        assert!(late_tombstones(&now, &now).is_empty());
+        assert_eq!(late_tombstones(&[], &[1]), vec![0]);
+    }
+}

@@ -112,7 +112,7 @@ pub struct SearchEvent {
     /// Bytes requested from the allocator (ledger).
     pub alloc_bytes: u64,
     /// Free-form `(key, value)` annotations. Empty for ordinary search
-    /// records; maintenance records (e.g. `query = "<vacuum>"`) carry
+    /// records; maintenance records (e.g. `query = "<merge>"`) carry
     /// their before/after measurements here. Serialized only when
     /// non-empty, so ordinary lines are unchanged and old readers that
     /// ignore unknown fields keep parsing.
@@ -418,15 +418,15 @@ mod tests {
 
     #[test]
     fn tagged_maintenance_records_round_trip() {
-        // The shape `maybe_vacuum` writes: a `<vacuum>` query with the
+        // The shape `maybe_merge` writes: a `<merge>` query with the
         // before/after measurements as tags and no results.
         let event = SearchEvent {
-            trace_id: "vacuum-3".into(),
+            trace_id: "merge-r3".into(),
             unix_ms: 2_000,
-            query: "<vacuum>".into(),
+            query: "<merge>".into(),
             candidates_from_index: 0,
             candidates_evaluated: 0,
-            phase_us: vec![("vacuum".into(), 1_234)],
+            phase_us: vec![("merge".into(), 1_234)],
             total_us: 1_234,
             results: Vec::new(),
             cpu_us: 0,

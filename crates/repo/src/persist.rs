@@ -53,13 +53,41 @@ pub fn from_json(json: &str) -> Result<Repository, PersistError> {
     })
 }
 
-/// Write the repository to `path` (atomically via a sibling temp file).
+/// Write the repository to `path` — atomically *and* durably.
+///
+/// The dump goes to a sibling temp file which is fsynced **before** the
+/// rename: renaming first would let a crash publish a file whose contents
+/// are still only in the page cache, so a reboot could reveal an empty or
+/// truncated "committed" dump. After the rename the parent directory is
+/// fsynced too, making the new directory entry itself survive power loss.
+/// On any failure the temp file is removed, so a failed save never leaves
+/// a stray `.tmp` next to the real dump.
 pub fn save(repo: &Repository, path: impl AsRef<Path>) -> Result<(), PersistError> {
     let path = path.as_ref();
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, to_json(repo))?;
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    let result = (|| -> Result<(), PersistError> {
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(to_json(repo).as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Directory fsync is what persists the rename; without it the new
+        // name may vanish on crash even though the data blocks are safe.
+        // Some filesystems refuse to fsync a directory handle — that only
+        // weakens durability, never correctness, so it is not an error.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Load a repository from `path`.
@@ -125,6 +153,48 @@ mod tests {
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.len(), 1);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_save_leaves_no_temp_file_behind() {
+        // Target a path whose final rename must fail: the destination is a
+        // directory, so `rename` cannot replace it. The write of the
+        // sibling temp file succeeds, which is exactly the case where a
+        // sloppy save would leak `repo.tmp`.
+        let dir = std::env::temp_dir().join(format!("schemr-save-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.json");
+        std::fs::create_dir_all(&path).unwrap();
+        let repo = populated();
+        assert!(matches!(save(&repo, &path), Err(PersistError::Io(_))));
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "failed save must clean up its temp file"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_overwrites_previous_dump_in_place() {
+        let dir = std::env::temp_dir().join(format!("schemr-save-over-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.json");
+        let repo = populated();
+        save(&repo, &path).unwrap();
+        let second = populated();
+        second
+            .insert(
+                "extra",
+                "",
+                SchemaBuilder::new("extra")
+                    .entity("t", |e| e.attr("a", DataType::Text))
+                    .build_unchecked(),
+            )
+            .unwrap();
+        save(&second, &path).unwrap();
+        assert_eq!(load(&path).unwrap().len(), 2);
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -396,6 +396,82 @@ fn drain_completes_in_flight_requests_and_refuses_new_connections() {
 }
 
 #[test]
+fn drain_wakes_parked_keepalive_connections_immediately() {
+    // Regression for the idle-wait rework: the between-requests wait is
+    // now one blocking read with the OS socket timeout set to the whole
+    // remaining idle budget (no 25ms poll slices), so a drain must
+    // actively wake parked connections — otherwise shutdown would sit
+    // out the idle budget (60s here) or bust the drain deadline.
+    let server = SchemrServer::start(
+        engine(),
+        ServerConfig {
+            idle_timeout: Some(Duration::from_secs(60)),
+            drain_deadline: Duration::from_secs(10),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Park a keep-alive session between requests.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: keep-alive\r\n"), "{head}");
+    // Give the worker time to re-park in its blocking wait.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let start = std::time::Instant::now();
+    assert!(server.shutdown(), "drain must complete cleanly");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "drain must wake parked connections, took {:?}",
+        start.elapsed()
+    );
+    // The parked session was closed silently — no 408, no garbage.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "woken idle close must be silent: {rest:?}");
+}
+
+#[test]
+fn idle_budget_resets_between_keepalive_requests() {
+    // The idle budget is per gap, not per connection: a session that
+    // keeps sending requests inside the budget stays alive even after
+    // the cumulative idle time passes the timeout, and the eventual
+    // close (one blocking read later) is still silent.
+    let server = SchemrServer::start(
+        engine(),
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(400)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // 3 × 250ms of idling = 750ms total, each gap inside the 400ms
+    // budget — every request must still be answered.
+    for i in 0..3 {
+        std::thread::sleep(Duration::from_millis(250));
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, head, _) = read_response(&mut stream);
+        assert_eq!(status, 200, "request {i}: {head}");
+        assert!(head.contains("Connection: keep-alive\r\n"), "{head}");
+    }
+    // Now exceed one gap's budget: silent close, never a 408 (a 408 is
+    // reserved for stalls *inside* a request).
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "idle close must be silent: {rest:?}");
+    assert!(server.shutdown());
+}
+
+#[test]
 fn idle_keepalive_connections_are_closed_and_do_not_block_drain() {
     let server = SchemrServer::start(
         engine(),
